@@ -1,0 +1,49 @@
+// Ablation: the 3-day rescan blackout (Appendix A.2.1). With dynamic
+// addresses feeding the scanner in real time, the blackout is what keeps
+// the same (stable-address) host from being hammered daily while still
+// letting churned hosts be found at their new addresses.
+#include <iostream>
+
+#include "core/study.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace tts;
+
+int main() {
+  // The engine's blackout already guards per-address; what the collector
+  // adds on top is set-level dedup (an address is only ever *submitted*
+  // once). Measure how much each layer suppresses.
+  auto config = core::make_study_config(core::StudyScale::kTiny);
+  config.enable_hitlist_scan = false;
+  config.enable_telescope = false;
+  config.enable_actors = false;
+  core::Study study(config);
+  study.run();
+
+  std::uint64_t requests = study.collector().total_requests();
+  std::uint64_t distinct = study.collector().distinct_addresses();
+  std::uint64_t submitted = study.ntp_engine()->submitted();
+  std::uint64_t probes = study.ntp_engine()->probes_launched();
+
+  util::TextTable t("Ablation: measurement-load controls on the NTP feed");
+  t.set_header({"stage", "count", "suppressed vs previous"});
+  t.add_row({"NTP requests observed", util::grouped(requests), "-"});
+  t.add_row({"distinct addresses (collector dedup)", util::grouped(distinct),
+             util::percent(1.0 - static_cast<double>(distinct) /
+                                     static_cast<double>(requests))});
+  t.add_row({"scan submissions (3-day blackout)", util::grouped(submitted),
+             util::percent(1.0 - static_cast<double>(submitted) /
+                                     static_cast<double>(distinct))});
+  t.add_row({"protocol probes (8 per submission)", util::grouped(probes),
+             "-"});
+  t.add_note("Every repeated sighting of an address inside 3 days is "
+             "absorbed before any packet leaves the scanner.");
+  t.render(std::cout);
+
+  bool pass = distinct < requests && submitted <= distinct &&
+              probes == submitted * 8;
+  std::cout << "\nShape check (each stage only ever narrows): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Shared bench scaffolding: every table/figure binary runs one full study
+// and prints a paper-vs-measured table. The scale defaults to kSmall
+// (roughly 25k devices, ~30 s); set TTS_BENCH_SCALE=tiny|small|medium to
+// trade statistics for time.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/study.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace tts::bench {
+
+inline core::StudyScale bench_scale() {
+  const char* env = std::getenv("TTS_BENCH_SCALE");
+  if (!env) return core::StudyScale::kSmall;
+  std::string v = env;
+  if (v == "tiny") return core::StudyScale::kTiny;
+  if (v == "medium") return core::StudyScale::kMedium;
+  return core::StudyScale::kSmall;
+}
+
+/// Run the standard study once (shared by the whole binary).
+inline core::Study& shared_study() {
+  static core::Study* study = [] {
+    auto* s = new core::Study(core::make_study_config(bench_scale()));
+    std::cerr << "[bench] running study (scale="
+              << (bench_scale() == core::StudyScale::kTiny     ? "tiny"
+                  : bench_scale() == core::StudyScale::kMedium ? "medium"
+                                                               : "small")
+              << ")...\n";
+    s->run();
+    std::cerr << "[bench] study done: " << s->events_executed()
+              << " events, "
+              << s->collector().distinct_addresses()
+              << " addresses collected\n";
+    return s;
+  }();
+  return *study;
+}
+
+/// "measured (paper: X)" cell helper.
+inline std::string vs_paper(const std::string& measured,
+                            const std::string& paper) {
+  return measured + "  [paper: " + paper + "]";
+}
+
+inline void print_scale_note(util::TextTable& table) {
+  table.add_note(
+      "Populations are scaled down by orders of magnitude vs the paper;");
+  table.add_note(
+      "compare shapes (ordering, ratios, crossovers), not absolute counts.");
+}
+
+}  // namespace tts::bench

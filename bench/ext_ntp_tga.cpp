@@ -1,0 +1,80 @@
+// Extension: a target generator trained on NTP-sourced addresses
+// (Section 6 future work). Candidates are scanned like any hitlist; the
+// bench contrasts the address-level hit rate (poor: dynamic space rots)
+// with the /48-level coverage (good: the structure is real).
+#include <unordered_set>
+
+#include "analysis/network_agg.hpp"
+#include "hitlist/ntp_tga.hpp"
+#include "common.hpp"
+
+using namespace tts;
+
+int main() {
+  // A dedicated study so we can scan the generated targets afterwards.
+  auto config = core::make_study_config(core::StudyScale::kTiny);
+  config.enable_hitlist_scan = false;
+  config.enable_telescope = false;
+  config.enable_actors = false;
+  config.runtime.duration = simnet::days(10);
+  config.drain = simnet::days(1);
+  core::Study study(config);
+  std::cerr << "[bench] running collection phase...\n";
+  study.run();
+
+  auto observed = study.ntp_addresses();
+  hitlist::NtpSeededTga tga;
+  tga.train(observed);
+
+  hitlist::NtpTgaConfig tga_config;
+  tga_config.candidates = 5000;
+  auto candidates = tga.generate(tga_config);
+
+  // Address-level aliasing: how many candidates are addresses that exist
+  // right now? (devices moved on — expect almost none)
+  std::uint64_t live = 0;
+  for (const auto& c : candidates)
+    if (study.network().online(c)) ++live;
+
+  // Network-level coverage: do candidates fall into /48s that actually
+  // house active devices?
+  std::unordered_set<net::Ipv6Prefix, net::Ipv6PrefixHash> device48;
+  for (const auto& d : study.population().devices())
+    device48.insert(net::Ipv6Prefix(d.initial_address, 48));
+  std::uint64_t in_live_48 = 0;
+  for (const auto& c : candidates)
+    if (device48.contains(net::Ipv6Prefix(c, 48))) ++in_live_48;
+
+  util::TextTable t("Extension: NTP-seeded target generation");
+  t.set_header({"metric", "value"});
+  t.add_row({"training addresses", util::grouped(observed.size())});
+  t.add_row({"hot /48s learned", util::grouped(tga.hot_networks())});
+  t.add_row({"candidates emitted", util::grouped(candidates.size())});
+  t.add_row({"candidates alive as addresses",
+             util::grouped(live) + " (" +
+                 util::percent(static_cast<double>(live) /
+                               static_cast<double>(candidates.size())) +
+                 ")"});
+  t.add_row({"candidates inside device-holding /48s",
+             util::grouped(in_live_48) + " (" +
+                 util::percent(static_cast<double>(in_live_48) /
+                               static_cast<double>(candidates.size())) +
+                 ")"});
+  t.add_note("The paper: 'aggregating NTP-sourced addresses into a list is "
+             "not useful, as such a list would be outdated almost "
+             "immediately' — but the network-level structure persists.");
+  t.render(std::cout);
+
+  double addr_rate =
+      static_cast<double>(live) / static_cast<double>(candidates.size());
+  double net_rate = static_cast<double>(in_live_48) /
+                    static_cast<double>(candidates.size());
+  // Address-level hits should be essentially zero while a solid minority
+  // of candidates still land in device-holding /48s (the denominator only
+  // counts *initial* device /48s; rotations use a 6x larger pool, so even
+  // perfectly learned structure tops out well below 100 %).
+  bool pass = addr_rate < 0.02 && net_rate > 0.25;
+  std::cout << "\nShape check (address-level rot, network-level structure): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Figure 1: proportion of addresses per IID class and the share of
+// addresses in Cable/DSL/ISP ASes, across datasets.
+#include "analysis/iid_classes.hpp"
+#include "common.hpp"
+
+using namespace tts;
+
+int main() {
+  core::Study& study = bench::shared_study();
+
+  auto ntp = study.ntp_addresses();
+  const auto& hit_public = study.hitlist().public_list;
+  const auto& hit_full = study.hitlist().full;
+
+  auto ntp_dist = analysis::classify_addresses(ntp);
+  auto pub_dist = analysis::classify_addresses(hit_public);
+  auto full_dist = analysis::classify_addresses(hit_full);
+
+  util::TextTable t("Figure 1: addresses grouped by IID class");
+  t.set_header({"IID class", "Our Data", "TUM public", "TUM full"});
+  for (std::size_t i = 0; i < analysis::kIidClassCount; ++i) {
+    auto cls = static_cast<analysis::IidClass>(i);
+    t.add_row({std::string(to_string(cls)),
+               util::percent(ntp_dist.fraction(cls)),
+               util::percent(pub_dist.fraction(cls)),
+               util::percent(full_dist.fraction(cls))});
+  }
+  t.add_rule();
+  double ntp_eyeball = analysis::cable_dsl_isp_share(ntp, study.registry());
+  double pub_eyeball =
+      analysis::cable_dsl_isp_share(hit_public, study.registry());
+  double full_eyeball =
+      analysis::cable_dsl_isp_share(hit_full, study.registry());
+  t.add_row({"AS = Cable/DSL/ISP", util::percent(ntp_eyeball),
+             util::percent(pub_eyeball), util::percent(full_eyeball)});
+  t.add_note("Paper: hitlists carry more structured (zero/low-byte) IIDs;");
+  t.add_note("NTP data skews to EUI-64/high-entropy and eyeball ASes.");
+  t.render(std::cout);
+
+  auto structured = [](const analysis::IidDistribution& d) {
+    return d.fraction(analysis::IidClass::kZero) +
+           d.fraction(analysis::IidClass::kLastByte) +
+           d.fraction(analysis::IidClass::kLastTwoBytes);
+  };
+  bool pass = structured(pub_dist) > structured(ntp_dist) &&
+              structured(full_dist) > structured(ntp_dist) &&
+              ntp_eyeball > pub_eyeball;
+  std::cout << "\nShape check (hitlist structured, NTP eyeball-heavy): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

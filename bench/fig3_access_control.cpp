@@ -1,0 +1,40 @@
+// Figure 3: MQTT and AMQP broker access control, NTP vs hitlist —
+// NTP-sourced MQTT brokers are far more often wide open.
+#include "analysis/broker_analysis.hpp"
+#include "common.hpp"
+
+using namespace tts;
+
+int main() {
+  core::Study& study = bench::shared_study();
+  const auto& results = study.results();
+
+  util::TextTable t("Figure 3: broker access control by address");
+  t.set_header({"Broker", "Dataset", "brokers", "with auth", "share"});
+  analysis::AccessControlStats mqtt_ntp, mqtt_hit, amqp_ntp, amqp_hit;
+  auto row = [&](const char* broker, analysis::BrokerKind kind,
+                 scan::Dataset dataset) {
+    auto stats = analysis::access_control_by_address(results, dataset, kind);
+    t.add_row({broker, std::string(to_string(dataset)),
+               util::grouped(stats.total), util::grouped(stats.with_auth),
+               util::percent(stats.auth_share())});
+    return stats;
+  };
+  mqtt_ntp = row("MQTT", analysis::BrokerKind::kMqtt, scan::Dataset::kNtp);
+  mqtt_hit =
+      row("MQTT", analysis::BrokerKind::kMqtt, scan::Dataset::kHitlist);
+  amqp_ntp = row("AMQP", analysis::BrokerKind::kAmqp, scan::Dataset::kNtp);
+  amqp_hit =
+      row("AMQP", analysis::BrokerKind::kAmqp, scan::Dataset::kHitlist);
+  t.add_note("Paper: more than half of NTP-found MQTT brokers lack access "
+             "control vs ~80 % enabled in the hitlist;");
+  t.add_note("AMQP access control is widely deployed in both datasets.");
+  t.render(std::cout);
+
+  bool pass = mqtt_ntp.auth_share() < mqtt_hit.auth_share() &&
+              mqtt_ntp.auth_share() < 0.6 && mqtt_hit.auth_share() > 0.6 &&
+              amqp_ntp.auth_share() > 0.6 && amqp_hit.auth_share() > 0.6;
+  std::cout << "\nShape check (MQTT gap, AMQP broadly secured): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Figure 6: broker access control counted by networks — the overall rate
+// rises, but the NTP/hitlist MQTT gap persists.
+#include "analysis/broker_analysis.hpp"
+#include "common.hpp"
+
+using namespace tts;
+
+int main() {
+  core::Study& study = bench::shared_study();
+  const auto& results = study.results();
+
+  util::TextTable t("Figure 6: broker access control by network");
+  t.set_header({"Broker", "Aggregation", "NTP auth", "Hitlist auth"});
+
+  double mqtt_gap_addr = 0, mqtt_gap_64 = 0;
+  for (auto kind : {analysis::BrokerKind::kMqtt, analysis::BrokerKind::kAmqp}) {
+    const char* name = kind == analysis::BrokerKind::kMqtt ? "MQTT" : "AMQP";
+    auto addr_ntp =
+        analysis::access_control_by_address(results, scan::Dataset::kNtp, kind);
+    auto addr_hit = analysis::access_control_by_address(
+        results, scan::Dataset::kHitlist, kind);
+    t.add_row({name, "addresses", util::percent(addr_ntp.auth_share()),
+               util::percent(addr_hit.auth_share())});
+    if (kind == analysis::BrokerKind::kMqtt)
+      mqtt_gap_addr = addr_hit.auth_share() - addr_ntp.auth_share();
+    for (unsigned len : {48u, 56u, 64u}) {
+      auto n = analysis::access_control_by_network(results,
+                                                   scan::Dataset::kNtp, kind,
+                                                   len);
+      auto h = analysis::access_control_by_network(
+          results, scan::Dataset::kHitlist, kind, len);
+      t.add_row({name, util::cat("/", len), util::percent(n.auth_share()),
+                 util::percent(h.auth_share())});
+      if (kind == analysis::BrokerKind::kMqtt && len == 64)
+        mqtt_gap_64 = h.auth_share() - n.auth_share();
+    }
+  }
+  t.add_note("Paper: the MQTT access-control gap (~40 pp) persists under "
+             "network counting; AMQP differences stay marginal.");
+  t.render(std::cout);
+
+  bool pass = mqtt_gap_addr > 0.1 && mqtt_gap_64 > 0.1;
+  std::cout << "\nShape check (MQTT gap persists by /64): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

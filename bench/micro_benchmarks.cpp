@@ -1,0 +1,109 @@
+// Microbenchmarks for the hot primitives: address codec, LPM trie, NTP and
+// CoAP wire codecs, Levenshtein grouping, RNG, and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "net/ipv6.hpp"
+#include "net/routing_table.hpp"
+#include "ntp/ntp_packet.hpp"
+#include "proto/coap.hpp"
+#include "proto/mqtt.hpp"
+#include "simnet/event_queue.hpp"
+#include "util/levenshtein.hpp"
+#include "util/rng.hpp"
+
+using namespace tts;
+
+static void BM_Ipv6Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = net::Ipv6Address::parse("2001:db8:1234:5678::9abc:def0");
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Ipv6Parse);
+
+static void BM_Ipv6Format(benchmark::State& state) {
+  auto a = *net::Ipv6Address::parse("2400:cb00:2048:1::6814:55");
+  for (auto _ : state) {
+    auto s = a.to_string();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Ipv6Format);
+
+static void BM_RoutingLookup(benchmark::State& state) {
+  net::RoutingTable table;
+  util::Rng rng(1);
+  std::vector<net::Ipv6Address> probes;
+  for (int i = 0; i < 1000; ++i) {
+    auto addr = net::Ipv6Address::from_halves(
+        0x2400000000000000ULL | (rng.next() >> 12), rng.next());
+    table.announce(net::Ipv6Prefix(addr, 32 + i % 33), 64500u + i);
+    probes.push_back(addr);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = table.lookup(probes[i++ % probes.size()]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RoutingLookup);
+
+static void BM_NtpRoundTrip(benchmark::State& state) {
+  auto request = ntp::NtpPacket::client_request(simnet::sec(100));
+  for (auto _ : state) {
+    auto wire = request.serialize();
+    auto parsed = ntp::NtpPacket::parse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_NtpRoundTrip);
+
+static void BM_CoapRoundTrip(benchmark::State& state) {
+  auto request = proto::CoapMessage::well_known_core(42, 0x1234);
+  for (auto _ : state) {
+    auto wire = request.serialize();
+    auto parsed = proto::CoapMessage::parse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_CoapRoundTrip);
+
+static void BM_MqttConnectRoundTrip(benchmark::State& state) {
+  proto::MqttConnect connect;
+  for (auto _ : state) {
+    auto wire = connect.serialize();
+    auto parsed = proto::MqttConnect::parse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_MqttConnectRoundTrip);
+
+static void BM_LevenshteinBounded(benchmark::State& state) {
+  std::string a = "3CX Phone System Management Console";
+  std::string b = "3CX Webclient Management Console v18";
+  for (auto _ : state) {
+    auto d = util::levenshtein_bounded(a, b, a.size() / 4);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_LevenshteinBounded);
+
+static void BM_RngStream(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngStream);
+
+static void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::EventQueue queue;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i)
+      queue.schedule_at(simnet::msec(i % 37), [&counter] { ++counter; });
+    queue.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table 5 (Appendix C): successful scans per protocol aggregated by
+// network granularity (/32.././64), AS, and country — the gap between NTP
+// and hitlist narrows as aggregation coarsens.
+#include <unordered_set>
+
+#include "analysis/network_agg.hpp"
+#include "common.hpp"
+
+using namespace tts;
+
+namespace {
+
+struct Aggregates {
+  std::uint64_t addrs = 0, n32 = 0, n48 = 0, n56 = 0, n64 = 0, ases = 0,
+                countries = 0;
+};
+
+Aggregates aggregate_protocol(const core::Study& study, scan::Dataset ds,
+                              scan::Protocol proto) {
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addrs;
+  for (const auto* r : study.results().successes(ds, proto))
+    addrs.insert(r->target);
+  std::vector<net::Ipv6Address> list(addrs.begin(), addrs.end());
+  auto agg = analysis::aggregate(list, study.registry());
+  return {agg.addresses, agg.nets32, agg.nets48, agg.nets56,
+          agg.nets64,    agg.ases,   agg.countries};
+}
+
+}  // namespace
+
+int main() {
+  core::Study& study = bench::shared_study();
+
+  const std::vector<scan::Protocol> protocols = {
+      scan::Protocol::kHttp, scan::Protocol::kHttps, scan::Protocol::kSsh,
+      scan::Protocol::kMqtt, scan::Protocol::kMqtts, scan::Protocol::kAmqp,
+      scan::Protocol::kAmqps, scan::Protocol::kCoap};
+
+  for (auto dataset : {scan::Dataset::kNtp, scan::Dataset::kHitlist}) {
+    util::TextTable t(util::cat("Table 5 (", to_string(dataset),
+                                "): responsive endpoints per aggregation"));
+    std::vector<std::string> header = {"Aggregation"};
+    for (auto p : protocols) header.push_back(std::string(to_string(p)));
+    t.set_header(header);
+
+    std::vector<Aggregates> agg;
+    for (auto p : protocols) agg.push_back(aggregate_protocol(study, dataset, p));
+
+    auto row = [&](const char* label, auto getter) {
+      std::vector<std::string> cells = {label};
+      for (const auto& a : agg) cells.push_back(util::grouped(getter(a)));
+      t.add_row(cells);
+    };
+    row("IPv6 Addrs", [](const Aggregates& a) { return a.addrs; });
+    row("/32 nets", [](const Aggregates& a) { return a.n32; });
+    row("/48 nets", [](const Aggregates& a) { return a.n48; });
+    row("/56 nets", [](const Aggregates& a) { return a.n56; });
+    row("/64 nets", [](const Aggregates& a) { return a.n64; });
+    row("ASes", [](const Aggregates& a) { return a.ases; });
+    row("Countries", [](const Aggregates& a) { return a.countries; });
+    t.render(std::cout);
+    std::cout << "\n";
+  }
+
+  // Shape check: for SSH the NTP/hitlist gap narrows when counting /56
+  // networks instead of addresses (the paper: ~10x -> ~4x).
+  auto ntp_ssh = aggregate_protocol(study, scan::Dataset::kNtp,
+                                    scan::Protocol::kSsh);
+  auto hit_ssh = aggregate_protocol(study, scan::Dataset::kHitlist,
+                                    scan::Protocol::kSsh);
+  double addr_gap = static_cast<double>(hit_ssh.addrs) /
+                    std::max<double>(1, static_cast<double>(ntp_ssh.addrs));
+  double net_gap = static_cast<double>(hit_ssh.n56) /
+                   std::max<double>(1, static_cast<double>(ntp_ssh.n56));
+  std::cout << "SSH gap by addresses " << util::fixed(addr_gap, 2)
+            << "x vs by /56 networks " << util::fixed(net_gap, 2) << "x\n";
+  bool narrows = net_gap < addr_gap;
+  std::cout << "Shape check: aggregation narrows the SSH gap: "
+            << (narrows ? "PASS" : "FAIL") << "\n";
+  return narrows ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Table 7: distinct addresses collected per NTP server location — the
+// orders-of-magnitude spread between India and the Netherlands.
+#include <algorithm>
+
+#include "common.hpp"
+
+using namespace tts;
+
+int main() {
+  core::Study& study = bench::shared_study();
+  auto per_server = study.per_server_counts();
+  std::sort(per_server.begin(), per_server.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Paper Table 7 (addresses per server).
+  const std::vector<std::pair<std::string, const char*>> paper = {
+      {"IN", "2 569 110 445"}, {"BR", "224 407 144"}, {"JP", "68 729 590"},
+      {"ZA", "36 634 220"},    {"ES", "32 921 871"},  {"GB", "31 334 399"},
+      {"DE", "25 694 654"},    {"US", "24 316 424"},  {"PL", "19 103 584"},
+      {"AU", "10 120 272"},    {"NL", "9 093 946"},
+  };
+
+  util::TextTable t("Table 7: collected addresses per server location");
+  t.set_header({"Location", "#Addresses (measured)", "#Addresses (paper)"});
+  for (const auto& [country, count] : per_server) {
+    const char* ref = "-";
+    for (const auto& [code, value] : paper)
+      if (code == country) ref = value;
+    t.add_row({country, util::grouped(count), ref});
+  }
+  bench::print_scale_note(t);
+  t.render(std::cout);
+
+  // Shape checks: India leads; the max/min spread is large (paper: 282x).
+  bool india_first = per_server.front().first == "IN";
+  double spread = static_cast<double>(per_server.front().second) /
+                  static_cast<double>(
+                      std::max<std::uint64_t>(per_server.back().second, 1));
+  std::cout << "\nShape check: India collects the most: "
+            << (india_first ? "PASS" : "FAIL")
+            << "; max/min spread " << util::fixed(spread, 1)
+            << "x (paper: 282x): " << (spread > 20 ? "PASS" : "FAIL")
+            << "\n";
+  return (india_first && spread > 20) ? 0 : 1;
+}

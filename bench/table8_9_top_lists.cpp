@@ -1,0 +1,96 @@
+// Tables 8 and 9 (Appendix D): the extended top lists — HTML title groups
+// by unique certificate and OS tokens from SSH banners by unique host key,
+// with per-dataset shares, exactly as the appendix prints them.
+#include <unordered_set>
+
+#include "analysis/ssh_analysis.hpp"
+#include "analysis/title_grouping.hpp"
+#include "common.hpp"
+#include "proto/sshwire.hpp"
+
+using namespace tts;
+
+namespace {
+
+std::string share(std::uint64_t n, std::uint64_t total) {
+  if (total == 0) return "0 (0.00 %)";
+  return util::grouped(n) + " (" +
+         util::percent(
+             static_cast<double>(n) / static_cast<double>(total), 2) +
+         ")";
+}
+
+}  // namespace
+
+int main() {
+  core::Study& study = bench::shared_study();
+  const auto& results = study.results();
+
+  // ---- Table 8: title groups by unique certificate fingerprint ----------
+  std::vector<analysis::TitleObservation> obs;
+  std::uint64_t ntp_total = 0, hit_total = 0;
+  for (auto dataset : {scan::Dataset::kNtp, scan::Dataset::kHitlist}) {
+    std::unordered_set<std::uint64_t> seen;
+    for (const auto* r :
+         results.successes(dataset, scan::Protocol::kHttps)) {
+      if (r->http_status != 200 || !r->certificate) continue;
+      if (!seen.insert(r->certificate->fingerprint).second) continue;
+      obs.push_back({r->http_title, dataset, 1});
+      (dataset == scan::Dataset::kNtp ? ntp_total : hit_total) += 1;
+    }
+  }
+  auto groups = analysis::group_titles(obs);
+
+  util::TextTable t8("Table 8: top extracted HTML title groups "
+                     "(by unique certificate)");
+  t8.set_header({"HTML title group", "Our Data", "TUM IPv6 Hitlist"});
+  std::size_t shown = 0;
+  for (const auto& g : groups) {
+    if (shown++ >= 30) break;
+    t8.add_row({g.representative.empty() ? "(empty)" : g.representative,
+                share(g.ntp, ntp_total), share(g.hitlist, hit_total)});
+  }
+  t8.render(std::cout);
+  std::cout << "\n";
+
+  // ---- Table 9: OS tokens from SSH banners by unique host key ------------
+  // The appendix extracts the raw token after the space (not just the four
+  // distributions): tabulate every observed token.
+  util::Counter<std::string> ntp_os, hit_os;
+  for (auto dataset : {scan::Dataset::kNtp, scan::Dataset::kHitlist}) {
+    auto hosts = analysis::dedup_ssh_hosts(results, dataset);
+    for (const auto& h : hosts) {
+      std::string software = proto::ssh_software(h.banner);
+      std::size_t space = software.find(' ');
+      std::string token = space == std::string::npos
+                              ? "(empty)"
+                              : software.substr(space + 1);
+      std::size_t dash = token.find('-');
+      if (dash != std::string::npos) token.resize(dash);
+      (dataset == scan::Dataset::kNtp ? ntp_os : hit_os).add(token);
+    }
+  }
+
+  util::TextTable t9("Table 9: top OS tokens from SSH server IDs "
+                     "(by unique host key)");
+  t9.set_header({"OS", "Our Data", "TUM IPv6 Hitlist"});
+  std::unordered_set<std::string> printed;
+  for (const auto& [token, n] : ntp_os.sorted_desc()) {
+    t9.add_row({token, share(n, ntp_os.total()),
+                share(hit_os.count(token), hit_os.total())});
+    printed.insert(token);
+  }
+  for (const auto& [token, n] : hit_os.sorted_desc()) {
+    if (printed.contains(token)) continue;
+    t9.add_row({token, share(0, ntp_os.total()),
+                share(n, hit_os.total())});
+  }
+  t9.add_note("Paper: Ubuntu 38.58 % / 45.99 %, (empty) 36.01 % / 30.58 %, "
+              "Debian 18.71 % / 21.19 %, Raspbian 6.44 % / 0.08 %.");
+  t9.render(std::cout);
+
+  bool pass = !groups.empty() && ntp_os.total() > 0 && hit_os.total() > 0;
+  std::cout << "\nShape check (tables populated): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+// Address forensics: feed captured IPv6 addresses (one per line on stdin,
+// or a built-in demo set) through the library's classification stack —
+// IID structure, EUI-64 extraction, vendor lookup, network aggregation.
+//
+//   ./address_forensics < addresses.txt
+//   ./address_forensics            # runs on the demo set
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/eui64_analysis.hpp"
+#include "analysis/iid_classes.hpp"
+#include "net/address_io.hpp"
+#include "net/ipv6.hpp"
+#include "net/mac.hpp"
+#include "net/oui_db.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace tts;
+
+namespace {
+
+std::vector<net::Ipv6Address> demo_addresses() {
+  std::vector<net::Ipv6Address> out;
+  const char* samples[] = {
+      // SLAAC with an AVM MAC (FRITZ!Box):
+      "2001:db8:17:4200:21a:4fff:fe12:3456",
+      // SLAAC with a randomised (locally administered) MAC:
+      "2001:db8:17:4200:f23a:11ff:fe98:7654",
+      // Privacy extension (random IID):
+      "2001:db8:9:1:78c1:2ab3:94de:5f10",
+      // Manually numbered server:
+      "2001:db8:100::1",
+      "2001:db8:100::2",
+      // Router with last-two-byte numbering:
+      "2001:db8:200::1:5",
+      // Raspberry Pi:
+      "2001:db8:44:1100:ba27:ebff:fe01:0203",
+  };
+  for (const char* s : samples) out.push_back(*net::Ipv6Address::parse(s));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<net::Ipv6Address> addresses;
+  if (!isatty(0)) {
+    net::AddressReadStats stats;
+    addresses = net::read_address_list(std::cin, &stats);
+    if (stats.skipped)
+      std::cerr << "(skipped " << stats.skipped
+                << " comment/blank/unparsable lines)\n";
+  }
+  if (addresses.empty()) {
+    std::cout << "(no stdin input; using the built-in demo set)\n\n";
+    addresses = demo_addresses();
+  }
+
+  const auto& db = net::OuiDatabase::builtin();
+
+  util::TextTable t("Per-address forensics");
+  t.set_header({"address", "IID class", "MAC", "vendor"},
+               {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft,
+                util::Align::kLeft});
+  for (const auto& a : addresses) {
+    std::string mac_text = "-", vendor = "-";
+    if (auto mac = net::extract_mac(a)) {
+      mac_text = mac->to_string();
+      if (mac->locally_administered())
+        vendor = "(locally administered)";
+      else
+        vendor = std::string(db.lookup(*mac).value_or("(unlisted OUI)"));
+    }
+    t.add_row({a.to_string(),
+               std::string(to_string(analysis::classify_iid(a))), mac_text,
+               vendor});
+  }
+  t.render(std::cout);
+
+  auto dist = analysis::classify_addresses(addresses);
+  std::cout << "\nIID class distribution over " << addresses.size()
+            << " addresses:\n";
+  for (std::size_t i = 0; i < analysis::kIidClassCount; ++i) {
+    auto cls = static_cast<analysis::IidClass>(i);
+    if (dist.counts[i] == 0) continue;
+    std::cout << "  " << util::pad_right(std::string(to_string(cls)), 16)
+              << dist.counts[i] << " (" << util::percent(dist.fraction(cls))
+              << ")\n";
+  }
+
+  analysis::Eui64Accumulator acc;
+  for (const auto& a : addresses) acc.add(a, 0);
+  std::cout << "\nEUI-64 summary: " << acc.eui64_addresses() << " of "
+            << acc.total_addresses() << " embed a MAC; "
+            << acc.unique_bit_addresses()
+            << " claim global uniqueness.\n";
+  auto ranking = acc.vendor_ranking();
+  if (!ranking.empty()) {
+    std::cout << "Vendors:\n";
+    for (const auto& [vendor, counts] : ranking)
+      std::cout << "  " << vendor << ": " << counts.first << " MAC(s), "
+                << counts.second << " IP(s)\n";
+  }
+  return 0;
+}

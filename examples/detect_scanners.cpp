@@ -1,0 +1,99 @@
+// Telescope walkthrough (Section 5): build a minimal pool, plant an overt
+// research scanner and a covert actor, run the one-shot-address prober, and
+// attribute every captured scan packet to the leaking NTP server.
+#include <iostream>
+
+#include "inet/as_registry.hpp"
+#include "ntp/ntp_server.hpp"
+#include "telescope/actors.hpp"
+#include "telescope/classifier.hpp"
+#include "telescope/prober.hpp"
+#include "util/format.hpp"
+
+using namespace tts;
+
+int main() {
+  simnet::EventQueue events;
+  simnet::Network network(events);
+  auto registry = inet::AsRegistry::generate({{}, 99});
+  ntp::NtpPool pool;
+
+  // A few honest third-party servers.
+  std::vector<std::unique_ptr<ntp::NtpServer>> servers;
+  for (int i = 0; i < 6; ++i) {
+    ntp::NtpServerConfig config;
+    config.address =
+        net::Ipv6Address::from_halves(0x2400000100000000ULL, 0x100 + i);
+    config.country = i % 2 ? "DE" : "US";
+    config.capture = false;
+    servers.push_back(
+        std::make_unique<ntp::NtpServer>(network, config, nullptr));
+    pool.add_server({config.address, config.country, 1000, 20, false, 0});
+  }
+
+  // The overt research scanner: 3 pool servers, many ports, fast, signed.
+  telescope::ActorConfig research;
+  research.name = "measurement-lab";
+  research.identifies_itself = true;
+  research.server_country = "US";
+  for (int i = 0; i < 3; ++i)
+    research.server_addresses.push_back(
+        net::Ipv6Address::from_halves(0x2400000200000000ULL, 0x10 + i));
+  research.scan_sources = {
+      net::Ipv6Address::from_halves(0x2400000200000000ULL, 0x999)};
+  research.ports = telescope::research_actor_ports();
+  telescope::ScanningActor overt(network, pool, research);
+
+  // The covert actor: separate clouds, few sensitive ports, days of delay.
+  telescope::ActorConfig hidden;
+  hidden.identifies_itself = false;
+  hidden.server_country = "US";
+  hidden.server_addresses = {
+      net::Ipv6Address::from_halves(0x2400000300000000ULL, 0x20)};
+  hidden.scan_sources = {
+      net::Ipv6Address::from_halves(0x2400000400000000ULL, 0x21)};
+  hidden.ports = telescope::covert_actor_ports();
+  hidden.scan_delay_min = simnet::hours(12);
+  hidden.scan_delay_max = simnet::hours(48);
+  hidden.scan_spread = simnet::days(2);
+  hidden.port_coverage = 0.6;
+  telescope::ScanningActor covert(network, pool, hidden);
+
+  // Our telescope.
+  telescope::ProberConfig config;
+  config.probe_prefix = *net::Ipv6Prefix::parse("3fff:909:aaaa::/48");
+  config.monitor_prefix = *net::Ipv6Prefix::parse("3fff:909::/32");
+  config.query_interval = simnet::minutes(15);
+  config.duration = simnet::days(6);
+  telescope::PoolProber prober(network, pool, config);
+  prober.start();
+
+  events.run_until(simnet::days(9));
+
+  std::cout << "Probed the pool " << prober.probes().size()
+            << " times (answered: "
+            << util::percent(prober.answered_share()) << "), captured "
+            << prober.captures().size() << " scan packets.\n\n";
+
+  auto report = telescope::classify_actors(
+      prober, registry, [&](const net::Ipv6Address& a) {
+        return overt.owns_scan_source(a) ? std::string("measurement-lab.edu")
+                                         : std::string();
+      });
+  std::cout << "Matched " << report.matched_captures << "/"
+            << report.total_captures << " captures to an NTP query.\n\n";
+  for (std::size_t i = 0; i < report.actors.size(); ++i) {
+    const auto& a = report.actors[i];
+    std::cout << "actor " << (i + 1) << ": "
+              << to_string(a.classification) << "\n"
+              << "  scan sources: " << a.scan_sources.size()
+              << ", leaking servers: " << a.ntp_servers.size()
+              << ", distinct ports: " << a.ports.size() << "\n"
+              << "  median query->scan delay: "
+              << simnet::format_duration(a.median_delay)
+              << ", per-target span: "
+              << simnet::format_duration(a.median_target_span) << "\n"
+              << "  identified: " << (a.identified ? "yes" : "no") << "\n";
+  }
+  return 0;
+}

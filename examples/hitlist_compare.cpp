@@ -1,0 +1,79 @@
+// Hitlist-methodology comparison ("Seeds of Scanning"-style): build the
+// hitlist several times with individual sources disabled and measure what
+// each source contributes — entries, responsive entries, structured IIDs,
+// eyeball coverage. Shows why hitlists skew toward servers/infrastructure
+// no matter how they are assembled, the premise of the paper.
+#include <iostream>
+
+#include "analysis/iid_classes.hpp"
+#include "hitlist/hitlist.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace tts;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  hitlist::SourceConfig config;
+};
+
+}  // namespace
+
+int main() {
+  auto registry = inet::AsRegistry::generate({{}, 2024});
+  inet::PopulationConfig pc;
+  pc.device_scale = 0.3;
+  pc.seed = 51;
+  auto population = inet::Population::generate(registry, pc);
+
+  hitlist::SourceConfig base;
+  base.routers_per_prefix = 12;
+  base.aliased_samples = 3000;
+
+  auto no_traceroute = base;
+  no_traceroute.routers_per_prefix = 0;
+  auto no_tga = base;
+  no_tga.tga_per_seed = 0;
+  auto no_alias = base;
+  no_alias.aliased_samples = 0;
+  auto no_stale = base;
+  no_stale.stale_fraction = 0;
+
+  const Variant variants[] = {
+      {"all sources", base},          {"without traceroute", no_traceroute},
+      {"without TGA", no_tga},        {"without aliased region", no_alias},
+      {"without stale entries", no_stale},
+  };
+
+  util::TextTable t("Hitlist composition by source (ablated builds)");
+  t.set_header({"variant", "entries", "responsive", "structured IIDs",
+                "eyeball AS share"});
+  for (const auto& variant : variants) {
+    auto list =
+        hitlist::HitlistBuilder::build(population, nullptr, variant.config);
+    auto dist = analysis::classify_addresses(list.full);
+    double structured = dist.fraction(analysis::IidClass::kZero) +
+                        dist.fraction(analysis::IidClass::kLastByte) +
+                        dist.fraction(analysis::IidClass::kLastTwoBytes);
+    double eyeball =
+        analysis::cable_dsl_isp_share(list.full, registry);
+    t.add_row({variant.name, util::grouped(list.full.size()),
+               util::grouped(list.public_list.size()),
+               util::percent(structured), util::percent(eyeball)});
+  }
+  t.add_note("Traceroute injects structured router IIDs; the aliased region "
+             "inflates responsive counts; none of the sources reach the "
+             "dynamic end-user space NTP-sourcing sees.");
+  t.render(std::cout);
+
+  // Source provenance of the full build.
+  auto list = hitlist::HitlistBuilder::build(population, nullptr, base);
+  std::cout << "\nProvenance of the full build:\n";
+  for (const auto& [source, count] : list.counts_by_source()) {
+    std::cout << "  " << util::pad_right(std::string(to_string(source)), 12)
+              << util::grouped(count) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "analysis/broker_analysis.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tts::analysis {
+
+namespace {
+
+std::pair<scan::Protocol, scan::Protocol> protocols_of(BrokerKind kind) {
+  return kind == BrokerKind::kMqtt
+             ? std::make_pair(scan::Protocol::kMqtt, scan::Protocol::kMqtts)
+             : std::make_pair(scan::Protocol::kAmqp, scan::Protocol::kAmqps);
+}
+
+template <typename KeyFn>
+AccessControlStats tally(const scan::ResultStore& results,
+                         scan::Dataset dataset, BrokerKind kind, KeyFn key) {
+  auto [plain, tls] = protocols_of(kind);
+  // A unit is "secured" if every observation of it enforced auth — a broker
+  // reachable open on any port is open.
+  std::unordered_map<std::uint64_t, bool> auth_by_unit;
+  for (scan::Protocol proto : {plain, tls}) {
+    for (const auto* r : results.successes(dataset, proto)) {
+      if (!r->broker_auth_required) continue;
+      auto unit = key(*r);
+      if (!unit) continue;
+      auto [it, inserted] = auth_by_unit.emplace(*unit,
+                                                 *r->broker_auth_required);
+      if (!inserted) it->second = it->second && *r->broker_auth_required;
+    }
+  }
+  AccessControlStats stats;
+  stats.total = auth_by_unit.size();
+  for (const auto& [unit, auth] : auth_by_unit)
+    if (auth) ++stats.with_auth;
+  return stats;
+}
+
+}  // namespace
+
+AccessControlStats access_control_by_address(const scan::ResultStore& results,
+                                             scan::Dataset dataset,
+                                             BrokerKind kind) {
+  return tally(results, dataset, kind,
+               [](const scan::ScanRecord& r) -> std::optional<std::uint64_t> {
+                 return net::Ipv6AddressHash{}(r.target);
+               });
+}
+
+AccessControlStats access_control_by_certificate(
+    const scan::ResultStore& results, scan::Dataset dataset,
+    BrokerKind kind) {
+  return tally(results, dataset, kind,
+               [](const scan::ScanRecord& r) -> std::optional<std::uint64_t> {
+                 if (!r.certificate) return std::nullopt;
+                 return r.certificate->fingerprint;
+               });
+}
+
+AccessControlStats access_control_by_network(const scan::ResultStore& results,
+                                             scan::Dataset dataset,
+                                             BrokerKind kind,
+                                             unsigned prefix_len) {
+  return tally(results, dataset, kind,
+               [prefix_len](const scan::ScanRecord& r)
+                   -> std::optional<std::uint64_t> {
+                 return net::Ipv6PrefixHash{}(
+                     net::Ipv6Prefix(r.target, prefix_len));
+               });
+}
+
+}  // namespace tts::analysis

@@ -1,0 +1,41 @@
+// MQTT/AMQP broker security analyses (Figures 3 and 6): what share of
+// reachable brokers enforce access control, deduplicated by certificate
+// (TLS brokers), by address, or by network.
+#pragma once
+
+#include <cstdint>
+
+#include "scan/results.hpp"
+
+namespace tts::analysis {
+
+struct AccessControlStats {
+  std::uint64_t total = 0;
+  std::uint64_t with_auth = 0;
+
+  double auth_share() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(with_auth) /
+                            static_cast<double>(total);
+  }
+};
+
+enum class BrokerKind { kMqtt, kAmqp };
+
+/// Figure 3 style: one unit per distinct address (plain + TLS ports of one
+/// host collapse onto the same address).
+AccessControlStats access_control_by_address(const scan::ResultStore& results,
+                                             scan::Dataset dataset,
+                                             BrokerKind kind);
+
+/// Dedup by TLS certificate (only TLS-enabled brokers contribute).
+AccessControlStats access_control_by_certificate(
+    const scan::ResultStore& results, scan::Dataset dataset, BrokerKind kind);
+
+/// Figure 6 style: one unit per /N network.
+AccessControlStats access_control_by_network(const scan::ResultStore& results,
+                                             scan::Dataset dataset,
+                                             BrokerKind kind,
+                                             unsigned prefix_len);
+
+}  // namespace tts::analysis

@@ -1,0 +1,38 @@
+#include "analysis/coap_analysis.hpp"
+
+#include <unordered_set>
+
+#include "util/format.hpp"
+
+namespace tts::analysis {
+
+std::string coap_resource_group(const std::vector<std::string>& resources) {
+  if (resources.empty()) return "empty";
+  for (const auto& r : resources) {
+    if (util::icontains(r, "castDeviceSearch")) return "castdevice";
+    if (util::istarts_with(r, "/qlink")) return "qlink";
+    if (util::icontains(r, "efento")) return "efento";
+    if (util::icontains(r, "nanoleaf")) return "nanoleaf";
+  }
+  return "other";
+}
+
+std::unordered_map<std::string, std::uint64_t> coap_group_counts(
+    const scan::ResultStore& results, scan::Dataset dataset,
+    unsigned prefix_len) {
+  // One unit per address (or network); resource sets are stable per device,
+  // so the first observation's grouping stands.
+  std::unordered_map<std::string, std::uint64_t> counts;
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto* r : results.successes(dataset, scan::Protocol::kCoap)) {
+    std::uint64_t unit =
+        prefix_len >= 128
+            ? net::Ipv6AddressHash{}(r->target)
+            : net::Ipv6PrefixHash{}(net::Ipv6Prefix(r->target, prefix_len));
+    if (!seen.insert(unit).second) continue;
+    ++counts[coap_resource_group(r->coap_resources)];
+  }
+  return counts;
+}
+
+}  // namespace tts::analysis

@@ -1,0 +1,25 @@
+// CoAP resource grouping (Section 4.3.3, Table 3's CoAP panel): classify
+// the advertised /.well-known/core resources into the paper's groups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "scan/results.hpp"
+
+namespace tts::analysis {
+
+/// Group label for a resource set: "castdevice", "qlink", "efento",
+/// "nanoleaf", "empty", or "other".
+std::string coap_resource_group(const std::vector<std::string>& resources);
+
+/// group -> unique-address count for a dataset (by /N network when
+/// `prefix_len` < 128; 128 = by address).
+std::unordered_map<std::string, std::uint64_t> coap_group_counts(
+    const scan::ResultStore& results, scan::Dataset dataset,
+    unsigned prefix_len = 128);
+
+}  // namespace tts::analysis

@@ -1,0 +1,53 @@
+#include "analysis/eui64_analysis.hpp"
+
+#include <algorithm>
+
+namespace tts::analysis {
+
+void Eui64Accumulator::attach(ntp::AddressCollector& collector) {
+  collector.subscribe([this](const ntp::CollectedAddress& rec) {
+    add(rec.addr, rec.server);
+  });
+}
+
+void Eui64Accumulator::add(const net::Ipv6Address& addr,
+                           ntp::ServerId server) {
+  ++total_;
+  auto embedding = db_->classify(addr);
+  ++per_server_[server][static_cast<std::size_t>(embedding)];
+  if (embedding == net::MacEmbedding::kNone) return;
+
+  ++eui64_ips_;
+  eui64_iids_.insert(addr.iid());
+  auto mac = net::extract_mac(addr);
+  if (!mac || mac->locally_administered()) return;
+
+  ++unique_ips_;
+  unique_macs_.insert(*mac);
+  auto vendor = db_->lookup(*mac);
+  if (!vendor) return;
+
+  ++listed_ips_;
+  listed_macs_.insert(*mac);
+  auto& tally = vendors_[std::string(*vendor)];
+  ++tally.ips;
+  tally.macs.insert(*mac);
+}
+
+std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+Eui64Accumulator::vendor_ranking() const {
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+      out;
+  out.reserve(vendors_.size());
+  for (const auto& [vendor, tally] : vendors_)
+    out.emplace_back(vendor,
+                     std::make_pair(tally.macs.size(), tally.ips));
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.first != b.second.first)
+      return a.second.first > b.second.first;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace tts::analysis

@@ -1,0 +1,74 @@
+// EUI-64 / vendor analysis (Appendix B, Table 4, Figure 4).
+//
+// Subscribes to the AddressCollector and incrementally tallies, for every
+// newly collected address: whether its IID embeds a MAC, whether that MAC
+// claims global uniqueness, whether the OUI is registered, the vendor, and
+// which of our NTP servers collected it (the geographic signal of
+// Figure 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "net/oui_db.hpp"
+#include "ntp/collector.hpp"
+#include "util/stats.hpp"
+
+namespace tts::analysis {
+
+struct VendorTally {
+  std::uint64_t ips = 0;
+  std::unordered_set<net::MacAddress, net::MacAddressHash> macs;
+};
+
+class Eui64Accumulator {
+ public:
+  explicit Eui64Accumulator(const net::OuiDatabase& db =
+                                net::OuiDatabase::builtin())
+      : db_(&db) {}
+
+  /// Subscribe to a collector (counts only NTP-sourced addresses).
+  void attach(ntp::AddressCollector& collector);
+
+  /// Feed one address (also usable standalone, e.g. over a hitlist).
+  void add(const net::Ipv6Address& addr, ntp::ServerId server);
+
+  // -- Appendix B headline numbers --
+  std::uint64_t total_addresses() const { return total_; }
+  std::uint64_t eui64_addresses() const { return eui64_ips_; }
+  std::uint64_t distinct_eui64_iids() const { return eui64_iids_.size(); }
+  std::uint64_t unique_bit_addresses() const { return unique_ips_; }
+  std::uint64_t distinct_unique_macs() const { return unique_macs_.size(); }
+  std::uint64_t listed_oui_addresses() const { return listed_ips_; }
+  std::uint64_t distinct_listed_macs() const { return listed_macs_.size(); }
+
+  /// Table 4: vendor -> (#MACs, #IPs), sorted by #MACs desc.
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+  vendor_ranking() const;
+
+  /// Figure 4: per-server counts for each MAC-embedding class.
+  const std::unordered_map<ntp::ServerId,
+                           std::array<std::uint64_t, 4>>&
+  per_server_embedding() const {
+    return per_server_;
+  }
+
+ private:
+  const net::OuiDatabase* db_;
+  std::uint64_t total_ = 0;
+  std::uint64_t eui64_ips_ = 0;
+  std::uint64_t unique_ips_ = 0;
+  std::uint64_t listed_ips_ = 0;
+  std::unordered_set<std::uint64_t> eui64_iids_;
+  std::unordered_set<net::MacAddress, net::MacAddressHash> unique_macs_;
+  std::unordered_set<net::MacAddress, net::MacAddressHash> listed_macs_;
+  std::unordered_map<std::string, VendorTally> vendors_;
+  std::unordered_map<ntp::ServerId, std::array<std::uint64_t, 4>> per_server_;
+};
+
+}  // namespace tts::analysis

@@ -1,0 +1,127 @@
+#include "analysis/fingerprint.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/mac.hpp"
+
+namespace tts::analysis {
+
+namespace {
+
+class UnionFind {
+ public:
+  std::size_t make() {
+    parent_.push_back(parent_.size());
+    return parent_.size() - 1;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+  std::size_t components() {
+    std::unordered_set<std::size_t> roots;
+    for (std::size_t i = 0; i < parent_.size(); ++i) roots.insert(find(i));
+    return roots.size();
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+HostBounds estimate_hosts(const scan::ResultStore& results,
+                          scan::Dataset dataset,
+                          const inet::AsRegistry& registry) {
+  // One observation per (address, key-ish signal source).
+  struct Observation {
+    net::Ipv6Address addr;
+    std::uint64_t key = 0;  // cert fingerprint or host key; 0 = none
+  };
+  std::vector<Observation> observations;
+  std::unordered_map<net::Ipv6Address, std::size_t, net::Ipv6AddressHash>
+      node_of_addr;
+
+  auto note = [&](const net::Ipv6Address& addr, std::uint64_t key) {
+    observations.push_back({addr, key});
+  };
+  for (auto proto : {scan::Protocol::kHttp, scan::Protocol::kHttps,
+                     scan::Protocol::kSsh}) {
+    for (const auto* r : results.successes(dataset, proto)) {
+      std::uint64_t key = 0;
+      if (r->certificate) key = r->certificate->fingerprint;
+      if (r->ssh_hostkey) key = *r->ssh_hostkey;
+      note(r->target, key);
+    }
+  }
+
+  // Key spread: a key seen in more than two ASes is considered reused
+  // firmware/image material (Section 6) — a weak identity signal.
+  std::unordered_map<std::uint64_t, std::unordered_set<net::AsNumber>>
+      key_ases;
+  for (const auto& obs : observations) {
+    if (!obs.key) continue;
+    if (const inet::AsInfo* as = registry.origin(obs.addr))
+      key_ases[obs.key].insert(as->number);
+  }
+  auto weak = [&](std::uint64_t key) {
+    auto it = key_ases.find(key);
+    return it != key_ases.end() && it->second.size() > 2;
+  };
+
+  auto run = [&](bool signal_aware) {
+    UnionFind uf;
+    node_of_addr.clear();
+    auto node = [&](const net::Ipv6Address& a) {
+      auto [it, inserted] = node_of_addr.emplace(a, 0);
+      if (inserted) it->second = uf.make();
+      return it->second;
+    };
+    // Pass 1: nodes per address; merge by embedded unique-bit MAC (strong:
+    // survives prefix rotation).
+    std::unordered_map<net::MacAddress, std::size_t, net::MacAddressHash>
+        mac_node;
+    for (const auto& obs : observations) {
+      std::size_t n = node(obs.addr);
+      if (auto mac = net::extract_mac(obs.addr);
+          mac && !mac->locally_administered()) {
+        auto [it, inserted] = mac_node.emplace(*mac, n);
+        if (!inserted) uf.unite(n, it->second);
+      }
+    }
+    // Pass 2: merge by key — globally for strong keys; within a /48 for
+    // weak (reused) keys in the signal-aware run.
+    std::unordered_map<std::uint64_t, std::size_t> key_node;
+    std::unordered_map<std::uint64_t, std::size_t> site_key_node;
+    for (const auto& obs : observations) {
+      if (!obs.key) continue;
+      std::size_t n = node(obs.addr);
+      if (signal_aware && weak(obs.key)) {
+        std::uint64_t site =
+            obs.key ^ (net::Ipv6PrefixHash{}(net::Ipv6Prefix(obs.addr, 48)) *
+                       0x9e3779b97f4a7c15ULL);
+        auto [it, inserted] = site_key_node.emplace(site, n);
+        if (!inserted) uf.unite(n, it->second);
+      } else {
+        auto [it, inserted] = key_node.emplace(obs.key, n);
+        if (!inserted) uf.unite(n, it->second);
+      }
+    }
+    return uf.components();
+  };
+
+  HostBounds bounds;
+  {
+    std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addrs;
+    for (const auto& obs : observations) addrs.insert(obs.addr);
+    bounds.upper = addrs.size();
+  }
+  bounds.lower = run(/*signal_aware=*/false);
+  bounds.estimate = run(/*signal_aware=*/true);
+  return bounds;
+}
+
+}  // namespace tts::analysis

@@ -1,0 +1,42 @@
+// Multi-signal host fingerprinting — the tighter-bounds estimator the
+// paper's Discussion leaves as future work ("a more comprehensive
+// fingerprinting method, e.g., based on more application-level data...").
+//
+// The paper bounds unique hosts from below with TLS certificates / SSH
+// host keys (hard but loose under key reuse) and from above with raw
+// addresses (inflated by dynamic readdressing). This estimator fuses the
+// available identity signals per responsive endpoint:
+//   - certificate / host-key fingerprints, downgraded to a *weak* signal
+//     when the key provably spans more than two ASes (fleet-shared keys
+//     must not collapse a whole vendor fleet into one host);
+//   - EUI-64-embedded MACs with the unique bit set (globally unique,
+//     survives prefix churn);
+//   - the address itself.
+// Signals are merged with a union-find; weak keys only merge endpoints
+// inside one /48 (one site), strong signals merge globally.
+#pragma once
+
+#include <cstdint>
+
+#include "inet/as_registry.hpp"
+#include "scan/results.hpp"
+
+namespace tts::analysis {
+
+struct HostBounds {
+  /// Distinct responsive addresses — the naive upper bound.
+  std::uint64_t upper = 0;
+  /// Components when every shared key merges globally (the paper's
+  /// cert/key dedup) — the hard lower bound.
+  std::uint64_t lower = 0;
+  /// Signal-aware estimate: strong signals merge globally, reused keys
+  /// only within a /48. Lies between the bounds by construction.
+  std::uint64_t estimate = 0;
+};
+
+/// Estimate unique HTTP(S)+SSH hosts behind a dataset's successful scans.
+HostBounds estimate_hosts(const scan::ResultStore& results,
+                          scan::Dataset dataset,
+                          const inet::AsRegistry& registry);
+
+}  // namespace tts::analysis

@@ -1,0 +1,55 @@
+#include "analysis/iid_classes.hpp"
+
+#include "net/mac.hpp"
+#include "util/stats.hpp"
+
+namespace tts::analysis {
+
+std::string_view to_string(IidClass c) {
+  switch (c) {
+    case IidClass::kZero: return "zero";
+    case IidClass::kLastByte: return "last byte only";
+    case IidClass::kLastTwoBytes: return "last two bytes";
+    case IidClass::kEui64: return "EUI-64";
+    case IidClass::kEntropyLow: return "low entropy";
+    case IidClass::kEntropyMedium: return "medium entropy";
+    case IidClass::kEntropyHigh: return "high entropy";
+  }
+  return "?";
+}
+
+IidClass classify_iid(const net::Ipv6Address& addr) {
+  std::uint64_t iid = addr.iid();
+  if (iid == 0) return IidClass::kZero;
+  if (iid < 0x100) return IidClass::kLastByte;
+  if (iid < 0x10000) return IidClass::kLastTwoBytes;
+  if (net::iid_looks_like_eui64(iid)) return IidClass::kEui64;
+
+  // Entropy of the 8 IID bytes, normalised by the 3-bit maximum an 8-byte
+  // sample can reach (log2 8).
+  double h = util::shannon_entropy(addr.iid_bytes()) / 3.0;
+  if (h < 0.55) return IidClass::kEntropyLow;
+  if (h < 0.85) return IidClass::kEntropyMedium;
+  return IidClass::kEntropyHigh;
+}
+
+IidDistribution classify_addresses(
+    std::span<const net::Ipv6Address> addresses) {
+  IidDistribution dist;
+  for (const auto& a : addresses) dist.add(classify_iid(a));
+  return dist;
+}
+
+double cable_dsl_isp_share(std::span<const net::Ipv6Address> addresses,
+                           const inet::AsRegistry& registry) {
+  if (addresses.empty()) return 0.0;
+  std::uint64_t eyeball = 0;
+  for (const auto& a : addresses) {
+    const inet::AsInfo* as = registry.origin(a);
+    if (as && as->category == inet::AsCategory::kCableDslIsp) ++eyeball;
+  }
+  return static_cast<double>(eyeball) /
+         static_cast<double>(addresses.size());
+}
+
+}  // namespace tts::analysis

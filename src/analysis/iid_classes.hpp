@@ -1,0 +1,58 @@
+// Interface-identifier classification (Figure 1).
+//
+// Following Rye & Levin and Section 3.2.1, addresses are grouped by whether
+// the IID is all zeroes, has only the last byte / last two bytes set
+// ("structured", typical of manually numbered servers and routers), embeds
+// an EUI-64 marker, or — for everything else — by the entropy of its bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "inet/as_registry.hpp"
+#include "net/ipv6.hpp"
+
+namespace tts::analysis {
+
+enum class IidClass : std::uint8_t {
+  kZero,          // ::
+  kLastByte,      // ::1 .. ::ff
+  kLastTwoBytes,  // ::100 .. ::ffff
+  kEui64,         // ff:fe marker
+  kEntropyLow,    // few distinct bytes (structured-ish)
+  kEntropyMedium,
+  kEntropyHigh,   // random-looking (privacy addresses)
+};
+inline constexpr std::size_t kIidClassCount = 7;
+
+std::string_view to_string(IidClass c);
+
+IidClass classify_iid(const net::Ipv6Address& addr);
+
+struct IidDistribution {
+  std::array<std::uint64_t, kIidClassCount> counts{};
+  std::uint64_t total = 0;
+
+  void add(IidClass c) {
+    ++counts[static_cast<std::size_t>(c)];
+    ++total;
+  }
+  double fraction(IidClass c) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(
+                            counts[static_cast<std::size_t>(c)]) /
+                            static_cast<double>(total);
+  }
+};
+
+IidDistribution classify_addresses(
+    std::span<const net::Ipv6Address> addresses);
+
+/// Share of addresses whose origin AS is labelled Cable/DSL/ISP — the
+/// PeeringDB-based eyeball indicator plotted alongside Figure 1.
+double cable_dsl_isp_share(std::span<const net::Ipv6Address> addresses,
+                           const inet::AsRegistry& registry);
+
+}  // namespace tts::analysis

@@ -1,0 +1,43 @@
+#include "analysis/key_reuse.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tts::analysis {
+
+KeyReuseStats http_key_reuse(const scan::ResultStore& results,
+                             scan::Dataset dataset,
+                             const inet::AsRegistry& registry) {
+  struct PerKey {
+    std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> ips;
+    std::unordered_set<net::AsNumber> ases;
+  };
+  std::unordered_map<std::uint64_t, PerKey> keys;
+
+  for (const auto* r :
+       results.successes(dataset, scan::Protocol::kHttps)) {
+    if (!r->certificate || r->http_status != 200) continue;
+    auto& entry = keys[r->certificate->fingerprint];
+    entry.ips.insert(r->target);
+    if (const inet::AsInfo* as = registry.origin(r->target))
+      entry.ases.insert(as->number);
+  }
+
+  KeyReuseStats stats;
+  for (const auto& [fingerprint, entry] : keys) {
+    if (entry.ases.size() <= 2) continue;  // double-homing excused
+    ++stats.reused_keys;
+    stats.ips_on_reused_keys += entry.ips.size();
+    if (entry.ips.size() > stats.most_used_key_ips) {
+      stats.most_used_key_ips = entry.ips.size();
+      stats.most_used_key_ases = entry.ases.size();
+    }
+    if (entry.ases.size() > stats.most_widespread_key_ases) {
+      stats.most_widespread_key_ases = entry.ases.size();
+      stats.most_widespread_key_ips = entry.ips.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace tts::analysis

@@ -1,0 +1,29 @@
+// Certificate/key-reuse analysis (Section 6, "Certificate and Key Reuse"):
+// keys presented from more than two ASes count as reused (double-homed
+// hosts are excused); reports the most-used and most-widespread keys.
+#pragma once
+
+#include <cstdint>
+
+#include "inet/as_registry.hpp"
+#include "scan/results.hpp"
+
+namespace tts::analysis {
+
+struct KeyReuseStats {
+  std::uint64_t reused_keys = 0;        // distinct keys seen in > 2 ASes
+  std::uint64_t ips_on_reused_keys = 0; // addresses presenting them
+  // The key presented by the most addresses:
+  std::uint64_t most_used_key_ips = 0;
+  std::uint64_t most_used_key_ases = 0;
+  // The key spanning the most ASes:
+  std::uint64_t most_widespread_key_ases = 0;
+  std::uint64_t most_widespread_key_ips = 0;
+};
+
+/// Over successful status-200 HTTPS grabs of a dataset (the paper's filter).
+KeyReuseStats http_key_reuse(const scan::ResultStore& results,
+                             scan::Dataset dataset,
+                             const inet::AsRegistry& registry);
+
+}  // namespace tts::analysis

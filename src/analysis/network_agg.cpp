@@ -1,0 +1,102 @@
+#include "analysis/network_agg.hpp"
+
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace tts::analysis {
+
+NetworkAggregates aggregate(std::span<const net::Ipv6Address> addresses,
+                            const inet::AsRegistry& registry) {
+  NetworkAggregates out;
+  out.addresses = addresses.size();
+  PrefixSet n32, n48, n56, n64;
+  AsSet ases;
+  std::unordered_set<std::string> countries;
+  for (const auto& a : addresses) {
+    n32.insert(net::Ipv6Prefix(a, 32));
+    n48.insert(net::Ipv6Prefix(a, 48));
+    n56.insert(net::Ipv6Prefix(a, 56));
+    n64.insert(net::Ipv6Prefix(a, 64));
+    if (const inet::AsInfo* as = registry.origin(a)) {
+      ases.insert(as->number);
+      countries.insert(as->country);
+    }
+  }
+  out.nets32 = n32.size();
+  out.nets48 = n48.size();
+  out.nets56 = n56.size();
+  out.nets64 = n64.size();
+  out.ases = ases.size();
+  out.countries = countries.size();
+  return out;
+}
+
+PrefixSet prefixes_of(std::span<const net::Ipv6Address> addresses,
+                      unsigned prefix_len) {
+  PrefixSet out;
+  for (const auto& a : addresses) out.insert(net::Ipv6Prefix(a, prefix_len));
+  return out;
+}
+
+AsSet ases_of(std::span<const net::Ipv6Address> addresses,
+              const inet::AsRegistry& registry) {
+  AsSet out;
+  for (const auto& a : addresses)
+    if (const inet::AsInfo* as = registry.origin(a)) out.insert(as->number);
+  return out;
+}
+
+std::uint64_t overlap(const PrefixSet& a, const PrefixSet& b) {
+  const PrefixSet& small = a.size() <= b.size() ? a : b;
+  const PrefixSet& large = a.size() <= b.size() ? b : a;
+  std::uint64_t n = 0;
+  for (const auto& p : small)
+    if (large.contains(p)) ++n;
+  return n;
+}
+
+std::uint64_t overlap(const AsSet& a, const AsSet& b) {
+  const AsSet& small = a.size() <= b.size() ? a : b;
+  const AsSet& large = a.size() <= b.size() ? b : a;
+  std::uint64_t n = 0;
+  for (const auto& as : small)
+    if (large.contains(as)) ++n;
+  return n;
+}
+
+std::uint64_t address_overlap(std::span<const net::Ipv6Address> a,
+                              std::span<const net::Ipv6Address> b) {
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> set(
+      a.begin(), a.end());
+  std::uint64_t n = 0;
+  for (const auto& addr : b)
+    if (set.contains(addr)) ++n;
+  return n;
+}
+
+double median_ips_per_net(std::span<const net::Ipv6Address> addresses,
+                          unsigned prefix_len) {
+  std::unordered_map<net::Ipv6Prefix, std::uint64_t, net::Ipv6PrefixHash>
+      counts;
+  for (const auto& a : addresses) ++counts[net::Ipv6Prefix(a, prefix_len)];
+  std::vector<double> values;
+  values.reserve(counts.size());
+  for (const auto& [prefix, n] : counts)
+    values.push_back(static_cast<double>(n));
+  return util::median(std::move(values));
+}
+
+double median_ips_per_as(std::span<const net::Ipv6Address> addresses,
+                         const inet::AsRegistry& registry) {
+  std::unordered_map<net::AsNumber, std::uint64_t> counts;
+  for (const auto& a : addresses)
+    if (const inet::AsInfo* as = registry.origin(a)) ++counts[as->number];
+  std::vector<double> values;
+  values.reserve(counts.size());
+  for (const auto& [asn, n] : counts)
+    values.push_back(static_cast<double>(n));
+  return util::median(std::move(values));
+}
+
+}  // namespace tts::analysis

@@ -1,0 +1,31 @@
+#include "analysis/security_score.hpp"
+
+#include "analysis/broker_analysis.hpp"
+#include "analysis/ssh_analysis.hpp"
+
+namespace tts::analysis {
+
+SecurityScore security_score(const scan::ResultStore& results,
+                             scan::Dataset dataset) {
+  SecurityScore score;
+
+  auto ssh_hosts = dedup_ssh_hosts(results, dataset);
+  score.ssh_hosts = ssh_hosts.size();
+  for (const auto& h : ssh_hosts)
+    if (assessable(h.banner) && banner_up_to_date(h.banner))
+      ++score.ssh_secure;
+
+  auto mqtt = access_control_by_certificate(results, dataset,
+                                            BrokerKind::kMqtt);
+  score.mqtt_hosts = mqtt.total;
+  score.mqtt_secure = mqtt.with_auth;
+
+  auto amqp = access_control_by_certificate(results, dataset,
+                                            BrokerKind::kAmqp);
+  score.amqp_hosts = amqp.total;
+  score.amqp_secure = amqp.with_auth;
+
+  return score;
+}
+
+}  // namespace tts::analysis

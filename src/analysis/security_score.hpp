@@ -1,0 +1,44 @@
+// The headline security comparison (abstract / Section 4.4 takeaway):
+// "only 28.4 % of 73 975 NTP-sourced SSH and IoT-related hosts appear to be
+// securely configured, compared to 43.5 % of 854 704 hosts in the hitlist".
+//
+// A host unit is a distinct SSH host key or a distinct MQTT/AMQP broker
+// certificate. A unit counts as secure when:
+//   - SSH: the banner is Debian-derived and carries the latest patch level
+//     (non-assessable banners count as units but not as secure — the
+//     conservative reading the paper's aggregate implies), or
+//   - broker: access control is enforced on every observed port.
+#pragma once
+
+#include <cstdint>
+
+#include "scan/results.hpp"
+
+namespace tts::analysis {
+
+struct SecurityScore {
+  std::uint64_t ssh_hosts = 0;
+  std::uint64_t ssh_secure = 0;
+  std::uint64_t mqtt_hosts = 0;
+  std::uint64_t mqtt_secure = 0;
+  std::uint64_t amqp_hosts = 0;
+  std::uint64_t amqp_secure = 0;
+
+  std::uint64_t total_hosts() const {
+    return ssh_hosts + mqtt_hosts + amqp_hosts;
+  }
+  std::uint64_t total_secure() const {
+    return ssh_secure + mqtt_secure + amqp_secure;
+  }
+  double secure_share() const {
+    return total_hosts() == 0
+               ? 0.0
+               : static_cast<double>(total_secure()) /
+                     static_cast<double>(total_hosts());
+  }
+};
+
+SecurityScore security_score(const scan::ResultStore& results,
+                             scan::Dataset dataset);
+
+}  // namespace tts::analysis

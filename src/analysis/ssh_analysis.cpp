@@ -1,0 +1,80 @@
+#include "analysis/ssh_analysis.hpp"
+
+#include <unordered_set>
+
+#include "inet/device.hpp"
+#include "proto/sshwire.hpp"
+
+namespace tts::analysis {
+
+std::vector<SshHost> dedup_ssh_hosts(const scan::ResultStore& results,
+                                     scan::Dataset dataset) {
+  std::unordered_map<std::uint64_t, SshHost> by_key;
+  for (const auto* r : results.successes(dataset, scan::Protocol::kSsh)) {
+    if (!r->ssh_hostkey) continue;
+    auto& host = by_key[*r->ssh_hostkey];
+    if (host.addresses.empty()) {
+      host.host_key = *r->ssh_hostkey;
+      host.banner = r->ssh_banner;
+      host.os = proto::ssh_os_from_banner(r->ssh_banner);
+    }
+    host.addresses.push_back(r->target);
+  }
+  std::vector<SshHost> out;
+  out.reserve(by_key.size());
+  for (auto& [key, host] : by_key) out.push_back(std::move(host));
+  return out;
+}
+
+std::unordered_map<std::string, std::uint64_t> os_distribution(
+    const std::vector<SshHost>& hosts) {
+  std::unordered_map<std::string, std::uint64_t> out;
+  for (const auto& h : hosts) ++out[h.os];
+  return out;
+}
+
+bool assessable(const std::string& banner) {
+  std::string os = proto::ssh_os_from_banner(banner);
+  return os == "Ubuntu" || os == "Debian" || os == "Raspbian";
+}
+
+bool banner_up_to_date(const std::string& banner) {
+  std::string os = proto::ssh_os_from_banner(banner);
+  const auto& lineage = inet::ssh_version_lineage(os);
+  std::string software = proto::ssh_software(banner);
+  return !lineage.empty() && software == lineage.back();
+}
+
+OutdatednessStats outdatedness(const std::vector<SshHost>& hosts) {
+  OutdatednessStats stats;
+  for (const auto& h : hosts) {
+    if (!assessable(h.banner)) continue;
+    ++stats.assessable_hosts;
+    if (!banner_up_to_date(h.banner)) ++stats.outdated;
+  }
+  return stats;
+}
+
+OutdatednessStats outdatedness_by_network(const std::vector<SshHost>& hosts,
+                                          unsigned prefix_len) {
+  // Count each (network) once; a network is outdated when any outdated
+  // assessable host key was seen inside it. Key reuse makes the same key
+  // count in several networks — exactly the inflation Figure 5 shows.
+  std::unordered_set<net::Ipv6Prefix, net::Ipv6PrefixHash> assessable_nets;
+  std::unordered_set<net::Ipv6Prefix, net::Ipv6PrefixHash> outdated_nets;
+  for (const auto& h : hosts) {
+    if (!assessable(h.banner)) continue;
+    bool outdated = !banner_up_to_date(h.banner);
+    for (const auto& addr : h.addresses) {
+      auto prefix = net::Ipv6Prefix(addr, prefix_len);
+      assessable_nets.insert(prefix);
+      if (outdated) outdated_nets.insert(prefix);
+    }
+  }
+  OutdatednessStats stats;
+  stats.assessable_hosts = assessable_nets.size();
+  stats.outdated = outdated_nets.size();
+  return stats;
+}
+
+}  // namespace tts::analysis

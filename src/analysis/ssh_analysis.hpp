@@ -1,0 +1,61 @@
+// SSH analyses: OS distribution by unique host key (Table 3) and
+// patch-level outdatedness for Debian-derived distributions (Figure 2,
+// Section 4.4.1). Deduplication follows the paper: one unit per distinct
+// host key; the by-network variants (Figure 5, Table 6) weigh by nets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scan/results.hpp"
+
+namespace tts::scan {
+class ResultStore;
+}
+
+namespace tts::analysis {
+
+struct SshHost {
+  std::uint64_t host_key = 0;
+  std::string banner;
+  std::string os;  // "Ubuntu"/"Debian"/"Raspbian"/"FreeBSD"/"" (other)
+  std::vector<net::Ipv6Address> addresses;  // all addresses presenting it
+};
+
+/// Deduplicate successful SSH grabs of a dataset by host key.
+std::vector<SshHost> dedup_ssh_hosts(const scan::ResultStore& results,
+                                     scan::Dataset dataset);
+
+/// OS -> unique-host-key count (Table 3's SSH panel; "" = other/unknown).
+std::unordered_map<std::string, std::uint64_t> os_distribution(
+    const std::vector<SshHost>& hosts);
+
+/// Whether a banner carries the latest patch level of its lineage.
+/// Only meaningful for Debian-derived banners (see assessable()).
+bool banner_up_to_date(const std::string& banner);
+
+/// Debian-derived banners unveil their patch level (Section 4.4.1 restricts
+/// the outdatedness analysis to them).
+bool assessable(const std::string& banner);
+
+struct OutdatednessStats {
+  std::uint64_t assessable_hosts = 0;
+  std::uint64_t outdated = 0;
+  double outdated_share() const {
+    return assessable_hosts == 0
+               ? 0.0
+               : static_cast<double>(outdated) /
+                     static_cast<double>(assessable_hosts);
+  }
+};
+
+/// Figure 2: outdatedness over unique host keys.
+OutdatednessStats outdatedness(const std::vector<SshHost>& hosts);
+
+/// Figure 5: outdatedness counting each /N network once per host key.
+OutdatednessStats outdatedness_by_network(const std::vector<SshHost>& hosts,
+                                          unsigned prefix_len);
+
+}  // namespace tts::analysis

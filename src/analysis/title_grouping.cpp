@@ -1,0 +1,105 @@
+#include "analysis/title_grouping.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "util/levenshtein.hpp"
+
+namespace tts::analysis {
+
+namespace {
+
+bool ip_char(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) || c == ':' ||
+         c == '.';
+}
+
+}  // namespace
+
+std::string normalize_title(const std::string& title) {
+  std::string out;
+  out.reserve(title.size());
+  std::size_t i = 0;
+  while (i < title.size()) {
+    if (!ip_char(title[i])) {
+      out.push_back(title[i++]);
+      continue;
+    }
+    std::size_t j = i;
+    bool has_digit = false;
+    int colons = 0, dots = 0;
+    while (j < title.size() && ip_char(title[j])) {
+      if (std::isdigit(static_cast<unsigned char>(title[j]))) has_digit = true;
+      if (title[j] == ':') ++colons;
+      if (title[j] == '.') ++dots;
+      ++j;
+    }
+    // An address-looking run: at least two colons (IPv6, incl. "::") or
+    // three dots (dotted-quad IPv4). Version numbers like "18.0.34" have
+    // too few separators and survive untouched.
+    if (j - i >= 7 && has_digit && (colons >= 2 || dots >= 3)) {
+      out += "(IP)";
+    } else {
+      out.append(title, i, j - i);
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::vector<TitleGroup> group_titles(
+    const std::vector<TitleObservation>& observations, double max_distance) {
+  // Pre-aggregate identical normalised titles (clustering is quadratic in
+  // the number of *distinct* titles, which is small).
+  struct Tally {
+    std::uint64_t ntp = 0;
+    std::uint64_t hitlist = 0;
+  };
+  std::unordered_map<std::string, Tally> distinct;
+  for (const auto& obs : observations) {
+    auto& tally = distinct[normalize_title(obs.title)];
+    if (obs.dataset == scan::Dataset::kHitlist)
+      tally.hitlist += obs.weight;
+    else
+      tally.ntp += obs.weight;
+  }
+
+  // Cluster seeds in descending frequency so the most common variant of a
+  // family becomes its representative.
+  std::vector<std::pair<std::string, Tally>> ordered(distinct.begin(),
+                                                     distinct.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    std::uint64_t ta = a.second.ntp + a.second.hitlist;
+    std::uint64_t tb = b.second.ntp + b.second.hitlist;
+    if (ta != tb) return ta > tb;
+    return a.first < b.first;
+  });
+
+  std::vector<TitleGroup> groups;
+  for (const auto& [title, tally] : ordered) {
+    TitleGroup* home = nullptr;
+    for (auto& g : groups) {
+      if (util::within_normalized_distance(title, g.representative,
+                                           max_distance)) {
+        home = &g;
+        break;
+      }
+    }
+    if (!home) {
+      groups.push_back(TitleGroup{title, 0, 0});
+      home = &groups.back();
+    }
+    home->ntp += tally.ntp;
+    home->hitlist += tally.hitlist;
+  }
+
+  std::sort(groups.begin(), groups.end(),
+            [](const TitleGroup& a, const TitleGroup& b) {
+              if (a.total() != b.total()) return a.total() > b.total();
+              return a.representative < b.representative;
+            });
+  return groups;
+}
+
+}  // namespace tts::analysis

@@ -1,0 +1,42 @@
+// HTML title grouping (Section 4.3.1, Tables 3/6/8).
+//
+// Titles are normalised (embedded IP addresses replaced by an "(IP)"
+// placeholder, as the paper's published tables do), then clustered
+// greedily: a title joins the first existing group whose representative is
+// within a normalised Levenshtein distance of 0.25; otherwise it founds a
+// new group. Observations carry a dataset tag and a weight so the same
+// machinery counts by unique certificate (Table 3) or by address/network
+// (Table 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/results.hpp"
+
+namespace tts::analysis {
+
+struct TitleObservation {
+  std::string title;
+  scan::Dataset dataset = scan::Dataset::kNtp;
+  std::uint64_t weight = 1;
+};
+
+struct TitleGroup {
+  std::string representative;  // normalised form of the founding title
+  std::uint64_t ntp = 0;
+  std::uint64_t hitlist = 0;
+  std::uint64_t total() const { return ntp + hitlist; }
+};
+
+/// Replace embedded IPv4/IPv6 literals with "(IP)".
+std::string normalize_title(const std::string& title);
+
+/// Cluster observations; groups are returned sorted by total desc.
+/// `max_distance` is the normalised Levenshtein threshold (paper: 0.25).
+std::vector<TitleGroup> group_titles(
+    const std::vector<TitleObservation>& observations,
+    double max_distance = 0.25);
+
+}  // namespace tts::analysis

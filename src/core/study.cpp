@@ -1,0 +1,296 @@
+#include "core/study.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tts::core {
+
+StudyConfig make_study_config(StudyScale scale) {
+  StudyConfig config;
+  config.server_countries = ntp::deployment_countries();
+  switch (scale) {
+    case StudyScale::kTiny:
+      config.population.device_scale = 0.15;
+      config.runtime.duration = simnet::days(7);
+      config.hitlist_scan_start = simnet::days(4);
+      config.hitlist.routers_per_prefix = 4;
+      config.hitlist.aliased_samples = 300;
+      config.scan_pps = 500;
+      config.drain = simnet::days(1);
+      break;
+    case StudyScale::kSmall:
+      config.population.device_scale = 1.0;
+      config.runtime.duration = simnet::days(28);
+      config.hitlist_scan_start = simnet::days(21);
+      config.hitlist.aliased_samples = 30000;
+      break;
+    case StudyScale::kMedium:
+      config.population.device_scale = 3.0;
+      config.runtime.duration = simnet::days(28);
+      config.hitlist_scan_start = simnet::days(21);
+      config.hitlist.aliased_samples = 60000;
+      config.scan_pps = 6000;
+      break;
+  }
+  return config;
+}
+
+Study::Study(StudyConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.server_countries.empty())
+    config_.server_countries = ntp::deployment_countries();
+}
+
+Study::~Study() = default;
+
+net::Ipv6Address Study::allocate_infra_address(const std::string& country,
+                                               std::uint16_t tag) {
+  // Infrastructure (NTP servers, scanners) gets addresses in a reserved
+  // high /48 band of a hosting AS of its country, clear of customer space.
+  auto hosting = registry_->in_country(country, inet::AsCategory::kHosting);
+  if (hosting.empty()) hosting = registry_->in_country(country);
+  if (hosting.empty())
+    hosting = registry_->by_category(inet::AsCategory::kContent);
+  if (hosting.empty()) throw std::logic_error("no AS for infra address");
+  const inet::AsInfo* as = hosting.front();
+  std::uint64_t hi = as->prefixes.front().address().hi64() |
+                     (0xff00ULL << 16) | (static_cast<std::uint64_t>(tag) << 16);
+  return net::Ipv6Address::from_halves(hi, 0x1000 + next_infra_++);
+}
+
+void Study::build_pool() {
+  util::Rng pool_rng = rng_.stream("pool");
+
+  // Third-party background servers in every country zone.
+  for (const auto& country : registry_->countries()) {
+    int n = 2 + static_cast<int>(pool_rng.below(3));
+    double per_server = config_.background_netspeed / n;
+    for (int i = 0; i < n; ++i) {
+      net::Ipv6Address addr = allocate_infra_address(
+          country.code, static_cast<std::uint16_t>(10 + i));
+      ntp::NtpServerConfig server;
+      server.address = addr;
+      server.country = country.code;
+      server.capture = false;
+      background_servers_.push_back(std::make_unique<ntp::NtpServer>(
+          *network_, server, nullptr));
+      pool_.add_server(ntp::PoolEntry{addr, country.code, per_server, 20,
+                                      /*ours=*/false, 0});
+    }
+  }
+
+  // Our 11 capture servers, netspeed-tuned to the target zone share
+  // (the paper raises netspeed until the request rate matches the scan
+  // budget; the closed-form equivalent against a known zone total).
+  double share = config_.pool_share;
+  double our_netspeed =
+      config_.background_netspeed * share / std::max(1e-9, 1.0 - share);
+  ntp::ServerId id = 0;
+  for (const auto& country : config_.server_countries) {
+    net::Ipv6Address addr = allocate_infra_address(country, 1);
+    ntp::NtpServerConfig server;
+    server.address = addr;
+    server.country = country;
+    server.id = id++;
+    server.capture = true;
+    our_servers_.push_back(
+        std::make_unique<ntp::NtpServer>(*network_, server, &collector_));
+    pool_.add_server(
+        ntp::PoolEntry{addr, country, our_netspeed, 20, /*ours=*/true,
+                       server.id});
+  }
+}
+
+void Study::build_telescope() {
+  // Telescope prefix: documentation-range space outside the synthetic
+  // registry, so captures cannot collide with population traffic.
+  auto probe_prefix = *net::Ipv6Prefix::parse("3fff:909:aaaa::/48");
+  auto monitor_prefix = *net::Ipv6Prefix::parse("3fff:909::/32");
+  telescope::ProberConfig prober_config;
+  prober_config.probe_prefix = probe_prefix;
+  prober_config.monitor_prefix = monitor_prefix;
+  prober_config.duration = config_.runtime.duration;
+  prober_config.seed = rng_.stream("prober").root_seed();
+  prober_ = std::make_unique<telescope::PoolProber>(*network_, pool_,
+                                                    prober_config);
+
+  if (!config_.enable_actors) return;
+
+  // Actor 1: overt research scanner (Georgia-Tech-like). 15 pool servers,
+  // 1011 ports, scans within the hour, identifies itself.
+  {
+    telescope::ActorConfig gt;
+    gt.name = "research-university";
+    gt.identifies_itself = true;
+    gt.server_country = "US";
+    gt.server_netspeed = 60;
+    for (int i = 0; i < 15; ++i)
+      gt.server_addresses.push_back(allocate_infra_address(
+          "US", static_cast<std::uint16_t>(0x80 + i)));
+    auto edu = registry_->in_country("US", inet::AsCategory::kEducation);
+    net::Ipv6Address src =
+        edu.empty()
+            ? allocate_infra_address("US", 0x9f)
+            : net::Ipv6Address::from_halves(
+                  edu.front()->prefixes.front().address().hi64() |
+                      (0xedULL << 16),
+                  0x515);
+    gt.scan_sources.push_back(src);
+    gt.ports = telescope::research_actor_ports();
+    gt.scan_delay_min = simnet::minutes(3);
+    gt.scan_delay_max = simnet::minutes(55);
+    gt.scan_spread = simnet::minutes(10);
+    gt.seed = rng_.stream("actor-gt").root_seed();
+    actors_.push_back(std::make_unique<telescope::ScanningActor>(
+        *network_, pool_, gt));
+  }
+
+  // Actor 2: covert. Servers in one cloud provider, scan sources in
+  // another, security-sensitive ports, multi-day spread, partial coverage.
+  {
+    telescope::ActorConfig covert;
+    covert.name = "";
+    covert.identifies_itself = false;
+    covert.server_country = "US";
+    covert.server_netspeed = 40;
+    auto clouds = registry_->by_category(inet::AsCategory::kContent);
+    const inet::AsInfo* cloud_a =
+        clouds.size() > 1 ? clouds[1] : clouds.front();
+    const inet::AsInfo* cloud_b =
+        clouds.size() > 2 ? clouds[2] : clouds.front();
+    for (int i = 0; i < 4; ++i) {
+      covert.server_addresses.push_back(net::Ipv6Address::from_halves(
+          cloud_a->prefixes.front().address().hi64() |
+              (static_cast<std::uint64_t>(0xc0 + i) << 16),
+          0x11));
+    }
+    for (int i = 0; i < 2; ++i) {
+      covert.scan_sources.push_back(net::Ipv6Address::from_halves(
+          cloud_b->prefixes.front().address().hi64() |
+              (static_cast<std::uint64_t>(0xd0 + i) << 16),
+          0x22));
+    }
+    covert.ports = telescope::covert_actor_ports();
+    covert.scan_delay_min = simnet::hours(10);
+    covert.scan_delay_max = simnet::hours(60);
+    covert.scan_spread = simnet::days(2);
+    covert.port_coverage = 0.6;
+    covert.seed = rng_.stream("actor-covert").root_seed();
+    actors_.push_back(std::make_unique<telescope::ScanningActor>(
+        *network_, pool_, covert));
+  }
+}
+
+void Study::run() {
+  if (ran_) throw std::logic_error("Study::run called twice");
+  ran_ = true;
+
+  simnet::NetworkConfig net_config = config_.network;
+  net_config.seed = rng_.stream("network").root_seed();
+  network_ = std::make_unique<simnet::Network>(events_, net_config);
+
+  inet::AsRegistryConfig reg_config;
+  reg_config.seed = rng_.stream("registry").root_seed();
+  registry_ = inet::AsRegistry::generate(reg_config);
+
+  inet::PopulationConfig pop_config = config_.population;
+  pop_config.seed = rng_.stream("population").root_seed();
+  population_ = inet::Population::generate(*registry_, pop_config);
+
+  build_pool();
+
+  eui64_.attach(collector_);
+
+  if (config_.enable_ntp_scans) {
+    scan::ScanEngineConfig engine;
+    engine.scanner_address = allocate_infra_address("DE", 0x51);
+    engine.dataset = scan::Dataset::kNtp;
+    engine.max_pps = config_.scan_pps;
+    engine.seed = rng_.stream("ntp-engine").root_seed();
+    ntp_engine_ =
+        std::make_unique<scan::ScanEngine>(*network_, results_, engine);
+    collector_.subscribe([this](const ntp::CollectedAddress& rec) {
+      ntp_engine_->submit(rec.addr);
+    });
+  }
+
+  inet::RuntimeConfig runtime_config = config_.runtime;
+  runtime_config.seed = rng_.stream("runtime").root_seed();
+  runtime_ = std::make_unique<inet::InternetRuntime>(
+      *network_, *population_, &pool_, runtime_config);
+  runtime_->start();
+
+  // The hitlist snapshot is roughly contemporaneous with the scan week
+  // (the paper scanned the July '24 list in August '24): build it from the
+  // live address state two days before the sweep starts. Dynamic devices
+  // still rot out of it during those days plus the sweep itself.
+  simnet::SimTime hitlist_build_at =
+      std::max<simnet::SimTime>(0, config_.hitlist_scan_start -
+                                       simnet::days(2));
+  events_.schedule_at(hitlist_build_at, [this] {
+    hitlist_ = hitlist::HitlistBuilder::build(*population_, runtime_.get(),
+                                              config_.hitlist);
+  });
+
+  if (config_.enable_hitlist_scan) {
+    scan::ScanEngineConfig engine;
+    engine.scanner_address = allocate_infra_address("DE", 0x52);
+    engine.dataset = scan::Dataset::kHitlist;
+    engine.max_pps = config_.scan_pps;
+    engine.seed = rng_.stream("hitlist-engine").root_seed();
+    hitlist_engine_ =
+        std::make_unique<scan::ScanEngine>(*network_, results_, engine);
+    events_.schedule_at(config_.hitlist_scan_start, [this] {
+      hitlist_engine_->submit_bulk(hitlist_.full);
+    });
+  }
+
+  if (config_.enable_telescope) {
+    build_telescope();
+    prober_->start();
+  }
+
+  events_.run_until(config_.runtime.duration + config_.drain);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Study::per_server_counts()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& server : our_servers_) {
+    out.emplace_back(server->config().country,
+                     collector_.server_distinct(server->config().id));
+  }
+  return out;
+}
+
+double Study::ntp_hit_rate() const {
+  if (!ntp_engine_ || ntp_engine_->probes_launched() == 0) return 0.0;
+  std::uint64_t successes = 0;
+  for (std::size_t p = 0; p < scan::kProtocolCount; ++p)
+    successes += results_.count(scan::Dataset::kNtp,
+                                static_cast<scan::Protocol>(p),
+                                scan::Outcome::kSuccess);
+  return static_cast<double>(successes) /
+         static_cast<double>(ntp_engine_->probes_launched());
+}
+
+telescope::ClassifierReport Study::telescope_report() const {
+  if (!prober_) return {};
+  auto identity = [this](const net::Ipv6Address& addr) -> std::string {
+    for (const auto& actor : actors_) {
+      if (actor->owns_scan_source(addr))
+        return actor->config().identifies_itself
+                   ? "research-scan." + actor->config().name + ".example"
+                   : "";
+    }
+    // Our own scan engines identify themselves (Appendix A.2.2).
+    if (ntp_engine_ && addr == ntp_engine_->config().scanner_address)
+      return "research-scan.our-study.example";
+    if (hitlist_engine_ && addr == hitlist_engine_->config().scanner_address)
+      return "research-scan.our-study.example";
+    return "";
+  };
+  return telescope::classify_actors(*prober_, *registry_, identity);
+}
+
+}  // namespace tts::core

@@ -1,0 +1,156 @@
+// The end-to-end study pipeline (the paper's whole experimental setup).
+//
+// Study wires every substrate together: generates the synthetic Internet,
+// joins 11 capture-enabled NTP servers to the pool (netspeed-tuned to a
+// target zone share, Section 3.1), starts the device runtime, feeds every
+// newly collected address into a real-time scan campaign, builds and sweeps
+// the hitlist in the final week, and runs the telescope with the two
+// third-party actors in parallel. After run(), the accessors expose the raw
+// material every table/figure bench consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/eui64_analysis.hpp"
+#include "hitlist/hitlist.hpp"
+#include "inet/as_registry.hpp"
+#include "inet/population.hpp"
+#include "inet/services.hpp"
+#include "ntp/collector.hpp"
+#include "ntp/ntp_server.hpp"
+#include "ntp/pool.hpp"
+#include "scan/engine.hpp"
+#include "scan/results.hpp"
+#include "simnet/event_queue.hpp"
+#include "simnet/network.hpp"
+#include "telescope/actors.hpp"
+#include "telescope/classifier.hpp"
+#include "telescope/prober.hpp"
+
+namespace tts::core {
+
+struct StudyConfig {
+  std::uint64_t seed = 20240720;
+
+  inet::PopulationConfig population;
+  inet::RuntimeConfig runtime;
+  hitlist::SourceConfig hitlist;
+  simnet::NetworkConfig network;
+
+  /// Countries hosting our capture servers (default: the paper's 11).
+  std::vector<std::string> server_countries;
+  /// Target share of each zone's traffic our server receives after
+  /// netspeed tuning.
+  double pool_share = 0.35;
+  /// Aggregate netspeed of third-party servers per zone.
+  double background_netspeed = 3000;
+
+  double scan_pps = 2000;
+  simnet::SimTime hitlist_scan_start = simnet::days(21);
+
+  bool enable_ntp_scans = true;
+  bool enable_hitlist_scan = true;
+  bool enable_telescope = true;
+  bool enable_actors = true;
+
+  /// Virtual time allowed after the collection window for in-flight scans
+  /// and delayed covert probes to finish.
+  simnet::SimDuration drain = simnet::days(3);
+};
+
+/// Ready-made scales. kTiny keeps unit tests fast; kSmall is the default
+/// bench scale; kMedium trades minutes of runtime for tighter statistics.
+enum class StudyScale { kTiny, kSmall, kMedium };
+StudyConfig make_study_config(StudyScale scale);
+
+class Study {
+ public:
+  explicit Study(StudyConfig config);
+  ~Study();
+
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
+
+  /// Execute the full pipeline. Call once.
+  void run();
+
+  // ---- raw material for the analyses ----
+  const StudyConfig& config() const { return config_; }
+  const inet::AsRegistry& registry() const { return *registry_; }
+  const inet::Population& population() const { return *population_; }
+  const ntp::AddressCollector& collector() const { return collector_; }
+  const ntp::NtpPool& pool() const { return pool_; }
+  const hitlist::Hitlist& hitlist() const { return hitlist_; }
+  const scan::ResultStore& results() const { return results_; }
+  const analysis::Eui64Accumulator& eui64() const { return eui64_; }
+  const simnet::Network& network() const { return *network_; }
+  simnet::Network& network() { return *network_; }
+
+  /// Snapshot of all NTP-collected addresses.
+  std::vector<net::Ipv6Address> ntp_addresses() const {
+    return collector_.snapshot();
+  }
+
+  /// Per-server distinct address counts in deployment order (Table 7).
+  std::vector<std::pair<std::string, std::uint64_t>> per_server_counts()
+      const;
+
+  /// Overall NTP-campaign hit rate: successful probes / probes sent
+  /// (Section 6 reports 0.42 permille at Internet scale).
+  double ntp_hit_rate() const;
+
+  /// Telescope outcome (empty when the telescope was disabled).
+  telescope::ClassifierReport telescope_report() const;
+  const telescope::PoolProber* prober() const { return prober_.get(); }
+  const std::vector<std::unique_ptr<telescope::ScanningActor>>& actors()
+      const {
+    return actors_;
+  }
+
+  const scan::ScanEngine* ntp_engine() const { return ntp_engine_.get(); }
+  const scan::ScanEngine* hitlist_engine() const {
+    return hitlist_engine_.get();
+  }
+
+  std::uint64_t events_executed() const { return events_.executed(); }
+
+ private:
+  void build_pool();
+  void build_telescope();
+  net::Ipv6Address allocate_infra_address(const std::string& country,
+                                          std::uint16_t tag);
+
+  StudyConfig config_;
+  util::Rng rng_;
+
+  simnet::EventQueue events_;
+  std::unique_ptr<simnet::Network> network_;
+  std::optional<inet::AsRegistry> registry_;
+  std::optional<inet::Population> population_;
+
+  ntp::NtpPool pool_;
+  ntp::AddressCollector collector_;
+  std::vector<std::unique_ptr<ntp::NtpServer>> our_servers_;
+  std::vector<std::unique_ptr<ntp::NtpServer>> background_servers_;
+
+  std::unique_ptr<inet::InternetRuntime> runtime_;
+  hitlist::Hitlist hitlist_;
+
+  scan::ResultStore results_;
+  std::unique_ptr<scan::ScanEngine> ntp_engine_;
+  std::unique_ptr<scan::ScanEngine> hitlist_engine_;
+
+  analysis::Eui64Accumulator eui64_;
+
+  std::unique_ptr<telescope::PoolProber> prober_;
+  std::vector<std::unique_ptr<telescope::ScanningActor>> actors_;
+
+  std::uint32_t next_infra_ = 1;
+  bool ran_ = false;
+};
+
+}  // namespace tts::core

@@ -1,0 +1,74 @@
+#include "hitlist/hitlist.hpp"
+
+namespace tts::hitlist {
+
+std::unordered_map<Source, std::uint64_t> Hitlist::counts_by_source() const {
+  std::unordered_map<Source, std::uint64_t> out;
+  for (const auto& [addr, src] : provenance) ++out[src];
+  return out;
+}
+
+Hitlist HitlistBuilder::build(const inet::Population& pop,
+                              const inet::InternetRuntime* runtime,
+                              const SourceConfig& config) {
+  util::Rng rng(config.seed);
+  Hitlist list;
+
+  AddressOf addr_of = initial_address_of();
+  if (runtime) {
+    addr_of = [runtime](const inet::Device& d) {
+      return runtime->address_of(d.id);
+    };
+  }
+  auto dns = dns_source(pop, addr_of);
+  auto traceroute = traceroute_source(pop, config, rng, addr_of);
+  auto tga = tga_source(dns, config, rng);
+  auto aliased = aliased_source(pop.registry(), config, rng);
+  auto stale = stale_source(pop, dns.size(), config, rng);
+
+  // Index device initial addresses for the responsiveness check when no
+  // runtime is available yet.
+  std::unordered_map<net::Ipv6Address, const inet::Device*,
+                     net::Ipv6AddressHash>
+      initial;
+  if (!runtime) {
+    for (const auto& d : pop.devices()) initial[d.initial_address] = &d;
+  }
+
+  auto device_at = [&](const net::Ipv6Address& a) -> const inet::Device* {
+    if (runtime) return runtime->device_at(a);
+    auto it = initial.find(a);
+    return it == initial.end() ? nullptr : it->second;
+  };
+
+  const auto& alias_region = pop.registry().cdn_alias_region();
+
+  auto ingest = [&](const std::vector<SourcedAddress>& batch) {
+    for (const auto& s : batch) {
+      auto [it, inserted] = list.provenance.emplace(s.addr, s.source);
+      if (!inserted) continue;
+      list.full.push_back(s.addr);
+
+      bool responsive = false;
+      if (alias_region.contains(s.addr)) {
+        responsive = true;  // every aliased address answers
+      } else if (const inet::Device* d = device_at(s.addr)) {
+        responsive = d->any_service();
+      } else if (s.source == Source::kTraceroute) {
+        // Synthetic router interfaces answer ICMP (ping-responsive), which
+        // is enough for the public list's liveness filter.
+        responsive = s.addr.lo64() < 256;
+      }
+      if (responsive) list.public_list.push_back(s.addr);
+    }
+  };
+
+  ingest(dns);
+  ingest(traceroute);
+  ingest(tga);
+  ingest(aliased);
+  ingest(stale);
+  return list;
+}
+
+}  // namespace tts::hitlist

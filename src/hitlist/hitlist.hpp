@@ -1,0 +1,43 @@
+// Hitlist assembly: combine the source simulators, deduplicate, and derive
+// the "public" (responsive-only) variant — mirroring the TUM IPv6 Hitlist's
+// full and public lists compared in Table 1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hitlist/sources.hpp"
+#include "inet/population.hpp"
+#include "inet/services.hpp"
+
+namespace tts::hitlist {
+
+struct Hitlist {
+  /// Deduplicated full list (everything the sources produced).
+  std::vector<net::Ipv6Address> full;
+  /// Subset verified responsive at build time (ICMP/any-probe model):
+  /// live service hosts, aliased-region addresses, and router interfaces.
+  std::vector<net::Ipv6Address> public_list;
+  /// Provenance of each address (first source that contributed it).
+  std::unordered_map<net::Ipv6Address, Source, net::Ipv6AddressHash>
+      provenance;
+
+  std::unordered_map<Source, std::uint64_t> counts_by_source() const;
+};
+
+class HitlistBuilder {
+ public:
+  /// Build against the population *before* the runtime starts: addresses
+  /// are the devices' initial ones, so entries for churning devices rot by
+  /// the time the scan runs — the dynamic-address problem of Section 6.
+  ///
+  /// `runtime` is optional; when provided, responsiveness is evaluated
+  /// against live ownership instead of initial addresses.
+  static Hitlist build(const inet::Population& pop,
+                       const inet::InternetRuntime* runtime,
+                       const SourceConfig& config);
+};
+
+}  // namespace tts::hitlist

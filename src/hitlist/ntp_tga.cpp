@@ -1,0 +1,72 @@
+#include "hitlist/ntp_tga.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/mac.hpp"
+
+namespace tts::hitlist {
+
+void NtpSeededTga::train(std::span<const net::Ipv6Address> observed) {
+  hot48_.clear();
+  mix_eui64_ = mix_random_ = mix_low_ = 0;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (const auto& addr : observed) {
+    ++counts[addr.hi64() & ~0xffffULL];
+    std::uint64_t iid = addr.iid();
+    if (net::iid_looks_like_eui64(iid))
+      ++mix_eui64_;
+    else if (iid < 0x10000)
+      ++mix_low_;
+    else
+      ++mix_random_;
+  }
+  hot48_.reserve(counts.size());
+  for (const auto& [hi48, weight] : counts)
+    hot48_.push_back(Hot48{hi48, weight});
+  std::sort(hot48_.begin(), hot48_.end(),
+            [](const Hot48& a, const Hot48& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.hi48 < b.hi48;
+            });
+}
+
+std::vector<net::Ipv6Address> NtpSeededTga::generate(
+    const NtpTgaConfig& config) const {
+  std::vector<net::Ipv6Address> out;
+  util::Rng rng(config.seed);
+
+  std::vector<double> weights;
+  std::vector<const Hot48*> eligible;
+  for (const auto& h : hot48_) {
+    if (h.weight < config.min_sightings_per_48) continue;
+    eligible.push_back(&h);
+    weights.push_back(static_cast<double>(h.weight));
+  }
+  if (eligible.empty()) return out;
+
+  std::uint64_t total_mix = mix_eui64_ + mix_random_ + mix_low_;
+  out.reserve(config.candidates);
+  for (std::uint64_t i = 0; i < config.candidates; ++i) {
+    const Hot48& h = *eligible[rng.pick_weighted(weights)];
+    // Fresh /56 slot and /64 segment 0, matching the delegation layout the
+    // sightings exhibit.
+    std::uint64_t hi = h.hi48 | (rng.below(256) << 8);
+    std::uint64_t iid;
+    std::uint64_t dice = total_mix ? rng.below(total_mix) : 0;
+    if (dice < mix_eui64_) {
+      // EUI-64-shaped candidate with a plausible (random) MAC.
+      iid = net::eui64_iid_from_mac(
+          net::MacAddress::from_u64(rng.below(1ULL << 48)));
+    } else if (dice < mix_eui64_ + mix_low_) {
+      iid = 1 + rng.below(255);
+    } else {
+      iid = rng.next() | 0x100000ULL;
+    }
+    out.push_back(net::Ipv6Address::from_halves(hi, iid));
+  }
+  return out;
+}
+
+}  // namespace tts::hitlist

@@ -1,0 +1,53 @@
+// Target generation seeded by NTP-collected addresses — the "address
+// generators trained on such addresses" the paper's Discussion leaves for
+// future work.
+//
+// The generator learns, per observed /48, the density of sightings and the
+// IID-class mix, then emits candidates: fresh /56 slots inside the hottest
+// /48s with IIDs drawn from the learned class distribution. Because
+// NTP-collected addresses are dominated by dynamic end-user space, the
+// candidates alias onto *pools* rather than hosts — exactly why the paper
+// argues static lists of NTP-sourced addresses rot immediately, while the
+// /48-level structure stays informative.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "util/rng.hpp"
+
+namespace tts::hitlist {
+
+struct NtpTgaConfig {
+  /// Candidates to emit.
+  std::uint64_t candidates = 10000;
+  /// Only /48s with at least this many observed sightings seed candidates.
+  std::uint64_t min_sightings_per_48 = 2;
+  std::uint64_t seed = 0x76a;
+};
+
+class NtpSeededTga {
+ public:
+  /// Learn the per-/48 densities and IID-class mix of the training set.
+  void train(std::span<const net::Ipv6Address> observed);
+
+  /// Emit candidate targets (requires train() first).
+  std::vector<net::Ipv6Address> generate(const NtpTgaConfig& config) const;
+
+  std::size_t hot_networks() const { return hot48_.size(); }
+
+ private:
+  struct Hot48 {
+    std::uint64_t hi48 = 0;   // the /48's high bits (low 16 of hi64 zero)
+    std::uint64_t weight = 0; // observed sightings
+  };
+  std::vector<Hot48> hot48_;
+  // Learned IID-class mix: counts of [eui64, privacy-like, low-byte].
+  std::uint64_t mix_eui64_ = 0;
+  std::uint64_t mix_random_ = 0;
+  std::uint64_t mix_low_ = 0;
+};
+
+}  // namespace tts::hitlist

@@ -1,0 +1,122 @@
+#include "hitlist/sources.hpp"
+
+namespace tts::hitlist {
+
+std::string_view to_string(Source s) {
+  switch (s) {
+    case Source::kDns: return "DNS";
+    case Source::kTraceroute: return "traceroute";
+    case Source::kTga: return "TGA";
+    case Source::kAliased: return "aliased";
+    case Source::kStale: return "stale";
+  }
+  return "?";
+}
+
+AddressOf initial_address_of() {
+  return [](const inet::Device& d) { return d.initial_address; };
+}
+
+std::vector<SourcedAddress> dns_source(const inet::Population& pop,
+                                       const AddressOf& addr_of) {
+  std::vector<SourcedAddress> out;
+  for (const auto& d : pop.devices())
+    if (d.in_dns_sources) out.push_back({addr_of(d), Source::kDns});
+  return out;
+}
+
+std::vector<SourcedAddress> traceroute_source(const inet::Population& pop,
+                                              const SourceConfig& config,
+                                              util::Rng& rng,
+                                              const AddressOf& addr_of) {
+  std::vector<SourcedAddress> out;
+  for (const auto& d : pop.devices())
+    if (d.in_traceroute)
+      out.push_back({addr_of(d), Source::kTraceroute});
+
+  // Synthetic router interfaces: low-byte or zero IIDs scattered across the
+  // /48s of every announced prefix — the structured-address mass that makes
+  // hitlists look infrastructure-heavy (Figure 1).
+  for (const auto& as : pop.registry().all()) {
+    for (const auto& prefix : as.prefixes) {
+      for (int i = 0; i < config.routers_per_prefix; ++i) {
+        std::uint64_t idx48 = rng.below(4096);
+        std::uint64_t hi = prefix.address().hi64() | (idx48 << 16);
+        std::uint64_t iid = rng.chance(0.4) ? 0 : 1 + rng.below(254);
+        out.push_back(
+            {net::Ipv6Address::from_halves(hi, iid), Source::kTraceroute});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SourcedAddress> tga_source(
+    const std::vector<SourcedAddress>& seeds, const SourceConfig& config,
+    util::Rng& rng) {
+  std::vector<SourcedAddress> out;
+  out.reserve(seeds.size() * static_cast<std::size_t>(config.tga_per_seed));
+  for (const auto& seed : seeds) {
+    std::uint64_t hi = seed.addr.hi64();
+    std::uint64_t iid = seed.addr.lo64();
+    for (int i = 0; i < config.tga_per_seed; ++i) {
+      double pick = rng.uniform();
+      net::Ipv6Address candidate;
+      if (pick < 0.5) {
+        // Nearby IIDs in the same /64 (::1, ::2, seed±1 ...).
+        std::uint64_t delta = 1 + rng.below(8);
+        candidate = net::Ipv6Address::from_halves(
+            hi, rng.chance(0.5) ? iid + delta : delta);
+      } else if (pick < 0.85) {
+        // Adjacent /64 (next rack slot / VLAN) with the same IID; wraps
+        // inside the /48 — TGAs extrapolate within the seed's site.
+        std::uint64_t hi2 = (hi & ~0xffffULL) |
+                            ((hi + ((1 + rng.below(4)) << 8)) & 0xffff);
+        candidate = net::Ipv6Address::from_halves(hi2, iid);
+      } else {
+        // Same /48, random /64, structured IID.
+        std::uint64_t hi2 = (hi & ~0xffffULL) | (rng.below(65536));
+        candidate = net::Ipv6Address::from_halves(hi2, 1 + rng.below(16));
+      }
+      out.push_back({candidate, Source::kTga});
+    }
+  }
+  return out;
+}
+
+std::vector<SourcedAddress> aliased_source(const inet::AsRegistry& registry,
+                                           const SourceConfig& config,
+                                           util::Rng& rng) {
+  std::vector<SourcedAddress> out;
+  const auto& region = registry.cdn_alias_region();
+  std::uint64_t base_hi = region.address().hi64();
+  // Region is a /40: randomise the low 24 bits of the high half + the IID.
+  for (std::uint64_t i = 0; i < config.aliased_samples; ++i) {
+    std::uint64_t hi = base_hi | rng.below(1ULL << 24);
+    out.push_back(
+        {net::Ipv6Address::from_halves(hi, rng.next()), Source::kAliased});
+  }
+  return out;
+}
+
+std::vector<SourcedAddress> stale_source(const inet::Population& pop,
+                                         std::size_t live_dns_count,
+                                         const SourceConfig& config,
+                                         util::Rng& rng) {
+  std::vector<SourcedAddress> out;
+  auto n = static_cast<std::uint64_t>(
+      static_cast<double>(live_dns_count) * config.stale_fraction);
+  const auto& devices = pop.devices();
+  if (devices.empty()) return out;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // A former address of a random device: same delegation pattern, IID
+    // that no longer exists (rotated away long before the study).
+    const auto& d = devices[rng.below(devices.size())];
+    std::uint64_t hi = d.initial_address.hi64() ^ (rng.below(0xffff) << 16);
+    out.push_back(
+        {net::Ipv6Address::from_halves(hi, rng.next()), Source::kStale});
+  }
+  return out;
+}
+
+}  // namespace tts::hitlist

@@ -1,0 +1,88 @@
+// Hitlist source simulators.
+//
+// The TUM IPv6 Hitlist aggregates DNS-derived names (CT logs, rDNS, zone
+// files), traceroute-style topology probing, and target-generation
+// algorithms (TGA) extrapolating from seeds. Each simulator reproduces the
+// *bias* of its real counterpart: DNS finds content-providing hosts,
+// traceroute finds router interfaces with structured IIDs, TGAs stay close
+// to their seed space (Section 2.1.1's critique). The aliased CDN region
+// contributes the hyperscaler flood that dominates the full-list HTTP scan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "inet/population.hpp"
+#include "net/ipv6.hpp"
+#include "util/rng.hpp"
+
+namespace tts::hitlist {
+
+enum class Source : std::uint8_t {
+  kDns,         // certificate transparency, rDNS, zone walks
+  kTraceroute,  // topology probing: router interfaces
+  kTga,         // target generation from seeds
+  kAliased,     // addresses inside fully aliased regions
+  kStale,       // rotted entries from earlier list generations
+};
+
+std::string_view to_string(Source s);
+
+struct SourcedAddress {
+  net::Ipv6Address addr;
+  Source source = Source::kDns;
+};
+
+struct SourceConfig {
+  /// Router interface addresses emitted per AS prefix by traceroute.
+  int routers_per_prefix = 24;
+  /// TGA candidates generated per DNS seed.
+  int tga_per_seed = 3;
+  /// Addresses sampled from the aliased CDN region.
+  std::uint64_t aliased_samples = 4000;
+  /// Stale (rotted) entries as a fraction of live DNS finds.
+  double stale_fraction = 1.5;
+  std::uint64_t seed = 0x417115;
+};
+
+/// Resolves a device to the address a source would record for it. The
+/// default uses the initial address; hitlists built mid-study resolve the
+/// device's *current* address (DNS names track live hosts).
+using AddressOf =
+    std::function<net::Ipv6Address(const inet::Device&)>;
+AddressOf initial_address_of();
+
+/// DNS-based discovery: devices whose names appear in public DNS data.
+std::vector<SourcedAddress> dns_source(const inet::Population& pop,
+                                       const AddressOf& addr_of =
+                                           initial_address_of());
+
+/// Traceroute-style discovery: device WAN interfaces flagged as
+/// traceroute-visible plus synthetic router interfaces (structured IIDs)
+/// along every announced prefix.
+std::vector<SourcedAddress> traceroute_source(const inet::Population& pop,
+                                              const SourceConfig& config,
+                                              util::Rng& rng,
+                                              const AddressOf& addr_of =
+                                                  initial_address_of());
+
+/// TGA extrapolation: nearby-IID and adjacent-subnet variants of seeds.
+/// Inherits the seeds' bias; some candidates alias onto real neighbours.
+std::vector<SourcedAddress> tga_source(
+    const std::vector<SourcedAddress>& seeds, const SourceConfig& config,
+    util::Rng& rng);
+
+/// Samples from the fully aliased CDN region (every one responds).
+std::vector<SourcedAddress> aliased_source(const inet::AsRegistry& registry,
+                                           const SourceConfig& config,
+                                           util::Rng& rng);
+
+/// Rotted entries: former dynamic addresses that no longer exist.
+std::vector<SourcedAddress> stale_source(const inet::Population& pop,
+                                         std::size_t live_dns_count,
+                                         const SourceConfig& config,
+                                         util::Rng& rng);
+
+}  // namespace tts::hitlist

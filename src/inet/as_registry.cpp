@@ -1,0 +1,179 @@
+#include "inet/as_registry.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace tts::inet {
+
+std::string_view to_string(AsCategory c) {
+  switch (c) {
+    case AsCategory::kCableDslIsp: return "Cable/DSL/ISP";
+    case AsCategory::kMobile: return "Mobile";
+    case AsCategory::kHosting: return "Hosting";
+    case AsCategory::kContent: return "Content";
+    case AsCategory::kNsp: return "NSP";
+    case AsCategory::kEducation: return "Education/Research";
+  }
+  return "?";
+}
+
+const std::vector<CountryParams>& builtin_countries() {
+  // client_weight follows Table 7 (millions of collected addresses per
+  // server country, which proxies for NTP client volume in that zone).
+  // Non-deployment countries get weights on the same scale; their clients
+  // only reach our servers through the global-zone fallback.
+  static const std::vector<CountryParams> kCountries = {
+      // -- the 11 deployment countries (Section 3.1) --
+      {"IN", 2569.0, 4, 3, 2},
+      {"BR", 224.0, 3, 2, 2},
+      {"JP", 69.0, 3, 2, 2},
+      {"ZA", 37.0, 2, 2, 1},
+      {"ES", 33.0, 3, 2, 1},
+      {"GB", 31.0, 3, 2, 2},
+      {"DE", 26.0, 4, 2, 3},
+      {"US", 24.0, 4, 3, 4},
+      {"PL", 19.0, 2, 1, 1},
+      {"AU", 10.0, 2, 2, 1},
+      {"NL", 9.0, 2, 1, 3},
+      // -- other populated zones (traffic stays with their own servers) --
+      {"CN", 800.0, 3, 3, 2},
+      {"ID", 150.0, 2, 2, 1},
+      {"FR", 30.0, 3, 1, 2},
+      {"IT", 25.0, 2, 1, 1},
+      {"KR", 22.0, 2, 1, 1},
+      {"CA", 15.0, 2, 1, 1},
+      {"MX", 20.0, 2, 1, 1},
+      {"TR", 18.0, 2, 1, 1},
+      {"VN", 40.0, 2, 1, 1},
+      {"TH", 25.0, 2, 1, 1},
+      {"RU", 35.0, 3, 2, 2},
+      {"SE", 8.0, 2, 1, 1},
+      {"CH", 6.0, 2, 1, 1},
+      {"AT", 5.0, 1, 1, 1},
+      {"CZ", 6.0, 1, 1, 1},
+      {"FI", 4.0, 1, 1, 1},
+      {"AR", 12.0, 2, 1, 1},
+      {"CL", 8.0, 1, 1, 1},
+      {"EG", 14.0, 1, 1, 1},
+  };
+  return kCountries;
+}
+
+AsRegistry AsRegistry::generate(const AsRegistryConfig& config) {
+  AsRegistry reg;
+  reg.countries_ =
+      config.countries.empty() ? builtin_countries() : config.countries;
+  util::Rng rng(config.seed);
+  util::Rng size_rng = rng.stream("as.sizes");
+
+  net::AsNumber next_asn = 64500;  // synthetic range
+  std::uint32_t next_block = 0;    // /32 index inside 2400::/12
+
+  auto alloc_prefix32 = [&next_block]() {
+    // 2400::/12 leaves 20 bits of /32 blocks: 2400:0000::/32, 2400:0001::/32…
+    if (next_block >= (1u << 20))
+      throw std::runtime_error("prefix space exhausted");
+    std::uint64_t hi = (0x2400ULL << 48) |
+                       (static_cast<std::uint64_t>(next_block++) << 32);
+    return net::Ipv6Prefix(net::Ipv6Address::from_halves(hi, 0), 32);
+  };
+
+  auto add_as = [&](std::string name, AsCategory cat, std::string country,
+                    double weight, int n_prefixes) -> AsInfo& {
+    AsInfo info;
+    info.number = next_asn++;
+    info.name = std::move(name);
+    info.category = cat;
+    info.country = std::move(country);
+    info.size_weight = weight;
+    for (int i = 0; i < n_prefixes; ++i)
+      info.prefixes.push_back(alloc_prefix32());
+    reg.index_[info.number] = reg.ases_.size();
+    reg.ases_.push_back(std::move(info));
+    return reg.ases_.back();
+  };
+
+  for (const auto& c : reg.countries_) {
+    // Eyeball ISPs: Zipf-ish size split so one incumbent dominates.
+    for (int i = 0; i < c.eyeball_ases; ++i) {
+      double w = 1.0 / static_cast<double>(i + 1);
+      w *= size_rng.uniform(0.7, 1.3);
+      add_as(util::cat(c.code, " Broadband ", i + 1), AsCategory::kCableDslIsp,
+             c.code, w, i == 0 ? 2 : 1);
+    }
+    for (int i = 0; i < c.mobile_ases; ++i) {
+      double w = (1.0 / static_cast<double>(i + 1)) * size_rng.uniform(0.6, 1.2);
+      add_as(util::cat(c.code, " Mobile ", i + 1), AsCategory::kMobile, c.code,
+             w, 1);
+    }
+    for (int i = 0; i < c.hosting_ases; ++i) {
+      double w = (1.0 / static_cast<double>(i + 1)) * size_rng.uniform(0.5, 1.5);
+      add_as(util::cat(c.code, " Hosting ", i + 1), AsCategory::kHosting,
+             c.code, w, 1);
+    }
+    // One research/education network per country; tiny.
+    add_as(util::cat(c.code, " NREN"), AsCategory::kEducation, c.code, 0.05, 1);
+  }
+
+  // Global hyperscalers. The first owns the fully aliased CDN edge region
+  // (a /40 inside its first /32) that floods the hitlist HTTP results.
+  AsInfo& cdn = add_as("Hyperscaler CDN (edge)", AsCategory::kContent, "ZZ",
+                       3.0, 2);
+  {
+    net::Ipv6Address base = cdn.prefixes.front().address();
+    reg.cdn_alias_ = net::Ipv6Prefix(base, 40);
+    cdn.aliased_regions.push_back(reg.cdn_alias_);
+    reg.cdn_asn_ = cdn.number;
+  }
+  add_as("Hyperscaler Cloud A", AsCategory::kContent, "ZZ", 2.0, 2);
+  add_as("Hyperscaler Cloud B", AsCategory::kContent, "ZZ", 1.5, 1);
+  add_as("Global Transit 1", AsCategory::kNsp, "ZZ", 0.2, 1);
+  add_as("Global Transit 2", AsCategory::kNsp, "ZZ", 0.2, 1);
+
+  for (const auto& as : reg.ases_)
+    for (const auto& p : as.prefixes) reg.routes_.announce(p, as.number);
+
+  return reg;
+}
+
+const AsInfo* AsRegistry::find(net::AsNumber asn) const {
+  auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &ases_[it->second];
+}
+
+const AsInfo* AsRegistry::origin(const net::Ipv6Address& addr) const {
+  auto asn = routes_.lookup(addr);
+  return asn ? find(*asn) : nullptr;
+}
+
+std::vector<const AsInfo*> AsRegistry::by_category(AsCategory cat) const {
+  std::vector<const AsInfo*> out;
+  for (const auto& as : ases_)
+    if (as.category == cat) out.push_back(&as);
+  return out;
+}
+
+std::vector<const AsInfo*> AsRegistry::in_country(
+    const std::string& code) const {
+  std::vector<const AsInfo*> out;
+  for (const auto& as : ases_)
+    if (as.country == code) out.push_back(&as);
+  return out;
+}
+
+std::vector<const AsInfo*> AsRegistry::in_country(const std::string& code,
+                                                  AsCategory cat) const {
+  std::vector<const AsInfo*> out;
+  for (const auto& as : ases_)
+    if (as.country == code && as.category == cat) out.push_back(&as);
+  return out;
+}
+
+const CountryParams* AsRegistry::country(const std::string& code) const {
+  for (const auto& c : countries_)
+    if (c.code == code) return &c;
+  return nullptr;
+}
+
+}  // namespace tts::inet

@@ -1,0 +1,101 @@
+// Synthetic AS-level Internet topology.
+//
+// Generates, per country, eyeball ISPs ("Cable/DSL/ISP" in PeeringDB
+// terms), mobile carriers, and hosting providers — plus a handful of global
+// hyperscalers, one of which owns a fully aliased CDN region. Each AS
+// announces one or more /32 prefixes carved deterministically out of
+// 2400::/12, so every generated address has exactly one origin AS and the
+// RoutingTable join used by the analyses is exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "net/routing_table.hpp"
+#include "util/rng.hpp"
+
+namespace tts::inet {
+
+/// PeeringDB-style network categories (Figure 1 keys on "Cable/DSL/ISP").
+enum class AsCategory : std::uint8_t {
+  kCableDslIsp,
+  kMobile,
+  kHosting,
+  kContent,   // CDNs / hyperscalers
+  kNsp,       // transit
+  kEducation,
+};
+
+std::string_view to_string(AsCategory c);
+
+struct AsInfo {
+  net::AsNumber number = 0;
+  std::string name;
+  AsCategory category = AsCategory::kCableDslIsp;
+  std::string country;  // ISO code; hyperscalers use "ZZ" (global)
+  std::vector<net::Ipv6Prefix> prefixes;
+  /// Relative share of the country's subscriber base (eyeball/mobile) or
+  /// server base (hosting/content).
+  double size_weight = 1.0;
+  /// For content ASes: prefix regions that answer on every address.
+  std::vector<net::Ipv6Prefix> aliased_regions;
+};
+
+/// Per-country parameters. `client_weight` controls how much NTP client
+/// traffic the country emits (Table 7 skew); `device_scale` how many
+/// simulated devices live there.
+struct CountryParams {
+  std::string code;
+  double client_weight;  // proportional to paper Table 7 address counts
+  int eyeball_ases;
+  int mobile_ases;
+  int hosting_ases;
+};
+
+struct AsRegistryConfig {
+  std::vector<CountryParams> countries;  // empty -> builtin table
+  std::uint64_t seed = 1;
+};
+
+class AsRegistry {
+ public:
+  static AsRegistry generate(const AsRegistryConfig& config);
+
+  const std::vector<AsInfo>& all() const { return ases_; }
+  const AsInfo* find(net::AsNumber asn) const;
+  const net::RoutingTable& routes() const { return routes_; }
+
+  /// Origin AS of an address (via longest-prefix match).
+  const AsInfo* origin(const net::Ipv6Address& addr) const;
+
+  /// ASes of a category within a country ("ZZ" for global).
+  std::vector<const AsInfo*> by_category(AsCategory cat) const;
+  std::vector<const AsInfo*> in_country(const std::string& code) const;
+  std::vector<const AsInfo*> in_country(const std::string& code,
+                                        AsCategory cat) const;
+
+  /// The single fully aliased CDN region (hyperscaler edge).
+  const net::Ipv6Prefix& cdn_alias_region() const { return cdn_alias_; }
+  net::AsNumber cdn_asn() const { return cdn_asn_; }
+
+  const std::vector<CountryParams>& countries() const { return countries_; }
+  const CountryParams* country(const std::string& code) const;
+
+ private:
+  std::vector<AsInfo> ases_;
+  std::unordered_map<net::AsNumber, std::size_t> index_;
+  net::RoutingTable routes_;
+  net::Ipv6Prefix cdn_alias_;
+  net::AsNumber cdn_asn_ = 0;
+  std::vector<CountryParams> countries_;
+};
+
+/// The builtin country table: the 11 deployment countries with client
+/// weights proportional to the paper's Table 7, plus further countries
+/// that emit NTP traffic our servers only see via the global zone.
+const std::vector<CountryParams>& builtin_countries();
+
+}  // namespace tts::inet

@@ -1,0 +1,863 @@
+#include "inet/device.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace tts::inet {
+
+std::string_view to_string(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kFritzBox: return "FRITZ!Box";
+    case DeviceClass::kFritzRepeater: return "FRITZ!Repeater";
+    case DeviceClass::kFritzPowerline: return "FRITZ!Powerline";
+    case DeviceClass::kDlinkCpe: return "D-LINK CPE";
+    case DeviceClass::kCiscoWap: return "Cisco WAP";
+    case DeviceClass::kGenericCpe: return "generic CPE";
+    case DeviceClass::kRaspbianHome: return "Raspbian host";
+    case DeviceClass::kHomeLinuxServer: return "home Linux server";
+    case DeviceClass::kSmartphone: return "smartphone";
+    case DeviceClass::kIotGadget: return "IoT gadget";
+    case DeviceClass::kCastDevice: return "cast device";
+    case DeviceClass::kQlinkWifi: return "qlink Wi-Fi";
+    case DeviceClass::kEfentoSensor: return "Efento sensor";
+    case DeviceClass::kNanoleaf: return "Nanoleaf";
+    case DeviceClass::kCoapMisc: return "CoAP misc";
+    case DeviceClass::kHomeMqttBroker: return "home MQTT broker";
+    case DeviceClass::kUbuntuServer: return "Ubuntu server";
+    case DeviceClass::kDebianServer: return "Debian server";
+    case DeviceClass::kFreebsdServer: return "FreeBSD server";
+    case DeviceClass::kSshApplianceOther: return "SSH appliance";
+    case DeviceClass::k3cxServer: return "3CX server";
+    case DeviceClass::kParkingPage: return "parking page";
+    case DeviceClass::kWebHostingServer: return "web hosting server";
+    case DeviceClass::kCloudMqttBroker: return "cloud MQTT broker";
+    case DeviceClass::kCloudAmqpBroker: return "cloud AMQP broker";
+    case DeviceClass::kCdnLoadBalancer: return "CDN load balancer";
+  }
+  return "?";
+}
+
+bool in_country_group(const std::string& code, const std::string& group) {
+  if (group == "EU") {
+    static const char* kEu[] = {"DE", "ES", "NL", "GB", "PL", "FR", "IT",
+                                "SE", "CH", "AT", "CZ", "FI"};
+    for (const char* c : kEu)
+      if (code == c) return true;
+    return false;
+  }
+  return code == group;
+}
+
+double country_multiplier(const DeviceProfile& profile,
+                          const std::string& country) {
+  double fallback = 1.0;
+  bool have_fallback = false;
+  // Exact code match wins, then group matches, then "*".
+  for (const auto& [key, mult] : profile.country_mult)
+    if (key == country) return mult;
+  for (const auto& [key, mult] : profile.country_mult) {
+    if (key == "*") {
+      fallback = mult;
+      have_fallback = true;
+      continue;
+    }
+    if (key != country && in_country_group(country, key)) return mult;
+  }
+  return have_fallback ? fallback : 1.0;
+}
+
+const std::vector<std::string>& ssh_version_lineage(const std::string& os) {
+  static const std::vector<std::string> kUbuntu = {
+      "OpenSSH_8.9p1 Ubuntu-3ubuntu0.1",  "OpenSSH_8.9p1 Ubuntu-3ubuntu0.3",
+      "OpenSSH_8.9p1 Ubuntu-3ubuntu0.4",  "OpenSSH_8.9p1 Ubuntu-3ubuntu0.6",
+      "OpenSSH_8.9p1 Ubuntu-3ubuntu0.7",  "OpenSSH_8.9p1 Ubuntu-3ubuntu0.10",
+  };
+  static const std::vector<std::string> kDebian = {
+      "OpenSSH_9.2p1 Debian-2",
+      "OpenSSH_9.2p1 Debian-2+deb12u1",
+      "OpenSSH_9.2p1 Debian-2+deb12u2",
+      "OpenSSH_9.2p1 Debian-2+deb12u3",
+  };
+  static const std::vector<std::string> kRaspbian = {
+      "OpenSSH_9.2p1 Raspbian-2",
+      "OpenSSH_9.2p1 Raspbian-2+deb12u1",
+      "OpenSSH_9.2p1 Raspbian-2+deb12u2",
+      "OpenSSH_9.2p1 Raspbian-2+deb12u3",
+  };
+  static const std::vector<std::string> kFreeBsd = {
+      "OpenSSH_9.6 FreeBSD-20240104",
+  };
+  static const std::vector<std::string> kOther = {
+      "dropbear_2020.81", "dropbear_2022.83", "OpenSSH_9.7", "OpenSSH_8.4",
+      "ROSSSH",
+  };
+  if (os == "Ubuntu") return kUbuntu;
+  if (os == "Debian") return kDebian;
+  if (os == "Raspbian") return kRaspbian;
+  if (os == "FreeBSD") return kFreeBsd;
+  return kOther;
+}
+
+std::string ssh_banner(const std::string& os, std::size_t version_index) {
+  const auto& lineage = ssh_version_lineage(os);
+  if (lineage.empty()) throw std::logic_error("empty SSH lineage");
+  if (version_index >= lineage.size()) version_index = lineage.size() - 1;
+  return "SSH-2.0-" + lineage[version_index];
+}
+
+namespace {
+
+// AVM OUIs from the builtin registry (oui_db.cpp).
+const std::vector<std::uint32_t> kAvmOuis = {0x001A4F, 0xC80E14, 0x3CA62F};
+const std::vector<std::uint32_t> kAvmGmbhOuis = {0xE0286D, 0x443708};
+// Consumer-electronics OUIs for IoT gadgets, weighted by listing order
+// (Table 4 mid-field vendors).
+const std::vector<std::uint32_t> kGadgetOuis = {
+    0x74DA88, 0x0C47C9, 0xF0D2F1,  // Amazon
+    0x8CF5A3, 0xE8508B,            // Samsung
+    0x000E58, 0x48A6B8,            // Sonos
+    0xA89675,                      // vivo
+    0x503237,                      // Ogemray
+    0x98D371,                      // China Dragon
+    0x1C77F6,                      // OPPO
+    0x84E0F4,                      // iComm
+    0xB0989F, 0x903A72,            // Haier
+    0xD8325A,                      // Gaoshengda
+    0x48D875,                      // Fiberhome
+    0xC83A35,                      // Tenda
+    0x64B473,                      // Xiaomi
+    0x18C3F4,                      // Earda
+    0xF4B8A7,                      // Shiyuan
+    0x88DE7C,                      // Cultraview
+};
+const std::vector<std::uint32_t> kRaspberryOuis = {0xB827EB, 0xDCA632};
+const std::vector<std::uint32_t> kCiscoOuis = {0x5C5AC7};
+const std::vector<std::uint32_t> kDlinkOuis = {0xBC223A, 0x1C7EE5};
+const std::vector<std::uint32_t> kCpeOuis = {0x50C7BF, 0xC025E9, 0x001B2F,
+                                             0x9C3DCF, 0x001DAA, 0x48D875};
+
+std::vector<DeviceProfile> build_catalogue() {
+  std::vector<DeviceProfile> v;
+
+  // ------------------------------------------------------------ FRITZ! family
+  // AVM's customer base is overwhelmingly European (Appendix B): the DE
+  // multiplier dominates, with a small worldwide tail.
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kFritzBox;
+    p.model = "FRITZ!Box 7590";
+    p.weight = 4.2;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"DE", 2.5}, {"EU", 1.0}, {"*", 0.002}};
+    p.http = {.enabled = 0.5, .tls = 1.0, .status = 200, .title = "FRITZ!Box",
+              .server_header = "AVM FRITZ!Box",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.95, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.97, .unlisted_oui = 0.0,
+              .ouis = kAvmOuis, .daily_prefix_change = 0.35,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.18, .traceroute = 0.05};  // MyFRITZ names in CT logs
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kFritzRepeater;
+    p.model = "FRITZ!Repeater 6000";
+    p.weight = 0.20;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"DE", 2.5}, {"EU", 1.0}, {"*", 0.001}};
+    p.http = {.enabled = 0.45, .tls = 1.0, .status = 200,
+              .title = "FRITZ!Repeater 6000",
+              .server_header = "AVM FRITZ!Repeater",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.95, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.97, .unlisted_oui = 0.0,
+              .ouis = kAvmGmbhOuis, .daily_prefix_change = 0.35,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kFritzPowerline;
+    p.model = "FRITZ!Powerline 1260";
+    p.weight = 0.02;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"DE", 2.5}, {"EU", 1.0}, {"*", 0.0}};
+    p.http = {.enabled = 0.45, .tls = 1.0, .status = 200,
+              .title = "FRITZ!Powerline 1260",
+              .server_header = "AVM FRITZ!Powerline",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.95, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.97, .unlisted_oui = 0.0,
+              .ouis = kAvmGmbhOuis, .daily_prefix_change = 0.35,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+
+  // ---------------------------------------------------------------- other CPE
+  {
+    // D-LINK gear is numerous in the hitlist (rDNS-discoverable, static
+    // addressing) yet absent from NTP data: firmware uses vendor NTP
+    // servers, not the pool (Table 3: 46 548 vs 0).
+    DeviceProfile p;
+    p.cls = DeviceClass::kDlinkCpe;
+    p.model = "D-LINK DIR-853";
+    p.weight = 0.45;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"IN", 0.15}, {"*", 1.0}};
+    p.http = {.enabled = 0.8, .tls = 1.0, .status = 200, .title = "D-LINK",
+              .server_header = "lighttpd",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.0, .mean_interval_hours = 24};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = kDlinkOuis,
+              .daily_prefix_change = 0.0, .daily_iid_change = 0.0,
+              .extra_addresses = 0};
+    p.disc = {.dns = 0.6, .traceroute = 0.2};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kCiscoWap;
+    p.model = "WAP150 Wireless-AC/N Dual Radio Access Point with PoE";
+    p.weight = 0.005;
+    p.placement = Placement::kEyeball;
+    p.http = {.enabled = 0.9, .tls = 1.0, .status = 200,
+              .title = "WAP150 Wireless-AC/N Dual Radio Access Point with PoE",
+              .server_header = "cisco",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.9, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.95, .unlisted_oui = 0,
+              .ouis = kCiscoOuis, .daily_prefix_change = 0.3,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // NTP-only Chinese/SE-Asian mobile-router web UIs (plain HTTP, so they
+    // show up in the by-network Table 6 but not in the cert-keyed Table 3).
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "UFI\xE9\x85\x8D\xE7\xBD\xAE\xE7\xAE\xA1\xE7\x90\x86-ZHXL_V2.0.0";
+    p.weight = 0.03;
+    p.placement = Placement::kMobile;
+    p.country_mult = {{"IN", 1.6}, {"VN", 1.5}, {"TH", 1.5}, {"*", 0.1}};
+    p.http = {.enabled = 0.9, .tls = 0.0, .status = 200,
+              .title = "UFI\xE9\x85\x8D\xE7\xBD\xAE\xE7\xAE\xA1\xE7\x90\x86-ZHXL_V2.0.0",
+              .server_header = "GoAhead-Webs"};
+    p.ntp = {.uses_pool = 0.95, .mean_interval_hours = 4};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.4, .unlisted_oui = 0.85,
+              .ouis = kCpeOuis, .daily_prefix_change = 0.8,
+              .daily_iid_change = 0.1, .extra_addresses = 0};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "My Modem";
+    p.weight = 0.02;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"BR", 2.0}, {"ZA", 1.5}, {"*", 0.3}};
+    p.http = {.enabled = 0.9, .tls = 0.0, .status = 200, .title = "My Modem",
+              .server_header = "micro_httpd"};
+    p.ntp = {.uses_pool = 0.9, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.5, .unlisted_oui = 0.5,
+              .ouis = kCpeOuis, .daily_prefix_change = 0.7,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // GPON gateways: hitlist-only (rDNS zones), plain HTTP.
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "GPON Home Gateway";
+    p.weight = 0.35;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"IN", 0.5}, {"*", 1.0}};
+    p.http = {.enabled = 0.85, .tls = 0.0, .status = 200,
+              .title = "GPON Home Gateway", .server_header = "Boa/0.94"};
+    p.ntp = {.uses_pool = 0.0, .mean_interval_hours = 24};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.55, .traceroute = 0.3};
+    v.push_back(p);
+  }
+  {
+    // ISP-branded CPE web UI: the firmware image ships one TLS key for the
+    // whole fleet — the Section 6 "most-used key across dozens of ASes".
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "Home";
+    p.weight = 0.06;
+    p.placement = Placement::kEyeball;
+    p.http = {.enabled = 0.85, .tls = 1.0, .status = 200, .title = "Home",
+              .server_header = "mini_httpd",
+              .cert = KeyProvisioning::kVendorShared};
+    p.ntp = {.uses_pool = 0.85, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.3,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.12, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "Ms Portal";
+    p.weight = 0.02;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"ID", 2.0}, {"*", 0.3}};
+    p.http = {.enabled = 0.9, .tls = 0.0, .status = 200, .title = "Ms Portal",
+              .server_header = "nginx"};
+    p.ntp = {.uses_pool = 0.85, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.5,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.07, .traceroute = 0.0};
+    v.push_back(p);
+  }
+
+  // ------------------------------------------------- end-user Linux machines
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kRaspbianHome;
+    p.model = "Raspberry Pi (Raspbian)";
+    p.weight = 0.055;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"EU", 1.6}, {"US", 1.3}, {"IN", 0.10}, {"*", 0.5}};
+    p.ssh = {.enabled = 0.95, .os = "Raspbian", .outdated = 0.82,
+             .key = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.85, .mean_interval_hours = 5};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.9, .unlisted_oui = 0,
+              .ouis = kRaspberryOuis, .daily_prefix_change = 0.3,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.08, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kHomeLinuxServer;
+    p.model = "home Debian box";
+    p.weight = 0.07;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"EU", 1.4}, {"US", 1.2}, {"IN", 0.15}, {"*", 0.6}};
+    p.ssh = {.enabled = 0.9, .os = "Debian", .outdated = 0.75,
+             .key = KeyProvisioning::kUniquePerDevice};
+    p.http = {.enabled = 0.08, .tls = 0.5, .status = 200,
+              .title = "Apache2 Ubuntu Default Page: It works",
+              .server_header = "Apache/2.4.57"};
+    p.ntp = {.uses_pool = 0.9, .mean_interval_hours = 5};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.4,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.10, .traceroute = 0.0};
+    v.push_back(p);
+  }
+
+  // -------------------------------------------- the invisible consumer mass
+  {
+    // Smartphones: privacy addresses regenerated daily; enormous NTP
+    // traffic; no reachable services. They drive the address volume and the
+    // low hit rate (Section 6: 0.42 permille).
+    DeviceProfile p;
+    p.cls = DeviceClass::kSmartphone;
+    p.model = "smartphone";
+    p.weight = 1.1;
+    p.placement = Placement::kMixed;  // cellular + home Wi-Fi
+    p.country_mult = {{"IN", 1.25}, {"*", 1.0}};
+    p.ntp = {.uses_pool = 0.75, .mean_interval_hours = 5};
+    p.addr = {.iid = IidMode::kPrivacyRandom, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.35,
+              .daily_iid_change = 0.95, .extra_addresses = 1};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Wi-Fi consumer electronics with SLAAC EUI-64 addressing: smart TVs,
+    // speakers, set-top boxes. The EUI-64 vendor analysis (Table 4, App. B)
+    // keys on these. Many cheap devices carry unregistered OUIs.
+    DeviceProfile p;
+    p.cls = DeviceClass::kIotGadget;
+    p.model = "Wi-Fi consumer device";
+    p.weight = 0.9;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"IN", 1.3}, {"CN", 1.2}, {"*", 1.0}};
+    p.ntp = {.uses_pool = 0.8, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.4,
+              .unlisted_oui = 0.5, .ouis = kGadgetOuis,
+              .daily_prefix_change = 0.35, .daily_iid_change = 0.25,
+              .extra_addresses = 0};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+
+  // ------------------------------------------------------------ CoAP devices
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kCastDevice;
+    p.model = "cast media device";
+    p.weight = 0.032;
+    p.placement = Placement::kEyeball;
+    p.coap = {.enabled = 0.9, .resources = {"/castDeviceSearch"}};
+    p.ntp = {.uses_pool = 0.9, .mean_interval_hours = 5};
+    p.addr = {.iid = IidMode::kEui64, .vendor_mac = 0.5, .unlisted_oui = 0.4,
+              .ouis = kGadgetOuis, .daily_prefix_change = 0.5,
+              .daily_iid_change = 0.1, .extra_addresses = 0};
+    p.disc = {.dns = 0.0, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Cryptocurrency-backed shared Wi-Fi endpoints (QLC chain).
+    DeviceProfile p;
+    p.cls = DeviceClass::kQlinkWifi;
+    p.model = "qlink Wi-Fi AP";
+    p.weight = 0.022;
+    p.placement = Placement::kEyeball;
+    p.coap = {.enabled = 0.9,
+              .resources = {"/qlink/ping", "/qlink/config", "/qlink/stats"}};
+    p.ntp = {.uses_pool = 0.9, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.01,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.6, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kEfentoSensor;
+    p.model = "Efento sensor gateway";
+    p.weight = 0.0035;
+    p.placement = Placement::kHosting;  // managed deployments
+    p.coap = {.enabled = 0.95, .resources = {"/efento/m", "/efento/c"}};
+    p.ntp = {.uses_pool = 0.06, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.9, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kNanoleaf;
+    p.model = "Nanoleaf panels";
+    p.weight = 0.004;
+    p.placement = Placement::kEyeball;
+    p.coap = {.enabled = 0.95, .resources = {"/nanoleaf/state"}};
+    p.ntp = {.uses_pool = 0.05, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.02,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.85, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Devices answering /.well-known/core with an empty or exotic set.
+    DeviceProfile p;
+    p.cls = DeviceClass::kCoapMisc;
+    p.model = "CoAP misc";
+    p.weight = 0.004;
+    p.placement = Placement::kMixed;
+    p.coap = {.enabled = 0.9, .resources = {}};
+    p.ntp = {.uses_pool = 0.35, .mean_interval_hours = 8};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.1,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.35, .traceroute = 0.0};
+    v.push_back(p);
+  }
+
+  // ------------------------------------------------------------ IoT brokers
+  {
+    // Home-automation MQTT brokers: frequently wide open (Figure 3).
+    DeviceProfile p;
+    p.cls = DeviceClass::kHomeMqttBroker;
+    p.model = "home MQTT broker";
+    p.weight = 0.014;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"EU", 1.3}, {"US", 1.2}, {"IN", 0.3}, {"*", 0.7}};
+    p.mqtt = {.enabled = 0.95, .tls = 0.12, .auth = 0.42,
+              .cert = KeyProvisioning::kSharedPool, .shared_pool_size = 3};
+    p.ntp = {.uses_pool = 0.9, .mean_interval_hours = 5};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.4,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.04, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kCloudMqttBroker;
+    p.model = "cloud MQTT broker";
+    p.weight = 0.17;
+    p.placement = Placement::kHosting;
+    p.mqtt = {.enabled = 0.95, .tls = 0.025, .auth = 0.82,
+              .cert = KeyProvisioning::kSharedPool, .shared_pool_size = 6};
+    p.ntp = {.uses_pool = 0.05, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.8, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kCloudAmqpBroker;
+    p.model = "cloud AMQP broker";
+    p.weight = 0.012;
+    p.placement = Placement::kHosting;
+    p.amqp = {.enabled = 0.95, .tls = 0.035, .auth = 0.93,
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.25, .mean_interval_hours = 10};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.7, .traceroute = 0.0};
+    v.push_back(p);
+  }
+
+  // -------------------------------------------------------- hosting / servers
+  {
+    // Professionally managed Ubuntu fleets: DNS-visible, own time infra,
+    // mostly patched.
+    DeviceProfile p;
+    p.cls = DeviceClass::kUbuntuServer;
+    p.model = "managed Ubuntu server";
+    p.weight = 0.50;
+    p.placement = Placement::kHosting;
+    p.ssh = {.enabled = 0.95, .os = "Ubuntu", .outdated = 0.50,
+             .key = KeyProvisioning::kUniquePerDevice};
+    p.http = {.enabled = 0.45, .tls = 0.65, .status = 200,
+              .title = "Welcome to nginx!", .server_header = "nginx"};
+    p.ntp = {.uses_pool = 0.02, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.9, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Self-managed Ubuntu VPSes: default timesyncd -> pool; patchier.
+    DeviceProfile p;
+    p.cls = DeviceClass::kUbuntuServer;
+    p.model = "self-managed Ubuntu VPS";
+    p.weight = 0.10;
+    p.placement = Placement::kHosting;
+    p.ssh = {.enabled = 0.95, .os = "Ubuntu", .outdated = 0.68,
+             .key = KeyProvisioning::kSharedPool, .shared_pool_size = 512};
+    // Golden-image deployments also clone the web certificate.
+    p.http = {.enabled = 0.35, .tls = 0.5, .status = 200,
+              .title = "Apache2 Ubuntu Default Page: It works",
+              .server_header = "Apache/2.4.52",
+              .cert = KeyProvisioning::kSharedPool, .shared_pool_size = 48};
+    p.ntp = {.uses_pool = 0.55, .mean_interval_hours = 8};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.5, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kDebianServer;
+    p.model = "Debian server";
+    p.weight = 0.24;
+    p.placement = Placement::kHosting;
+    p.ssh = {.enabled = 0.95, .os = "Debian", .outdated = 0.52,
+             .key = KeyProvisioning::kUniquePerDevice};
+    p.http = {.enabled = 0.3, .tls = 0.6, .status = 200,
+              .title = "Nothing Page", .server_header = "nginx"};
+    p.ntp = {.uses_pool = 0.03, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.85, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kFreebsdServer;
+    p.model = "FreeBSD server";
+    p.weight = 0.02;
+    p.placement = Placement::kHosting;
+    p.ssh = {.enabled = 0.95, .os = "FreeBSD", .outdated = 0.4,
+             .key = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.01, .mean_interval_hours = 24};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.9, .traceroute = 0.1};
+    v.push_back(p);
+  }
+  {
+    // Eyeball NAS boxes and appliances with anonymous SSH banners.
+    DeviceProfile p;
+    p.cls = DeviceClass::kSshApplianceOther;
+    p.model = "NAS appliance";
+    p.weight = 0.04;
+    p.placement = Placement::kEyeball;
+    p.ssh = {.enabled = 0.9, .os = "", .outdated = 0.7,
+             .key = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.8, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.3,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.03, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kSshApplianceOther;
+    p.model = "hosted appliance";
+    p.weight = 0.48;
+    p.placement = Placement::kHosting;
+    p.ssh = {.enabled = 0.9, .os = "", .outdated = 0.55,
+             .key = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.02, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.55, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::k3cxServer;
+    p.model = "3CX Webclient";
+    p.weight = 0.035;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 0.95, .tls = 1.0, .status = 200,
+              .title = "3CX Webclient", .server_header = "nginx",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.01, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.85, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::k3cxServer;
+    p.model = "3CX Phone System Management Console";
+    p.weight = 0.030;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 0.95, .tls = 1.0, .status = 200,
+              .title = "3CX Phone System Management Console",
+              .server_header = "nginx",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.02, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.85, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Mass-hosting parking pages, including the Host Europe shape whose
+    // titles embed the scanned IP ("Host Europe GmbH – {ip}").
+    DeviceProfile p;
+    p.cls = DeviceClass::kParkingPage;
+    p.model = "Host Europe GmbH - {ip}";
+    p.weight = 0.09;
+    p.placement = Placement::kHosting;
+    p.country_mult = {{"DE", 4.0}, {"EU", 1.5}, {"*", 0.2}};
+    p.http = {.enabled = 1.0, .tls = 1.0, .status = 200,
+              .title = "Host Europe GmbH - {ip}", .server_header = "Apache",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.0, .mean_interval_hours = 24};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.9, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kParkingPage;
+    p.model = "{ip} was not found";
+    p.weight = 0.10;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 1.0, .tls = 1.0, .status = 200,
+              .title = "{ip} was not found", .server_header = "nginx",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.0, .mean_interval_hours = 24};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.88, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // French ISP gateway web UI (Table 8's "Freebox OS :: Identification"):
+    // hitlist-leaning CPE with static addressing.
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "Freebox OS :: Identification";
+    p.weight = 0.04;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"FR", 20.0}, {"*", 0.0}};
+    p.http = {.enabled = 0.9, .tls = 1.0, .status = 200,
+              .title = "Freebox OS :: Identification",
+              .server_header = "nginx",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.02, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.5, .traceroute = 0.1};
+    v.push_back(p);
+  }
+  {
+    // Prosumer UniFi consoles: pool NTP, some exposed HTTPS.
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "UniFi OS";
+    p.weight = 0.012;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"EU", 1.2}, {"US", 1.5}, {"IN", 0.1}, {"*", 0.5}};
+    p.http = {.enabled = 0.8, .tls = 1.0, .status = 200, .title = "UniFi OS",
+              .server_header = "unifi",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.85, .mean_interval_hours = 6};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.25,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.1, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Hobbyist 3D-printer frontends (Table 8 "OctoPrint Login"):
+    // NTP-leaning home deployments.
+    DeviceProfile p;
+    p.cls = DeviceClass::kGenericCpe;
+    p.model = "OctoPrint Login";
+    p.weight = 0.008;
+    p.placement = Placement::kEyeball;
+    p.country_mult = {{"EU", 1.5}, {"US", 1.3}, {"IN", 0.05}, {"*", 0.4}};
+    p.http = {.enabled = 0.85, .tls = 1.0, .status = 200,
+              .title = "OctoPrint Login", .server_header = "Tornado",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.9, .mean_interval_hours = 5};
+    p.addr = {.iid = IidMode::kDhcpRandomish, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.35,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.05, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Hosting-panel landing pages (Table 8 "FASTPANEL2").
+    DeviceProfile p;
+    p.cls = DeviceClass::kWebHostingServer;
+    p.model = "FASTPANEL2";
+    p.weight = 0.05;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 0.95, .tls = 0.8, .status = 200,
+              .title = "FASTPANEL2", .server_header = "nginx",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.02, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.8, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kWebHostingServer;
+    p.model = "Index of /pub/";
+    p.weight = 0.06;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 0.95, .tls = 0.6, .status = 200,
+              .title = "Index of /pub/", .server_header = "Apache",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.03, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.75, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kWebHostingServer;
+    p.model = "Login - Join";
+    p.weight = 0.05;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 0.95, .tls = 0.7, .status = 200,
+              .title = "Login - Join", .server_header = "nginx",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.08, .mean_interval_hours = 10};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.7, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Generic hosted web servers answering with empty or default pages
+    // (the hitlist's dominant "(no title present)" group).
+    DeviceProfile p;
+    p.cls = DeviceClass::kWebHostingServer;
+    p.model = "hosted web server";
+    p.weight = 0.75;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 0.95, .tls = 0.75, .status = 200, .title = "",
+              .server_header = "nginx",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.012, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowByte, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.85, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    DeviceProfile p;
+    p.cls = DeviceClass::kWebHostingServer;
+    p.model = "misc hosted site";
+    p.weight = 0.55;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 0.95, .tls = 0.7, .status = 200,
+              .title = "Plesk Obsidian 18.0.34", .server_header = "Apache",
+              .cert = KeyProvisioning::kUniquePerDevice};
+    p.ntp = {.uses_pool = 0.015, .mean_interval_hours = 12};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.8, .traceroute = 0.0};
+    v.push_back(p);
+  }
+  {
+    // Real (non-aliased) CDN load balancers with SNI-required TLS.
+    DeviceProfile p;
+    p.cls = DeviceClass::kCdnLoadBalancer;
+    p.model = "CDN load balancer";
+    p.weight = 0.03;
+    p.placement = Placement::kHosting;
+    p.http = {.enabled = 1.0, .tls = 1.0, .status = 200, .title = "",
+              .server_header = "CloudFront", .sni_required = true};
+    p.ntp = {.uses_pool = 0.0, .mean_interval_hours = 24};
+    p.addr = {.iid = IidMode::kStaticLowTwoBytes, .vendor_mac = 0,
+              .unlisted_oui = 0, .ouis = {}, .daily_prefix_change = 0.0,
+              .daily_iid_change = 0.0, .extra_addresses = 0};
+    p.disc = {.dns = 0.95, .traceroute = 0.0};
+    v.push_back(p);
+  }
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<DeviceProfile>& device_catalogue() {
+  static const std::vector<DeviceProfile> kCatalogue = build_catalogue();
+  return kCatalogue;
+}
+
+}  // namespace tts::inet

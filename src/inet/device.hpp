@@ -1,0 +1,172 @@
+// Device model catalogue.
+//
+// Every host in the synthetic Internet is an instance of a DeviceProfile:
+// a bundle of addressing behaviour (SLAAC EUI-64 with a vendor MAC, privacy
+// extensions, static server addressing, dynamic prefixes), NTP conduct
+// (does it poll the pool, how often), exposed services with their security
+// configuration (TLS, auth, patch level, key reuse), and discoverability by
+// hitlist sources. The catalogue is parameterised from the paper's own
+// published distributions, so the scan experiments reproduce the *shape*
+// of Tables 2-4 and Figures 1-3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/oui_db.hpp"
+
+namespace tts::inet {
+
+enum class DeviceClass : std::uint8_t {
+  // Eyeball CPE & consumer devices
+  kFritzBox,
+  kFritzRepeater,
+  kFritzPowerline,
+  kDlinkCpe,
+  kCiscoWap,
+  kGenericCpe,
+  kRaspbianHome,
+  kHomeLinuxServer,
+  kSmartphone,
+  kIotGadget,
+  kCastDevice,
+  kQlinkWifi,
+  kEfentoSensor,
+  kNanoleaf,
+  kCoapMisc,
+  kHomeMqttBroker,
+  // Servers & infrastructure
+  kUbuntuServer,
+  kDebianServer,
+  kFreebsdServer,
+  kSshApplianceOther,
+  k3cxServer,
+  kParkingPage,
+  kWebHostingServer,
+  kCloudMqttBroker,
+  kCloudAmqpBroker,
+  kCdnLoadBalancer,
+};
+
+std::string_view to_string(DeviceClass c);
+
+/// How a device's interface identifier is formed.
+enum class IidMode : std::uint8_t {
+  kEui64,            // SLAAC from the MAC (vendor or locally administered)
+  kPrivacyRandom,    // RFC 4941 temporary addresses
+  kStaticZero,       // ::  (prefix with zero IID — routers/gateways)
+  kStaticLowByte,    // ::1, ::2e — manually numbered servers
+  kStaticLowTwoBytes,// ::1:5 style (last two bytes set)
+  kDhcpRandomish,    // DHCPv6 IA_NA — random-looking but stable
+};
+
+/// How TLS certificates / SSH host keys are provisioned.
+enum class KeyProvisioning : std::uint8_t {
+  kUniquePerDevice,  // individually generated at first boot
+  kVendorShared,     // one key baked into the firmware image (worst case)
+  kSharedPool,       // drawn from a small pool (golden images, containers)
+};
+
+struct HttpService {
+  double enabled = 0;        // P(exposes HTTP/HTTPS at all)
+  double tls = 0;            // P(HTTPS offered | enabled)
+  int status = 200;
+  std::string title;         // "{ip}" is replaced by the scanned address
+  std::string server_header = "httpd";
+  KeyProvisioning cert = KeyProvisioning::kUniquePerDevice;
+  int shared_pool_size = 8;  // for kSharedPool
+  bool sni_required = false; // handshake fails without a hostname (CDN)
+};
+
+struct SshService {
+  double enabled = 0;
+  /// OS token in the version banner: "Ubuntu", "Debian", "Raspbian",
+  /// "FreeBSD", or "" for banners without an OS hint ("other/unknown").
+  std::string os;
+  double outdated = 0;       // P(not running the latest patch level)
+  KeyProvisioning key = KeyProvisioning::kUniquePerDevice;
+  int shared_pool_size = 8;
+};
+
+struct BrokerService {       // MQTT or AMQP
+  double enabled = 0;
+  double tls = 0;            // P(TLS port also offered | enabled)
+  double auth = 0;           // P(access control enforced)
+  KeyProvisioning cert = KeyProvisioning::kUniquePerDevice;
+  int shared_pool_size = 4;
+};
+
+struct CoapService {
+  double enabled = 0;
+  /// Advertised resource paths returned for /.well-known/core.
+  std::vector<std::string> resources;
+};
+
+struct NtpConduct {
+  double uses_pool = 0;        // P(time source is the NTP Pool)
+  double mean_interval_hours = 4.0;  // effective pool re-resolve cadence
+};
+
+struct Addressing {
+  IidMode iid = IidMode::kPrivacyRandom;
+  /// For kEui64: P(vendor-assigned globally unique MAC); otherwise the MAC
+  /// is locally administered (randomised).
+  double vendor_mac = 0;
+  /// Given a vendor MAC: P(the OUI is missing from the IEEE registry).
+  double unlisted_oui = 0;
+  std::vector<std::uint32_t> ouis;  // candidate vendor OUIs
+  double daily_prefix_change = 0;   // ISP prefix rotation probability / day
+  double daily_iid_change = 0;      // privacy/MAC-randomisation per day
+  int extra_addresses = 0;          // concurrent additional addresses
+};
+
+struct Discovery {
+  /// P(device appears in DNS-derived hitlist sources: CT logs, rDNS, zones).
+  double dns = 0;
+  /// P(device appears via traceroute-style discovery — CPE WAN interfaces).
+  double traceroute = 0;
+};
+
+/// Where instances of this profile live.
+enum class Placement : std::uint8_t { kEyeball, kMobile, kHosting, kMixed };
+
+struct DeviceProfile {
+  DeviceClass cls{};
+  std::string model;      // human-readable instance label
+  double weight = 0;      // abundance per country client-weight unit
+  Placement placement = Placement::kEyeball;
+  /// Per-country multipliers (ISO code -> factor); "EU" applies to the
+  /// builtin European country group; unlisted countries use 1.0.
+  std::vector<std::pair<std::string, double>> country_mult;
+
+  HttpService http;
+  SshService ssh;
+  BrokerService mqtt;
+  BrokerService amqp;
+  CoapService coap;
+  NtpConduct ntp;
+  Addressing addr;
+  Discovery disc;
+};
+
+/// The built-in catalogue (see device.cpp for the paper-derived tuning).
+const std::vector<DeviceProfile>& device_catalogue();
+
+/// Country-group membership helper ("EU" covers the European codes used by
+/// the builtin country table).
+bool in_country_group(const std::string& code, const std::string& group);
+
+/// Resolve the catalogue multiplier of `profile` for `country`.
+double country_multiplier(const DeviceProfile& profile,
+                          const std::string& country);
+
+/// SSH version lineage per OS: index 0 is oldest, back() is the latest
+/// patch level. Banners follow the Debian/Ubuntu "OpenSSH_X Debian-N" shape
+/// the paper parses for patch levels.
+const std::vector<std::string>& ssh_version_lineage(const std::string& os);
+
+/// Full SSH identification string for an OS at a lineage index.
+std::string ssh_banner(const std::string& os, std::size_t version_index);
+
+}  // namespace tts::inet

@@ -1,0 +1,338 @@
+#include "inet/population.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "net/oui_db.hpp"
+#include "util/format.hpp"
+
+namespace tts::inet {
+
+namespace {
+
+/// Hosting abundance is not proportional to a country's NTP client volume;
+/// mix a base per hosting AS with a small population term.
+double hosting_units(const CountryParams& c) {
+  return 90.0 * c.hosting_ases + 0.02 * c.client_weight;
+}
+
+net::MacAddress random_vendor_mac(const Addressing& addr, util::Rng& rng,
+                                  bool& listed) {
+  const auto& db = net::OuiDatabase::builtin();
+  std::uint32_t oui;
+  if (!addr.ouis.empty() && !rng.chance(addr.unlisted_oui)) {
+    oui = addr.ouis[rng.below(addr.ouis.size())];
+    listed = true;
+  } else {
+    // Draw an unregistered OUI with the universal/unicast bits clear.
+    do {
+      oui = static_cast<std::uint32_t>(rng.below(1 << 24)) & 0xfcffffu;
+    } while (db.lookup(oui).has_value());
+    listed = false;
+  }
+  std::uint64_t nic = rng.below(1 << 24);
+  return net::MacAddress::from_u64(
+      (static_cast<std::uint64_t>(oui) << 24) | nic);
+}
+
+net::MacAddress random_local_mac(util::Rng& rng) {
+  std::uint64_t v = rng.below(1ULL << 48);
+  auto mac = net::MacAddress::from_u64(v);
+  auto bytes = mac.bytes();
+  bytes[0] = static_cast<std::uint8_t>((bytes[0] | 0x02) & ~0x01);
+  return net::MacAddress::from_bytes(bytes);
+}
+
+}  // namespace
+
+KeyId Population::assign_key(KeyProvisioning mode, const std::string& model,
+                             int pool_size, const char* kind,
+                             util::Rng& rng) {
+  switch (mode) {
+    case KeyProvisioning::kUniquePerDevice:
+      return next_unique_key_++;
+    case KeyProvisioning::kVendorShared:
+      return util::fnv1a(model + ":" + kind) | 0x8000000000000000ULL;
+    case KeyProvisioning::kSharedPool: {
+      std::uint64_t slot = rng.below(static_cast<std::uint64_t>(
+          pool_size > 0 ? pool_size : 1));
+      return util::fnv1a(model + ":" + kind + ":" + std::to_string(slot)) |
+             0x8000000000000000ULL;
+    }
+  }
+  return next_unique_key_++;
+}
+
+std::uint64_t Population::iid_for(Device& device, bool regenerate,
+                                  util::Rng& rng) {
+  const Addressing& a = device.profile->addr;
+  switch (a.iid) {
+    case IidMode::kEui64: {
+      // Vendor MACs are burned in and survive every churn; locally
+      // administered (randomised) MACs re-roll whenever the device
+      // regenerates its identifier. Whether a device carries a vendor MAC
+      // is decided once, at first assignment.
+      if (device.mac == net::MacAddress{}) {
+        if (rng.chance(a.vendor_mac)) {
+          bool listed = false;
+          device.mac = random_vendor_mac(a, rng, listed);
+          device.vendor_mac = true;
+        } else {
+          device.mac = random_local_mac(rng);
+          device.vendor_mac = false;
+        }
+      } else if (regenerate && !device.vendor_mac) {
+        device.mac = random_local_mac(rng);
+      }
+      return net::eui64_iid_from_mac(device.mac);
+    }
+    case IidMode::kPrivacyRandom: {
+      std::uint64_t iid;
+      do {
+        iid = rng.next();
+      } while (net::iid_looks_like_eui64(iid) || iid < 0x10000);
+      return iid;
+    }
+    case IidMode::kStaticZero:
+      return 0;
+    case IidMode::kStaticLowByte:
+      if (device.current_iid != 0 && !regenerate) return device.current_iid;
+      return 1 + rng.below(255);
+    case IidMode::kStaticLowTwoBytes:
+      if (device.current_iid != 0 && !regenerate) return device.current_iid;
+      return 256 + rng.below(65536 - 256);
+    case IidMode::kDhcpRandomish: {
+      if (device.current_iid != 0 && !regenerate) return device.current_iid;
+      std::uint64_t iid;
+      do {
+        iid = rng.next();
+      } while (net::iid_looks_like_eui64(iid) || iid < 0x10000);
+      return iid;
+    }
+  }
+  return rng.next();
+}
+
+net::Ipv6Prefix Population::allocate_delegation(net::AsNumber asn,
+                                                bool eyeball,
+                                                util::Rng& rng) {
+  const AsInfo* as = registry_->find(asn);
+  assert(as && !as->prefixes.empty());
+  std::uint64_t n = next_customer_[asn]++;
+
+  // Spill across the AS's /32s when the first fills (64k /48s each).
+  std::uint64_t per_prefix =
+      65536ULL * static_cast<std::uint64_t>(config_.customers_per_48);
+  std::size_t prefix_idx =
+      static_cast<std::size_t>(n / per_prefix) % as->prefixes.size();
+  std::uint64_t local = n % per_prefix;
+
+  std::uint64_t idx48 =
+      local / static_cast<std::uint64_t>(config_.customers_per_48);
+  std::uint64_t base_hi = as->prefixes[prefix_idx].address().hi64();
+
+  if (eyeball) {
+    // A /56 customer delegation at a random slot inside the /48.
+    std::uint64_t slot56 = rng.below(256);
+    std::uint64_t hi = base_hi | (idx48 << 16) | (slot56 << 8);
+    return net::Ipv6Prefix(net::Ipv6Address::from_halves(hi, 0), 56);
+  }
+  // Hosting: /64s packed two per /56 and ~512 per /48 (rack numbering) —
+  // the density that makes hitlist endpoints collapse under network
+  // aggregation (Table 5).
+  std::uint64_t h48 = n / 512;
+  std::uint64_t slot56 = (n / 2) % 256;
+  std::uint64_t vlan = n % 2;
+  std::uint64_t hi = base_hi | (h48 << 16) | (slot56 << 8) | vlan;
+  return net::Ipv6Prefix(net::Ipv6Address::from_halves(hi, 0), 64);
+}
+
+net::Ipv6Prefix Population::rotate_delegation(net::AsNumber asn, bool eyeball,
+                                              util::Rng& rng) {
+  // ISP prefix rotation recycles delegations from the AS's active pool
+  // instead of burning fresh /48s: a rotating customer lands in a /48 that
+  // other customers already populate. This is what makes NTP-collected
+  // /48s dense (Table 1's median-IPs-per-/48 of 5).
+  std::uint64_t n = next_customer_[asn];
+  if (n == 0) return allocate_delegation(asn, eyeball, rng);
+  std::uint64_t pool =
+      n * static_cast<std::uint64_t>(
+              config_.rotation_pool_spread > 0 ? config_.rotation_pool_spread
+                                               : 1);
+  std::uint64_t local = rng.below(pool);
+  const AsInfo* as = registry_->find(asn);
+  assert(as && !as->prefixes.empty());
+  std::uint64_t per_prefix =
+      65536ULL * static_cast<std::uint64_t>(config_.customers_per_48);
+  std::size_t prefix_idx =
+      static_cast<std::size_t>(local / per_prefix) % as->prefixes.size();
+  std::uint64_t in_prefix = local % per_prefix;
+  std::uint64_t idx48 =
+      in_prefix / static_cast<std::uint64_t>(config_.customers_per_48);
+  std::uint64_t base_hi = as->prefixes[prefix_idx].address().hi64();
+  if (eyeball) {
+    std::uint64_t slot56 = rng.below(256);
+    std::uint64_t hi = base_hi | (idx48 << 16) | (slot56 << 8);
+    return net::Ipv6Prefix(net::Ipv6Address::from_halves(hi, 0), 56);
+  }
+  std::uint64_t hi = base_hi | (idx48 << 16) | (rng.below(256) << 8) |
+                     rng.below(2);
+  return net::Ipv6Prefix(net::Ipv6Address::from_halves(hi, 0), 64);
+}
+
+net::Ipv6Address Population::make_address(Device& device,
+                                          const net::Ipv6Prefix& delegation,
+                                          bool regenerate_iid,
+                                          util::Rng& rng) {
+  std::uint64_t hi = delegation.address().hi64();
+  if (delegation.length() <= 56) {
+    // Device picks (keeps) a /64 inside its /56 — home LAN segment 0.
+    hi |= 0;
+  }
+  device.current_iid = iid_for(device, regenerate_iid, rng);
+  return net::Ipv6Address::from_halves(hi, device.current_iid);
+}
+
+Population Population::generate(const AsRegistry& registry,
+                                const PopulationConfig& config) {
+  Population pop(registry, config);
+  util::Rng root(config.seed);
+  util::Rng count_rng = root.stream("population.counts");
+
+  std::uint32_t next_id = 1;
+
+  for (const auto& profile : device_catalogue()) {
+    // CDN load balancers live in the global content ASes, not per country.
+    if (profile.cls == DeviceClass::kCdnLoadBalancer) {
+      auto content = registry.by_category(AsCategory::kContent);
+      if (content.empty()) continue;
+      double expected = profile.weight * 400.0 * config.device_scale;
+      auto n = static_cast<std::uint64_t>(expected + count_rng.uniform());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        util::Rng dev_rng = root.stream("device").stream(next_id);
+        const AsInfo* as = content[dev_rng.below(content.size())];
+        Device d;
+        d.id = next_id++;
+        d.profile = &profile;
+        d.asn = as->number;
+        d.country = "ZZ";
+        d.delegation = pop.allocate_delegation(as->number, false, dev_rng);
+        pop.instantiate_services(d, dev_rng);
+        d.initial_address = pop.make_address(d, d.delegation, true, dev_rng);
+        pop.devices_.push_back(std::move(d));
+      }
+      continue;
+    }
+
+    for (const auto& country : registry.countries()) {
+      double mult = country_multiplier(profile, country.code);
+      if (mult <= 0) continue;
+
+      auto pick_category = [&](util::Rng& r) {
+        switch (profile.placement) {
+          case Placement::kEyeball: return AsCategory::kCableDslIsp;
+          case Placement::kMobile: return AsCategory::kMobile;
+          case Placement::kHosting: return AsCategory::kHosting;
+          case Placement::kMixed: {
+            double x = r.uniform();
+            if (x < 0.60) return AsCategory::kCableDslIsp;
+            if (x < 0.85) return AsCategory::kMobile;
+            return AsCategory::kHosting;
+          }
+        }
+        return AsCategory::kCableDslIsp;
+      };
+
+      double units = profile.placement == Placement::kHosting
+                         ? hosting_units(country)
+                         : country.client_weight;
+      double expected = profile.weight * mult * units * config.device_scale;
+      auto n = static_cast<std::uint64_t>(expected + count_rng.uniform());
+
+      for (std::uint64_t i = 0; i < n; ++i) {
+        util::Rng dev_rng = root.stream("device").stream(next_id);
+        AsCategory cat = pick_category(dev_rng);
+        auto candidates = registry.in_country(country.code, cat);
+        if (candidates.empty())
+          candidates = registry.in_country(country.code,
+                                           AsCategory::kCableDslIsp);
+        if (candidates.empty()) continue;
+        std::vector<double> weights;
+        weights.reserve(candidates.size());
+        for (const auto* as : candidates) weights.push_back(as->size_weight);
+        const AsInfo* as = candidates[dev_rng.pick_weighted(weights)];
+
+        bool eyeball_numbering = cat != AsCategory::kHosting;
+        Device d;
+        d.id = next_id++;
+        d.profile = &profile;
+        d.asn = as->number;
+        d.country = country.code;
+        d.delegation =
+            pop.allocate_delegation(as->number, eyeball_numbering, dev_rng);
+        pop.instantiate_services(d, dev_rng);
+        d.initial_address = pop.make_address(d, d.delegation, true, dev_rng);
+        pop.devices_.push_back(std::move(d));
+      }
+    }
+  }
+  return pop;
+}
+
+void Population::instantiate_services(Device& d, util::Rng& rng) {
+  const DeviceProfile& p = *d.profile;
+
+  if (rng.chance(p.http.enabled)) {
+    d.http_enabled = true;
+    d.http_status = p.http.status;
+    d.http_title = p.http.title;
+    d.http_server_header = p.http.server_header;
+    d.sni_required = p.http.sni_required;
+    if (rng.chance(p.http.tls)) {
+      d.http_tls = true;
+      d.http_cert = assign_key(p.http.cert, p.model, p.http.shared_pool_size,
+                               "https", rng);
+    }
+  }
+  if (rng.chance(p.ssh.enabled)) {
+    d.ssh_enabled = true;
+    d.ssh_os = p.ssh.os;
+    const auto& lineage = ssh_version_lineage(p.ssh.os);
+    if (rng.chance(p.ssh.outdated) && lineage.size() > 1)
+      d.ssh_version_index = rng.below(lineage.size() - 1);
+    else
+      d.ssh_version_index = lineage.size() - 1;
+    d.ssh_key =
+        assign_key(p.ssh.key, p.model, p.ssh.shared_pool_size, "ssh", rng);
+  }
+  if (rng.chance(p.mqtt.enabled)) {
+    d.mqtt_enabled = true;
+    d.mqtt_auth = rng.chance(p.mqtt.auth);
+    if (rng.chance(p.mqtt.tls)) {
+      d.mqtt_tls = true;
+      d.mqtt_cert = assign_key(p.mqtt.cert, p.model, p.mqtt.shared_pool_size,
+                               "mqtts", rng);
+    }
+  }
+  if (rng.chance(p.amqp.enabled)) {
+    d.amqp_enabled = true;
+    d.amqp_auth = rng.chance(p.amqp.auth);
+    if (rng.chance(p.amqp.tls)) {
+      d.amqp_tls = true;
+      d.amqp_cert = assign_key(p.amqp.cert, p.model, p.amqp.shared_pool_size,
+                               "amqps", rng);
+    }
+  }
+  if (rng.chance(p.coap.enabled)) d.coap_enabled = true;
+
+  d.uses_pool = rng.chance(p.ntp.uses_pool);
+  // Spread poll cadence log-normally around the profile mean.
+  d.ntp_interval_hours =
+      p.ntp.mean_interval_hours * rng.lognormal(0.0, 0.35);
+  d.daily_prefix_change = p.addr.daily_prefix_change;
+  d.daily_iid_change = p.addr.daily_iid_change;
+  d.in_dns_sources = rng.chance(p.disc.dns);
+  d.in_traceroute = rng.chance(p.disc.traceroute);
+}
+
+}  // namespace tts::inet

@@ -1,0 +1,90 @@
+// Runtime side of the synthetic Internet: brings the population online.
+//
+// For every device, the InternetRuntime attaches its current address,
+// binds byte-level protocol servers (HTTP/S, SSH, MQTT/S, AMQP/S, CoAP)
+// matching the device's instantiated configuration, schedules daily
+// address churn (ISP prefix rotation, privacy-IID regeneration), and
+// drives its NTP pool polling. It also operates the fully aliased CDN
+// region that answers HTTP on every address of the hyperscaler prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "inet/population.hpp"
+#include "ntp/pool.hpp"
+#include "proto/tlslite.hpp"
+#include "simnet/network.hpp"
+
+namespace tts::inet {
+
+struct RuntimeConfig {
+  simnet::SimDuration duration = simnet::days(28);
+  /// Certificate validity window relative to the simulation epoch.
+  std::uint32_t cert_lifetime_days = 365;
+  std::uint64_t seed = 0x5eed;
+  /// Fraction of NTP polls suppressed (cuts event volume without changing
+  /// address dynamics; 0 = every scheduled poll is sent).
+  double poll_thinning = 0.0;
+  /// Master switch for address churn (tests that probe devices at their
+  /// initial addresses turn it off).
+  bool enable_churn = true;
+};
+
+/// Builds the TLS certificate a device presents for `key` (deterministic:
+/// same key id -> same certificate, which is what fingerprint dedup needs).
+proto::Certificate make_certificate(KeyId key, const std::string& subject,
+                                    bool self_signed,
+                                    std::uint32_t lifetime_days);
+
+class DeviceRuntime;
+
+class InternetRuntime {
+ public:
+  InternetRuntime(simnet::Network& network, Population& population,
+                  const ntp::NtpPool* pool, RuntimeConfig config = {});
+  ~InternetRuntime();
+
+  InternetRuntime(const InternetRuntime&) = delete;
+  InternetRuntime& operator=(const InternetRuntime&) = delete;
+
+  /// Attach devices, bind services, arm churn + NTP schedules, and start
+  /// the CDN alias responder. Idempotent.
+  void start();
+
+  /// Current primary address of a device (changes under churn).
+  const net::Ipv6Address& address_of(std::uint32_t device_id) const;
+
+  /// All addresses a device has held so far (ground truth for analyses).
+  const std::vector<net::Ipv6Address>& address_history(
+      std::uint32_t device_id) const;
+
+  /// Device owning `addr` now, or nullptr.
+  const Device* device_at(const net::Ipv6Address& addr) const;
+
+  Population& population() { return population_; }
+  simnet::Network& network() { return network_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  std::uint64_t churn_events() const { return churn_events_; }
+  std::uint64_t ntp_polls_sent() const { return ntp_polls_sent_; }
+
+ private:
+  friend class DeviceRuntime;
+
+  simnet::Network& network_;
+  Population& population_;
+  const ntp::NtpPool* pool_;
+  RuntimeConfig config_;
+  util::Rng rng_;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<DeviceRuntime>> devices_;
+  std::unordered_map<net::Ipv6Address, std::uint32_t, net::Ipv6AddressHash>
+      address_owner_;
+  std::uint64_t churn_events_ = 0;
+  std::uint64_t ntp_polls_sent_ = 0;
+};
+
+}  // namespace tts::inet

@@ -1,0 +1,56 @@
+#include "net/address_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tts::net {
+
+std::vector<Ipv6Address> read_address_list(std::istream& in,
+                                           AddressReadStats* stats) {
+  std::vector<Ipv6Address> out;
+  AddressReadStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim whitespace and trailing comments.
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      ++local.skipped;
+      continue;
+    }
+    std::size_t end = line.find_last_not_of(" \t\r");
+    std::string_view token(line.data() + begin, end - begin + 1);
+    if (auto addr = Ipv6Address::parse(token)) {
+      out.push_back(*addr);
+      ++local.parsed;
+    } else {
+      ++local.skipped;
+    }
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+void write_address_list(std::ostream& out,
+                        std::span<const Ipv6Address> addresses) {
+  for (const auto& a : addresses) out << a.to_string() << '\n';
+}
+
+std::vector<Ipv6Address> load_address_file(const std::string& path,
+                                           AddressReadStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_address_list(in, stats);
+}
+
+void save_address_file(const std::string& path,
+                       std::span<const Ipv6Address> addresses) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_address_list(out, addresses);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace tts::net

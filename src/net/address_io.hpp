@@ -1,0 +1,34 @@
+// Address-list I/O: the plain one-address-per-line text format hitlists
+// and collection dumps use ('#' comments tolerated). Enables piping a
+// collection out of one run and into the forensics tooling.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv6.hpp"
+
+namespace tts::net {
+
+struct AddressReadStats {
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;  // comments, blanks, malformed lines
+};
+
+/// Parse addresses from a stream; malformed lines are skipped and counted.
+std::vector<Ipv6Address> read_address_list(std::istream& in,
+                                           AddressReadStats* stats = nullptr);
+
+/// Write one address per line in canonical RFC 5952 form.
+void write_address_list(std::ostream& out,
+                        std::span<const Ipv6Address> addresses);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+std::vector<Ipv6Address> load_address_file(const std::string& path,
+                                           AddressReadStats* stats = nullptr);
+void save_address_file(const std::string& path,
+                       std::span<const Ipv6Address> addresses);
+
+}  // namespace tts::net

@@ -1,0 +1,86 @@
+#include "net/mac.hpp"
+
+#include "util/format.hpp"
+
+namespace tts::net {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, kBytes> bytes{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    int hi = hex_digit(text[pos]);
+    int lo = hex_digit(text[pos + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+    pos += 2;
+    if (i + 1 < kBytes) {
+      if (pos >= text.size() || (text[pos] != ':' && text[pos] != '-'))
+        return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return from_bytes(bytes);
+}
+
+std::string MacAddress::to_string() const {
+  std::string out;
+  out.reserve(17);
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    if (i != 0) out.push_back(':');
+    util::append_hex_byte(out, bytes_[i]);
+  }
+  return out;
+}
+
+std::uint64_t eui64_iid_from_mac(const MacAddress& mac) {
+  const auto& b = mac.bytes();
+  std::array<std::uint8_t, 8> iid = {
+      static_cast<std::uint8_t>(b[0] ^ 0x02),  // flip U/L bit
+      b[1], b[2], 0xff, 0xfe, b[3], b[4], b[5]};
+  std::uint64_t v = 0;
+  for (auto byte : iid) v = (v << 8) | byte;
+  return v;
+}
+
+bool iid_looks_like_eui64(std::uint64_t iid) {
+  return ((iid >> 24) & 0xffff) == 0xfffe;
+}
+
+std::optional<MacAddress> mac_from_eui64_iid(std::uint64_t iid) {
+  if (!iid_looks_like_eui64(iid)) return std::nullopt;
+  std::array<std::uint8_t, MacAddress::kBytes> b = {
+      static_cast<std::uint8_t>(((iid >> 56) & 0xff) ^ 0x02),
+      static_cast<std::uint8_t>((iid >> 48) & 0xff),
+      static_cast<std::uint8_t>((iid >> 40) & 0xff),
+      static_cast<std::uint8_t>((iid >> 16) & 0xff),
+      static_cast<std::uint8_t>((iid >> 8) & 0xff),
+      static_cast<std::uint8_t>(iid & 0xff)};
+  return MacAddress::from_bytes(b);
+}
+
+std::optional<MacAddress> extract_mac(const Ipv6Address& addr) {
+  return mac_from_eui64_iid(addr.iid());
+}
+
+std::string_view to_string(MacEmbedding e) {
+  switch (e) {
+    case MacEmbedding::kNone: return "none";
+    case MacEmbedding::kGlobalListed: return "global, listed OUI";
+    case MacEmbedding::kGlobalUnlisted: return "global, unlisted OUI";
+    case MacEmbedding::kLocal: return "locally administered";
+  }
+  return "?";
+}
+
+}  // namespace tts::net

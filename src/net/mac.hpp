@@ -1,0 +1,115 @@
+// MAC (EUI-48) addresses and the Modified EUI-64 interface-identifier
+// embedding of RFC 4291 Appendix A.
+//
+// The paper's Appendix B recovers MAC addresses from SLAAC-configured IPv6
+// addresses (IIDs containing the ff:fe marker), checks the U/L "unique" bit,
+// and joins OUIs against the IEEE registry to rank device vendors (Table 4).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv6.hpp"
+
+namespace tts::net {
+
+class MacAddress {
+ public:
+  static constexpr std::size_t kBytes = 6;
+
+  constexpr MacAddress() : bytes_{} {}
+
+  static constexpr MacAddress from_bytes(
+      const std::array<std::uint8_t, kBytes>& b) {
+    MacAddress m;
+    m.bytes_ = b;
+    return m;
+  }
+
+  /// Build from a 48-bit integer (big-endian byte order).
+  static constexpr MacAddress from_u64(std::uint64_t v) {
+    MacAddress m;
+    for (std::size_t i = 0; i < kBytes; ++i)
+      m.bytes_[i] = static_cast<std::uint8_t>(v >> (40 - 8 * i));
+    return m;
+  }
+
+  /// Parse "aa:bb:cc:dd:ee:ff" (also accepts '-' separators).
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  constexpr const std::array<std::uint8_t, kBytes>& bytes() const {
+    return bytes_;
+  }
+
+  constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes_) v = (v << 8) | b;
+    return v;
+  }
+
+  /// The 24-bit Organizationally Unique Identifier (first three octets).
+  constexpr std::uint32_t oui() const {
+    return (static_cast<std::uint32_t>(bytes_[0]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[1]) << 8) | bytes_[2];
+  }
+
+  /// U/L bit: true when the address is locally administered (randomised),
+  /// i.e. NOT a globally unique vendor-assigned address.
+  constexpr bool locally_administered() const { return bytes_[0] & 0x02; }
+
+  /// I/G bit: true for multicast.
+  constexpr bool multicast() const { return bytes_[0] & 0x01; }
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, kBytes> bytes_;
+};
+
+/// Modified EUI-64: expand a MAC into a 64-bit IID — insert ff:fe between
+/// the OUI and NIC halves and flip the U/L bit (RFC 4291 Appendix A).
+std::uint64_t eui64_iid_from_mac(const MacAddress& mac);
+
+/// Structural test: does this IID carry the ff:fe EUI-64 marker?
+bool iid_looks_like_eui64(std::uint64_t iid);
+
+/// Inverse of eui64_iid_from_mac. Returns nullopt when the ff:fe marker is
+/// absent. Note: a matching marker does not *prove* SLAAC origin, matching
+/// the caveat in the paper that MAC extraction is heuristic.
+std::optional<MacAddress> mac_from_eui64_iid(std::uint64_t iid);
+
+/// Convenience over a whole address.
+std::optional<MacAddress> extract_mac(const Ipv6Address& addr);
+
+/// Classification of an address's MAC embedding used by Figure 4.
+enum class MacEmbedding {
+  kNone,             // IID has no ff:fe marker
+  kGlobalListed,     // EUI-64, unique bit set, OUI found in IEEE registry
+  kGlobalUnlisted,   // EUI-64, unique bit set, OUI not registered
+  kLocal,            // EUI-64 marker but locally administered MAC
+};
+
+std::string_view to_string(MacEmbedding e);
+
+struct MacAddressHash {
+  std::size_t operator()(const MacAddress& m) const {
+    return std::hash<std::uint64_t>{}(m.to_u64() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace tts::net
+
+template <>
+struct std::hash<tts::net::MacAddress> {
+  std::size_t operator()(const tts::net::MacAddress& m) const {
+    return tts::net::MacAddressHash{}(m);
+  }
+};

@@ -1,0 +1,6 @@
+// PacketWriter/PacketReader are fully inline; this TU exists so the module
+// has a home for future out-of-line additions and to anchor the vtable-free
+// ParseError type in one object file.
+#include "net/packet.hpp"
+
+namespace tts::net {}

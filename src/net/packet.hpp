@@ -1,0 +1,129 @@
+// Bounds-checked, byte-order-explicit packet serialisation.
+//
+// All wire formats in this repo (NTP, MQTT, AMQP, CoAP, the SSH/TLS/HTTP
+// framings) are big-endian on the wire; PacketWriter/PacketReader are the
+// single place where host values meet network byte order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tts::net {
+
+/// Thrown by PacketReader on any out-of-bounds read. Protocol parsers catch
+/// this at their boundary and report a malformed message instead of dying.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class PacketWriter {
+ public:
+  PacketWriter() = default;
+  explicit PacketWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void str(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  /// Length-prefixed string with a 16-bit length (MQTT-style).
+  void str16(std::string_view s) {
+    if (s.size() > 0xffff) throw std::length_error("str16 overflow");
+    u16(static_cast<std::uint16_t>(s.size()));
+    str(s);
+  }
+
+  /// Overwrite a previously written byte (for post-hoc length patching).
+  void patch_u8(std::size_t offset, std::uint8_t v) { buf_.at(offset) = v; }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class PacketReader {
+ public:
+  explicit PacketReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    auto b = bytes(1);
+    return b[0];
+  }
+  std::uint16_t u16() {
+    auto b = bytes(2);
+    return static_cast<std::uint16_t>((static_cast<std::uint16_t>(b[0]) << 8) |
+                                      b[1]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::string str(std::size_t n) {
+    auto b = bytes(n);
+    return std::string(b.begin(), b.end());
+  }
+  /// 16-bit length-prefixed string.
+  std::string str16() { return str(u16()); }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n)
+      throw ParseError("short read: need " + std::to_string(n) + ", have " +
+                       std::to_string(data_.size() - pos_));
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convert a string to a byte vector (payload helper).
+inline std::vector<std::uint8_t> to_bytes(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+inline std::string to_string_payload(std::span<const std::uint8_t> b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace tts::net

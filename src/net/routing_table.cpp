@@ -1,0 +1,79 @@
+#include "net/routing_table.hpp"
+
+#include <algorithm>
+
+namespace tts::net {
+
+namespace {
+// Bit i (0 = most significant) of a 16-byte address.
+inline bool bit_at(const Ipv6Address& a, unsigned i) {
+  return (a.bytes()[i / 8] >> (7 - i % 8)) & 1;
+}
+}  // namespace
+
+struct RoutingTable::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<AsNumber> asn;  // set when a prefix terminates here
+};
+
+RoutingTable::RoutingTable() : root_(std::make_unique<Node>()) {}
+RoutingTable::~RoutingTable() = default;
+RoutingTable::RoutingTable(RoutingTable&&) noexcept = default;
+RoutingTable& RoutingTable::operator=(RoutingTable&&) noexcept = default;
+
+void RoutingTable::announce(const Ipv6Prefix& prefix, AsNumber asn) {
+  Node* node = root_.get();
+  for (unsigned i = 0; i < prefix.length(); ++i) {
+    int b = bit_at(prefix.address(), i) ? 1 : 0;
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->asn) ++size_;
+  node->asn = asn;
+}
+
+std::optional<AsNumber> RoutingTable::lookup(const Ipv6Address& addr) const {
+  const Node* node = root_.get();
+  std::optional<AsNumber> best = node->asn;
+  for (unsigned i = 0; i < 128 && node; ++i) {
+    int b = bit_at(addr, i) ? 1 : 0;
+    node = node->child[b].get();
+    if (node && node->asn) best = node->asn;
+  }
+  return best;
+}
+
+std::vector<std::pair<Ipv6Prefix, AsNumber>> RoutingTable::entries() const {
+  std::vector<std::pair<Ipv6Prefix, AsNumber>> out;
+  out.reserve(size_);
+
+  struct Frame {
+    const Node* node;
+    std::array<std::uint8_t, 16> bits;
+    unsigned depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_.get(), {}, 0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->asn) {
+      out.emplace_back(Ipv6Prefix(Ipv6Address::from_bytes(f.bits), f.depth),
+                       *f.node->asn);
+    }
+    for (int b = 1; b >= 0; --b) {
+      if (!f.node->child[b]) continue;
+      Frame next = f;
+      next.node = f.node->child[b].get();
+      if (b)
+        next.bits[f.depth / 8] |=
+            static_cast<std::uint8_t>(1u << (7 - f.depth % 8));
+      ++next.depth;
+      stack.push_back(next);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tts::net

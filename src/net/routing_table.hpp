@@ -1,0 +1,47 @@
+// Longest-prefix-match routing table: IPv6 prefix -> AS number.
+//
+// The analyses join every address against its origin AS (Table 1 AS counts,
+// Figure 1's Cable/DSL/ISP share, Table 5 per-AS aggregation). A binary trie
+// gives O(128) lookups independent of table size; an exhaustive linear oracle
+// exists in the tests to validate it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv6.hpp"
+
+namespace tts::net {
+
+using AsNumber = std::uint32_t;
+
+class RoutingTable {
+ public:
+  RoutingTable();
+  ~RoutingTable();
+  RoutingTable(RoutingTable&&) noexcept;
+  RoutingTable& operator=(RoutingTable&&) noexcept;
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  /// Insert or replace an announcement. More-specific prefixes win lookups.
+  void announce(const Ipv6Prefix& prefix, AsNumber asn);
+
+  /// Longest-prefix-match; nullopt when no covering prefix exists.
+  std::optional<AsNumber> lookup(const Ipv6Address& addr) const;
+
+  /// All announcements, in insertion-independent (prefix-sorted) order.
+  std::vector<std::pair<Ipv6Prefix, AsNumber>> entries() const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tts::net

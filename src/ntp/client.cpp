@@ -1,0 +1,60 @@
+#include "ntp/client.hpp"
+
+#include <memory>
+
+#include "ntp/ntp_server.hpp"
+
+namespace tts::ntp {
+
+simnet::SimDuration NtpQueryResult::offset() const {
+  simnet::SimTime t1 = from_ntp_time(response.origin_time);
+  simnet::SimTime t2 = from_ntp_time(response.receive_time);
+  simnet::SimTime t3 = from_ntp_time(response.transmit_time);
+  simnet::SimTime t4 = received_at;
+  return ((t2 - t1) + (t3 - t4)) / 2;
+}
+
+simnet::SimDuration NtpQueryResult::delay() const {
+  simnet::SimTime t1 = from_ntp_time(response.origin_time);
+  simnet::SimTime t2 = from_ntp_time(response.receive_time);
+  simnet::SimTime t3 = from_ntp_time(response.transmit_time);
+  simnet::SimTime t4 = received_at;
+  return (t4 - t1) - (t3 - t2);
+}
+
+void NtpClient::query(const net::Ipv6Address& src, std::uint16_t src_port,
+                      const net::Ipv6Address& server, ResultFn on_result,
+                      simnet::SimDuration timeout) {
+  simnet::Endpoint src_ep{src, src_port};
+  simnet::Endpoint dst_ep{server, kNtpPort};
+
+  auto request = NtpPacket::client_request(network_.now());
+  auto done = std::make_shared<bool>(false);
+  auto sent_at = network_.now();
+
+  network_.attach(src);
+  network_.bind_udp(src_ep, [this, src_ep, src, request, done, on_result,
+                             sent_at](const simnet::Datagram& dg) {
+    if (*done) return;
+    auto response = NtpPacket::parse(dg.payload);
+    if (!response || !response->valid_response_to(request)) return;
+    *done = true;
+    network_.unbind_udp(src_ep);
+    network_.detach(src);
+    NtpQueryResult result{*response, sent_at, network_.now()};
+    on_result(result);
+  });
+  ++sent_;
+  network_.send_udp(src_ep, dst_ep, request.serialize());
+
+  network_.events().schedule_in(timeout, [this, src_ep, src, done,
+                                          on_result] {
+    if (*done) return;
+    *done = true;
+    network_.unbind_udp(src_ep);
+    network_.detach(src);
+    on_result(std::nullopt);
+  });
+}
+
+}  // namespace tts::ntp

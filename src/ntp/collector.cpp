@@ -1,0 +1,26 @@
+#include "ntp/collector.hpp"
+
+namespace tts::ntp {
+
+bool AddressCollector::record(const net::Ipv6Address& addr, ServerId server,
+                              simnet::SimTime at) {
+  ++total_requests_;
+  auto [it, inserted] = addresses_.insert(addr);
+  if (!inserted) return false;
+  ++per_server_[server];
+  ++daily_new_[at / simnet::days(1)];
+  CollectedAddress rec{addr, server, at};
+  for (const auto& fn : subscribers_) fn(rec);
+  return true;
+}
+
+std::uint64_t AddressCollector::server_distinct(ServerId server) const {
+  auto it = per_server_.find(server);
+  return it == per_server_.end() ? 0 : it->second;
+}
+
+std::vector<net::Ipv6Address> AddressCollector::snapshot() const {
+  return std::vector<net::Ipv6Address>(addresses_.begin(), addresses_.end());
+}
+
+}  // namespace tts::ntp

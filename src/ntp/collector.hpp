@@ -1,0 +1,66 @@
+// Address collection: the modified pool servers report every client source
+// address here. The collector deduplicates, attributes addresses to the
+// collecting server (Table 7, Figure 4), keeps a per-day timeline, and
+// feeds subscribers in real time — the scan engine subscribes so scans
+// start while collection is still running, exactly as in Section 4.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "simnet/time.hpp"
+#include "util/stats.hpp"
+
+namespace tts::ntp {
+
+/// Identifies one of our pool servers; indexes into the deployment list.
+using ServerId = std::uint32_t;
+
+struct CollectedAddress {
+  net::Ipv6Address addr;
+  ServerId server = 0;
+  simnet::SimTime first_seen = 0;
+};
+
+class AddressCollector {
+ public:
+  /// Subscribers run synchronously on first sight of a new address.
+  using NewAddressFn = std::function<void(const CollectedAddress&)>;
+
+  /// Record a sighting. Returns true if the address was new.
+  bool record(const net::Ipv6Address& addr, ServerId server,
+              simnet::SimTime at);
+
+  void subscribe(NewAddressFn fn) { subscribers_.push_back(std::move(fn)); }
+
+  std::uint64_t total_requests() const { return total_requests_; }
+  std::uint64_t distinct_addresses() const { return addresses_.size(); }
+  std::uint64_t server_distinct(ServerId server) const;
+
+  /// Distinct addresses first seen on each day (day = floor(t / 1 day)).
+  const std::unordered_map<std::int64_t, std::uint64_t>& daily_new() const {
+    return daily_new_;
+  }
+
+  const std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash>&
+  addresses() const {
+    return addresses_;
+  }
+
+  /// Snapshot of all collected addresses (unspecified but stable order).
+  std::vector<net::Ipv6Address> snapshot() const;
+
+ private:
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addresses_;
+  std::unordered_map<ServerId, std::uint64_t> per_server_;
+  std::unordered_map<std::int64_t, std::uint64_t> daily_new_;
+  std::vector<NewAddressFn> subscribers_;
+  std::uint64_t total_requests_ = 0;
+};
+
+}  // namespace tts::ntp

@@ -1,0 +1,55 @@
+#include "ntp/monitor.hpp"
+
+#include <algorithm>
+
+namespace tts::ntp {
+
+PoolMonitor::PoolMonitor(simnet::Network& network, NtpPool& pool,
+                         PoolMonitorConfig config)
+    : network_(network),
+      pool_(pool),
+      config_(std::move(config)),
+      client_(network) {}
+
+void PoolMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  network_.events().schedule_in(config_.check_interval, [this] {
+    run_round();
+  });
+}
+
+void PoolMonitor::run_round() {
+  // Snapshot addresses: servers may be added while queries are in flight.
+  std::vector<net::Ipv6Address> servers;
+  for (const auto& entry : pool_.servers()) servers.push_back(entry.address);
+
+  for (const auto& addr : servers) {
+    ++checks_;
+    std::uint16_t port = next_port_++;
+    if (next_port_ < 20000) next_port_ = 20000;
+    client_.query(
+        config_.vantage, port, addr,
+        [this, addr](std::optional<NtpQueryResult> result) {
+          // Find the current score (servers() order may have changed).
+          int score = 0;
+          for (const auto& entry : pool_.servers())
+            if (entry.address == addr) score = entry.monitor_score;
+          if (result) {
+            score = std::min(config_.max_score, score + config_.on_success);
+          } else {
+            ++misses_;
+            score = std::max(-100, score + config_.on_miss);
+          }
+          pool_.set_monitor_score(addr, score);
+        },
+        simnet::sec(3));
+  }
+
+  if (network_.now() < config_.duration) {
+    network_.events().schedule_in(config_.check_interval,
+                                  [this] { run_round(); });
+  }
+}
+
+}  // namespace tts::ntp

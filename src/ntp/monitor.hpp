@@ -1,0 +1,53 @@
+// NTP Pool monitoring model.
+//
+// The real pool only hands out servers whose monitoring score is above a
+// threshold; unstable servers drop out of rotation (Appendix A.1.1 is
+// built around this: "only stable servers that reliably answer NTP
+// requests are a valuable addition"). The monitor periodically queries
+// every registered server from a vantage address: a miss costs points, a
+// valid response earns some back, capped at the pool's maximum of 20.
+#pragma once
+
+#include <cstdint>
+
+#include "ntp/client.hpp"
+#include "ntp/pool.hpp"
+#include "simnet/network.hpp"
+
+namespace tts::ntp {
+
+struct PoolMonitorConfig {
+  net::Ipv6Address vantage;              // monitoring station address
+  simnet::SimDuration check_interval = simnet::minutes(15);
+  simnet::SimDuration duration = simnet::days(28);
+  int max_score = 20;
+  /// Score change per outcome (the real pool: roughly -5 per miss, +1 per
+  /// valid response).
+  int on_miss = -5;
+  int on_success = 1;
+};
+
+class PoolMonitor {
+ public:
+  PoolMonitor(simnet::Network& network, NtpPool& pool,
+              PoolMonitorConfig config);
+
+  void start();
+
+  std::uint64_t checks_run() const { return checks_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  void run_round();
+
+  simnet::Network& network_;
+  NtpPool& pool_;
+  PoolMonitorConfig config_;
+  NtpClient client_;
+  std::uint16_t next_port_ = 20000;
+  std::uint64_t checks_ = 0;
+  std::uint64_t misses_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace tts::ntp

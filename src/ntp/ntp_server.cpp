@@ -1,0 +1,41 @@
+#include "ntp/ntp_server.hpp"
+
+namespace tts::ntp {
+
+NtpServer::NtpServer(simnet::Network& network, NtpServerConfig config,
+                     AddressCollector* collector)
+    : network_(network), config_(std::move(config)), collector_(collector) {
+  network_.attach(config_.address);
+  network_.bind_udp({config_.address, kNtpPort},
+                    [this](const simnet::Datagram& dg) { on_datagram(dg); });
+}
+
+NtpServer::~NtpServer() {
+  network_.unbind_udp({config_.address, kNtpPort});
+  network_.detach(config_.address);
+}
+
+void NtpServer::on_datagram(const simnet::Datagram& dg) {
+  auto request = NtpPacket::parse(dg.payload);
+  if (!request || (request->mode != NtpMode::kClient &&
+                   // ntpd also answers symmetric-active probes; the pool
+                   // sees mostly mode 3, but don't drop mode 1 on the floor.
+                   request->mode != NtpMode::kSymmetricActive)) {
+    ++malformed_;
+    return;
+  }
+
+  simnet::SimTime now = network_.now();
+  if (collector_ && config_.capture)
+    collector_->record(dg.src.addr, config_.id, now);
+
+  // Reference ID: for stratum-2 servers this is the upstream IPv4-style id;
+  // derive a stable one from the server id.
+  std::uint32_t refid = 0x7f000001u + config_.id;
+  NtpPacket response = NtpPacket::server_response(
+      *request, now, now, config_.stratum, refid);
+  ++served_;
+  network_.send_udp(dg.dst, dg.src, response.serialize());
+}
+
+}  // namespace tts::ntp

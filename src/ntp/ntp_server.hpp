@@ -1,0 +1,56 @@
+// A pool NTP server modified to capture client addresses (Section 3.1).
+//
+// The server binds UDP port 123 on its address, answers every well-formed
+// mode-3 request with a mode-4 response, and reports the client source
+// address to the AddressCollector. Malformed datagrams are dropped and
+// counted, mirroring a hardened production server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv6.hpp"
+#include "ntp/collector.hpp"
+#include "ntp/ntp_packet.hpp"
+#include "simnet/network.hpp"
+
+namespace tts::ntp {
+
+inline constexpr std::uint16_t kNtpPort = 123;
+
+struct NtpServerConfig {
+  net::Ipv6Address address;
+  std::string country;       // ISO code, e.g. "IN" — the pool zone
+  ServerId id = 0;
+  std::uint8_t stratum = 2;
+  /// Whether client addresses are captured (our 11 servers: yes;
+  /// third-party pool servers: no).
+  bool capture = true;
+};
+
+class NtpServer {
+ public:
+  NtpServer(simnet::Network& network, NtpServerConfig config,
+            AddressCollector* collector);
+  ~NtpServer();
+
+  NtpServer(const NtpServer&) = delete;
+  NtpServer& operator=(const NtpServer&) = delete;
+
+  const NtpServerConfig& config() const { return config_; }
+  const net::Ipv6Address& address() const { return config_.address; }
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t malformed_dropped() const { return malformed_; }
+
+ private:
+  void on_datagram(const simnet::Datagram& dg);
+
+  simnet::Network& network_;
+  NtpServerConfig config_;
+  AddressCollector* collector_;  // may be null for third-party servers
+  std::uint64_t served_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace tts::ntp

@@ -1,0 +1,81 @@
+// NTP Pool model: country zones, operator-configurable netspeed weights,
+// monitor scores, and the GeoDNS-style client mapping (after Moura et al.,
+// "Deep Dive into NTP Pool's Popularity and Mapping").
+//
+// Clients resolve the pool from their country zone; the zone falls back to
+// the global zone when empty. Within a zone, selection is netspeed-weighted
+// among servers whose monitor score is above the rotation threshold. Our 11
+// capture servers join zones alongside third-party background servers, so —
+// as in Section 3.1 — the share of client traffic our servers see is
+// controlled by raising their netspeed relative to the zone's total.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "ntp/collector.hpp"
+#include "util/rng.hpp"
+
+namespace tts::ntp {
+
+struct PoolEntry {
+  net::Ipv6Address address;
+  std::string country;     // ISO code zone, e.g. "IN"
+  double netspeed = 1000;  // relative selection weight (pool "netspeed")
+  int monitor_score = 20;  // -100..20; below threshold → out of rotation
+  bool ours = false;       // one of the 11 capture servers
+  ServerId id = 0;         // meaningful when ours
+};
+
+class NtpPool {
+ public:
+  /// Servers with a monitor score below this are not handed to clients
+  /// (the pool uses 10).
+  static constexpr int kRotationThreshold = 10;
+
+  void add_server(PoolEntry entry);
+  /// Stop advertising a server (it stays resolvable until removed by the
+  /// zone rebuild; we model withdrawal as immediate de-rotation).
+  void withdraw(const net::Ipv6Address& address);
+  void set_netspeed(const net::Ipv6Address& address, double netspeed);
+  void set_monitor_score(const net::Ipv6Address& address, int score);
+
+  /// GeoDNS resolution for a client in `country`, following the pool's
+  /// zone hierarchy: country zone, else continent zone, else the global
+  /// zone (Moura et al.'s mapping), else nullopt.
+  std::optional<net::Ipv6Address> resolve(const std::string& country,
+                                          util::Rng& rng) const;
+
+  /// Expected fraction of `country` zone traffic landing on our servers —
+  /// the quantity the paper tunes via netspeed (Section 3.1).
+  double our_zone_share(const std::string& country) const;
+
+  /// All servers (both ours and background).
+  const std::vector<PoolEntry>& servers() const { return servers_; }
+  std::vector<PoolEntry> our_servers() const;
+
+  /// True when the zone has at least one rotation-eligible server.
+  bool zone_populated(const std::string& country) const;
+
+ private:
+  const PoolEntry* pick_from(const std::vector<std::size_t>& zone,
+                             util::Rng& rng) const;
+  std::vector<std::size_t> eligible_in_zone(const std::string& country) const;
+
+  std::vector<PoolEntry> servers_;
+  std::unordered_map<std::string, std::vector<std::size_t>> zones_;
+};
+
+/// The 11 deployment countries of Section 3.1 in the paper's order of
+/// listing (Australia .. United States).
+const std::vector<std::string>& deployment_countries();
+
+/// Continent zone of an ISO country code ("europe", "asia", "north-america",
+/// "south-america", "africa", "oceania"); unknown codes map to "global".
+std::string_view continent_of(const std::string& country);
+
+}  // namespace tts::ntp

@@ -1,0 +1,60 @@
+#include "proto/amqp.hpp"
+
+#include "net/packet.hpp"
+
+namespace tts::proto {
+
+std::vector<std::uint8_t> amqp_protocol_header() {
+  return {'A', 'M', 'Q', 'P', 0, 0, 9, 1};
+}
+
+bool is_amqp_protocol_header(std::span<const std::uint8_t> wire) {
+  static const auto kHeader = amqp_protocol_header();
+  if (wire.size() < kHeader.size()) return false;
+  for (std::size_t i = 0; i < kHeader.size(); ++i)
+    if (wire[i] != kHeader[i]) return false;
+  return true;
+}
+
+std::vector<std::uint8_t> AmqpFrame::serialize() const {
+  // AMQP frame: type(1)=method, channel u16, size u32, payload, 0xCE end.
+  net::PacketWriter payload;
+  payload.u16(10);  // class-id: connection
+  payload.u16(static_cast<std::uint16_t>(method));
+  payload.u16(close_code);
+  payload.str16(text);
+
+  net::PacketWriter w;
+  w.u8(1);   // frame type: method
+  w.u16(0);  // channel 0
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload.data());
+  w.u8(0xCE);  // frame-end
+  return w.take();
+}
+
+std::optional<AmqpFrame> AmqpFrame::parse(
+    std::span<const std::uint8_t> wire) {
+  try {
+    net::PacketReader r(wire);
+    if (r.u8() != 1) return std::nullopt;
+    if (r.u16() != 0) return std::nullopt;
+    std::uint32_t size = r.u32();
+    auto payload = r.bytes(size);
+    if (r.u8() != 0xCE) return std::nullopt;
+    net::PacketReader pr(payload);
+    if (pr.u16() != 10) return std::nullopt;
+    std::uint16_t method = pr.u16();
+    if (method != 10 && method != 11 && method != 30 && method != 50)
+      return std::nullopt;
+    AmqpFrame f;
+    f.method = static_cast<AmqpMethod>(method);
+    f.close_code = pr.u16();
+    f.text = pr.str16();
+    return f;
+  } catch (const net::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace tts::proto

@@ -1,0 +1,36 @@
+// AMQP 0-9-1 connection-opening subset: the protocol header handshake plus
+// simplified Connection.Start / Start-Ok / Tune / Close frames — enough for
+// an access-control probe (does the broker accept the default guest
+// credentials, as an unsecured RabbitMQ does?).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tts::proto {
+
+/// "AMQP" 0 0 9 1
+std::vector<std::uint8_t> amqp_protocol_header();
+bool is_amqp_protocol_header(std::span<const std::uint8_t> wire);
+
+enum class AmqpMethod : std::uint16_t {
+  kStart = 10,    // connection.start (server -> client)
+  kStartOk = 11,  // connection.start-ok (credentials)
+  kTune = 30,     // connection.tune (server accepted)
+  kClose = 50,    // connection.close (e.g. 403 ACCESS_REFUSED)
+};
+
+struct AmqpFrame {
+  AmqpMethod method = AmqpMethod::kStart;
+  // kStart: server product string; kStartOk: "PLAIN u p"; kClose: reason.
+  std::string text;
+  std::uint16_t close_code = 0;  // kClose only (403 = access refused)
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<AmqpFrame> parse(std::span<const std::uint8_t> wire);
+};
+
+}  // namespace tts::proto

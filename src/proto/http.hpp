@@ -1,0 +1,41 @@
+// Minimal HTTP/1.1 request/response codec — enough for a zgrab2-style
+// banner grab: request line, Host header, status line, Server header, and
+// an HTML body whose <title> the analysis extracts (Section 4.3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tts::proto {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string host;        // Host header (empty = omitted)
+  std::string user_agent = "Mozilla/5.0 (research scan)";
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<HttpRequest> parse(std::span<const std::uint8_t> wire);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string server;      // Server header
+  std::string body;        // HTML
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<HttpResponse> parse(
+      std::span<const std::uint8_t> wire);
+};
+
+/// Build a tiny HTML page with the given <title>. An empty title produces a
+/// page without a <title> element (the "(no title present)" group).
+std::string html_page(const std::string& title);
+
+/// Extract the <title> text from an HTML body; nullopt when absent.
+std::optional<std::string> extract_title(const std::string& html);
+
+}  // namespace tts::proto

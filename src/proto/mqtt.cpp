@@ -1,0 +1,87 @@
+#include "proto/mqtt.hpp"
+
+#include "net/packet.hpp"
+
+namespace tts::proto {
+
+void mqtt_write_varint(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  do {
+    std::uint8_t byte = value % 128;
+    value /= 128;
+    if (value > 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (value > 0);
+}
+
+std::optional<std::pair<std::uint32_t, std::size_t>> mqtt_read_varint(
+    std::span<const std::uint8_t> wire) {
+  std::uint32_t value = 0;
+  std::uint32_t multiplier = 1;
+  for (std::size_t i = 0; i < wire.size() && i < 4; ++i) {
+    value += (wire[i] & 0x7f) * multiplier;
+    if ((wire[i] & 0x80) == 0) return std::make_pair(value, i + 1);
+    multiplier *= 128;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> MqttConnect::serialize() const {
+  net::PacketWriter var;
+  var.str16("MQTT");
+  var.u8(4);  // protocol level 3.1.1
+  std::uint8_t flags = 0x02;  // clean session
+  if (!username.empty()) flags |= 0x80;
+  if (!password.empty()) flags |= 0x40;
+  var.u8(flags);
+  var.u16(keep_alive);
+  var.str16(client_id);
+  if (!username.empty()) var.str16(username);
+  if (!password.empty()) var.str16(password);
+
+  std::vector<std::uint8_t> out;
+  out.push_back(0x10);  // CONNECT
+  mqtt_write_varint(out, static_cast<std::uint32_t>(var.size()));
+  out.insert(out.end(), var.data().begin(), var.data().end());
+  return out;
+}
+
+std::optional<MqttConnect> MqttConnect::parse(
+    std::span<const std::uint8_t> wire) {
+  try {
+    if (wire.empty() || wire[0] != 0x10) return std::nullopt;
+    auto len = mqtt_read_varint(wire.subspan(1));
+    if (!len) return std::nullopt;
+    auto body = wire.subspan(1 + len->second);
+    if (body.size() < len->first) return std::nullopt;
+    net::PacketReader r(body.first(len->first));
+    if (r.str16() != "MQTT") return std::nullopt;
+    if (r.u8() != 4) return std::nullopt;
+    std::uint8_t flags = r.u8();
+    MqttConnect c;
+    c.keep_alive = r.u16();
+    c.client_id = r.str16();
+    if (flags & 0x80) c.username = r.str16();
+    if (flags & 0x40) c.password = r.str16();
+    return c;
+  } catch (const net::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> MqttConnack::serialize() const {
+  return {0x20, 0x02, static_cast<std::uint8_t>(session_present ? 1 : 0),
+          static_cast<std::uint8_t>(code)};
+}
+
+std::optional<MqttConnack> MqttConnack::parse(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4 || wire[0] != 0x20 || wire[1] != 0x02)
+    return std::nullopt;
+  MqttConnack a;
+  a.session_present = (wire[2] & 0x01) != 0;
+  if (wire[3] > 5) return std::nullopt;
+  a.code = static_cast<MqttConnectReturn>(wire[3]);
+  return a;
+}
+
+}  // namespace tts::proto

@@ -1,0 +1,46 @@
+// MQTT 3.1.1 CONNECT / CONNACK codec (the subset a broker access-control
+// probe needs). Wire format per OASIS MQTT 3.1.1 sections 3.1 and 3.2,
+// including the variable-length "remaining length" encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tts::proto {
+
+enum class MqttConnectReturn : std::uint8_t {
+  kAccepted = 0,
+  kUnacceptableProtocol = 1,
+  kIdentifierRejected = 2,
+  kServerUnavailable = 3,
+  kBadCredentials = 4,
+  kNotAuthorized = 5,
+};
+
+struct MqttConnect {
+  std::string client_id = "tts-scan";
+  std::string username;  // empty = no credentials offered
+  std::string password;
+  std::uint16_t keep_alive = 60;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<MqttConnect> parse(std::span<const std::uint8_t> wire);
+};
+
+struct MqttConnack {
+  bool session_present = false;
+  MqttConnectReturn code = MqttConnectReturn::kAccepted;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<MqttConnack> parse(std::span<const std::uint8_t> wire);
+};
+
+/// Encode/decode the MQTT variable-length integer ("remaining length").
+void mqtt_write_varint(std::vector<std::uint8_t>& out, std::uint32_t value);
+std::optional<std::pair<std::uint32_t, std::size_t>> mqtt_read_varint(
+    std::span<const std::uint8_t> wire);
+
+}  // namespace tts::proto

@@ -1,0 +1,17 @@
+// IANA ports scanned by the study (Section 4.1, Table 2).
+#pragma once
+
+#include <cstdint>
+
+namespace tts::proto {
+
+inline constexpr std::uint16_t kHttpPort = 80;
+inline constexpr std::uint16_t kHttpsPort = 443;
+inline constexpr std::uint16_t kSshPort = 22;
+inline constexpr std::uint16_t kMqttPort = 1883;
+inline constexpr std::uint16_t kMqttsPort = 8883;
+inline constexpr std::uint16_t kAmqpPort = 5672;
+inline constexpr std::uint16_t kAmqpsPort = 5671;
+inline constexpr std::uint16_t kCoapPort = 5683;  // UDP
+
+}  // namespace tts::proto

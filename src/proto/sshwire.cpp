@@ -1,0 +1,69 @@
+#include "proto/sshwire.hpp"
+
+#include "net/packet.hpp"
+
+namespace tts::proto {
+
+namespace {
+constexpr std::uint32_t kKexMagic = 0x5353484B;  // 'SSHK'
+}
+
+std::vector<std::uint8_t> ssh_id_string(const std::string& banner) {
+  std::string line = banner + "\r\n";
+  return std::vector<std::uint8_t>(line.begin(), line.end());
+}
+
+std::optional<std::string> parse_ssh_id(std::span<const std::uint8_t> wire) {
+  std::string text(wire.begin(), wire.end());
+  std::size_t eol = text.find_first_of("\r\n");
+  if (eol != std::string::npos) text.resize(eol);
+  if (text.rfind("SSH-", 0) != 0) return std::nullopt;
+  if (text.size() > 255) return std::nullopt;  // RFC 4253 limit
+  return text;
+}
+
+std::string ssh_software(const std::string& banner) {
+  // banner = "SSH-protoversion-softwareversion SP comments"
+  std::size_t second_dash = banner.find('-', 4);
+  if (banner.rfind("SSH-", 0) != 0 || second_dash == std::string::npos)
+    return {};
+  return banner.substr(second_dash + 1);
+}
+
+std::string ssh_os_from_banner(const std::string& banner) {
+  std::string software = ssh_software(banner);
+  // The OS token is the word after the space (OpenSSH packaging style:
+  // "OpenSSH_9.2p1 Debian-2+deb12u3") — trimmed at the first '-'.
+  std::size_t space = software.find(' ');
+  if (space == std::string::npos) return "";
+  std::string comment = software.substr(space + 1);
+  std::size_t dash = comment.find('-');
+  std::string os = dash == std::string::npos ? comment : comment.substr(0, dash);
+  // Keep only the distributions the paper tabulates; anything else is
+  // "other/unknown" (Table 3's SSH panel).
+  if (os == "Ubuntu" || os == "Debian" || os == "Raspbian" || os == "FreeBSD")
+    return os;
+  return "";
+}
+
+std::vector<std::uint8_t> ssh_kex_reply(std::uint64_t host_key_fingerprint) {
+  net::PacketWriter w(13);
+  w.u32(kKexMagic);
+  w.u8(0);  // key type: ssh-ed25519 stand-in
+  w.u64(host_key_fingerprint);
+  return w.take();
+}
+
+std::optional<std::uint64_t> parse_ssh_kex_reply(
+    std::span<const std::uint8_t> wire) {
+  try {
+    net::PacketReader r(wire);
+    if (r.u32() != kKexMagic) return std::nullopt;
+    r.u8();
+    return r.u64();
+  } catch (const net::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace tts::proto

@@ -1,0 +1,36 @@
+// SSH transport-layer opening (RFC 4253): the identification-string
+// exchange ("SSH-2.0-<software> <comments>") followed by a condensed key
+// exchange that surfaces the server host-key fingerprint. The study's SSH
+// analyses need exactly these two artefacts: the banner (OS extraction,
+// patch level — Section 4.4.1) and the host key (deduplication — Table 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tts::proto {
+
+/// Serialize an identification line with CRLF terminator.
+std::vector<std::uint8_t> ssh_id_string(const std::string& banner);
+
+/// Parse an identification line ("SSH-2.0-..."); strips the terminator.
+std::optional<std::string> parse_ssh_id(std::span<const std::uint8_t> wire);
+
+/// Extract the OS token from a version banner the way the paper does:
+/// "SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3" -> "Debian". Returns "" when no
+/// OS hint is present ("other/unknown").
+std::string ssh_os_from_banner(const std::string& banner);
+
+/// Extract the full software+comment portion after "SSH-2.0-".
+std::string ssh_software(const std::string& banner);
+
+/// Condensed KEX reply carrying the host-key fingerprint:
+///   u32 magic 'SSHK', u8 key type, u64 fingerprint.
+std::vector<std::uint8_t> ssh_kex_reply(std::uint64_t host_key_fingerprint);
+std::optional<std::uint64_t> parse_ssh_kex_reply(
+    std::span<const std::uint8_t> wire);
+
+}  // namespace tts::proto

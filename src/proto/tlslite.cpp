@@ -1,0 +1,102 @@
+#include "proto/tlslite.hpp"
+
+#include "net/packet.hpp"
+
+namespace tts::proto {
+
+namespace {
+
+std::vector<std::uint8_t> wrap_record(std::uint8_t type,
+                                      const std::vector<std::uint8_t>& body) {
+  net::PacketWriter w(body.size() + 3);
+  w.u8(type);
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.bytes(body);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const ClientHello& hello) {
+  net::PacketWriter w;
+  w.u8(0x01);  // handshake type: client_hello
+  w.u16(hello.version);
+  w.str16(hello.sni);
+  return wrap_record(kRecordHandshake, w.data());
+}
+
+std::vector<std::uint8_t> encode(const ServerHello& hello) {
+  net::PacketWriter w;
+  w.u8(0x02);  // handshake type: server_hello
+  w.u16(hello.version);
+  w.u64(hello.cert.fingerprint);
+  w.str16(hello.cert.subject);
+  w.u8(hello.cert.self_signed ? 1 : 0);
+  w.u32(hello.cert.not_before);
+  w.u32(hello.cert.not_after);
+  return wrap_record(kRecordHandshake, w.data());
+}
+
+std::vector<std::uint8_t> encode(const Alert& alert) {
+  net::PacketWriter w;
+  w.u8(alert.level);
+  w.u8(alert.description);
+  return wrap_record(kRecordAlert, w.data());
+}
+
+std::vector<std::uint8_t> encode_app_data(
+    std::span<const std::uint8_t> data) {
+  net::PacketWriter w(data.size() + 3);
+  w.u8(kRecordAppData);
+  w.u16(static_cast<std::uint16_t>(data.size()));
+  w.bytes(data);
+  return w.take();
+}
+
+std::optional<TlsMessage> decode(std::span<const std::uint8_t> wire) {
+  try {
+    net::PacketReader r(wire);
+    std::uint8_t type = r.u8();
+    std::uint16_t len = r.u16();
+    auto body = r.bytes(len);
+    TlsMessage msg;
+    msg.wire_size = 3u + len;
+    net::PacketReader br(body);
+    switch (type) {
+      case kRecordHandshake: {
+        std::uint8_t hs = br.u8();
+        if (hs == 0x01) {
+          msg.kind = TlsMessage::Kind::kClientHello;
+          msg.client_hello.version = br.u16();
+          msg.client_hello.sni = br.str16();
+        } else if (hs == 0x02) {
+          msg.kind = TlsMessage::Kind::kServerHello;
+          msg.server_hello.version = br.u16();
+          msg.server_hello.cert.fingerprint = br.u64();
+          msg.server_hello.cert.subject = br.str16();
+          msg.server_hello.cert.self_signed = br.u8() != 0;
+          msg.server_hello.cert.not_before = br.u32();
+          msg.server_hello.cert.not_after = br.u32();
+        } else {
+          return std::nullopt;
+        }
+        return msg;
+      }
+      case kRecordAlert:
+        msg.kind = TlsMessage::Kind::kAlert;
+        msg.alert.level = br.u8();
+        msg.alert.description = br.u8();
+        return msg;
+      case kRecordAppData:
+        msg.kind = TlsMessage::Kind::kAppData;
+        msg.app_data.assign(body.begin(), body.end());
+        return msg;
+      default:
+        return std::nullopt;
+    }
+  } catch (const net::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace tts::proto

@@ -1,0 +1,81 @@
+// Simplified TLS handshake wire model.
+//
+// The study's analyses consume handshake *outcomes* (did TLS complete, and
+// which certificate was presented), never key material. This codec keeps
+// the TLS 1.3-ish message flow — ClientHello (optionally with SNI) answered
+// by either a ServerHello carrying the certificate or a fatal alert — on a
+// compact record framing:
+//
+//   record := type:u8 length:u16 body
+//   type 0x16 handshake, 0x15 alert, 0x17 application data
+//   ClientHello  := hs_type 0x01, client_version u16, sni str16 (may be "")
+//   ServerHello  := hs_type 0x02, version u16, cert {fingerprint u64,
+//                   subject str16, flags u8, not_before u32, not_after u32}
+//   Alert        := level u8, description u8
+//
+// SNI-dependent failure (the Cloudfront effect of Table 2) is a server
+// policy: without SNI the server answers alert 112 (unrecognized_name).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tts::proto {
+
+inline constexpr std::uint8_t kRecordHandshake = 0x16;
+inline constexpr std::uint8_t kRecordAlert = 0x15;
+inline constexpr std::uint8_t kRecordAppData = 0x17;
+
+inline constexpr std::uint8_t kAlertHandshakeFailure = 40;
+inline constexpr std::uint8_t kAlertUnrecognizedName = 112;
+
+struct Certificate {
+  std::uint64_t fingerprint = 0;  // stands in for the SHA-256 of the DER
+  std::string subject;
+  bool self_signed = false;
+  std::uint32_t not_before = 0;  // unix seconds
+  std::uint32_t not_after = 0;
+
+  bool valid_at(std::uint32_t unix_now) const {
+    return unix_now >= not_before && unix_now <= not_after;
+  }
+};
+
+struct ClientHello {
+  std::uint16_t version = 0x0303;
+  std::string sni;  // empty = no server_name extension
+};
+
+struct ServerHello {
+  std::uint16_t version = 0x0303;
+  Certificate cert;
+};
+
+struct Alert {
+  std::uint8_t level = 2;  // fatal
+  std::uint8_t description = kAlertHandshakeFailure;
+};
+
+std::vector<std::uint8_t> encode(const ClientHello& hello);
+std::vector<std::uint8_t> encode(const ServerHello& hello);
+std::vector<std::uint8_t> encode(const Alert& alert);
+/// Wrap plaintext in an application-data record.
+std::vector<std::uint8_t> encode_app_data(std::span<const std::uint8_t> data);
+
+/// What a peer read from one TLS record.
+struct TlsMessage {
+  enum class Kind { kClientHello, kServerHello, kAlert, kAppData } kind;
+  ClientHello client_hello;    // kClientHello
+  ServerHello server_hello;    // kServerHello
+  Alert alert;                 // kAlert
+  std::vector<std::uint8_t> app_data;  // kAppData
+  std::size_t wire_size = 0;   // bytes consumed
+};
+
+/// Decode the first record in `wire`; nullopt on malformed/incomplete input.
+std::optional<TlsMessage> decode(std::span<const std::uint8_t> wire);
+
+}  // namespace tts::proto

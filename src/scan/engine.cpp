@@ -1,0 +1,112 @@
+#include "scan/engine.hpp"
+
+#include <cmath>
+
+namespace tts::scan {
+
+ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
+                       ScanEngineConfig config)
+    : network_(network),
+      results_(results),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  network_.attach(config_.scanner_address);
+  scanners_.push_back(make_http_scanner(false, config_.sni));
+  scanners_.push_back(make_http_scanner(true, config_.sni));
+  scanners_.push_back(make_ssh_scanner());
+  scanners_.push_back(make_mqtt_scanner(false, config_.sni));
+  scanners_.push_back(make_mqtt_scanner(true, config_.sni));
+  scanners_.push_back(make_amqp_scanner(false, config_.sni));
+  scanners_.push_back(make_amqp_scanner(true, config_.sni));
+  scanners_.push_back(make_coap_scanner());
+}
+
+ScanEngine::~ScanEngine() { network_.detach(config_.scanner_address); }
+
+simnet::SimTime ScanEngine::allocate_slot() {
+  auto gap = static_cast<simnet::SimDuration>(1e6 / config_.max_pps);
+  if (gap < 1) gap = 1;
+  simnet::SimTime now = network_.now();
+  if (next_token_ < now) next_token_ = now;
+  next_token_ += gap;
+  return next_token_;
+}
+
+bool ScanEngine::submit(const net::Ipv6Address& target) {
+  simnet::SimTime now = network_.now();
+  auto it = last_scan_.find(target);
+  if (it != last_scan_.end() && now - it->second < config_.rescan_blackout) {
+    ++skipped_blackout_;
+    return false;
+  }
+  last_scan_[target] = now;
+  ++submitted_;
+
+  // One token per protocol probe, plus the staggered inter-protocol delay
+  // (Appendix A.2.1: 10 s to 10 min between protocols of one target).
+  simnet::SimDuration stagger = 0;
+  for (const auto& scanner : scanners_) {
+    simnet::SimTime at = allocate_slot() + stagger;
+    pending_.push(Pending{at, scanner->protocol(), target});
+    stagger += config_.min_protocol_delay +
+               static_cast<simnet::SimDuration>(rng_.below(
+                   static_cast<std::uint64_t>(config_.max_protocol_delay -
+                                              config_.min_protocol_delay)));
+  }
+  arm_pump();
+  return true;
+}
+
+void ScanEngine::submit_bulk(const std::vector<net::Ipv6Address>& targets) {
+  for (const auto& t : targets) submit(t);
+}
+
+void ScanEngine::arm_pump() {
+  if (pump_armed_ || pending_.empty()) return;
+  pump_armed_ = true;
+  simnet::SimTime next = pending_.top().at;
+  network_.events().schedule_at(next, [this] {
+    pump_armed_ = false;
+    pump();
+  });
+}
+
+void ScanEngine::pump() {
+  // Launch everything due within the next pump window; keeping the window
+  // short bounds the number of in-flight probe closures.
+  simnet::SimTime horizon = network_.now() + kPumpWindow;
+  while (!pending_.empty() && pending_.top().at <= horizon) {
+    Pending p = pending_.top();
+    pending_.pop();
+    launch(p.protocol, p.target, p.at);
+  }
+  arm_pump();
+}
+
+void ScanEngine::launch(Protocol proto, const net::Ipv6Address& target,
+                        simnet::SimTime at) {
+  ProtocolScanner* scanner = nullptr;
+  for (const auto& s : scanners_)
+    if (s->protocol() == proto) scanner = s.get();
+  if (!scanner) return;
+
+  ++probes_launched_;
+  auto src_port =
+      static_cast<std::uint16_t>(1024 + (next_ephemeral_++ % 60000));
+
+  network_.events().schedule_at(
+      at, [this, scanner, proto, target, src_port] {
+        ScanRecord base;
+        base.dataset = config_.dataset;
+        base.protocol = proto;
+        base.target = target;
+        base.at = network_.now();
+        simnet::Endpoint src{config_.scanner_address, src_port};
+        scanner->probe(network_, src, std::move(base), [this](ScanRecord r) {
+          ++probes_completed_;
+          results_.add(std::move(r));
+        });
+      });
+}
+
+}  // namespace tts::scan

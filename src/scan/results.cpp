@@ -1,0 +1,98 @@
+#include "scan/results.hpp"
+
+#include "proto/ports.hpp"
+
+namespace tts::scan {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp: return "HTTP";
+    case Protocol::kHttps: return "HTTPS";
+    case Protocol::kSsh: return "SSH";
+    case Protocol::kMqtt: return "MQTT";
+    case Protocol::kMqtts: return "MQTTS";
+    case Protocol::kAmqp: return "AMQP";
+    case Protocol::kAmqps: return "AMQPS";
+    case Protocol::kCoap: return "CoAP";
+  }
+  return "?";
+}
+
+std::uint16_t port_of(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp: return proto::kHttpPort;
+    case Protocol::kHttps: return proto::kHttpsPort;
+    case Protocol::kSsh: return proto::kSshPort;
+    case Protocol::kMqtt: return proto::kMqttPort;
+    case Protocol::kMqtts: return proto::kMqttsPort;
+    case Protocol::kAmqp: return proto::kAmqpPort;
+    case Protocol::kAmqps: return proto::kAmqpsPort;
+    case Protocol::kCoap: return proto::kCoapPort;
+  }
+  return 0;
+}
+
+bool is_tls(Protocol p) {
+  return p == Protocol::kHttps || p == Protocol::kMqtts ||
+         p == Protocol::kAmqps;
+}
+
+std::string_view to_string(Dataset d) {
+  switch (d) {
+    case Dataset::kNtp: return "Our Data";
+    case Dataset::kHitlist: return "TUM IPv6 Hitlist";
+    case Dataset::kRyeLevin: return "Rye and Levin";
+  }
+  return "?";
+}
+
+std::string_view to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kSuccess: return "success";
+    case Outcome::kRefused: return "refused";
+    case Outcome::kTimeout: return "timeout";
+    case Outcome::kTlsFailed: return "tls-failed";
+    case Outcome::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+void ResultStore::add(ScanRecord record) {
+  ++counts_[static_cast<std::size_t>(record.dataset)]
+           [static_cast<std::size_t>(record.protocol)]
+           [static_cast<std::size_t>(record.outcome)];
+  if (record.outcome == Outcome::kSuccess)
+    records_.push_back(std::move(record));
+}
+
+std::vector<const ScanRecord*> ResultStore::successes(
+    Dataset dataset, Protocol protocol) const {
+  std::vector<const ScanRecord*> out;
+  for (const auto& r : records_)
+    if (r.dataset == dataset && r.protocol == protocol) out.push_back(&r);
+  return out;
+}
+
+std::uint64_t ResultStore::count(Dataset dataset, Protocol protocol,
+                                 Outcome outcome) const {
+  return counts_[static_cast<std::size_t>(dataset)]
+                [static_cast<std::size_t>(protocol)]
+                [static_cast<std::size_t>(outcome)];
+}
+
+std::uint64_t ResultStore::total(Dataset dataset, Protocol protocol) const {
+  std::uint64_t n = 0;
+  for (std::size_t o = 0; o < kOutcomeCount; ++o)
+    n += counts_[static_cast<std::size_t>(dataset)]
+                [static_cast<std::size_t>(protocol)][o];
+  return n;
+}
+
+std::uint64_t ResultStore::total(Dataset dataset) const {
+  std::uint64_t n = 0;
+  for (std::size_t p = 0; p < kProtocolCount; ++p)
+    n += total(dataset, static_cast<Protocol>(p));
+  return n;
+}
+
+}  // namespace tts::scan

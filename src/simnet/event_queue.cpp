@@ -1,0 +1,62 @@
+#include "simnet/event_queue.hpp"
+
+#include <cstdio>
+
+namespace tts::simnet {
+
+std::string format_duration(SimDuration d) {
+  bool neg = d < 0;
+  if (neg) d = -d;
+  std::int64_t total_sec = d / 1000000;
+  std::int64_t days = total_sec / 86400;
+  int h = static_cast<int>(total_sec % 86400 / 3600);
+  int m = static_cast<int>(total_sec % 3600 / 60);
+  int s = static_cast<int>(total_sec % 60);
+  char buf[64];
+  if (days > 0)
+    std::snprintf(buf, sizeof buf, "%s%lldd %02d:%02d:%02d", neg ? "-" : "",
+                  static_cast<long long>(days), h, m, s);
+  else
+    std::snprintf(buf, sizeof buf, "%s%02d:%02d:%02d", neg ? "-" : "", h, m,
+                  s);
+  return buf;
+}
+
+void EventQueue::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) at = now_;
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(SimDuration delay, Callback fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out, so pop
+  // via const_cast-free copy of the small fields and move of the function.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace tts::simnet

@@ -1,0 +1,62 @@
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Determinism contract: events at equal timestamps fire in scheduling order
+// (a monotonic sequence number breaks ties), so runs are reproducible
+// regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace tts::simnet {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (clamped to now if in the past).
+  void schedule_at(SimTime at, Callback fn);
+  /// Schedule `fn` after `delay`.
+  void schedule_in(SimDuration delay, Callback fn);
+
+  /// Run events until the queue drains or `until` is passed; the clock ends
+  /// at the later of its current value and the last executed event (or
+  /// `until` if given and reached). Returns the number of events executed.
+  std::uint64_t run();
+  std::uint64_t run_until(SimTime until);
+
+  /// Execute at most one event; false when the queue is empty.
+  bool step();
+
+  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Total events executed over the queue's lifetime.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tts::simnet

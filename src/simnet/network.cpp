@@ -1,0 +1,216 @@
+#include "simnet/network.hpp"
+
+#include <cassert>
+
+namespace tts::simnet {
+
+// ---------------------------------------------------------------- TcpConnection
+
+TcpConnection::TcpConnection(Network* net, Endpoint client, Endpoint server,
+                             SimDuration latency)
+    : net_(net),
+      client_(std::move(client)),
+      server_(std::move(server)),
+      latency_(latency) {}
+
+void TcpConnection::set_on_data(Side side, DataFn fn) {
+  on_data_[static_cast<int>(side)] = std::move(fn);
+}
+
+void TcpConnection::set_on_close(Side side, CloseFn fn) {
+  on_close_[static_cast<int>(side)] = std::move(fn);
+}
+
+void TcpConnection::send(Side from, std::vector<std::uint8_t> data) {
+  if (!open_) return;
+  int to = 1 - static_cast<int>(from);
+  auto self = shared_from_this();
+  // Data queued before a close is still delivered (TCP flushes the send
+  // buffer before the FIN); the close notification is scheduled after it.
+  net_->events_.schedule_in(
+      latency_, [self, to, data = std::move(data)]() mutable {
+        if (self->on_data_[to]) self->on_data_[to](std::move(data));
+      });
+}
+
+void TcpConnection::close(Side from) {
+  if (!open_) return;
+  open_ = false;
+  int to = 1 - static_cast<int>(from);
+  auto self = shared_from_this();
+  net_->events_.schedule_in(latency_, [self, to] {
+    if (self->on_close_[to]) self->on_close_[to]();
+  });
+}
+
+// --------------------------------------------------------------------- Network
+
+Network::Network(EventQueue& events, NetworkConfig config)
+    : events_(events), config_(config), rng_(config.seed) {}
+
+void Network::attach(const net::Ipv6Address& addr) { ++online_[addr]; }
+
+void Network::detach(const net::Ipv6Address& addr) {
+  auto it = online_.find(addr);
+  if (it == online_.end()) return;
+  if (--it->second > 0) return;
+  online_.erase(it);
+  // Drop every binding on this address.
+  for (auto b = udp_.begin(); b != udp_.end();) {
+    if (b->first.addr == addr)
+      b = udp_.erase(b);
+    else
+      ++b;
+  }
+  for (auto b = tcp_.begin(); b != tcp_.end();) {
+    if (b->first.addr == addr)
+      b = tcp_.erase(b);
+    else
+      ++b;
+  }
+}
+
+bool Network::online(const net::Ipv6Address& addr) const {
+  return online_.contains(addr);
+}
+
+SimDuration Network::base_latency(const net::Ipv6Address& a,
+                                  const net::Ipv6Address& b) const {
+  // Deterministic symmetric function of the unordered pair.
+  std::uint64_t ha = a.hi64() ^ (a.lo64() * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t hb = b.hi64() ^ (b.lo64() * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t mixed = (ha ^ hb) * 0xbf58476d1ce4e5b9ULL;
+  mixed ^= mixed >> 31;
+  SimDuration span = config_.max_latency - config_.min_latency;
+  if (span <= 0) return config_.min_latency;
+  return config_.min_latency +
+         static_cast<SimDuration>(mixed % static_cast<std::uint64_t>(span));
+}
+
+SimDuration Network::sample_latency(const net::Ipv6Address& a,
+                                    const net::Ipv6Address& b) {
+  SimDuration lat = base_latency(a, b);
+  if (config_.jitter > 0)
+    lat += static_cast<SimDuration>(
+        rng_.below(static_cast<std::uint64_t>(config_.jitter)));
+  return lat;
+}
+
+void Network::run_taps(TransportProto proto, const Endpoint& src,
+                       const Endpoint& dst, std::size_t payload_size) {
+  if (taps_.empty()) return;
+  TapEvent ev{events_.now(), proto, src, dst, payload_size};
+  for (const auto& tap : taps_)
+    if (tap.prefix.contains(dst.addr)) tap.fn(ev);
+}
+
+void Network::bind_udp(const Endpoint& ep, UdpHandler handler) {
+  udp_[ep] = std::move(handler);
+}
+
+void Network::unbind_udp(const Endpoint& ep) { udp_.erase(ep); }
+
+void Network::send_udp(const Endpoint& src, const Endpoint& dst,
+                       std::vector<std::uint8_t> payload) {
+  ++udp_sent_;
+  run_taps(TransportProto::kUdp, src, dst, payload.size());
+  if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) return;
+  SimDuration lat = sample_latency(src.addr, dst.addr);
+  events_.schedule_in(lat, [this, src, dst, payload = std::move(payload)] {
+    auto it = udp_.find(dst);
+    if (it == udp_.end()) {
+      // No exact binding: try wildcard prefix bindings (aliased regions).
+      for (const auto& p : prefix_udp_) {
+        if (p.port == dst.port && p.prefix.contains(dst.addr)) {
+          ++udp_delivered_;
+          UdpHandler handler = p.handler;
+          handler(Datagram{src, dst, payload});
+          return;
+        }
+      }
+      return;  // blackholed or refused: UDP stays silent
+    }
+    ++udp_delivered_;
+    // Copy the handler: it may unbind itself while running.
+    UdpHandler handler = it->second;
+    handler(Datagram{src, dst, payload});
+  });
+}
+
+void Network::listen_tcp(const Endpoint& ep, TcpAcceptor acceptor) {
+  tcp_[ep] = std::move(acceptor);
+}
+
+void Network::unlisten_tcp(const Endpoint& ep) { tcp_.erase(ep); }
+
+void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
+                          ConnectResult result, SimDuration connect_timeout) {
+  ++tcp_attempts_;
+  run_taps(TransportProto::kTcp, src, dst, 0);
+
+  SimDuration lat = sample_latency(src.addr, dst.addr);
+  bool host_online = online(dst.addr);
+  auto listener = tcp_.find(dst);
+  bool has_listener = listener != tcp_.end();
+  TcpAcceptor wildcard;
+  if (!has_listener) {
+    for (const auto& p : prefix_tcp_) {
+      if (p.port == dst.port && p.prefix.contains(dst.addr)) {
+        wildcard = p.acceptor;
+        has_listener = true;
+        host_online = true;
+        break;
+      }
+    }
+  }
+
+  if (!host_online) {
+    // Blackhole: the connect attempt times out.
+    events_.schedule_in(connect_timeout,
+                        [result] { result(nullptr, /*refused=*/false); });
+    return;
+  }
+  if (!has_listener) {
+    // RST after one RTT.
+    events_.schedule_in(2 * lat,
+                        [result] { result(nullptr, /*refused=*/true); });
+    return;
+  }
+
+  ++tcp_established_;
+  TcpAcceptor acceptor = wildcard ? wildcard : listener->second;
+  events_.schedule_in(2 * lat, [this, src, dst, lat, result, acceptor] {
+    auto conn = TcpConnectionPtr(new TcpConnection(this, src, dst, lat));
+    // Server learns of the connection first (it must install handlers
+    // before any client data can arrive — data takes >= lat anyway).
+    acceptor(conn);
+    result(conn, false);
+  });
+}
+
+void Network::listen_tcp_prefix(const net::Ipv6Prefix& prefix,
+                                std::uint16_t port, TcpAcceptor acceptor) {
+  prefix_tcp_.push_back(PrefixTcp{prefix, port, std::move(acceptor)});
+}
+
+void Network::bind_udp_prefix(const net::Ipv6Prefix& prefix,
+                              std::uint16_t port, UdpHandler handler) {
+  prefix_udp_.push_back(PrefixUdp{prefix, port, std::move(handler)});
+}
+
+std::uint64_t Network::add_tap(const net::Ipv6Prefix& prefix, TapFn fn) {
+  std::uint64_t id = next_tap_id_++;
+  taps_.push_back(Tap{id, prefix, std::move(fn)});
+  return id;
+}
+
+void Network::remove_tap(std::uint64_t id) {
+  for (auto it = taps_.begin(); it != taps_.end(); ++it) {
+    if (it->id == id) {
+      taps_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace tts::simnet

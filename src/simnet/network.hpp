@@ -1,0 +1,219 @@
+// The simulated IPv6 Internet data plane.
+//
+// Endpoints bind UDP ports or TCP listeners on addresses; senders address
+// datagrams / connections to (address, port). Delivery is scheduled on the
+// shared EventQueue with a deterministic per-pair latency plus jitter, and
+// optional loss. Addresses must be brought online (`attach`) before they
+// accept anything; traffic to offline addresses times out silently, traffic
+// to online addresses without a matching listener is refused (RST/ICMP) —
+// exactly the distinction an Internet scanner observes.
+//
+// Taps: a tap observes every UDP datagram and TCP connection attempt whose
+// destination falls inside a prefix, whether or not anything is bound there.
+// The telescope experiment (Section 5) uses taps as its darknet capture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "simnet/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace tts::simnet {
+
+enum class TransportProto : std::uint8_t { kUdp, kTcp };
+
+struct Endpoint {
+  net::Ipv6Address addr;
+  std::uint16_t port = 0;
+
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const {
+    return net::Ipv6AddressHash{}(e.addr) * 40503 + e.port;
+  }
+};
+
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Observed by taps for both UDP payloads and TCP connection attempts.
+struct TapEvent {
+  SimTime at = 0;
+  TransportProto proto = TransportProto::kUdp;
+  Endpoint src;
+  Endpoint dst;
+  std::size_t payload_size = 0;  // 0 for bare TCP connection attempts
+};
+
+class Network;
+
+/// A bidirectional session-level TCP connection. Both sides hold a shared
+/// handle; sends are delivered to the peer's on_data callback after the
+/// path latency. Closing either side delivers on_close to the peer.
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  using DataFn = std::function<void(std::vector<std::uint8_t>)>;
+  using CloseFn = std::function<void()>;
+
+  /// Which side of the connection the caller is.
+  enum class Side : int { kClient = 0, kServer = 1 };
+
+  void send(Side from, std::vector<std::uint8_t> data);
+  void close(Side from);
+  bool open() const { return open_; }
+
+  void set_on_data(Side side, DataFn fn);
+  void set_on_close(Side side, CloseFn fn);
+
+  const Endpoint& client() const { return client_; }
+  const Endpoint& server() const { return server_; }
+
+ private:
+  friend class Network;
+  TcpConnection(Network* net, Endpoint client, Endpoint server,
+                SimDuration latency);
+
+  Network* net_;
+  Endpoint client_;
+  Endpoint server_;
+  SimDuration latency_;
+  bool open_ = true;
+  DataFn on_data_[2];
+  CloseFn on_close_[2];
+};
+
+using TcpConnectionPtr = std::shared_ptr<TcpConnection>;
+
+struct NetworkConfig {
+  /// Base one-way latency range; the per-pair base is a deterministic
+  /// function of the address pair, jitter is sampled per packet.
+  SimDuration min_latency = msec(5);
+  SimDuration max_latency = msec(150);
+  SimDuration jitter = msec(3);
+  double loss_rate = 0.0;  // applied to UDP datagrams only
+  std::uint64_t seed = 0x7715c4a11ULL;
+};
+
+class Network {
+ public:
+  using UdpHandler = std::function<void(const Datagram&)>;
+  /// Accept callback: receives the established connection (server side).
+  using TcpAcceptor = std::function<void(TcpConnectionPtr)>;
+  /// Connect result: the connection on success, nullptr + `refused` flag.
+  using ConnectResult =
+      std::function<void(TcpConnectionPtr, bool refused)>;
+  using TapFn = std::function<void(const TapEvent&)>;
+
+  Network(EventQueue& events, NetworkConfig config = {});
+
+  EventQueue& events() { return events_; }
+  SimTime now() const { return events_.now(); }
+
+  // -- address lifecycle ----------------------------------------------------
+  /// Bring an address online. Online addresses refuse unmatched traffic;
+  /// offline ones blackhole it.
+  void attach(const net::Ipv6Address& addr);
+  /// Take an address offline and drop all its bindings.
+  void detach(const net::Ipv6Address& addr);
+  bool online(const net::Ipv6Address& addr) const;
+  std::size_t online_count() const { return online_.size(); }
+
+  // -- UDP -------------------------------------------------------------------
+  void bind_udp(const Endpoint& ep, UdpHandler handler);
+  void unbind_udp(const Endpoint& ep);
+  /// Fire-and-forget send; lost/blackholed datagrams vanish.
+  void send_udp(const Endpoint& src, const Endpoint& dst,
+                std::vector<std::uint8_t> payload);
+
+  // -- TCP -------------------------------------------------------------------
+  void listen_tcp(const Endpoint& ep, TcpAcceptor acceptor);
+  void unlisten_tcp(const Endpoint& ep);
+  /// Attempt a connection; result callback fires after one RTT on success
+  /// or refusal. Blackholed attempts fire with (nullptr, refused=false)
+  /// after `connect_timeout`.
+  void connect_tcp(const Endpoint& src, const Endpoint& dst,
+                   ConnectResult result,
+                   SimDuration connect_timeout = sec(5));
+
+  // -- wildcard (aliased-region) listeners ------------------------------------
+  /// Accept TCP to *every* address inside `prefix` on `port`. Models fully
+  /// aliased hyperscaler regions where each address responds (the paper's
+  /// 356 M Cloudfront responses). Exact-endpoint listeners take precedence.
+  void listen_tcp_prefix(const net::Ipv6Prefix& prefix, std::uint16_t port,
+                         TcpAcceptor acceptor);
+  /// UDP counterpart (unused by the CDN model but symmetric).
+  void bind_udp_prefix(const net::Ipv6Prefix& prefix, std::uint16_t port,
+                       UdpHandler handler);
+
+  // -- taps ------------------------------------------------------------------
+  /// Observe all traffic destined into `prefix`. Returns a tap id.
+  std::uint64_t add_tap(const net::Ipv6Prefix& prefix, TapFn fn);
+  void remove_tap(std::uint64_t id);
+
+  // -- introspection ----------------------------------------------------------
+  std::uint64_t udp_sent() const { return udp_sent_; }
+  std::uint64_t udp_delivered() const { return udp_delivered_; }
+  std::uint64_t tcp_attempts() const { return tcp_attempts_; }
+  std::uint64_t tcp_established() const { return tcp_established_; }
+
+  /// One-way latency for a src/dst pair (deterministic base component).
+  SimDuration base_latency(const net::Ipv6Address& a,
+                           const net::Ipv6Address& b) const;
+
+ private:
+  friend class TcpConnection;
+
+  SimDuration sample_latency(const net::Ipv6Address& a,
+                             const net::Ipv6Address& b);
+  void run_taps(TransportProto proto, const Endpoint& src,
+                const Endpoint& dst, std::size_t payload_size);
+
+  EventQueue& events_;
+  NetworkConfig config_;
+  util::Rng rng_;
+
+  std::unordered_map<net::Ipv6Address, std::uint32_t, net::Ipv6AddressHash>
+      online_;  // refcount: a device may attach an address it already owns
+  std::unordered_map<Endpoint, UdpHandler, EndpointHash> udp_;
+  std::unordered_map<Endpoint, TcpAcceptor, EndpointHash> tcp_;
+
+  struct Tap {
+    std::uint64_t id;
+    net::Ipv6Prefix prefix;
+    TapFn fn;
+  };
+  std::vector<Tap> taps_;
+
+  struct PrefixTcp {
+    net::Ipv6Prefix prefix;
+    std::uint16_t port;
+    TcpAcceptor acceptor;
+  };
+  struct PrefixUdp {
+    net::Ipv6Prefix prefix;
+    std::uint16_t port;
+    UdpHandler handler;
+  };
+  std::vector<PrefixTcp> prefix_tcp_;
+  std::vector<PrefixUdp> prefix_udp_;
+  std::uint64_t next_tap_id_ = 1;
+
+  std::uint64_t udp_sent_ = 0;
+  std::uint64_t udp_delivered_ = 0;
+  std::uint64_t tcp_attempts_ = 0;
+  std::uint64_t tcp_established_ = 0;
+};
+
+}  // namespace tts::simnet

@@ -1,0 +1,30 @@
+// Virtual time. The whole study runs in simulated time: four "weeks" of
+// address collection, 10 s - 10 min inter-protocol scan delays, and 3-day
+// rescan blackouts all advance this clock, never the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tts::simnet {
+
+/// Microseconds since the simulation epoch.
+using SimTime = std::int64_t;
+/// A span of microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration usec(std::int64_t n) { return n; }
+constexpr SimDuration msec(std::int64_t n) { return n * 1000; }
+constexpr SimDuration sec(std::int64_t n) { return n * 1000000; }
+constexpr SimDuration minutes(std::int64_t n) { return sec(60 * n); }
+constexpr SimDuration hours(std::int64_t n) { return minutes(60 * n); }
+constexpr SimDuration days(std::int64_t n) { return hours(24 * n); }
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Human-readable duration for logs: "2d 03:14:07".
+std::string format_duration(SimDuration d);
+
+}  // namespace tts::simnet

@@ -1,0 +1,85 @@
+#include "telescope/actors.hpp"
+
+namespace tts::telescope {
+
+std::vector<std::uint16_t> research_actor_ports() {
+  // Well-known service ports first (the paper names FTP, BGP, Postgres),
+  // then registered ports up to a total of 1011.
+  std::vector<std::uint16_t> ports = {
+      21,   22,   23,   25,   53,   80,   110,  111,  123,  143,
+      179,  389,  443,  445,  465,  587,  631,  636,  873,  993,
+      995,  1433, 1521, 2049, 3306, 3389, 5432, 5672, 5900, 6379,
+      8080, 8443, 9200, 11211, 27017,
+  };
+  std::uint16_t next = 1024;
+  while (ports.size() < 1011) ports.push_back(next++);
+  return ports;
+}
+
+std::vector<std::uint16_t> covert_actor_ports() {
+  return {443, 8443, 3388, 3389, 5900, 5901, 6000, 6001, 9200, 27017};
+}
+
+ScanningActor::ScanningActor(simnet::Network& network, ntp::NtpPool& pool,
+                             ActorConfig config)
+    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+  collector_.subscribe(
+      [this](const ntp::CollectedAddress& rec) { on_sighting(rec); });
+
+  ntp::ServerId id = 0;
+  for (const auto& addr : config_.server_addresses) {
+    ntp::NtpServerConfig server_config;
+    server_config.address = addr;
+    server_config.country = config_.server_country;
+    server_config.id = id++;
+    server_config.capture = true;
+    servers_.push_back(std::make_unique<ntp::NtpServer>(
+        network_, server_config, &collector_));
+    pool.add_server(ntp::PoolEntry{addr, config_.server_country,
+                                   config_.server_netspeed, 20,
+                                   /*ours=*/false, 0});
+  }
+  for (const auto& src : config_.scan_sources) network_.attach(src);
+}
+
+bool ScanningActor::owns_scan_source(const net::Ipv6Address& addr) const {
+  for (const auto& src : config_.scan_sources)
+    if (src == addr) return true;
+  return false;
+}
+
+void ScanningActor::on_sighting(const ntp::CollectedAddress& rec) {
+  if (config_.scan_sources.empty() || config_.ports.empty()) return;
+
+  simnet::SimDuration delay =
+      config_.scan_delay_min +
+      static_cast<simnet::SimDuration>(rng_.below(static_cast<std::uint64_t>(
+          config_.scan_delay_max - config_.scan_delay_min + 1)));
+
+  net::Ipv6Address target = rec.addr;
+  for (std::size_t i = 0; i < config_.ports.size(); ++i) {
+    if (config_.port_coverage < 1.0 && !rng_.chance(config_.port_coverage))
+      continue;
+    std::uint16_t port = config_.ports[i];
+    simnet::SimDuration offset =
+        config_.scan_spread > 0
+            ? static_cast<simnet::SimDuration>(
+                  rng_.below(static_cast<std::uint64_t>(config_.scan_spread)))
+            : 0;
+    const net::Ipv6Address& source =
+        config_.scan_sources[rng_.below(config_.scan_sources.size())];
+    network_.events().schedule_in(delay + offset, [this, source, target,
+                                                   port] {
+      ++probes_sent_;
+      network_.connect_tcp(
+          {source, static_cast<std::uint16_t>(20000 + probes_sent_ % 40000)},
+          {target, port},
+          [](simnet::TcpConnectionPtr conn, bool) {
+            if (conn) conn->close(simnet::TcpConnection::Side::kClient);
+          },
+          simnet::sec(3));
+    });
+  }
+}
+
+}  // namespace tts::telescope

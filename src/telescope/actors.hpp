@@ -1,0 +1,76 @@
+// Third-party NTP-sourcing scanners (Section 5.2 ground truth).
+//
+// A ScanningActor operates its own capture-enabled servers in the NTP Pool
+// and port-scans every client address it sees. Two presets reproduce the
+// actors the paper observed: an overt research scanner (Georgia-Tech-like:
+// 1011 ports, scans within the hour, identifies itself) and a covert actor
+// (cloud-hosted servers and scan sources in different providers,
+// security-sensitive ports only, multi-day spread, partial port coverage).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "ntp/collector.hpp"
+#include "ntp/ntp_server.hpp"
+#include "ntp/pool.hpp"
+#include "simnet/network.hpp"
+#include "util/rng.hpp"
+
+namespace tts::telescope {
+
+struct ActorConfig {
+  std::string name;
+  bool identifies_itself = false;  // rDNS / scan-source web page etc.
+  std::vector<net::Ipv6Address> server_addresses;  // pool servers it runs
+  std::string server_country = "US";               // pool zone joined
+  double server_netspeed = 100;                    // modest footprint
+  std::vector<net::Ipv6Address> scan_sources;
+  std::vector<std::uint16_t> ports;
+  /// Scans start between these bounds after the NTP sighting.
+  simnet::SimDuration scan_delay_min = simnet::minutes(5);
+  simnet::SimDuration scan_delay_max = simnet::minutes(55);
+  /// Port probes of one target are spread over this window.
+  simnet::SimDuration scan_spread = simnet::minutes(10);
+  /// Fraction of the port list actually probed per target (<1 = covert
+  /// partial coverage).
+  double port_coverage = 1.0;
+  std::uint64_t seed = 0xac7;
+};
+
+class ScanningActor {
+ public:
+  ScanningActor(simnet::Network& network, ntp::NtpPool& pool,
+                ActorConfig config);
+
+  const ActorConfig& config() const { return config_; }
+  std::uint64_t sightings() const { return collector_.distinct_addresses(); }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+  /// True if `addr` is one of this actor's scan sources (ground-truth
+  /// attribution for validating the classifier).
+  bool owns_scan_source(const net::Ipv6Address& addr) const;
+
+ private:
+  void on_sighting(const ntp::CollectedAddress& rec);
+
+  simnet::Network& network_;
+  ActorConfig config_;
+  util::Rng rng_;
+  ntp::AddressCollector collector_;
+  std::vector<std::unique_ptr<ntp::NtpServer>> servers_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+/// The 1011-port list of the research actor (a realistic well-known +
+/// registered mix: FTP, SSH, BGP, Postgres, ...).
+std::vector<std::uint16_t> research_actor_ports();
+
+/// The covert actor's port set from the paper: HTTPS, remote graphical
+/// access, Elasticsearch, MongoDB.
+std::vector<std::uint16_t> covert_actor_ports();
+
+}  // namespace tts::telescope

@@ -1,0 +1,152 @@
+#include "telescope/classifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace tts::telescope {
+
+std::string_view to_string(ActorClass c) {
+  switch (c) {
+    case ActorClass::kResearch: return "research (overt)";
+    case ActorClass::kCovert: return "covert";
+    case ActorClass::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// Union-find over scan-source indices.
+struct DisjointSet {
+  std::vector<std::size_t> parent;
+  explicit DisjointSet(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+ClassifierReport classify_actors(
+    const PoolProber& prober, const inet::AsRegistry& registry,
+    const std::function<std::string(const net::Ipv6Address&)>& identity_of) {
+  ClassifierReport report;
+  report.total_captures = prober.captures().size();
+
+  // Attribute each capture to its probe record (matched = NTP-sourced).
+  struct Attributed {
+    const CapturedPacket* packet;
+    const ProbeRecord* probe;
+  };
+  std::vector<Attributed> matched;
+  for (const auto& pkt : prober.captures()) {
+    if (!pkt.in_probe_prefix) {
+      ++report.scattering;
+      continue;
+    }
+    const ProbeRecord* probe = prober.probe_for(pkt.target);
+    if (!probe) continue;
+    matched.push_back({&pkt, probe});
+    ++report.matched_captures;
+  }
+  if (matched.empty()) return report;
+
+  // Index scan sources; cluster sources that received leaks from the same
+  // NTP server (one operation runs several scan hosts).
+  std::vector<net::Ipv6Address> sources;
+  std::unordered_map<net::Ipv6Address, std::size_t, net::Ipv6AddressHash>
+      source_index;
+  for (const auto& m : matched) {
+    if (source_index.emplace(m.packet->scanner, sources.size()).second)
+      sources.push_back(m.packet->scanner);
+  }
+  DisjointSet clusters(sources.size());
+  std::unordered_map<net::Ipv6Address, std::size_t, net::Ipv6AddressHash>
+      first_source_for_server;
+  for (const auto& m : matched) {
+    std::size_t src = source_index[m.packet->scanner];
+    auto [it, inserted] =
+        first_source_for_server.emplace(m.probe->server, src);
+    if (!inserted) clusters.unite(src, it->second);
+  }
+
+  // Build per-actor aggregates.
+  struct Working {
+    ObservedActor actor;
+    std::vector<double> delays;
+    std::map<net::Ipv6Address, std::pair<simnet::SimTime, simnet::SimTime>>
+        target_span;
+  };
+  std::unordered_map<std::size_t, Working> actors;
+
+  for (const auto& m : matched) {
+    std::size_t root = clusters.find(source_index[m.packet->scanner]);
+    Working& w = actors[root];
+    w.actor.ntp_servers.insert(m.probe->server);
+    w.actor.ports.insert(m.packet->port);
+    ++w.actor.packets;
+    if (const inet::AsInfo* as = registry.origin(m.packet->scanner))
+      w.actor.source_ases.insert(as->number);
+    w.delays.push_back(
+        static_cast<double>(m.packet->at - m.probe->queried_at));
+    auto [it, inserted] = w.target_span.emplace(
+        m.packet->target, std::make_pair(m.packet->at, m.packet->at));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, m.packet->at);
+      it->second.second = std::max(it->second.second, m.packet->at);
+    }
+  }
+
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    auto it = actors.find(clusters.find(i));
+    if (it != actors.end()) it->second.actor.scan_sources.push_back(sources[i]);
+  }
+
+  for (auto& [root, w] : actors) {
+    ObservedActor& a = w.actor;
+    a.targets = w.target_span.size();
+    a.median_delay =
+        static_cast<simnet::SimDuration>(util::median(w.delays));
+    std::vector<double> spans;
+    spans.reserve(w.target_span.size());
+    for (const auto& [target, span] : w.target_span)
+      spans.push_back(static_cast<double>(span.second - span.first));
+    a.median_target_span =
+        static_cast<simnet::SimDuration>(util::median(std::move(spans)));
+    for (const auto& src : a.scan_sources)
+      if (!identity_of(src).empty()) a.identified = true;
+
+    // Characterisation (Section 5.2): research scanners start within the
+    // hour, sweep many ports quickly, and identify themselves; covert
+    // actors spread few, security-sensitive ports over days from anonymous
+    // cloud hosts.
+    bool fast = a.median_delay <= simnet::hours(2);
+    bool short_burst = a.median_target_span <= simnet::hours(1);
+    bool broad = a.ports.size() >= 100;
+    if (a.identified || (fast && short_burst && broad)) {
+      a.classification = ActorClass::kResearch;
+    } else if (a.median_delay > simnet::hours(6) ||
+               a.median_target_span > simnet::hours(12) ||
+               (!a.identified && a.source_ases.size() >= 1 && !broad)) {
+      a.classification = ActorClass::kCovert;
+    } else {
+      a.classification = ActorClass::kUnknown;
+    }
+    report.actors.push_back(std::move(a));
+  }
+
+  std::sort(report.actors.begin(), report.actors.end(),
+            [](const ObservedActor& x, const ObservedActor& y) {
+              return x.packets > y.packets;
+            });
+  return report;
+}
+
+}  // namespace tts::telescope

@@ -1,0 +1,58 @@
+// Scan-to-query matching and actor characterisation (Section 5.2).
+//
+// Every captured packet aimed at a one-shot probe address is attributed to
+// the NTP server that answered that address's single query. Scan sources
+// are clustered into actors via shared server attribution (two cloud VMs
+// scanning addresses leaked by the same pool servers belong to the same
+// operation), then characterised: ports touched, query-to-scan delay,
+// per-target scan duration, self-identification — yielding the
+// overt-research vs covert-actor distinction the paper draws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "inet/as_registry.hpp"
+#include "telescope/prober.hpp"
+
+namespace tts::telescope {
+
+enum class ActorClass : std::uint8_t {
+  kResearch,   // fast, broad, openly identified
+  kCovert,     // slow, partial coverage, anonymous cloud infrastructure
+  kUnknown,
+};
+
+std::string_view to_string(ActorClass c);
+
+struct ObservedActor {
+  std::vector<net::Ipv6Address> scan_sources;
+  std::set<net::Ipv6Address> ntp_servers;   // servers leaking to this actor
+  std::set<std::uint16_t> ports;
+  std::set<net::AsNumber> source_ases;
+  std::uint64_t packets = 0;
+  std::uint64_t targets = 0;
+  simnet::SimDuration median_delay = 0;     // NTP query -> first scan packet
+  simnet::SimDuration median_target_span = 0;  // first -> last packet/target
+  bool identified = false;                  // rDNS/web-page identification
+  ActorClass classification = ActorClass::kUnknown;
+};
+
+struct ClassifierReport {
+  std::vector<ObservedActor> actors;
+  std::uint64_t total_captures = 0;
+  std::uint64_t matched_captures = 0;   // attributed to an NTP query
+  std::uint64_t scattering = 0;         // hits outside the probe prefix
+};
+
+/// `identity_of` models the out-of-band identification check (reverse DNS,
+/// hosted explanation pages): returns a non-empty identity string when the
+/// scan source identifies itself.
+ClassifierReport classify_actors(
+    const PoolProber& prober, const inet::AsRegistry& registry,
+    const std::function<std::string(const net::Ipv6Address&)>& identity_of);
+
+}  // namespace tts::telescope

@@ -1,0 +1,95 @@
+#include "telescope/prober.hpp"
+
+#include "ntp/ntp_server.hpp"
+
+namespace tts::telescope {
+
+PoolProber::PoolProber(simnet::Network& network, const ntp::NtpPool& pool,
+                       ProberConfig config)
+    : network_(network),
+      pool_(pool),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      client_(network) {}
+
+PoolProber::~PoolProber() {
+  if (tap_id_) network_.remove_tap(tap_id_);
+}
+
+void PoolProber::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Capture everything arriving in the monitored space. NTP responses to
+  // our own queries (UDP from port 123) are not scans and are skipped.
+  tap_id_ = network_.add_tap(
+      config_.monitor_prefix, [this](const simnet::TapEvent& ev) {
+        if (ev.proto == simnet::TransportProto::kUdp &&
+            ev.src.port == ntp::kNtpPort)
+          return;
+        CapturedPacket pkt;
+        pkt.at = ev.at;
+        pkt.proto = ev.proto;
+        pkt.scanner = ev.src.addr;
+        pkt.scanner_port = ev.src.port;
+        pkt.target = ev.dst.addr;
+        pkt.port = ev.dst.port;
+        pkt.in_probe_prefix = config_.probe_prefix.contains(ev.dst.addr);
+        captures_.push_back(pkt);
+      });
+
+  schedule_next();
+}
+
+net::Ipv6Address PoolProber::next_source() {
+  // Sequential /64s inside the probe prefix, randomised IIDs: distinct,
+  // never reused, and unremarkable to the queried server.
+  std::uint64_t hi = config_.probe_prefix.address().hi64() | next_iid_;
+  ++next_iid_;
+  return net::Ipv6Address::from_halves(hi, rng_.next() | 0x1000000000ULL);
+}
+
+void PoolProber::schedule_next() {
+  if (network_.now() >= config_.duration) return;
+  network_.events().schedule_in(config_.query_interval, [this] {
+    run_query();
+    schedule_next();
+  });
+}
+
+void PoolProber::run_query() {
+  const auto& servers = pool_.servers();
+  if (servers.empty()) return;
+  // Round-robin across the whole pool, like the paper's continuous survey
+  // ("these servers served, on average, 86 % of responses").
+  const ntp::PoolEntry& server = servers[next_server_ % servers.size()];
+  ++next_server_;
+
+  net::Ipv6Address source = next_source();
+  std::size_t index = probes_.size();
+  probes_.push_back(ProbeRecord{source, server.address, network_.now(),
+                                false});
+  by_source_[source] = index;
+
+  client_.query(source, 123, server.address,
+                [this, index](std::optional<ntp::NtpQueryResult> result) {
+                  if (result) probes_[index].answered = true;
+                });
+}
+
+const ProbeRecord* PoolProber::probe_for(
+    const net::Ipv6Address& source) const {
+  auto it = by_source_.find(source);
+  return it == by_source_.end() ? nullptr : &probes_[it->second];
+}
+
+double PoolProber::answered_share() const {
+  if (probes_.empty()) return 0.0;
+  std::uint64_t answered = 0;
+  for (const auto& p : probes_)
+    if (p.answered) ++answered;
+  return static_cast<double>(answered) /
+         static_cast<double>(probes_.size());
+}
+
+}  // namespace tts::telescope

@@ -1,0 +1,88 @@
+// Telescope prober (Section 5.1): continuously query NTP Pool servers,
+// each time from a previously unused source address inside a dedicated
+// prefix, and capture all traffic arriving in that prefix (plus the
+// surrounding space, to spot NTP-unrelated scanning that lands there by
+// chance). A scan packet to an address we only ever used for one NTP query
+// can be attributed to the server that saw the query.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "ntp/client.hpp"
+#include "ntp/pool.hpp"
+#include "simnet/network.hpp"
+#include "util/rng.hpp"
+
+namespace tts::telescope {
+
+struct ProbeRecord {
+  net::Ipv6Address source;       // the one-shot source address
+  net::Ipv6Address server;       // pool server queried
+  simnet::SimTime queried_at = 0;
+  bool answered = false;
+};
+
+struct CapturedPacket {
+  simnet::SimTime at = 0;
+  simnet::TransportProto proto = simnet::TransportProto::kTcp;
+  net::Ipv6Address scanner;      // packet source
+  std::uint16_t scanner_port = 0;
+  net::Ipv6Address target;       // inside our telescope prefix
+  std::uint16_t port = 0;
+  bool in_probe_prefix = false;  // false = surrounding space (scattering)
+};
+
+struct ProberConfig {
+  /// Addresses used for queries come from this prefix...
+  net::Ipv6Prefix probe_prefix;
+  /// ...while this wider prefix is monitored for scattering.
+  net::Ipv6Prefix monitor_prefix;
+  simnet::SimDuration query_interval = simnet::minutes(20);
+  simnet::SimDuration duration = simnet::days(28);
+  std::uint64_t seed = 0x7e1e;
+};
+
+class PoolProber {
+ public:
+  PoolProber(simnet::Network& network, const ntp::NtpPool& pool,
+             ProberConfig config);
+  ~PoolProber();
+
+  PoolProber(const PoolProber&) = delete;
+  PoolProber& operator=(const PoolProber&) = delete;
+
+  void start();
+
+  const std::vector<ProbeRecord>& probes() const { return probes_; }
+  const std::vector<CapturedPacket>& captures() const { return captures_; }
+
+  /// Probe record for a source address, if any (the attribution step).
+  const ProbeRecord* probe_for(const net::Ipv6Address& source) const;
+
+  double answered_share() const;
+
+ private:
+  void schedule_next();
+  void run_query();
+  net::Ipv6Address next_source();
+
+  simnet::Network& network_;
+  const ntp::NtpPool& pool_;
+  ProberConfig config_;
+  util::Rng rng_;
+  ntp::NtpClient client_;
+
+  std::vector<ProbeRecord> probes_;
+  std::unordered_map<net::Ipv6Address, std::size_t, net::Ipv6AddressHash>
+      by_source_;
+  std::vector<CapturedPacket> captures_;
+  std::uint64_t next_iid_ = 1;
+  std::size_t next_server_ = 0;
+  std::uint64_t tap_id_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace tts::telescope

@@ -1,0 +1,82 @@
+#include "util/levenshtein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace tts::util {
+
+std::size_t levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return b.size();
+
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t prev_diag = row[0];
+    row[0] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t cur = row[i];
+      std::size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+      prev_diag = cur;
+    }
+  }
+  return row[a.size()];
+}
+
+std::size_t levenshtein_bounded(std::string_view a, std::string_view b,
+                                std::size_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > bound) return bound + 1;
+  if (a.empty()) return b.size();
+
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
+  std::vector<std::size_t> row(a.size() + 1, kInf);
+  for (std::size_t i = 0; i <= std::min(a.size(), bound); ++i) row[i] = i;
+
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    // Only cells with |i - j| <= bound can be <= bound.
+    std::size_t lo = j > bound ? j - bound : 1;
+    std::size_t hi = std::min(a.size(), j + bound);
+    std::size_t prev_diag = row[lo - 1];
+    if (lo == 1) {
+      prev_diag = row[0];
+      row[0] = (j <= bound) ? j : kInf;
+    } else {
+      row[lo - 1] = kInf;
+    }
+    std::size_t row_min = kInf;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      std::size_t cur = row[i];
+      std::size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      std::size_t ins = (i <= hi && row[i] != kInf) ? row[i] + 1 : kInf;
+      std::size_t del = row[i - 1] != kInf ? row[i - 1] + 1 : kInf;
+      row[i] = std::min({ins, del, sub});
+      row_min = std::min(row_min, row[i]);
+      prev_diag = cur;
+    }
+    if (hi < a.size()) row[hi + 1] = kInf;
+    if (row_min > bound) return bound + 1;
+  }
+  return row[a.size()] > bound ? bound + 1 : row[a.size()];
+}
+
+double normalized_levenshtein(std::string_view a, std::string_view b) {
+  std::size_t longer = std::max(a.size(), b.size());
+  if (longer == 0) return 0.0;
+  return static_cast<double>(levenshtein(a, b)) / static_cast<double>(longer);
+}
+
+bool within_normalized_distance(std::string_view a, std::string_view b,
+                                double threshold) {
+  std::size_t longer = std::max(a.size(), b.size());
+  if (longer == 0) return true;
+  auto bound =
+      static_cast<std::size_t>(std::floor(threshold * static_cast<double>(longer)));
+  return levenshtein_bounded(a, b, bound) <= bound;
+}
+
+}  // namespace tts::util

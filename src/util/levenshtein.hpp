@@ -1,0 +1,28 @@
+// Levenshtein edit distance, used by the HTTP title-grouping analysis
+// (Section 4.3.1 groups HTML titles whose distance normalised to [0,1]
+// is at most 0.25).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace tts::util {
+
+/// Plain Levenshtein (unit-cost insert/delete/substitute) distance.
+std::size_t levenshtein(std::string_view a, std::string_view b);
+
+/// Banded variant: returns a value > `bound` (not necessarily the exact
+/// distance) as soon as the distance is known to exceed `bound`. O(bound·n).
+std::size_t levenshtein_bounded(std::string_view a, std::string_view b,
+                                std::size_t bound);
+
+/// Distance normalised by the longer string's length, in [0, 1].
+/// Two empty strings have distance 0.
+double normalized_levenshtein(std::string_view a, std::string_view b);
+
+/// True if normalized distance is <= threshold; uses the banded variant so
+/// dissimilar long strings bail out early.
+bool within_normalized_distance(std::string_view a, std::string_view b,
+                                double threshold);
+
+}  // namespace tts::util

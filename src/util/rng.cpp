@@ -1,0 +1,168 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tts::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : s_) word = mixer.next();
+  // All-zero state would be a fixed point; SplitMix64 cannot emit four
+  // zeroes in a row from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::stream(std::string_view name) const {
+  return Rng(seed_ ^ fnv1a(name));
+}
+
+Rng Rng::stream(std::uint64_t index) const {
+  SplitMix64 mixer(index + 0x6a09e667f3bcc909ULL);
+  return Rng(seed_ ^ mixer.next());
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::uint64_t Rng::heavy_tail_count(double mu, double sigma,
+                                    std::uint64_t cap) {
+  double v = lognormal(mu, sigma);
+  if (v < 0.0) v = 0.0;
+  auto n = static_cast<std::uint64_t>(v);
+  return n > cap ? cap : n;
+}
+
+std::size_t Rng::pick_cumulative(const std::vector<double>& cumulative) {
+  if (cumulative.empty() || cumulative.back() <= 0.0)
+    throw std::invalid_argument("pick_cumulative: empty or zero-mass");
+  double x = uniform() * cumulative.back();
+  std::size_t lo = 0, hi = cumulative.size() - 1;
+  while (lo < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (cumulative[mid] <= x)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+std::size_t Rng::pick_weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("pick_weighted: zero mass");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  if (alpha <= 0.0 || alpha == 1.0)
+    throw std::invalid_argument("ZipfSampler: alpha must be > 0 and != 1");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfSampler::h(double x) const {
+  // Integral of x^-alpha (alpha != 1).
+  return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double ZipfSampler::h_inv(double x) const {
+  return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  // Hörmann & Derflinger rejection-inversion.
+  for (;;) {
+    double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= h(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -alpha_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace tts::util

@@ -1,0 +1,130 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the library draws from a named stream derived
+// from a single study seed, so two runs with the same configuration produce
+// byte-identical results. Streams are independent: deriving "pool.selection"
+// and "population.iids" from the same root seed yields uncorrelated
+// sequences (SplitMix64 used as a seed mixer, Xoshiro256** as the generator,
+// per Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace tts::util {
+
+/// SplitMix64: tiny, fast seed-mixing PRNG. Used to expand a 64-bit seed
+/// into generator state and to hash stream names into sub-seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a hash of a string, used to derive per-stream seeds from names.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Xoshiro256** — the library's workhorse generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed directly from a 64-bit value (expanded through SplitMix64).
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent child stream: seed ^ hash(name).
+  Rng stream(std::string_view name) const;
+  /// Derive an independent child stream keyed by an index.
+  Rng stream(std::uint64_t index) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Standard normal via Box-Muller (no cached spare: keeps streams simple).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Geometric-ish heavy-tail integer: floor(lognormal).
+  std::uint64_t heavy_tail_count(double mu, double sigma, std::uint64_t cap);
+
+  /// Sample an index from a discrete distribution given cumulative weights.
+  /// `cumulative` must be non-empty and non-decreasing with positive back().
+  std::size_t pick_cumulative(const std::vector<double>& cumulative);
+
+  /// Sample an index proportional to `weights` (linear scan; fine for the
+  /// small weight vectors used in the pool model).
+  std::size_t pick_weighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::uint64_t root_seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t s_[4];
+};
+
+/// Zipf(α) sampler over ranks 1..n via rejection-inversion (Hörmann).
+/// Used for AS-size and device-popularity skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+  /// Returns a rank in [1, n].
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace tts::util

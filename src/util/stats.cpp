@@ -1,0 +1,82 @@
+#include "util/stats.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace tts::util {
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return (lower + upper) / 2.0;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double shannon_entropy(std::span<const std::uint8_t> data) {
+  if (data.empty()) return 0.0;
+  std::array<std::uint64_t, 256> freq{};
+  for (std::uint8_t b : data) ++freq[b];
+  double h = 0.0;
+  auto n = static_cast<double>(data.size());
+  for (std::uint64_t f : freq) {
+    if (f == 0) continue;
+    double p = static_cast<double>(f) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double normalized_entropy(std::span<const std::uint8_t> data) {
+  return shannon_entropy(data) / 8.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double value, std::uint64_t n) {
+  double t = (value - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  if (i < 0) i = 0;
+  if (i >= static_cast<std::int64_t>(counts_.size()))
+    i = static_cast<std::int64_t>(counts_.size()) - 1;
+  counts_[static_cast<std::size_t>(i)] += n;
+  total_ += n;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+}  // namespace tts::util

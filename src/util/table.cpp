@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace tts::util {
+
+namespace {
+// Column width must count display characters, not bytes; our tables only
+// ever contain ASCII plus the per-mille sign and box-drawing-free layout,
+// so counting UTF-8 lead bytes is sufficient.
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s)
+    if ((c & 0xc0) != 0x80) ++w;
+  return w;
+}
+
+std::string pad_display(const std::string& s, std::size_t width, Align a) {
+  std::size_t w = display_width(s);
+  if (w >= width) return s;
+  std::string spaces(width - w, ' ');
+  return a == Align::kLeft ? s + spaces : spaces + s;
+}
+}  // namespace
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header,
+                           std::vector<Align> align) {
+  header_ = std::move(header);
+  if (align.empty()) {
+    // Default: first column (labels) left, numeric columns right.
+    align.assign(header_.size(), Align::kRight);
+    if (!align.empty()) align[0] = Align::kLeft;
+  }
+  align.resize(header_.size(), Align::kRight);
+  align_ = std::move(align);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::add_note(std::string note) {
+  notes_.push_back(std::move(note));
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], display_width(cells[i]));
+  };
+  measure(header_);
+  for (const auto& r : rows_)
+    if (!r.rule) measure(r.cells);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 3 * (cols - 1);
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    os << std::string(std::max(total, display_width(title_)), '=') << '\n';
+  }
+
+  auto align_of = [&](std::size_t i) {
+    if (i < align_.size()) return align_[i];
+    return i == 0 ? Align::kLeft : Align::kRight;
+  };
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : std::string{};
+      os << pad_display(cell, widths[i], align_of(i));
+      if (i + 1 < cols) os << " | ";
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.rule)
+      os << std::string(total, '-') << '\n';
+    else
+      print_row(r.cells);
+  }
+  for (const auto& note : notes_) os << "  " << note << '\n';
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace tts::util

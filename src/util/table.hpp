@@ -1,0 +1,46 @@
+// Plain-text table renderer used by the bench binaries to print
+// paper-style tables (aligned columns, optional title and footnote rows).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tts::util {
+
+enum class Align { kLeft, kRight };
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Define the header row. Alignment applies column-wise to all rows;
+  /// missing alignments default to right (numbers dominate our tables).
+  void set_header(std::vector<std::string> header,
+                  std::vector<Align> align = {});
+
+  void add_row(std::vector<std::string> cells);
+  /// A horizontal rule between row groups.
+  void add_rule();
+  /// A full-width annotation line rendered below the table body.
+  void add_note(std::string note);
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace tts::util

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "net/address_io.hpp"
+#include "util/rng.hpp"
+
+namespace tts::net {
+namespace {
+
+TEST(AddressIo, ReadSkipsCommentsAndGarbage) {
+  std::istringstream in(
+      "# header comment\n"
+      "2001:db8::1\n"
+      "\n"
+      "   2001:db8::2   \n"
+      "2001:db8::3 # inline comment\n"
+      "not an address\n"
+      "2001:db8::zz\n");
+  AddressReadStats stats;
+  auto addrs = read_address_list(in, &stats);
+  ASSERT_EQ(addrs.size(), 3u);
+  EXPECT_EQ(addrs[0].to_string(), "2001:db8::1");
+  EXPECT_EQ(addrs[1].to_string(), "2001:db8::2");
+  EXPECT_EQ(addrs[2].to_string(), "2001:db8::3");
+  EXPECT_EQ(stats.parsed, 3u);
+  EXPECT_EQ(stats.skipped, 4u);
+}
+
+TEST(AddressIo, WriteReadRoundTrip) {
+  util::Rng rng(4);
+  std::vector<Ipv6Address> addrs;
+  for (int i = 0; i < 500; ++i)
+    addrs.push_back(Ipv6Address::from_halves(rng.next(), rng.next()));
+
+  std::ostringstream out;
+  write_address_list(out, addrs);
+  std::istringstream in(out.str());
+  auto back = read_address_list(in);
+  EXPECT_EQ(back, addrs);
+}
+
+TEST(AddressIo, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/tts_addr_io_test.txt";
+  std::vector<Ipv6Address> addrs = {*Ipv6Address::parse("2001:db8::1"),
+                                    *Ipv6Address::parse("fe80::42")};
+  save_address_file(path, addrs);
+  auto back = load_address_file(path);
+  EXPECT_EQ(back, addrs);
+  std::remove(path.c_str());
+}
+
+TEST(AddressIo, MissingFileThrows) {
+  EXPECT_THROW(load_address_file("/nonexistent/dir/file.txt"),
+               std::runtime_error);
+}
+
+TEST(AddressIo, EmptyStream) {
+  std::istringstream in("");
+  AddressReadStats stats;
+  EXPECT_TRUE(read_address_list(in, &stats).empty());
+  EXPECT_EQ(stats.parsed, 0u);
+}
+
+}  // namespace
+}  // namespace tts::net

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "analysis/eui64_analysis.hpp"
+
+namespace tts::analysis {
+namespace {
+
+net::Ipv6Address with_mac(const char* mac_text, std::uint64_t hi = 1) {
+  auto mac = *net::MacAddress::parse(mac_text);
+  return net::Ipv6Address::from_halves(0x2400000000000000ULL | (hi << 32),
+                                       net::eui64_iid_from_mac(mac));
+}
+
+TEST(Eui64Accumulator, CountsCategories) {
+  Eui64Accumulator acc;
+  // AVM (listed, unique bit) seen at two addresses with the same MAC.
+  acc.add(with_mac("00:1a:4f:01:02:03", 1), 0);
+  acc.add(with_mac("00:1a:4f:01:02:03", 2), 0);
+  // Unlisted but globally unique.
+  acc.add(with_mac("f8:77:66:01:02:03", 3), 1);
+  // Locally administered.
+  acc.add(with_mac("02:11:22:33:44:55", 4), 1);
+  // No EUI-64 marker.
+  acc.add(net::Ipv6Address::from_halves(0x2400000000000000ULL, 0x1234567890ULL),
+          2);
+
+  EXPECT_EQ(acc.total_addresses(), 5u);
+  EXPECT_EQ(acc.eui64_addresses(), 4u);
+  EXPECT_EQ(acc.unique_bit_addresses(), 3u);
+  EXPECT_EQ(acc.distinct_unique_macs(), 2u);
+  EXPECT_EQ(acc.listed_oui_addresses(), 2u);
+  EXPECT_EQ(acc.distinct_listed_macs(), 1u);
+  // Distinct EUI-64 IIDs: 3 distinct MACs (AVM counted once).
+  EXPECT_EQ(acc.distinct_eui64_iids(), 3u);
+}
+
+TEST(Eui64Accumulator, VendorRankingSortsByMacs) {
+  Eui64Accumulator acc;
+  // Two Sonos devices, one Amazon.
+  acc.add(with_mac("00:0e:58:00:00:01", 1), 0);
+  acc.add(with_mac("00:0e:58:00:00:02", 2), 0);
+  acc.add(with_mac("74:da:88:00:00:01", 3), 0);
+  auto ranking = acc.vendor_ranking();
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].first, "Sonos, Inc.");
+  EXPECT_EQ(ranking[0].second.first, 2u);   // MACs
+  EXPECT_EQ(ranking[0].second.second, 2u);  // IPs
+  EXPECT_EQ(ranking[1].first, "Amazon Technologies Inc.");
+}
+
+TEST(Eui64Accumulator, PerServerEmbedding) {
+  Eui64Accumulator acc;
+  acc.add(with_mac("00:1a:4f:01:02:03", 1), 3);   // listed -> server 3
+  acc.add(with_mac("02:11:22:33:44:55", 2), 3);   // local  -> server 3
+  acc.add(with_mac("00:1a:4f:99:02:03", 3), 5);   // listed -> server 5
+  const auto& per_server = acc.per_server_embedding();
+  using E = net::MacEmbedding;
+  EXPECT_EQ(per_server.at(3)[static_cast<std::size_t>(E::kGlobalListed)], 1u);
+  EXPECT_EQ(per_server.at(3)[static_cast<std::size_t>(E::kLocal)], 1u);
+  EXPECT_EQ(per_server.at(5)[static_cast<std::size_t>(E::kGlobalListed)], 1u);
+}
+
+TEST(Eui64Accumulator, AttachToCollector) {
+  Eui64Accumulator acc;
+  ntp::AddressCollector collector;
+  acc.attach(collector);
+  collector.record(with_mac("00:1a:4f:01:02:03", 1), 2, 0);
+  collector.record(with_mac("00:1a:4f:01:02:03", 1), 2, 1);  // duplicate
+  EXPECT_EQ(acc.total_addresses(), 1u);  // only first sighting counted
+  EXPECT_EQ(acc.listed_oui_addresses(), 1u);
+}
+
+}  // namespace
+}  // namespace tts::analysis

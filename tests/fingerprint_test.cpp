@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "analysis/fingerprint.hpp"
+#include "net/mac.hpp"
+
+namespace tts::analysis {
+namespace {
+
+using scan::Dataset;
+using scan::Outcome;
+using scan::Protocol;
+using scan::ScanRecord;
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest() : registry_(inet::AsRegistry::generate({{}, 4})) {}
+
+  net::Ipv6Address in_as(std::size_t as_index, std::uint64_t net,
+                         std::uint64_t iid) {
+    const auto& as = registry_.all().at(as_index);
+    return net::Ipv6Address::from_halves(
+        as.prefixes[0].address().hi64() | (net << 16), iid);
+  }
+
+  void add_ssh(const net::Ipv6Address& addr, std::uint64_t key) {
+    ScanRecord r;
+    r.dataset = Dataset::kNtp;
+    r.protocol = Protocol::kSsh;
+    r.outcome = Outcome::kSuccess;
+    r.target = addr;
+    r.ssh_hostkey = key;
+    r.ssh_banner = "SSH-2.0-OpenSSH_9.2p1 Debian-2";
+    results_.add(r);
+  }
+
+  inet::AsRegistry registry_;
+  scan::ResultStore results_;
+};
+
+TEST_F(FingerprintTest, DistinctHostsStayDistinct) {
+  add_ssh(in_as(0, 1, 0x100001), 1);
+  add_ssh(in_as(0, 2, 0x100002), 2);
+  add_ssh(in_as(0, 3, 0x100003), 3);
+  auto bounds = estimate_hosts(results_, Dataset::kNtp, registry_);
+  EXPECT_EQ(bounds.upper, 3u);
+  EXPECT_EQ(bounds.lower, 3u);
+  EXPECT_EQ(bounds.estimate, 3u);
+}
+
+TEST_F(FingerprintTest, SharedKeyInOneSiteMergesEverywhere) {
+  // Same key at two addresses in one /48: one host under every policy.
+  add_ssh(in_as(0, 1, 0xaaa001), 42);
+  add_ssh(in_as(0, 1, 0xaaa002), 42);
+  auto bounds = estimate_hosts(results_, Dataset::kNtp, registry_);
+  EXPECT_EQ(bounds.upper, 2u);
+  EXPECT_EQ(bounds.lower, 1u);
+  EXPECT_EQ(bounds.estimate, 1u);
+}
+
+TEST_F(FingerprintTest, FleetSharedKeySplitsPerSite) {
+  // One key across four ASes (firmware fleet): the lower bound collapses
+  // it to one host, the signal-aware estimate keeps one per /48 site.
+  for (std::size_t as = 0; as < 4; ++as)
+    add_ssh(in_as(as, 1, 0xbbb000 + as), 99);
+  auto bounds = estimate_hosts(results_, Dataset::kNtp, registry_);
+  EXPECT_EQ(bounds.upper, 4u);
+  EXPECT_EQ(bounds.lower, 1u);
+  EXPECT_EQ(bounds.estimate, 4u);  // four sites, four devices
+}
+
+TEST_F(FingerprintTest, EmbeddedMacBridgesPrefixChurn) {
+  // The same device (same vendor MAC -> same EUI-64 IID) seen in two /48s
+  // with two different "unique" keys... keys differ so key-merge cannot
+  // help; the MAC signal must merge them.
+  auto mac = *net::MacAddress::parse("00:1a:4f:01:02:03");
+  std::uint64_t iid = net::eui64_iid_from_mac(mac);
+  add_ssh(in_as(0, 1, 0).with_iid(iid), 7);
+  add_ssh(in_as(0, 9, 0).with_iid(iid), 7);
+  auto bounds = estimate_hosts(results_, Dataset::kNtp, registry_);
+  EXPECT_EQ(bounds.upper, 2u);
+  EXPECT_EQ(bounds.estimate, 1u);
+  EXPECT_EQ(bounds.lower, 1u);
+}
+
+TEST_F(FingerprintTest, LocallyAdministeredMacDoesNotMerge) {
+  auto mac = *net::MacAddress::parse("02:1a:4f:01:02:03");  // local bit
+  std::uint64_t iid = net::eui64_iid_from_mac(mac);
+  add_ssh(in_as(0, 1, 0).with_iid(iid), 1);
+  add_ssh(in_as(0, 9, 0).with_iid(iid), 2);
+  auto bounds = estimate_hosts(results_, Dataset::kNtp, registry_);
+  EXPECT_EQ(bounds.estimate, 2u);  // randomised MACs are not identity
+}
+
+TEST_F(FingerprintTest, BoundsAreOrdered) {
+  // A mixed scenario: fleet key + churned device + singles.
+  for (std::size_t as = 0; as < 3; ++as)
+    add_ssh(in_as(as, 1, 0xccc000 + as), 500);
+  auto mac = *net::MacAddress::parse("00:0e:58:0a:0b:0c");
+  std::uint64_t iid = net::eui64_iid_from_mac(mac);
+  add_ssh(in_as(1, 2, 0).with_iid(iid), 501);
+  add_ssh(in_as(1, 7, 0).with_iid(iid), 502);
+  add_ssh(in_as(2, 3, 0xddd001), 503);
+  auto bounds = estimate_hosts(results_, Dataset::kNtp, registry_);
+  EXPECT_LE(bounds.lower, bounds.estimate);
+  EXPECT_LE(bounds.estimate, bounds.upper);
+  EXPECT_EQ(bounds.upper, 6u);
+}
+
+TEST_F(FingerprintTest, EmptyDatasetYieldsZeros) {
+  auto bounds = estimate_hosts(results_, Dataset::kHitlist, registry_);
+  EXPECT_EQ(bounds.upper, 0u);
+  EXPECT_EQ(bounds.lower, 0u);
+  EXPECT_EQ(bounds.estimate, 0u);
+}
+
+}  // namespace
+}  // namespace tts::analysis

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/iid_classes.hpp"
+#include "hitlist/hitlist.hpp"
+
+namespace tts::hitlist {
+namespace {
+
+class HitlistTest : public ::testing::Test {
+ protected:
+  HitlistTest()
+      : registry_(inet::AsRegistry::generate({{}, 11})),
+        population_([this] {
+          inet::PopulationConfig config;
+          config.device_scale = 0.1;
+          config.seed = 31;
+          return inet::Population::generate(registry_, config);
+        }()) {}
+
+  SourceConfig config() {
+    SourceConfig c;
+    c.routers_per_prefix = 4;
+    c.aliased_samples = 500;
+    c.seed = 77;
+    return c;
+  }
+
+  inet::AsRegistry registry_;
+  inet::Population population_;
+};
+
+TEST_F(HitlistTest, DnsSourceFindsOnlyFlaggedDevices) {
+  auto found = dns_source(population_);
+  ASSERT_FALSE(found.empty());
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addrs;
+  for (const auto& s : found) {
+    EXPECT_EQ(s.source, Source::kDns);
+    addrs.insert(s.addr);
+  }
+  for (const auto& d : population_.devices()) {
+    EXPECT_EQ(addrs.contains(d.initial_address), d.in_dns_sources)
+        << d.initial_address.to_string();
+  }
+}
+
+TEST_F(HitlistTest, DnsSourceIsServerBiased) {
+  auto found = dns_source(population_);
+  std::uint64_t hosting = 0;
+  for (const auto& s : found) {
+    const inet::AsInfo* as = registry_.origin(s.addr);
+    if (as && as->category == inet::AsCategory::kHosting) ++hosting;
+  }
+  // Most DNS-visible hosts sit in hosting networks (the hitlist bias the
+  // paper critiques).
+  EXPECT_GT(static_cast<double>(hosting) / static_cast<double>(found.size()),
+            0.5);
+}
+
+TEST_F(HitlistTest, TracerouteYieldsStructuredIids) {
+  auto cfg = config();
+  util::Rng rng(cfg.seed);
+  auto found = traceroute_source(population_, cfg, rng);
+  ASSERT_FALSE(found.empty());
+  std::uint64_t structured = 0;
+  for (const auto& s : found)
+    if (s.addr.iid() < 0x100) ++structured;
+  EXPECT_GT(static_cast<double>(structured) /
+                static_cast<double>(found.size()),
+            0.6);
+}
+
+TEST_F(HitlistTest, TgaStaysNearSeeds) {
+  auto seeds = dns_source(population_);
+  ASSERT_FALSE(seeds.empty());
+  auto cfg = config();
+  util::Rng rng(cfg.seed);
+  auto generated = tga_source(seeds, cfg, rng);
+  EXPECT_EQ(generated.size(),
+            seeds.size() * static_cast<std::size_t>(cfg.tga_per_seed));
+  // Every candidate shares a /48 with some seed (the seed-bias property).
+  std::unordered_set<net::Ipv6Prefix, net::Ipv6PrefixHash> seed48;
+  for (const auto& s : seeds) seed48.insert(net::Ipv6Prefix(s.addr, 48));
+  for (const auto& g : generated) {
+    EXPECT_TRUE(seed48.contains(net::Ipv6Prefix(g.addr, 48)))
+        << g.addr.to_string();
+  }
+}
+
+TEST_F(HitlistTest, AliasedSamplesLieInRegion) {
+  auto cfg = config();
+  util::Rng rng(cfg.seed);
+  auto found = aliased_source(registry_, cfg, rng);
+  EXPECT_EQ(found.size(), cfg.aliased_samples);
+  for (const auto& s : found)
+    EXPECT_TRUE(registry_.cdn_alias_region().contains(s.addr));
+}
+
+TEST_F(HitlistTest, BuildDeduplicatesAndSplitsPublic) {
+  auto list = HitlistBuilder::build(population_, nullptr, config());
+  ASSERT_FALSE(list.full.empty());
+  // No duplicates in the full list.
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> seen(
+      list.full.begin(), list.full.end());
+  EXPECT_EQ(seen.size(), list.full.size());
+  // Public subset of full.
+  EXPECT_LT(list.public_list.size(), list.full.size());
+  for (const auto& a : list.public_list) EXPECT_TRUE(seen.contains(a));
+  // Provenance covers everything.
+  EXPECT_EQ(list.provenance.size(), list.full.size());
+  auto by_source = list.counts_by_source();
+  EXPECT_GT(by_source[Source::kDns], 0u);
+  EXPECT_GT(by_source[Source::kTraceroute], 0u);
+  EXPECT_GT(by_source[Source::kAliased], 0u);
+  EXPECT_GT(by_source[Source::kStale], 0u);
+}
+
+TEST_F(HitlistTest, PublicListIncludesAliasedAndLiveServices) {
+  auto list = HitlistBuilder::build(population_, nullptr, config());
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> pub(
+      list.public_list.begin(), list.public_list.end());
+  std::uint64_t live_checked = 0;
+  for (const auto& d : population_.devices()) {
+    if (d.in_dns_sources && d.any_service()) {
+      EXPECT_TRUE(pub.contains(d.initial_address));
+      ++live_checked;
+    }
+  }
+  EXPECT_GT(live_checked, 10u);
+  // Aliased addresses are all "responsive".
+  for (const auto& [addr, src] : list.provenance) {
+    if (src == Source::kAliased) {
+      EXPECT_TRUE(pub.contains(addr));
+    }
+  }
+}
+
+TEST_F(HitlistTest, HitlistIsMoreStructuredThanPopulation) {
+  // Figure 1's core claim, seen from the generator side: hitlist addresses
+  // carry more structured IIDs than the (eyeball-heavy) device population.
+  auto list = HitlistBuilder::build(population_, nullptr, config());
+  auto hitlist_dist = analysis::classify_addresses(list.public_list);
+
+  std::vector<net::Ipv6Address> pop_addrs;
+  for (const auto& d : population_.devices())
+    pop_addrs.push_back(d.initial_address);
+  auto pop_dist = analysis::classify_addresses(pop_addrs);
+
+  double hitlist_structured =
+      hitlist_dist.fraction(analysis::IidClass::kZero) +
+      hitlist_dist.fraction(analysis::IidClass::kLastByte) +
+      hitlist_dist.fraction(analysis::IidClass::kLastTwoBytes);
+  double pop_structured = pop_dist.fraction(analysis::IidClass::kZero) +
+                          pop_dist.fraction(analysis::IidClass::kLastByte) +
+                          pop_dist.fraction(analysis::IidClass::kLastTwoBytes);
+  EXPECT_GT(hitlist_structured, pop_structured);
+}
+
+TEST_F(HitlistTest, DeterministicForSameSeed) {
+  auto a = HitlistBuilder::build(population_, nullptr, config());
+  auto b = HitlistBuilder::build(population_, nullptr, config());
+  EXPECT_EQ(a.full, b.full);
+  EXPECT_EQ(a.public_list, b.public_list);
+}
+
+}  // namespace
+}  // namespace tts::hitlist

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "net/mac.hpp"
+#include "net/oui_db.hpp"
+#include "util/rng.hpp"
+
+namespace tts::net {
+namespace {
+
+TEST(Mac, ParseAndFormat) {
+  auto m = MacAddress::parse("00:1a:4f:12:34:56");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->to_string(), "00:1a:4f:12:34:56");
+  EXPECT_EQ(m->oui(), 0x001A4Fu);
+  auto dash = MacAddress::parse("00-1A-4F-12-34-56");
+  ASSERT_TRUE(dash);
+  EXPECT_EQ(*dash, *m);
+}
+
+TEST(Mac, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse(""));
+  EXPECT_FALSE(MacAddress::parse("00:1a:4f:12:34"));
+  EXPECT_FALSE(MacAddress::parse("00:1a:4f:12:34:56:78"));
+  EXPECT_FALSE(MacAddress::parse("0g:1a:4f:12:34:56"));
+  EXPECT_FALSE(MacAddress::parse("001a4f123456x"));
+}
+
+TEST(Mac, FlagBits) {
+  auto global = MacAddress::from_u64(0x001A4F123456ULL);
+  EXPECT_FALSE(global.locally_administered());
+  EXPECT_FALSE(global.multicast());
+  auto local = MacAddress::from_u64(0x021A4F123456ULL);
+  EXPECT_TRUE(local.locally_administered());
+  auto mcast = MacAddress::from_u64(0x011A4F123456ULL);
+  EXPECT_TRUE(mcast.multicast());
+}
+
+TEST(Eui64, KnownExpansion) {
+  // RFC 4291 Appendix A example: 34-56-78-9A-BC-DE ->
+  // 3656:78ff:fe9a:bcde (U/L bit flipped: 0x34 ^ 0x02 = 0x36).
+  auto mac = *MacAddress::parse("34:56:78:9a:bc:de");
+  EXPECT_EQ(eui64_iid_from_mac(mac), 0x365678fffe9abcdeULL);
+}
+
+TEST(Eui64, RoundTripsRandomMacs) {
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    MacAddress mac = MacAddress::from_u64(rng.below(1ULL << 48));
+    std::uint64_t iid = eui64_iid_from_mac(mac);
+    EXPECT_TRUE(iid_looks_like_eui64(iid));
+    auto back = mac_from_eui64_iid(iid);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(*back, mac);
+  }
+}
+
+TEST(Eui64, MarkerDetection) {
+  EXPECT_TRUE(iid_looks_like_eui64(0x021a4ffffe123456ULL));
+  EXPECT_FALSE(iid_looks_like_eui64(0x021a4ffeff123456ULL));
+  EXPECT_FALSE(iid_looks_like_eui64(0));
+  EXPECT_FALSE(mac_from_eui64_iid(0x1234567890abcdefULL));
+}
+
+TEST(Eui64, ExtractFromAddress) {
+  auto mac = *MacAddress::parse("00:1a:4f:aa:bb:cc");
+  Ipv6Address addr = Ipv6Address::from_halves(0x20010db800000000ULL,
+                                              eui64_iid_from_mac(mac));
+  auto extracted = extract_mac(addr);
+  ASSERT_TRUE(extracted);
+  EXPECT_EQ(*extracted, mac);
+  // Privacy-style IID yields nothing.
+  EXPECT_FALSE(extract_mac(addr.with_iid(0xdeadbeefcafef00dULL)));
+}
+
+TEST(OuiDb, BuiltinLookups) {
+  const auto& db = OuiDatabase::builtin();
+  auto avm = db.lookup(0x001A4F);
+  ASSERT_TRUE(avm);
+  EXPECT_NE(avm->find("AVM"), std::string_view::npos);
+  EXPECT_FALSE(db.lookup(0xFFFFFF));
+  EXPECT_GT(db.size(), 30u);
+  // Multiple OUIs per vendor resolve.
+  auto ouis = db.ouis_for("Raspberry Pi Foundation");
+  EXPECT_EQ(ouis.size(), 1u);
+}
+
+TEST(OuiDb, ClassifyEmbedding) {
+  const auto& db = OuiDatabase::builtin();
+  auto base = Ipv6Address::from_halves(0x24000001000000ULL << 8, 0);
+
+  // Listed vendor MAC with the unique bit.
+  auto listed = *MacAddress::parse("00:1a:4f:01:02:03");
+  EXPECT_EQ(db.classify(base.with_iid(eui64_iid_from_mac(listed))),
+            MacEmbedding::kGlobalListed);
+
+  // Unlisted vendor-style MAC.
+  auto unlisted = *MacAddress::parse("f8:99:aa:01:02:03");
+  EXPECT_EQ(db.classify(base.with_iid(eui64_iid_from_mac(unlisted))),
+            MacEmbedding::kGlobalUnlisted);
+
+  // Locally administered (randomised) MAC.
+  auto local = *MacAddress::parse("02:99:aa:01:02:03");
+  EXPECT_EQ(db.classify(base.with_iid(eui64_iid_from_mac(local))),
+            MacEmbedding::kLocal);
+
+  // No marker at all.
+  EXPECT_EQ(db.classify(base.with_iid(0x1234567890abcdefULL)),
+            MacEmbedding::kNone);
+}
+
+TEST(OuiDb, CustomDatabase) {
+  OuiDatabase db;
+  db.add(0xAABBCC, "TestVendor");
+  EXPECT_EQ(db.lookup(0xAABBCC).value_or(""), "TestVendor");
+  db.add(0xAABBCC, "Renamed");
+  EXPECT_EQ(db.lookup(0xAABBCC).value_or(""), "Renamed");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tts::net

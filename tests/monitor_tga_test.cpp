@@ -1,0 +1,132 @@
+// Tests for the pool monitor and the NTP-seeded target generator.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hitlist/ntp_tga.hpp"
+#include "net/mac.hpp"
+#include "ntp/monitor.hpp"
+#include "ntp/ntp_server.hpp"
+
+namespace tts {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t lo) {
+  return net::Ipv6Address::from_halves(0x2400005000000000ULL, lo);
+}
+
+TEST(PoolMonitor, DeadServerDropsOutOfRotation) {
+  simnet::EventQueue events;
+  simnet::Network network(events);
+  ntp::NtpPool pool;
+
+  // One live server, one registered address with nothing behind it.
+  ntp::NtpServerConfig live;
+  live.address = addr(1);
+  live.country = "DE";
+  ntp::NtpServer server(network, live, nullptr);
+  pool.add_server({addr(1), "DE", 1000, 20, false, 0});
+  pool.add_server({addr(2), "DE", 1000, 20, false, 0});  // dead
+
+  ntp::PoolMonitorConfig config;
+  config.vantage = addr(99);
+  config.check_interval = simnet::minutes(10);
+  config.duration = simnet::hours(6);
+  ntp::PoolMonitor monitor(network, pool, config);
+  monitor.start();
+  events.run_until(simnet::hours(7));
+
+  EXPECT_GT(monitor.checks_run(), 20u);
+  EXPECT_GT(monitor.misses(), 5u);
+
+  int live_score = 0, dead_score = 0;
+  for (const auto& entry : pool.servers()) {
+    if (entry.address == addr(1)) live_score = entry.monitor_score;
+    if (entry.address == addr(2)) dead_score = entry.monitor_score;
+  }
+  EXPECT_EQ(live_score, 20);  // capped at max
+  EXPECT_LT(dead_score, ntp::NtpPool::kRotationThreshold);
+
+  // Resolution never returns the dead server any more.
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(*pool.resolve("DE", rng), addr(1));
+}
+
+TEST(PoolMonitor, RecoveringServerReturns) {
+  simnet::EventQueue events;
+  simnet::Network network(events);
+  ntp::NtpPool pool;
+  pool.add_server({addr(1), "DE", 1000, 4, false, 0});  // below threshold
+
+  ntp::NtpServerConfig config_live;
+  config_live.address = addr(1);
+  config_live.country = "DE";
+  ntp::NtpServer server(network, config_live, nullptr);
+
+  ntp::PoolMonitorConfig config;
+  config.vantage = addr(99);
+  config.check_interval = simnet::minutes(10);
+  config.duration = simnet::hours(2);
+  ntp::PoolMonitor monitor(network, pool, config);
+  monitor.start();
+  events.run_until(simnet::hours(3));
+
+  util::Rng rng(5);
+  EXPECT_TRUE(pool.resolve("DE", rng).has_value());  // recovered
+}
+
+TEST(NtpSeededTga, LearnsHotNetworksAndMix) {
+  std::vector<net::Ipv6Address> observed;
+  // A dense /48 with EUI-64 sightings...
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    auto mac = net::MacAddress::from_u64(0x001A4F000000ULL + i);
+    observed.push_back(net::Ipv6Address::from_halves(
+        0x2400007700000000ULL | (i << 8), net::eui64_iid_from_mac(mac)));
+  }
+  // ...and a singleton /48 below the density threshold.
+  observed.push_back(addr(0x42));
+
+  hitlist::NtpSeededTga tga;
+  tga.train(observed);
+  EXPECT_EQ(tga.hot_networks(), 2u);
+
+  hitlist::NtpTgaConfig config;
+  config.candidates = 500;
+  config.min_sightings_per_48 = 2;
+  auto candidates = tga.generate(config);
+  ASSERT_EQ(candidates.size(), 500u);
+
+  // All candidates land in the dense /48 (the singleton is filtered).
+  auto hot = net::Ipv6Prefix(
+      net::Ipv6Address::from_halves(0x2400007700000000ULL, 0), 48);
+  std::uint64_t eui64 = 0;
+  for (const auto& c : candidates) {
+    EXPECT_TRUE(hot.contains(c)) << c.to_string();
+    if (net::iid_looks_like_eui64(c.iid())) ++eui64;
+  }
+  // The learned IID mix is dominated by EUI-64 (50 of 51 sightings; the
+  // singleton contributes a sliver of low-byte candidates).
+  EXPECT_GT(eui64, candidates.size() * 9 / 10);
+}
+
+TEST(NtpSeededTga, EmptyTrainingYieldsNothing) {
+  hitlist::NtpSeededTga tga;
+  tga.train({});
+  EXPECT_TRUE(tga.generate({}).empty());
+}
+
+TEST(NtpSeededTga, GenerationIsDeterministic) {
+  std::vector<net::Ipv6Address> observed;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    observed.push_back(addr(0x1000 + i));
+  hitlist::NtpSeededTga tga;
+  tga.train(observed);
+  hitlist::NtpTgaConfig config;
+  config.candidates = 100;
+  config.min_sightings_per_48 = 1;
+  EXPECT_EQ(tga.generate(config), tga.generate(config));
+}
+
+}  // namespace
+}  // namespace tts

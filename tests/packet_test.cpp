@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+
+namespace tts::net {
+namespace {
+
+TEST(Packet, ScalarRoundTrip) {
+  PacketWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.str16("hello");
+  auto wire = w.take();
+
+  PacketReader r(wire);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.str16(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Packet, BigEndianOnTheWire) {
+  PacketWriter w;
+  w.u32(0x01020304);
+  const auto& wire = w.data();
+  ASSERT_EQ(wire.size(), 4u);
+  EXPECT_EQ(wire[0], 0x01);
+  EXPECT_EQ(wire[3], 0x04);
+}
+
+// GCC's range analysis cannot see that require() throws before the
+// out-of-bounds access it flags on this deliberately short buffer.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+TEST(Packet, ShortReadThrows) {
+  std::vector<std::uint8_t> wire = {1, 2, 3};
+  PacketReader r(wire);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.u16(), ParseError);
+  EXPECT_THROW(PacketReader(wire).u64(), ParseError);
+  EXPECT_THROW(PacketReader(wire).bytes(4), ParseError);
+  EXPECT_THROW(PacketReader(wire).str(4), ParseError);
+}
+#pragma GCC diagnostic pop
+
+TEST(Packet, SkipAndPosition) {
+  std::vector<std::uint8_t> wire(10, 0);
+  PacketReader r(wire);
+  r.skip(4);
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_THROW(r.skip(7), ParseError);
+}
+
+TEST(Packet, Str16LengthLimit) {
+  PacketWriter w;
+  std::string big(0x10000, 'x');
+  EXPECT_THROW(w.str16(big), std::length_error);
+}
+
+TEST(Packet, PatchByte) {
+  PacketWriter w;
+  w.u8(0);
+  w.str("abc");
+  w.patch_u8(0, 3);
+  EXPECT_EQ(w.data()[0], 3);
+  EXPECT_THROW(w.patch_u8(99, 1), std::out_of_range);
+}
+
+TEST(Packet, RandomRoundTripProperty) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    PacketWriter w;
+    std::vector<std::uint64_t> values;
+    std::vector<int> kinds;
+    int n = 1 + static_cast<int>(rng.below(20));
+    for (int i = 0; i < n; ++i) {
+      int kind = static_cast<int>(rng.below(4));
+      std::uint64_t v = rng.next();
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: w.u8(static_cast<std::uint8_t>(v)); values.push_back(v & 0xff); break;
+        case 1: w.u16(static_cast<std::uint16_t>(v)); values.push_back(v & 0xffff); break;
+        case 2: w.u32(static_cast<std::uint32_t>(v)); values.push_back(v & 0xffffffff); break;
+        default: w.u64(v); values.push_back(v); break;
+      }
+    }
+    PacketReader r(w.data());
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t got = 0;
+      switch (kinds[static_cast<std::size_t>(i)]) {
+        case 0: got = r.u8(); break;
+        case 1: got = r.u16(); break;
+        case 2: got = r.u32(); break;
+        default: got = r.u64(); break;
+      }
+      ASSERT_EQ(got, values[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Packet, ByteHelpers) {
+  auto bytes = to_bytes("abc");
+  EXPECT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(to_string_payload(bytes), "abc");
+}
+
+}  // namespace
+}  // namespace tts::net

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "inet/population.hpp"
+#include "net/mac.hpp"
+#include "net/oui_db.hpp"
+#include "util/stats.hpp"
+
+namespace tts::inet {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static const AsRegistry& registry() {
+    static const AsRegistry reg = AsRegistry::generate({{}, 1});
+    return reg;
+  }
+  static const Population& population() {
+    static Population pop = [] {
+      PopulationConfig config;
+      config.device_scale = 0.2;
+      config.seed = 7;
+      return Population::generate(registry(), config);
+    }();
+    return pop;
+  }
+};
+
+TEST_F(PopulationTest, GeneratesDevices) {
+  EXPECT_GT(population().devices().size(), 500u);
+}
+
+TEST_F(PopulationTest, EveryAddressRoutesToItsAs) {
+  for (const auto& d : population().devices()) {
+    auto asn = registry().routes().lookup(d.initial_address);
+    ASSERT_TRUE(asn) << d.initial_address.to_string();
+    EXPECT_EQ(*asn, d.asn);
+    EXPECT_TRUE(d.delegation.contains(d.initial_address));
+  }
+}
+
+TEST_F(PopulationTest, PlacementMatchesAsCategory) {
+  for (const auto& d : population().devices()) {
+    const AsInfo* as = registry().find(d.asn);
+    ASSERT_NE(as, nullptr);
+    switch (d.profile->placement) {
+      case Placement::kEyeball:
+        EXPECT_EQ(as->category, AsCategory::kCableDslIsp);
+        break;
+      case Placement::kHosting:
+        if (d.profile->cls == DeviceClass::kCdnLoadBalancer)
+          EXPECT_EQ(as->category, AsCategory::kContent);
+        else
+          EXPECT_EQ(as->category, AsCategory::kHosting);
+        break;
+      case Placement::kMobile:
+        // Falls back to eyeball when the country has no mobile AS.
+        EXPECT_TRUE(as->category == AsCategory::kMobile ||
+                    as->category == AsCategory::kCableDslIsp);
+        break;
+      case Placement::kMixed:
+        EXPECT_NE(as->category, AsCategory::kEducation);
+        break;
+    }
+  }
+}
+
+TEST_F(PopulationTest, Eui64DevicesEmbedTheirMac) {
+  std::uint64_t eui64_devices = 0;
+  for (const auto& d : population().devices()) {
+    if (d.profile->addr.iid != IidMode::kEui64) continue;
+    ++eui64_devices;
+    auto mac = net::extract_mac(d.initial_address);
+    ASSERT_TRUE(mac) << d.initial_address.to_string();
+    EXPECT_EQ(*mac, d.mac);
+    EXPECT_EQ(!mac->locally_administered(), d.vendor_mac);
+  }
+  EXPECT_GT(eui64_devices, 100u);
+}
+
+TEST_F(PopulationTest, FritzBoxesCarryAvmOuis) {
+  const auto& db = net::OuiDatabase::builtin();
+  std::uint64_t fritz = 0, avm = 0;
+  for (const auto& d : population().devices()) {
+    if (d.profile->cls != DeviceClass::kFritzBox) continue;
+    ++fritz;
+    if (!d.vendor_mac) continue;
+    auto vendor = db.lookup(d.mac);
+    if (vendor && vendor->find("AVM") != std::string_view::npos) ++avm;
+  }
+  ASSERT_GT(fritz, 10u);
+  EXPECT_GT(static_cast<double>(avm) / static_cast<double>(fritz), 0.8);
+}
+
+TEST_F(PopulationTest, StaticModesProduceStructuredIids) {
+  for (const auto& d : population().devices()) {
+    std::uint64_t iid = d.initial_address.iid();
+    switch (d.profile->addr.iid) {
+      case IidMode::kStaticZero:
+        EXPECT_EQ(iid, 0u);
+        break;
+      case IidMode::kStaticLowByte:
+        EXPECT_GT(iid, 0u);
+        EXPECT_LT(iid, 0x100u);
+        break;
+      case IidMode::kStaticLowTwoBytes:
+        EXPECT_GE(iid, 0x100u);
+        EXPECT_LT(iid, 0x10000u);
+        break;
+      case IidMode::kPrivacyRandom:
+      case IidMode::kDhcpRandomish:
+        EXPECT_GE(iid, 0x10000u);
+        EXPECT_FALSE(net::iid_looks_like_eui64(iid));
+        break;
+      case IidMode::kEui64:
+        EXPECT_TRUE(net::iid_looks_like_eui64(iid));
+        break;
+    }
+  }
+}
+
+TEST_F(PopulationTest, SshVersionsRespectLineage) {
+  for (const auto& d : population().devices()) {
+    if (!d.ssh_enabled) continue;
+    const auto& lineage = ssh_version_lineage(d.ssh_os);
+    EXPECT_LT(d.ssh_version_index, lineage.size());
+    EXPECT_EQ(d.ssh_outdated(),
+              d.ssh_version_index + 1 < lineage.size());
+  }
+}
+
+TEST_F(PopulationTest, KeyProvisioningShapes) {
+  // Unique-per-device keys never repeat; shared-pool keys do.
+  std::unordered_set<KeyId> unique_keys;
+  std::uint64_t unique_total = 0;
+  util::Counter<KeyId> pool_keys;
+  for (const auto& d : population().devices()) {
+    if (d.ssh_enabled && d.profile->ssh.key == KeyProvisioning::kUniquePerDevice) {
+      ++unique_total;
+      unique_keys.insert(d.ssh_key);
+    }
+    if (d.mqtt_enabled && d.mqtt_cert != 0 &&
+        d.profile->mqtt.cert == KeyProvisioning::kSharedPool)
+      pool_keys.add(d.mqtt_cert);
+  }
+  EXPECT_EQ(unique_keys.size(), unique_total);
+  if (pool_keys.total() > 20) {
+    EXPECT_LT(pool_keys.distinct(), pool_keys.total());
+  }
+}
+
+TEST_F(PopulationTest, DeterministicForSameSeed) {
+  PopulationConfig config;
+  config.device_scale = 0.05;
+  config.seed = 99;
+  Population a = Population::generate(registry(), config);
+  Population b = Population::generate(registry(), config);
+  ASSERT_EQ(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < a.devices().size(); ++i) {
+    EXPECT_EQ(a.devices()[i].initial_address, b.devices()[i].initial_address);
+    EXPECT_EQ(a.devices()[i].asn, b.devices()[i].asn);
+    EXPECT_EQ(a.devices()[i].ssh_key, b.devices()[i].ssh_key);
+  }
+}
+
+TEST_F(PopulationTest, CountryMultipliers) {
+  DeviceProfile p;
+  p.country_mult = {{"DE", 2.5}, {"EU", 1.0}, {"*", 0.01}};
+  EXPECT_DOUBLE_EQ(country_multiplier(p, "DE"), 2.5);
+  EXPECT_DOUBLE_EQ(country_multiplier(p, "NL"), 1.0);   // EU group
+  EXPECT_DOUBLE_EQ(country_multiplier(p, "IN"), 0.01);  // wildcard
+  DeviceProfile q;  // no multipliers -> 1.0 everywhere
+  EXPECT_DOUBLE_EQ(country_multiplier(q, "JP"), 1.0);
+}
+
+TEST_F(PopulationTest, CountryGroups) {
+  EXPECT_TRUE(in_country_group("DE", "EU"));
+  EXPECT_TRUE(in_country_group("PL", "EU"));
+  EXPECT_FALSE(in_country_group("US", "EU"));
+  EXPECT_TRUE(in_country_group("US", "US"));
+}
+
+TEST_F(PopulationTest, DlinkNeverUsesPool) {
+  for (const auto& d : population().devices()) {
+    if (d.profile->cls == DeviceClass::kDlinkCpe) {
+      EXPECT_FALSE(d.uses_pool);
+    }
+    if (d.profile->cls == DeviceClass::kParkingPage) {
+      EXPECT_FALSE(d.uses_pool);
+    }
+  }
+}
+
+TEST(AsRegistryTest, GeneratedShape) {
+  AsRegistry reg = AsRegistry::generate({{}, 42});
+  EXPECT_GT(reg.all().size(), 100u);
+  EXPECT_GT(reg.cdn_alias_region().length(), 0u);
+  EXPECT_NE(reg.cdn_asn(), 0u);
+  // Alias region routes to the CDN AS.
+  auto inside = net::Ipv6Address::from_halves(
+      reg.cdn_alias_region().address().hi64() | 5, 77);
+  const AsInfo* as = reg.origin(inside);
+  ASSERT_NE(as, nullptr);
+  EXPECT_EQ(as->number, reg.cdn_asn());
+  // Prefixes are disjoint: each address has exactly one /32 owner, so a
+  // random sample of AS prefixes must not repeat.
+  std::unordered_set<std::uint64_t> tops;
+  for (const auto& info : reg.all())
+    for (const auto& p : info.prefixes)
+      EXPECT_TRUE(tops.insert(p.address().hi64()).second);
+}
+
+TEST(AsRegistryTest, CategoryAndCountryQueries) {
+  AsRegistry reg = AsRegistry::generate({{}, 42});
+  auto eyeballs_de = reg.in_country("DE", AsCategory::kCableDslIsp);
+  EXPECT_GE(eyeballs_de.size(), 1u);
+  for (const auto* as : eyeballs_de) {
+    EXPECT_EQ(as->country, "DE");
+    EXPECT_EQ(as->category, AsCategory::kCableDslIsp);
+  }
+  EXPECT_GE(reg.by_category(AsCategory::kContent).size(), 3u);
+  EXPECT_NE(reg.country("IN"), nullptr);
+  EXPECT_EQ(reg.country("XX"), nullptr);
+}
+
+}  // namespace
+}  // namespace tts::inet

@@ -1,0 +1,179 @@
+// Parameterised property sweeps (TEST_P) over the invariants the analyses
+// rely on: IID classification boundaries, Levenshtein threshold geometry,
+// NTP timestamp conversion across the whole study window, CoAP option
+// encoding around its length boundaries, and device-catalogue sanity.
+#include <gtest/gtest.h>
+
+#include "analysis/iid_classes.hpp"
+#include "inet/device.hpp"
+#include "net/ipv6.hpp"
+#include "ntp/ntp_packet.hpp"
+#include "proto/coap.hpp"
+#include "util/levenshtein.hpp"
+
+namespace tts {
+namespace {
+
+// ------------------------------------------------- IID class boundaries
+
+struct IidCase {
+  std::uint64_t iid;
+  analysis::IidClass expected;
+};
+
+class IidBoundary : public ::testing::TestWithParam<IidCase> {};
+
+TEST_P(IidBoundary, ClassifiesExactly) {
+  auto addr =
+      net::Ipv6Address::from_halves(0x2400000100000000ULL, GetParam().iid);
+  EXPECT_EQ(analysis::classify_iid(addr), GetParam().expected)
+      << std::hex << GetParam().iid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, IidBoundary,
+    ::testing::Values(
+        IidCase{0x0, analysis::IidClass::kZero},
+        IidCase{0x1, analysis::IidClass::kLastByte},
+        IidCase{0xff, analysis::IidClass::kLastByte},
+        IidCase{0x100, analysis::IidClass::kLastTwoBytes},
+        IidCase{0xffff, analysis::IidClass::kLastTwoBytes},
+        // 0x10000 is past the structured range: entropy path. Seven zero
+        // bytes + one set byte -> low entropy.
+        IidCase{0x10000, analysis::IidClass::kEntropyLow},
+        // EUI-64 marker beats entropy regardless of surrounding bytes.
+        IidCase{0x021a4ffffe000001ULL, analysis::IidClass::kEui64},
+        IidCase{0xfffffffffe123456ULL, analysis::IidClass::kEui64},
+        // Fully random-looking: all-distinct bytes -> high entropy.
+        IidCase{0x0123456789abcdefULL, analysis::IidClass::kEntropyHigh}));
+
+// -------------------------------------- Levenshtein threshold geometry
+
+struct ThresholdCase {
+  const char* a;
+  const char* b;
+  double threshold;
+  bool within;
+};
+
+class LevenshteinThreshold
+    : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(LevenshteinThreshold, MatchesExactComputation) {
+  const auto& p = GetParam();
+  EXPECT_EQ(util::within_normalized_distance(p.a, p.b, p.threshold),
+            p.within)
+      << p.a << " vs " << p.b;
+  // The predicate must agree with the exact normalised distance.
+  double exact = util::normalized_levenshtein(p.a, p.b);
+  EXPECT_EQ(exact <= p.threshold + 1e-12 ||
+                util::within_normalized_distance(p.a, p.b, p.threshold) ==
+                    (exact <= p.threshold),
+            true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LevenshteinThreshold,
+    ::testing::Values(
+        // The paper's 0.25 threshold on typical title pairs.
+        ThresholdCase{"FRITZ!Box 7590", "FRITZ!Box 7530", 0.25, true},
+        ThresholdCase{"FRITZ!Box", "FRITZ!Repeater 6000", 0.25, false},
+        ThresholdCase{"3CX Webclient", "3CX Phone System Mgmt.", 0.25,
+                      false},
+        ThresholdCase{"abcd", "abce", 0.25, true},   // 1/4 edit
+        ThresholdCase{"abcd", "abef", 0.25, false},  // 2/4 edits
+        ThresholdCase{"", "", 0.25, true},
+        ThresholdCase{"x", "", 1.0, true},
+        ThresholdCase{"x", "y", 0.99, false}));
+
+// --------------------------------------- NTP timestamps across the window
+
+class NtpTimestampSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(NtpTimestampSweep, RoundTripsWithinQuantum) {
+  simnet::SimTime t = GetParam();
+  auto ts = ntp::to_ntp_time(t);
+  simnet::SimTime back = ntp::from_ntp_time(ts);
+  EXPECT_NEAR(static_cast<double>(back), static_cast<double>(t), 1.0);
+  // Monotonicity: one microsecond later never maps earlier.
+  auto ts2 = ntp::to_ntp_time(t + 1);
+  EXPECT_GE(ts2.to_u64(), ts.to_u64());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StudyWindow, NtpTimestampSweep,
+    ::testing::Values(simnet::SimTime{0}, simnet::usec(1), simnet::sec(1),
+                      simnet::minutes(90), simnet::hours(13),
+                      simnet::days(1), simnet::days(7), simnet::days(28),
+                      simnet::days(28) + simnet::usec(999999)));
+
+// ----------------------------------- CoAP option length boundary encoding
+
+class CoapSegmentLength : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CoapSegmentLength, RoundTripsAtBoundary) {
+  // Option lengths 12/13/14 cross the extended-length encoding boundary.
+  std::string segment(GetParam(), 's');
+  proto::CoapMessage msg;
+  msg.code = proto::kCoapGet;
+  msg.message_id = 9;
+  msg.uri_path = {segment, "x"};
+  auto parsed = proto::CoapMessage::parse(msg.serialize());
+  ASSERT_TRUE(parsed) << GetParam();
+  ASSERT_EQ(parsed->uri_path.size(), 2u);
+  EXPECT_EQ(parsed->uri_path[0], segment);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, CoapSegmentLength,
+                         ::testing::Values(1, 11, 12, 13, 14, 20, 60));
+
+// ----------------------------------------------- catalogue sanity sweeps
+
+class CatalogueEntry : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CatalogueEntry, ProbabilitiesAndWeightsAreSane) {
+  const auto& p = inet::device_catalogue().at(GetParam());
+  SCOPED_TRACE(p.model);
+
+  auto prob = [&](double v) { EXPECT_GE(v, 0.0); EXPECT_LE(v, 1.0); };
+  EXPECT_GT(p.weight, 0.0);
+  prob(p.http.enabled);
+  prob(p.http.tls);
+  prob(p.ssh.enabled);
+  prob(p.ssh.outdated);
+  prob(p.mqtt.enabled);
+  prob(p.mqtt.tls);
+  prob(p.mqtt.auth);
+  prob(p.amqp.enabled);
+  prob(p.amqp.tls);
+  prob(p.amqp.auth);
+  prob(p.coap.enabled);
+  prob(p.ntp.uses_pool);
+  prob(p.addr.vendor_mac);
+  prob(p.addr.unlisted_oui);
+  prob(p.addr.daily_prefix_change);
+  prob(p.addr.daily_iid_change);
+  prob(p.disc.dns);
+  prob(p.disc.traceroute);
+  EXPECT_GT(p.ntp.mean_interval_hours, 0.0);
+  EXPECT_FALSE(p.model.empty());
+
+  // EUI-64 devices that claim vendor MACs must offer candidate OUIs.
+  if (p.addr.iid == inet::IidMode::kEui64 && p.addr.vendor_mac > 0 &&
+      p.addr.unlisted_oui < 1.0) {
+    EXPECT_FALSE(p.addr.ouis.empty());
+  }
+  // SSH-bearing profiles must reference a real lineage.
+  if (p.ssh.enabled > 0) {
+    EXPECT_FALSE(inet::ssh_version_lineage(p.ssh.os).empty());
+  }
+  // Country multipliers are non-negative.
+  for (const auto& [code, mult] : p.country_mult) EXPECT_GE(mult, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, CatalogueEntry,
+    ::testing::Range<std::size_t>(0, tts::inet::device_catalogue().size()));
+
+}  // namespace
+}  // namespace tts

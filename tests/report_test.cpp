@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace tts::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static Study& study() {
+    static Study* instance = [] {
+      auto config = make_study_config(StudyScale::kTiny);
+      auto* s = new Study(config);
+      s->run();
+      return s;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(ReportTest, BuildsCoherentReport) {
+  StudyReport report = build_report(study());
+
+  EXPECT_GT(report.collected_addresses, 0u);
+  EXPECT_GE(report.ntp_requests, report.collected_addresses);
+  EXPECT_EQ(report.per_server.size(), 11u);
+
+  // Scan summaries carry all five protocol rows.
+  ASSERT_EQ(report.ntp_scans.rows.size(), 5u);
+  ASSERT_EQ(report.hitlist_scans.rows.size(), 5u);
+  EXPECT_EQ(report.ntp_scans.rows[0].protocol, "HTTP");
+  EXPECT_EQ(report.ntp_scans.rows[4].protocol, "CoAP");
+
+  // The headline invariants hold inside the structured report too.
+  EXPECT_GT(report.hitlist_security.secure_share(),
+            report.ntp_security.secure_share());
+  EXPECT_LE(report.ntp_host_bounds.lower, report.ntp_host_bounds.estimate);
+  EXPECT_LE(report.ntp_host_bounds.estimate, report.ntp_host_bounds.upper);
+  EXPECT_GT(report.hit_rate, 0.0);
+  EXPECT_FALSE(report.title_groups.empty());
+}
+
+TEST_F(ReportTest, MarkdownContainsEverySection) {
+  StudyReport report = build_report(study());
+  std::string md = render_markdown(report);
+  for (const char* heading :
+       {"# NTP-based IPv6 scanning", "## Collection", "## Address structure",
+        "## Scans", "## Device types", "## Security", "## Telescope"}) {
+    EXPECT_NE(md.find(heading), std::string::npos) << heading;
+  }
+  // Table syntax sanity: at least a few markdown table rows.
+  std::size_t pipes = 0;
+  for (char c : md)
+    if (c == '|') ++pipes;
+  EXPECT_GT(pipes, 100u);
+}
+
+}  // namespace
+}  // namespace tts::core

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/routing_table.hpp"
+#include "util/rng.hpp"
+
+namespace tts::net {
+namespace {
+
+TEST(RoutingTable, EmptyTable) {
+  RoutingTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_FALSE(table.lookup(*Ipv6Address::parse("2001:db8::1")));
+}
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable table;
+  table.announce(*Ipv6Prefix::parse("2001:db8::/32"), 100);
+  table.announce(*Ipv6Prefix::parse("2001:db8:1::/48"), 200);
+  table.announce(*Ipv6Prefix::parse("2001:db8:1:2::/64"), 300);
+
+  EXPECT_EQ(table.lookup(*Ipv6Address::parse("2001:db8:ffff::1")), 100u);
+  EXPECT_EQ(table.lookup(*Ipv6Address::parse("2001:db8:1:ffff::1")), 200u);
+  EXPECT_EQ(table.lookup(*Ipv6Address::parse("2001:db8:1:2::1")), 300u);
+  EXPECT_FALSE(table.lookup(*Ipv6Address::parse("2001:db9::1")));
+}
+
+TEST(RoutingTable, DefaultRoute) {
+  RoutingTable table;
+  table.announce(*Ipv6Prefix::parse("::/0"), 1);
+  table.announce(*Ipv6Prefix::parse("2400::/12"), 2);
+  EXPECT_EQ(table.lookup(*Ipv6Address::parse("9999::1")), 1u);
+  EXPECT_EQ(table.lookup(*Ipv6Address::parse("2400:1::1")), 2u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RoutingTable, ReplacementKeepsSize) {
+  RoutingTable table;
+  table.announce(*Ipv6Prefix::parse("2001::/16"), 1);
+  table.announce(*Ipv6Prefix::parse("2001::/16"), 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(*Ipv6Address::parse("2001::1")), 2u);
+}
+
+TEST(RoutingTable, EntriesRoundTrip) {
+  RoutingTable table;
+  std::vector<std::pair<Ipv6Prefix, AsNumber>> announced = {
+      {*Ipv6Prefix::parse("2400:10::/32"), 10},
+      {*Ipv6Prefix::parse("2400:20::/32"), 20},
+      {*Ipv6Prefix::parse("2400:10:1::/48"), 11},
+  };
+  for (const auto& [prefix, asn] : announced) table.announce(prefix, asn);
+  auto entries = table.entries();
+  ASSERT_EQ(entries.size(), announced.size());
+  std::sort(announced.begin(), announced.end());
+  EXPECT_EQ(entries, announced);
+}
+
+// Property check: the trie agrees with a brute-force linear oracle on
+// random tables and random lookups.
+TEST(RoutingTable, AgreesWithLinearOracle) {
+  util::Rng rng(1234);
+  RoutingTable table;
+  std::vector<std::pair<Ipv6Prefix, AsNumber>> oracle;
+
+  for (int i = 0; i < 300; ++i) {
+    // Random prefixes in 2400::/12 with lengths 16..64.
+    unsigned len = 16 + static_cast<unsigned>(rng.below(49));
+    Ipv6Address addr = Ipv6Address::from_halves(
+        0x2400000000000000ULL | (rng.next() >> 12), rng.next());
+    Ipv6Prefix prefix(addr, len);
+    auto asn = static_cast<AsNumber>(1000 + i);
+    table.announce(prefix, asn);
+    // Replace duplicates in the oracle the way the trie does.
+    bool replaced = false;
+    for (auto& [p, a] : oracle) {
+      if (p == prefix) {
+        a = asn;
+        replaced = true;
+      }
+    }
+    if (!replaced) oracle.emplace_back(prefix, asn);
+  }
+
+  auto oracle_lookup = [&](const Ipv6Address& a) -> std::optional<AsNumber> {
+    std::optional<AsNumber> best;
+    unsigned best_len = 0;
+    for (const auto& [p, asn] : oracle) {
+      if (p.contains(a) && (!best || p.length() >= best_len)) {
+        if (!best || p.length() > best_len) {
+          best = asn;
+          best_len = p.length();
+        }
+      }
+    }
+    return best;
+  };
+
+  for (int i = 0; i < 2000; ++i) {
+    Ipv6Address probe = Ipv6Address::from_halves(
+        0x2400000000000000ULL | (rng.next() >> 12), rng.next());
+    EXPECT_EQ(table.lookup(probe), oracle_lookup(probe))
+        << probe.to_string();
+    // Also probe addresses inside a random announced prefix to guarantee
+    // positive lookups are covered: mask then OR random host bits.
+    const auto& [p, asn] = oracle[rng.below(oracle.size())];
+    std::uint64_t hi = p.address().hi64();
+    std::uint64_t lo = p.address().lo64();
+    if (p.length() < 64) {
+      std::uint64_t host_mask =
+          p.length() == 0 ? ~0ULL : (~0ULL >> p.length());
+      hi |= rng.next() & host_mask;
+      lo = rng.next();
+    } else if (p.length() < 128) {
+      std::uint64_t host_mask = p.length() == 64
+                                    ? ~0ULL
+                                    : (~0ULL >> (p.length() - 64));
+      lo |= rng.next() & host_mask;
+    }
+    Ipv6Address target = Ipv6Address::from_halves(hi, lo);
+    EXPECT_EQ(table.lookup(target), oracle_lookup(target))
+        << target.to_string();
+  }
+}
+
+TEST(RoutingTable, MoveSemantics) {
+  RoutingTable a;
+  a.announce(*Ipv6Prefix::parse("2001::/16"), 7);
+  RoutingTable b = std::move(a);
+  EXPECT_EQ(b.lookup(*Ipv6Address::parse("2001::1")), 7u);
+}
+
+}  // namespace
+}  // namespace tts::net

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include "simnet/event_queue.hpp"
+#include "simnet/network.hpp"
+
+namespace tts::simnet {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t lo) {
+  return net::Ipv6Address::from_halves(0x2400000100000000ULL, lo);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(sec(3), [&] { order.push_back(3); });
+  q.schedule_at(sec(1), [&] { order.push_back(1); });
+  q.schedule_at(sec(2), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), sec(3));
+}
+
+TEST(EventQueue, TieBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(sec(5), [&order, i] { order.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.schedule_at(sec(10), [] {});
+  q.run();
+  bool ran = false;
+  q.schedule_at(sec(5), [&] { ran = true; });  // in the past now
+  q.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), sec(10));
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(sec(1), [&] { ++count; });
+  q.schedule_at(sec(5), [&] { ++count; });
+  q.run_until(sec(3));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.now(), sec(3));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(sec(10));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), sec(10));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(sec(1), recurse);
+  };
+  q.schedule_in(sec(1), recurse);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueue, FormatDuration) {
+  EXPECT_EQ(format_duration(sec(0)), "00:00:00");
+  EXPECT_EQ(format_duration(hours(1) + minutes(2) + sec(3)), "01:02:03");
+  EXPECT_EQ(format_duration(days(2) + hours(3)), "2d 03:00:00");
+  EXPECT_EQ(format_duration(-sec(5)), "-00:00:05");
+}
+
+// ------------------------------------------------------------------ network
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(events_, config()) {}
+  static NetworkConfig config() {
+    NetworkConfig c;
+    c.min_latency = msec(10);
+    c.max_latency = msec(20);
+    c.jitter = 0;
+    return c;
+  }
+  EventQueue events_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, UdpDeliversToBoundEndpoint) {
+  Endpoint server{addr(1), 9000};
+  Endpoint client{addr(2), 1234};
+  std::vector<std::uint8_t> received;
+  network_.bind_udp(server, [&](const Datagram& dg) {
+    received = dg.payload;
+    EXPECT_EQ(dg.src, client);
+  });
+  network_.send_udp(client, server, {1, 2, 3});
+  events_.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(network_.udp_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, UdpToUnboundIsSilent) {
+  network_.send_udp({addr(2), 1}, {addr(1), 9000}, {1});
+  events_.run();
+  EXPECT_EQ(network_.udp_delivered(), 0u);
+  EXPECT_EQ(network_.udp_sent(), 1u);
+}
+
+TEST_F(NetworkTest, UdpLoss) {
+  NetworkConfig lossy = config();
+  lossy.loss_rate = 1.0;
+  Network drop_net(events_, lossy);
+  bool got = false;
+  drop_net.bind_udp({addr(1), 9000}, [&](const Datagram&) { got = true; });
+  drop_net.send_udp({addr(2), 1}, {addr(1), 9000}, {1});
+  events_.run();
+  EXPECT_FALSE(got);
+}
+
+TEST_F(NetworkTest, TcpConnectRefusedWhenOnlineNoListener) {
+  network_.attach(addr(1));
+  bool called = false;
+  network_.connect_tcp({addr(2), 1}, {addr(1), 22},
+                       [&](TcpConnectionPtr conn, bool refused) {
+                         called = true;
+                         EXPECT_EQ(conn, nullptr);
+                         EXPECT_TRUE(refused);
+                       });
+  events_.run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(NetworkTest, TcpConnectTimesOutWhenOffline) {
+  bool called = false;
+  SimTime start = events_.now();
+  network_.connect_tcp({addr(2), 1}, {addr(1), 22},
+                       [&](TcpConnectionPtr conn, bool refused) {
+                         called = true;
+                         EXPECT_EQ(conn, nullptr);
+                         EXPECT_FALSE(refused);
+                       },
+                       sec(5));
+  events_.run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(events_.now(), start + sec(5));
+}
+
+TEST_F(NetworkTest, TcpFullDuplexExchange) {
+  Endpoint server{addr(1), 7}, client{addr(2), 40000};
+  network_.attach(addr(1));
+  network_.listen_tcp(server, [&](TcpConnectionPtr conn) {
+    conn->set_on_data(TcpConnection::Side::kServer,
+                      [conn](std::vector<std::uint8_t> data) {
+                        data.push_back(0xFF);  // echo + marker
+                        conn->send(TcpConnection::Side::kServer,
+                                   std::move(data));
+                      });
+  });
+  std::vector<std::uint8_t> reply;
+  network_.connect_tcp(client, server,
+                       [&](TcpConnectionPtr conn, bool refused) {
+                         ASSERT_FALSE(refused);
+                         ASSERT_NE(conn, nullptr);
+                         conn->set_on_data(
+                             TcpConnection::Side::kClient,
+                             [&reply](std::vector<std::uint8_t> data) {
+                               reply = std::move(data);
+                             });
+                         conn->send(TcpConnection::Side::kClient, {9, 8});
+                       });
+  events_.run();
+  EXPECT_EQ(reply, (std::vector<std::uint8_t>{9, 8, 0xFF}));
+  EXPECT_EQ(network_.tcp_established(), 1u);
+}
+
+TEST_F(NetworkTest, TcpDataQueuedBeforeCloseStillDelivered) {
+  Endpoint server{addr(1), 80};
+  network_.attach(addr(1));
+  network_.listen_tcp(server, [&](TcpConnectionPtr conn) {
+    conn->set_on_data(TcpConnection::Side::kServer,
+                      [conn](std::vector<std::uint8_t>) {
+                        conn->send(TcpConnection::Side::kServer, {42});
+                        conn->close(TcpConnection::Side::kServer);
+                      });
+  });
+  bool got_data = false, got_close = false;
+  network_.connect_tcp({addr(2), 1}, server,
+                       [&](TcpConnectionPtr conn, bool) {
+                         ASSERT_NE(conn, nullptr);
+                         conn->set_on_data(TcpConnection::Side::kClient,
+                                           [&](std::vector<std::uint8_t> d) {
+                                             got_data = (d[0] == 42);
+                                             EXPECT_FALSE(got_close);
+                                           });
+                         conn->set_on_close(TcpConnection::Side::kClient,
+                                            [&] { got_close = true; });
+                         conn->send(TcpConnection::Side::kClient, {1});
+                       });
+  events_.run();
+  EXPECT_TRUE(got_data);   // the response survived the server's close
+  EXPECT_TRUE(got_close);  // and the close arrived afterwards
+}
+
+TEST_F(NetworkTest, DetachDropsBindingsAndRefcounts) {
+  network_.attach(addr(1));
+  network_.attach(addr(1));  // second claim
+  network_.bind_udp({addr(1), 5}, [](const Datagram&) {});
+  network_.detach(addr(1));
+  EXPECT_TRUE(network_.online(addr(1)));  // still held once
+  network_.detach(addr(1));
+  EXPECT_FALSE(network_.online(addr(1)));
+  // Binding gone: datagram is silent.
+  network_.send_udp({addr(2), 1}, {addr(1), 5}, {1});
+  events_.run();
+  EXPECT_EQ(network_.udp_delivered(), 0u);
+}
+
+TEST_F(NetworkTest, WildcardPrefixListener) {
+  auto region = *net::Ipv6Prefix::parse("2400:1::/32");
+  int accepted = 0;
+  network_.listen_tcp_prefix(region, 80,
+                             [&](TcpConnectionPtr) { ++accepted; });
+  // Any address in the region accepts, without attach or exact bind.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    network_.connect_tcp(
+        {addr(900 + i), 1},
+        {net::Ipv6Address::from_halves(0x2400000100000000ULL | i, i), 80},
+        [&](TcpConnectionPtr conn, bool refused) {
+          EXPECT_NE(conn, nullptr);
+          EXPECT_FALSE(refused);
+        });
+  }
+  events_.run();
+  EXPECT_EQ(accepted, 5);
+  // Different port still refused/blackholed.
+  bool ok = false;
+  network_.connect_tcp({addr(900), 1},
+                       {net::Ipv6Address::from_halves(0x2400000100000000ULL, 7),
+                        443},
+                       [&](TcpConnectionPtr conn, bool) {
+                         ok = (conn == nullptr);
+                       });
+  events_.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(NetworkTest, TapsSeeTrafficToUnboundAddresses) {
+  auto monitored = *net::Ipv6Prefix::parse("2400:1::/32");
+  std::vector<TapEvent> events;
+  network_.add_tap(monitored, [&](const TapEvent& ev) {
+    events.push_back(ev);
+  });
+  // TCP connect attempt to a dark address.
+  network_.connect_tcp({addr(5), 1}, {addr(6), 3389},
+                       [](TcpConnectionPtr, bool) {}, sec(1));
+  // UDP datagram to a dark address.
+  network_.send_udp({addr(5), 1}, {addr(7), 5683}, {1, 2});
+  events_.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].proto, TransportProto::kTcp);
+  EXPECT_EQ(events[0].dst.port, 3389);
+  EXPECT_EQ(events[1].proto, TransportProto::kUdp);
+  EXPECT_EQ(events[1].payload_size, 2u);
+}
+
+TEST_F(NetworkTest, TapRemoval) {
+  auto monitored = *net::Ipv6Prefix::parse("2400:1::/32");
+  int count = 0;
+  auto id = network_.add_tap(monitored, [&](const TapEvent&) { ++count; });
+  network_.send_udp({addr(5), 1}, {addr(7), 1}, {1});
+  events_.run();
+  network_.remove_tap(id);
+  network_.send_udp({addr(5), 1}, {addr(7), 1}, {1});
+  events_.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(NetworkTest, TcpDoubleCloseAndSendAfterCloseAreSafe) {
+  Endpoint server{addr(1), 80};
+  network_.attach(addr(1));
+  int server_closes = 0;
+  network_.listen_tcp(server, [&](TcpConnectionPtr conn) {
+    conn->set_on_close(TcpConnection::Side::kServer,
+                       [&] { ++server_closes; });
+  });
+  TcpConnectionPtr client_conn;
+  network_.connect_tcp({addr(2), 1}, server,
+                       [&](TcpConnectionPtr conn, bool) {
+                         client_conn = conn;
+                       });
+  events_.run();
+  ASSERT_NE(client_conn, nullptr);
+  client_conn->close(TcpConnection::Side::kClient);
+  client_conn->close(TcpConnection::Side::kClient);  // second close: no-op
+  client_conn->send(TcpConnection::Side::kClient, {1});  // dropped
+  events_.run();
+  EXPECT_EQ(server_closes, 1);
+  EXPECT_FALSE(client_conn->open());
+}
+
+TEST_F(NetworkTest, SimultaneousConnectionsAreIndependent) {
+  Endpoint server{addr(1), 7};
+  network_.attach(addr(1));
+  int served = 0;
+  network_.listen_tcp(server, [&](TcpConnectionPtr conn) {
+    conn->set_on_data(TcpConnection::Side::kServer,
+                      [conn, &served](std::vector<std::uint8_t> d) {
+                        ++served;
+                        conn->send(TcpConnection::Side::kServer,
+                                   std::move(d));
+                      });
+  });
+  int replies = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    network_.connect_tcp(
+        {addr(100 + i), static_cast<std::uint16_t>(1000 + i)}, server,
+        [&replies, i](TcpConnectionPtr conn, bool) {
+          ASSERT_NE(conn, nullptr);
+          conn->set_on_data(TcpConnection::Side::kClient,
+                            [&replies, i](std::vector<std::uint8_t> d) {
+                              ASSERT_EQ(d.size(), 1u);
+                              EXPECT_EQ(d[0], static_cast<std::uint8_t>(i));
+                              ++replies;
+                            });
+          conn->send(TcpConnection::Side::kClient,
+                     {static_cast<std::uint8_t>(i)});
+        });
+  }
+  events_.run();
+  EXPECT_EQ(served, 20);
+  EXPECT_EQ(replies, 20);
+}
+
+TEST_F(NetworkTest, UnbindDuringDeliveryIsSafe) {
+  // A UDP handler that unbinds itself while running must not invalidate
+  // the in-flight dispatch.
+  Endpoint ep{addr(3), 9};
+  int received = 0;
+  network_.bind_udp(ep, [&](const Datagram&) {
+    ++received;
+    network_.unbind_udp(ep);
+  });
+  network_.send_udp({addr(4), 1}, ep, {1});
+  network_.send_udp({addr(4), 1}, ep, {2});  // after unbind: silent
+  events_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, LatencyIsDeterministicAndBounded) {
+  auto a = addr(100), b = addr(200);
+  SimDuration l1 = network_.base_latency(a, b);
+  SimDuration l2 = network_.base_latency(b, a);
+  EXPECT_EQ(l1, l2);  // symmetric
+  EXPECT_GE(l1, msec(10));
+  EXPECT_LT(l1, msec(20));
+}
+
+}  // namespace
+}  // namespace tts::simnet

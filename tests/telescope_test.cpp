@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "ntp/ntp_server.hpp"
+#include "telescope/actors.hpp"
+#include "telescope/classifier.hpp"
+#include "telescope/prober.hpp"
+
+namespace tts::telescope {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t lo) {
+  return net::Ipv6Address::from_halves(0x2400003000000000ULL, lo);
+}
+
+class TelescopeTest : public ::testing::Test {
+ protected:
+  TelescopeTest() : network_(events_), registry_(inet::AsRegistry::generate({{}, 2})) {}
+
+  ProberConfig prober_config(simnet::SimDuration duration = simnet::days(2)) {
+    ProberConfig c;
+    c.probe_prefix = *net::Ipv6Prefix::parse("3fff:909:aaaa::/48");
+    c.monitor_prefix = *net::Ipv6Prefix::parse("3fff:909::/32");
+    c.query_interval = simnet::minutes(30);
+    c.duration = duration;
+    return c;
+  }
+
+  simnet::EventQueue events_;
+  simnet::Network network_;
+  inet::AsRegistry registry_;
+  ntp::NtpPool pool_;
+};
+
+TEST_F(TelescopeTest, ProberUsesFreshSourcesAndGetsAnswers) {
+  ntp::NtpServerConfig server_config;
+  server_config.address = addr(1);
+  server_config.country = "DE";
+  ntp::NtpServer server(network_, server_config, nullptr);
+  pool_.add_server({addr(1), "DE", 1000, 20, false, 0});
+
+  PoolProber prober(network_, pool_, prober_config());
+  prober.start();
+  events_.run_until(simnet::days(2) + simnet::minutes(1));
+
+  ASSERT_GT(prober.probes().size(), 50u);
+  EXPECT_GT(prober.answered_share(), 0.95);
+  // Every probe used a distinct source address inside the probe prefix.
+  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> sources;
+  for (const auto& p : prober.probes()) {
+    EXPECT_TRUE(prober_config().probe_prefix.contains(p.source));
+    EXPECT_TRUE(sources.insert(p.source).second);
+    EXPECT_EQ(prober.probe_for(p.source)->server, addr(1));
+  }
+  // NTP responses were filtered out of the capture.
+  EXPECT_TRUE(prober.captures().empty());
+}
+
+TEST_F(TelescopeTest, ActorScansSightedAddressesAndProberMatchesThem) {
+  // Actor-operated pool server.
+  ActorConfig config;
+  config.name = "test-research";
+  config.identifies_itself = true;
+  config.server_addresses = {addr(10)};
+  config.server_country = "DE";
+  config.scan_sources = {addr(20)};
+  config.ports = {22, 80, 443};
+  config.scan_delay_min = simnet::minutes(1);
+  config.scan_delay_max = simnet::minutes(5);
+  config.scan_spread = simnet::minutes(2);
+  ScanningActor actor(network_, pool_, config);
+
+  PoolProber prober(network_, pool_, prober_config());
+  prober.start();
+  events_.run_until(simnet::days(2) + simnet::hours(1));
+
+  EXPECT_GT(actor.sightings(), 10u);
+  EXPECT_GT(actor.probes_sent(), 30u);
+  ASSERT_FALSE(prober.captures().empty());
+
+  auto report = classify_actors(prober, registry_, [&](const net::Ipv6Address& a) {
+    return actor.owns_scan_source(a) ? std::string("research.example")
+                                     : std::string();
+  });
+  ASSERT_EQ(report.actors.size(), 1u);
+  const auto& observed = report.actors[0];
+  EXPECT_EQ(observed.classification, ActorClass::kResearch);
+  EXPECT_TRUE(observed.identified);
+  EXPECT_EQ(observed.ports.size(), 3u);
+  EXPECT_TRUE(observed.ntp_servers.contains(addr(10)));
+  EXPECT_LE(observed.median_delay, simnet::minutes(6));
+  EXPECT_EQ(report.matched_captures, report.total_captures);
+}
+
+TEST_F(TelescopeTest, CovertActorClassifiedCovert) {
+  ActorConfig config;
+  config.identifies_itself = false;
+  config.server_addresses = {addr(30), addr(31)};
+  config.server_country = "DE";
+  config.scan_sources = {addr(40), addr(41)};
+  config.ports = covert_actor_ports();
+  config.scan_delay_min = simnet::hours(10);
+  config.scan_delay_max = simnet::hours(40);
+  config.scan_spread = simnet::days(1);
+  config.port_coverage = 0.6;
+  ScanningActor actor(network_, pool_, config);
+
+  PoolProber prober(network_, pool_, prober_config(simnet::days(4)));
+  prober.start();
+  events_.run_until(simnet::days(6));
+
+  auto report = classify_actors(prober, registry_,
+                                [](const net::Ipv6Address&) { return std::string(); });
+  ASSERT_EQ(report.actors.size(), 1u);
+  const auto& observed = report.actors[0];
+  EXPECT_EQ(observed.classification, ActorClass::kCovert);
+  EXPECT_FALSE(observed.identified);
+  EXPECT_GE(observed.median_delay, simnet::hours(6));
+  // Both scan sources clustered into one actor via shared servers.
+  EXPECT_EQ(observed.scan_sources.size(), 2u);
+  EXPECT_EQ(observed.ntp_servers.size(), 2u);
+  // Covert port set only.
+  for (std::uint16_t port : observed.ports) {
+    auto ports = covert_actor_ports();
+    EXPECT_NE(std::find(ports.begin(), ports.end(), port), ports.end());
+  }
+}
+
+TEST_F(TelescopeTest, TwoActorsSeparateCleanly) {
+  ActorConfig overt;
+  overt.name = "research";
+  overt.identifies_itself = true;
+  overt.server_addresses = {addr(50)};
+  overt.server_country = "DE";
+  overt.scan_sources = {addr(60)};
+  overt.ports = {22, 80};
+  overt.scan_delay_min = simnet::minutes(1);
+  overt.scan_delay_max = simnet::minutes(10);
+  overt.scan_spread = simnet::minutes(5);
+  ScanningActor research(network_, pool_, overt);
+
+  ActorConfig covert;
+  covert.identifies_itself = false;
+  covert.server_addresses = {addr(51)};
+  covert.server_country = "DE";
+  covert.scan_sources = {addr(61)};
+  covert.ports = covert_actor_ports();
+  covert.scan_delay_min = simnet::hours(12);
+  covert.scan_delay_max = simnet::hours(48);
+  covert.scan_spread = simnet::days(1);
+  covert.port_coverage = 0.7;
+  ScanningActor hidden(network_, pool_, covert);
+
+  PoolProber prober(network_, pool_, prober_config(simnet::days(5)));
+  prober.start();
+  events_.run_until(simnet::days(8));
+
+  auto report = classify_actors(
+      prober, registry_, [&](const net::Ipv6Address& a) {
+        return research.owns_scan_source(a) ? std::string("research.example")
+                                            : std::string();
+      });
+  ASSERT_EQ(report.actors.size(), 2u);
+  int research_count = 0, covert_count = 0;
+  for (const auto& observed : report.actors) {
+    if (observed.classification == ActorClass::kResearch) ++research_count;
+    if (observed.classification == ActorClass::kCovert) ++covert_count;
+  }
+  EXPECT_EQ(research_count, 1);
+  EXPECT_EQ(covert_count, 1);
+}
+
+TEST_F(TelescopeTest, ResearchPortListHas1011Entries) {
+  auto ports = research_actor_ports();
+  EXPECT_EQ(ports.size(), 1011u);
+  EXPECT_NE(std::find(ports.begin(), ports.end(), 179), ports.end());  // BGP
+  EXPECT_NE(std::find(ports.begin(), ports.end(), 5432), ports.end()); // PG
+  EXPECT_NE(std::find(ports.begin(), ports.end(), 21), ports.end());   // FTP
+  EXPECT_EQ(covert_actor_ports().size(), 10u);
+}
+
+}  // namespace
+}  // namespace tts::telescope
