@@ -23,10 +23,19 @@ inline core::StudyScale bench_scale() {
   return core::StudyScale::kSmall;
 }
 
+/// Metrics epilogue (heartbeat timeline + final metrics + spans) after the
+/// shared study; set TTS_BENCH_METRICS=0 to suppress it.
+inline bool bench_metrics_enabled() {
+  const char* env = std::getenv("TTS_BENCH_METRICS");
+  return !(env && std::string(env) == "0");
+}
+
 /// Run the standard study once (shared by the whole binary).
 inline core::Study& shared_study() {
   static core::Study* study = [] {
-    auto* s = new core::Study(core::make_study_config(bench_scale()));
+    auto config = core::make_study_config(bench_scale());
+    config.obs.enabled = bench_metrics_enabled();
+    auto* s = new core::Study(std::move(config));
     std::cerr << "[bench] running study (scale="
               << (bench_scale() == core::StudyScale::kTiny     ? "tiny"
                   : bench_scale() == core::StudyScale::kMedium ? "medium"
@@ -37,6 +46,10 @@ inline core::Study& shared_study() {
               << " events, "
               << s->collector().distinct_addresses()
               << " addresses collected\n";
+    if (s->config().obs.enabled)
+      std::cerr << "\n[bench] observability epilogue "
+                   "(TTS_BENCH_METRICS=0 to silence)\n"
+                << s->observability_report() << "\n";
     return s;
   }();
   return *study;

@@ -1,10 +1,14 @@
 // Microbenchmarks for the hot primitives: address codec, LPM trie, NTP and
-// CoAP wire codecs, Levenshtein grouping, RNG, and the event queue.
+// CoAP wire codecs, Levenshtein grouping, RNG, the event queue, and the
+// obs instruments riding on every hot path.
 #include <benchmark/benchmark.h>
 
+#include "core/study.hpp"
 #include "net/ipv6.hpp"
 #include "net/routing_table.hpp"
 #include "ntp/ntp_packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/coap.hpp"
 #include "proto/mqtt.hpp"
 #include "simnet/event_queue.hpp"
@@ -105,5 +109,68 @@ static void BM_EventQueueChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueChurn);
+
+// ---- obs hot-path overhead -------------------------------------------
+// Every pipeline counter is one of these increments; the acceptance bar is
+// that they stay in the few-nanosecond range so the always-on instruments
+// cost nothing measurable at study scale.
+
+static void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+static void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Histogram hist{obs::Histogram::exponential(1000, 4.0, 14)};
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    hist.record(v);
+    v = (v * 5 + 3) % 100000000;  // walk across the buckets
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+static void BM_TracerSpan(benchmark::State& state) {
+  simnet::EventQueue events;
+  obs::Tracer tracer(1024);
+  tracer.set_sim_clock(&events);
+  for (auto _ : state) {
+    auto span = tracer.span("bench");
+    benchmark::DoNotOptimize(span);
+  }
+  benchmark::DoNotOptimize(tracer.completed());
+}
+BENCHMARK(BM_TracerSpan);
+
+static void BM_TracerSpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer(1024);
+  tracer.set_enabled(false);
+  for (auto _ : state) {
+    auto span = tracer.span("bench");
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_TracerSpanDisabled);
+
+// Full-pipeline regression check: a kTiny study with the obs block off vs
+// on (dispatch timing, probe spans, daily heartbeat). The acceptance bar
+// is < 5% wall-clock between the two.
+static void BM_TinyStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    auto config = core::make_study_config(core::StudyScale::kTiny);
+    config.obs.enabled = state.range(0) != 0;
+    core::Study study(std::move(config));
+    study.run();
+    benchmark::DoNotOptimize(study.events_executed());
+  }
+}
+BENCHMARK(BM_TinyStudy)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 BENCHMARK_MAIN();

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/export.hpp"
+
 namespace tts::core {
 
 StudyConfig make_study_config(StudyScale scale) {
@@ -36,9 +38,21 @@ StudyConfig make_study_config(StudyScale scale) {
 }
 
 Study::Study(StudyConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      tracer_(config_.obs.trace_capacity),
+      collector_(&metrics_) {
   if (config_.server_countries.empty())
     config_.server_countries = ntp::deployment_countries();
+  tracer_.set_sim_clock(&events_);
+  tracer_.set_enabled(config_.obs.enabled);
+  // The accessor-backing instruments are always enrolled (enrolment is a
+  // cold path); obs.enabled only adds wall-clock work on hot paths.
+  events_.attach_metrics(metrics_, {}, /*time_dispatch=*/config_.obs.enabled);
+  // Sampling keeps the dispatch histogram's wall-clock reads off most
+  // events (two clock reads per timed dispatch dominate the obs cost).
+  events_.set_dispatch_sampling(64);
+  pool_.set_registry(&metrics_);
 }
 
 Study::~Study() = default;
@@ -111,6 +125,7 @@ void Study::build_telescope() {
   prober_config.monitor_prefix = monitor_prefix;
   prober_config.duration = config_.runtime.duration;
   prober_config.seed = rng_.stream("prober").root_seed();
+  prober_config.registry = &metrics_;
   prober_ = std::make_unique<telescope::PoolProber>(*network_, pool_,
                                                     prober_config);
 
@@ -189,15 +204,21 @@ void Study::run() {
   net_config.seed = rng_.stream("network").root_seed();
   network_ = std::make_unique<simnet::Network>(events_, net_config);
 
-  inet::AsRegistryConfig reg_config;
-  reg_config.seed = rng_.stream("registry").root_seed();
-  registry_ = inet::AsRegistry::generate(reg_config);
+  {
+    auto span = tracer_.span("study/build_internet");
+    inet::AsRegistryConfig reg_config;
+    reg_config.seed = rng_.stream("registry").root_seed();
+    registry_ = inet::AsRegistry::generate(reg_config);
 
-  inet::PopulationConfig pop_config = config_.population;
-  pop_config.seed = rng_.stream("population").root_seed();
-  population_ = inet::Population::generate(*registry_, pop_config);
+    inet::PopulationConfig pop_config = config_.population;
+    pop_config.seed = rng_.stream("population").root_seed();
+    population_ = inet::Population::generate(*registry_, pop_config);
+  }
 
-  build_pool();
+  {
+    auto span = tracer_.span("study/build_pool");
+    build_pool();
+  }
 
   eui64_.attach(collector_);
 
@@ -207,6 +228,8 @@ void Study::run() {
     engine.dataset = scan::Dataset::kNtp;
     engine.max_pps = config_.scan_pps;
     engine.seed = rng_.stream("ntp-engine").root_seed();
+    engine.registry = &metrics_;
+    engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
     ntp_engine_ =
         std::make_unique<scan::ScanEngine>(*network_, results_, engine);
     collector_.subscribe([this](const ntp::CollectedAddress& rec) {
@@ -228,6 +251,7 @@ void Study::run() {
       std::max<simnet::SimTime>(0, config_.hitlist_scan_start -
                                        simnet::days(2));
   events_.schedule_at(hitlist_build_at, [this] {
+    auto span = tracer_.span("study/hitlist_build");
     hitlist_ = hitlist::HitlistBuilder::build(*population_, runtime_.get(),
                                               config_.hitlist);
   });
@@ -238,6 +262,8 @@ void Study::run() {
     engine.dataset = scan::Dataset::kHitlist;
     engine.max_pps = config_.scan_pps;
     engine.seed = rng_.stream("hitlist-engine").root_seed();
+    engine.registry = &metrics_;
+    engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
     hitlist_engine_ =
         std::make_unique<scan::ScanEngine>(*network_, results_, engine);
     events_.schedule_at(config_.hitlist_scan_start, [this] {
@@ -250,7 +276,22 @@ void Study::run() {
     prober_->start();
   }
 
-  events_.run_until(config_.runtime.duration + config_.drain);
+  simnet::SimTime horizon = config_.runtime.duration + config_.drain;
+  if (config_.obs.enabled) {
+    obs::HeartbeatConfig hb;
+    hb.interval = config_.obs.heartbeat_interval;
+    hb.until = horizon;
+    hb.max_snapshots = config_.obs.max_snapshots;
+    heartbeat_ = std::make_unique<obs::Heartbeat>(events_, metrics_, hb);
+    heartbeat_->snap_now();  // t=0 baseline row
+    heartbeat_->start();
+  }
+
+  {
+    auto span = tracer_.span("study/event_loop");
+    events_.run_until(horizon);
+  }
+  if (heartbeat_) heartbeat_->snap_now();  // final end-of-run reading
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Study::per_server_counts()
@@ -290,7 +331,39 @@ telescope::ClassifierReport Study::telescope_report() const {
       return "research-scan.our-study.example";
     return "";
   };
-  return telescope::classify_actors(*prober_, *registry_, identity);
+  return telescope::classify_actors(*prober_, *registry_, identity,
+                                    &tracer_);
+}
+
+std::vector<std::string> Study::timeline_columns() {
+  return {"ntp_requests",
+          "ntp_distinct_addresses",
+          "scan_probes_launched{dataset=ntp}",
+          "scan_probes_completed{dataset=ntp}",
+          "scan_probes_launched{dataset=hitlist}",
+          "telescope_queries",
+          "telescope_captures",
+          "simnet_events_executed"};
+}
+
+std::string Study::observability_report() const {
+  std::string out;
+  if (heartbeat_) {
+    out += obs::timeline_table(heartbeat_->timeline(), timeline_columns(),
+                               "heartbeat timeline (per virtual " +
+                                   simnet::format_duration(
+                                       config_.obs.heartbeat_interval) +
+                                   ")")
+               .to_string();
+    out += "\n";
+  }
+  out += obs::to_table(metrics_.snapshot(events_.now()), "final metrics")
+             .to_string();
+  if (!tracer_.stats().empty()) {
+    out += "\n";
+    out += obs::span_table(tracer_, "pipeline spans").to_string();
+  }
+  return out;
 }
 
 }  // namespace tts::core

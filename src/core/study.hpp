@@ -23,6 +23,9 @@
 #include "ntp/collector.hpp"
 #include "ntp/ntp_server.hpp"
 #include "ntp/pool.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scan/engine.hpp"
 #include "scan/results.hpp"
 #include "simnet/event_queue.hpp"
@@ -33,8 +36,23 @@
 
 namespace tts::core {
 
+/// Opt-in observability for a study run. The metrics registry and the
+/// accessor-backing instruments are always live (they cost one atomic add
+/// on their hot paths); `enabled` additionally turns on the wall-clock
+/// dispatch histogram, span tracing, and the heartbeat timeline.
+struct ObservabilityConfig {
+  bool enabled = false;
+  /// Virtual time between heartbeat snapshots.
+  simnet::SimDuration heartbeat_interval = simnet::hours(24);
+  std::size_t max_snapshots = 4096;
+  /// Completed-span ring capacity (aggregates cover all spans regardless).
+  std::size_t trace_capacity = 4096;
+};
+
 struct StudyConfig {
   std::uint64_t seed = 20240720;
+
+  ObservabilityConfig obs;
 
   inet::PopulationConfig population;
   inet::RuntimeConfig runtime;
@@ -118,6 +136,19 @@ class Study {
 
   std::uint64_t events_executed() const { return events_.executed(); }
 
+  // ---- observability ----
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// Heartbeat timeline (nullptr unless config().obs.enabled).
+  const obs::Heartbeat* heartbeat() const { return heartbeat_.get(); }
+
+  /// Full human-readable report: final metrics table, heartbeat timeline
+  /// (when enabled) and span aggregates.
+  std::string observability_report() const;
+  /// The key per-day progress columns the timeline table shows.
+  static std::vector<std::string> timeline_columns();
+
  private:
   void build_pool();
   void build_telescope();
@@ -126,6 +157,12 @@ class Study {
 
   StudyConfig config_;
   util::Rng rng_;
+
+  // Declared before every instrumented component so the registry outlives
+  // them all (members destroy in reverse order): a component's destructor
+  // may drop its instruments from a still-live registry.
+  obs::Registry metrics_;
+  mutable obs::Tracer tracer_;
 
   simnet::EventQueue events_;
   std::unique_ptr<simnet::Network> network_;
@@ -148,6 +185,8 @@ class Study {
 
   std::unique_ptr<telescope::PoolProber> prober_;
   std::vector<std::unique_ptr<telescope::ScanningActor>> actors_;
+
+  std::unique_ptr<obs::Heartbeat> heartbeat_;
 
   std::uint32_t next_infra_ = 1;
   bool ran_ = false;

@@ -1,13 +1,35 @@
 #include "ntp/collector.hpp"
 
+#include "util/format.hpp"
+
 namespace tts::ntp {
+
+AddressCollector::AddressCollector(obs::Registry* registry)
+    : registry_(registry) {
+  if (!registry_) return;
+  registry_->enroll(requests_, "ntp_requests", {}, this);
+  registry_->enroll(distinct_, "ntp_distinct_addresses", {}, this);
+  registry_->enroll(dedup_hits_, "ntp_dedup_hits", {}, this);
+}
+
+AddressCollector::~AddressCollector() {
+  if (registry_) registry_->drop_owner(this);
+}
 
 bool AddressCollector::record(const net::Ipv6Address& addr, ServerId server,
                               simnet::SimTime at) {
-  ++total_requests_;
+  requests_.inc();
   auto [it, inserted] = addresses_.insert(addr);
-  if (!inserted) return false;
-  ++per_server_[server];
+  if (!inserted) {
+    dedup_hits_.inc();
+    return false;
+  }
+  distinct_.inc();
+  auto [sit, fresh] = per_server_.try_emplace(server);
+  if (fresh && registry_)
+    registry_->enroll(sit->second, "ntp_server_distinct",
+                      {{"server", util::cat(server)}}, this);
+  sit->second.inc();
   ++daily_new_[at / simnet::days(1)];
   CollectedAddress rec{addr, server, at};
   for (const auto& fn : subscribers_) fn(rec);
@@ -16,7 +38,7 @@ bool AddressCollector::record(const net::Ipv6Address& addr, ServerId server,
 
 std::uint64_t AddressCollector::server_distinct(ServerId server) const {
   auto it = per_server_.find(server);
-  return it == per_server_.end() ? 0 : it->second;
+  return it == per_server_.end() ? 0 : it->second.value();
 }
 
 std::vector<net::Ipv6Address> AddressCollector::snapshot() const {

@@ -3,6 +3,10 @@
 // collecting server (Table 7, Figure 4), keeps a per-day timeline, and
 // feeds subscribers in real time — the scan engine subscribes so scans
 // start while collection is still running, exactly as in Section 4.1.
+//
+// All counts live in obs instruments (requests, dedup hits, distinct
+// total, per-server distinct); the accessors below read those same cells,
+// and passing a Registry exports them without any parallel bookkeeping.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "net/ipv6.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/time.hpp"
 #include "util/stats.hpp"
 
@@ -32,14 +37,25 @@ class AddressCollector {
   /// Subscribers run synchronously on first sight of a new address.
   using NewAddressFn = std::function<void(const CollectedAddress&)>;
 
+  /// With a registry, all collection instruments (including the lazily
+  /// created per-server counters) are exported. The registry must outlive
+  /// the collector.
+  explicit AddressCollector(obs::Registry* registry = nullptr);
+  ~AddressCollector();
+  AddressCollector(const AddressCollector&) = delete;
+  AddressCollector& operator=(const AddressCollector&) = delete;
+
   /// Record a sighting. Returns true if the address was new.
   bool record(const net::Ipv6Address& addr, ServerId server,
               simnet::SimTime at);
 
   void subscribe(NewAddressFn fn) { subscribers_.push_back(std::move(fn)); }
 
-  std::uint64_t total_requests() const { return total_requests_; }
+  std::uint64_t total_requests() const { return requests_.value(); }
   std::uint64_t distinct_addresses() const { return addresses_.size(); }
+  /// Requests whose source address had been seen before (dedup rate =
+  /// dedup_hits / total_requests).
+  std::uint64_t dedup_hits() const { return dedup_hits_.value(); }
   std::uint64_t server_distinct(ServerId server) const;
 
   /// Distinct addresses first seen on each day (day = floor(t / 1 day)).
@@ -57,10 +73,14 @@ class AddressCollector {
 
  private:
   std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addresses_;
-  std::unordered_map<ServerId, std::uint64_t> per_server_;
+  // Node-based map keeps counter addresses stable across rehashes.
+  std::unordered_map<ServerId, obs::Counter> per_server_;
   std::unordered_map<std::int64_t, std::uint64_t> daily_new_;
   std::vector<NewAddressFn> subscribers_;
-  std::uint64_t total_requests_ = 0;
+  obs::Counter requests_;
+  obs::Counter distinct_;
+  obs::Counter dedup_hits_;
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace tts::ntp

@@ -2,11 +2,39 @@
 
 #include <algorithm>
 
+#include "util/format.hpp"
+
 namespace tts::ntp {
+
+NtpPool::~NtpPool() {
+  if (registry_) registry_->drop_owner(this);
+}
+
+void NtpPool::set_registry(obs::Registry* registry) {
+  if (registry_ == registry) return;
+  if (registry_) registry_->drop_owner(this);
+  registry_ = registry;
+  if (!registry_) return;
+  registry_->enroll(resolve_total_, "pool_resolve_total", {}, this);
+  registry_->enroll(resolve_fallback_, "pool_resolve_fallback", {}, this);
+  for (std::size_t i = 0; i < servers_.size(); ++i) enroll_server(i);
+}
+
+void NtpPool::enroll_server(std::size_t index) {
+  if (!registry_) return;
+  const PoolEntry& s = servers_[index];
+  registry_->enroll(selections_[index], "pool_selections",
+                    {{"zone", s.country},
+                     {"server", util::cat(index)},
+                     {"ours", s.ours ? "1" : "0"}},
+                    this);
+}
 
 void NtpPool::add_server(PoolEntry entry) {
   zones_[entry.country].push_back(servers_.size());
   servers_.push_back(std::move(entry));
+  selections_.emplace_back();
+  enroll_server(servers_.size() - 1);
 }
 
 void NtpPool::withdraw(const net::Ipv6Address& address) {
@@ -34,19 +62,23 @@ std::vector<std::size_t> NtpPool::eligible_in_zone(
   return out;
 }
 
-const PoolEntry* NtpPool::pick_from(const std::vector<std::size_t>& zone,
-                                    util::Rng& rng) const {
-  if (zone.empty()) return nullptr;
+std::optional<std::size_t> NtpPool::pick_from(
+    const std::vector<std::size_t>& zone, util::Rng& rng) const {
+  if (zone.empty()) return std::nullopt;
   std::vector<double> weights;
   weights.reserve(zone.size());
   for (std::size_t i : zone) weights.push_back(servers_[i].netspeed);
-  return &servers_[zone[rng.pick_weighted(weights)]];
+  std::size_t index = zone[rng.pick_weighted(weights)];
+  selections_[index].inc();
+  return index;
 }
 
 std::optional<net::Ipv6Address> NtpPool::resolve(const std::string& country,
                                                  util::Rng& rng) const {
+  resolve_total_.inc();
   auto zone = eligible_in_zone(country);
   if (zone.empty()) {
+    resolve_fallback_.inc();
     // Continent-zone fallback: eligible servers in any country sharing the
     // client's continent.
     std::string_view continent = continent_of(country);
@@ -57,20 +89,20 @@ std::optional<net::Ipv6Address> NtpPool::resolve(const std::string& country,
             continent_of(servers_[i].country) == continent)
           regional.push_back(i);
       }
-      if (const PoolEntry* pick = pick_from(regional, rng))
-        return pick->address;
+      if (auto pick = pick_from(regional, rng))
+        return servers_[*pick].address;
     }
     // Global-zone fallback: every eligible server worldwide.
     std::vector<std::size_t> all;
     for (std::size_t i = 0; i < servers_.size(); ++i)
       if (servers_[i].monitor_score >= kRotationThreshold) all.push_back(i);
-    const PoolEntry* pick = pick_from(all, rng);
+    auto pick = pick_from(all, rng);
     if (!pick) return std::nullopt;
-    return pick->address;
+    return servers_[*pick].address;
   }
-  const PoolEntry* pick = pick_from(zone, rng);
+  auto pick = pick_from(zone, rng);
   if (!pick) return std::nullopt;
-  return pick->address;
+  return servers_[*pick].address;
 }
 
 double NtpPool::our_zone_share(const std::string& country) const {

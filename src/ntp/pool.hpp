@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +19,7 @@
 
 #include "net/ipv6.hpp"
 #include "ntp/collector.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace tts::ntp {
@@ -36,6 +38,16 @@ class NtpPool {
   /// Servers with a monitor score below this are not handed to clients
   /// (the pool uses 10).
   static constexpr int kRotationThreshold = 10;
+
+  NtpPool() = default;
+  ~NtpPool();
+  NtpPool(const NtpPool&) = delete;
+  NtpPool& operator=(const NtpPool&) = delete;
+
+  /// Export per-server selection counters ("pool_selections{zone=..}") and
+  /// the resolve totals. Servers already added are enrolled retroactively.
+  /// The registry must outlive the pool.
+  void set_registry(obs::Registry* registry);
 
   void add_server(PoolEntry entry);
   /// Stop advertising a server (it stays resolvable until removed by the
@@ -61,13 +73,31 @@ class NtpPool {
   /// True when the zone has at least one rotation-eligible server.
   bool zone_populated(const std::string& country) const;
 
+  /// Times resolve() handed out server `index` (parallel to servers()).
+  std::uint64_t selections(std::size_t index) const {
+    return index < selections_.size() ? selections_[index].value() : 0;
+  }
+  std::uint64_t resolve_calls() const { return resolve_total_.value(); }
+  /// resolve() calls satisfied by the continent/global fallback.
+  std::uint64_t resolve_fallbacks() const {
+    return resolve_fallback_.value();
+  }
+
  private:
-  const PoolEntry* pick_from(const std::vector<std::size_t>& zone,
-                             util::Rng& rng) const;
+  /// Netspeed-weighted pick; returns an index into servers_, or nullopt.
+  std::optional<std::size_t> pick_from(const std::vector<std::size_t>& zone,
+                                       util::Rng& rng) const;
   std::vector<std::size_t> eligible_in_zone(const std::string& country) const;
+  void enroll_server(std::size_t index);
 
   std::vector<PoolEntry> servers_;
   std::unordered_map<std::string, std::vector<std::size_t>> zones_;
+  // Deque keeps counter addresses stable as servers are appended; mutable
+  // because resolve() is logically const but counts its selections.
+  mutable std::deque<obs::Counter> selections_;
+  mutable obs::Counter resolve_total_;
+  mutable obs::Counter resolve_fallback_;
+  obs::Registry* registry_ = nullptr;
 };
 
 /// The 11 deployment countries of Section 3.1 in the paper's order of

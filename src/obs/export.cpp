@@ -1,0 +1,372 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+
+#include "simnet/time.hpp"
+#include "util/format.hpp"
+
+namespace tts::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string histogram_detail(const SnapshotValue& v) {
+  if (v.count == 0) return "(empty)";
+  // Percentiles off the bucket edges, same rule as Histogram::percentile.
+  auto pct = [&](double p) -> std::int64_t {
+    auto rank = static_cast<std::uint64_t>(p * static_cast<double>(v.count));
+    if (rank == 0) rank = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < v.bucket_counts.size(); ++i) {
+      cum += v.bucket_counts[i];
+      if (cum >= rank) return i < v.bounds.size() ? v.bounds[i] : v.max;
+    }
+    return v.max;
+  };
+  double mean =
+      static_cast<double>(v.value) / static_cast<double>(v.count);
+  return util::cat("mean=", util::fixed(mean, 1), " p50<=", pct(0.5),
+                   " p95<=", pct(0.95), " max=", v.max);
+}
+
+// ------------------------------------------------- minimal JSON reading
+// Just enough for what to_jsonl emits: flat objects with string keys,
+// string / integer / string-map / integer-array values.
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+};
+
+std::string parse_string(Cursor& c) {
+  std::string out;
+  if (!c.eat('"')) return out;
+  while (c.p < c.end && *c.p != '"') {
+    if (*c.p == '\\' && c.p + 1 < c.end) ++c.p;
+    out += *c.p++;
+  }
+  if (!c.eat('"')) c.ok = false;
+  return out;
+}
+
+std::int64_t parse_int(Cursor& c) {
+  c.skip_ws();
+  bool neg = false;
+  if (c.p < c.end && *c.p == '-') {
+    neg = true;
+    ++c.p;
+  }
+  if (c.p >= c.end || !std::isdigit(static_cast<unsigned char>(*c.p))) {
+    c.ok = false;
+    return 0;
+  }
+  std::int64_t v = 0;
+  while (c.p < c.end && std::isdigit(static_cast<unsigned char>(*c.p)))
+    v = v * 10 + (*c.p++ - '0');
+  return neg ? -v : v;
+}
+
+Labels parse_labels(Cursor& c) {
+  Labels out;
+  if (!c.eat('{')) return out;
+  if (c.peek('}')) {
+    c.eat('}');
+    return out;
+  }
+  do {
+    std::string key = parse_string(c);
+    if (!c.eat(':')) break;
+    std::string value = parse_string(c);
+    out.emplace_back(std::move(key), std::move(value));
+  } while (c.ok && c.eat(','));
+  c.ok = true;  // the failed ',' probe above is how the loop ends
+  c.eat('}');
+  return out;
+}
+
+template <typename T>
+std::vector<T> parse_int_array(Cursor& c) {
+  std::vector<T> out;
+  if (!c.eat('[')) return out;
+  if (c.peek(']')) {
+    c.eat(']');
+    return out;
+  }
+  do {
+    out.push_back(static_cast<T>(parse_int(c)));
+  } while (c.ok && c.eat(','));
+  c.ok = true;
+  c.eat(']');
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- table
+
+util::TextTable to_table(const RegistrySnapshot& snapshot,
+                         std::string title) {
+  util::TextTable table(std::move(title));
+  table.set_header({"instrument", "kind", "value", "detail"},
+                   {util::Align::kLeft, util::Align::kLeft,
+                    util::Align::kRight, util::Align::kLeft});
+  for (const auto& v : snapshot.values) {
+    switch (v.kind) {
+      case Kind::kCounter:
+        table.add_row({v.full_name(), "counter", util::grouped(v.count), ""});
+        break;
+      case Kind::kGauge:
+        table.add_row({v.full_name(), "gauge", util::grouped(v.value), ""});
+        break;
+      case Kind::kHistogram:
+        table.add_row({v.full_name(), "histogram", util::grouped(v.count),
+                       histogram_detail(v)});
+        break;
+    }
+  }
+  table.add_note(util::cat("snapshot at virtual t = ",
+                           simnet::format_duration(snapshot.at)));
+  return table;
+}
+
+// ----------------------------------------------------------------- jsonl
+
+std::string to_jsonl(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& v : snapshot.values) {
+    out += util::cat("{\"at\":", snapshot.at, ",\"name\":");
+    append_json_string(out, v.name);
+    out += ",\"labels\":{";
+    for (std::size_t i = 0; i < v.labels.size(); ++i) {
+      if (i) out += ',';
+      append_json_string(out, v.labels[i].first);
+      out += ':';
+      append_json_string(out, v.labels[i].second);
+    }
+    out += util::cat("},\"kind\":\"", to_string(v.kind), "\"");
+    switch (v.kind) {
+      case Kind::kCounter:
+        out += util::cat(",\"value\":", v.count);
+        break;
+      case Kind::kGauge:
+        out += util::cat(",\"value\":", v.value);
+        break;
+      case Kind::kHistogram: {
+        out += util::cat(",\"count\":", v.count, ",\"sum\":", v.value,
+                         ",\"min\":", v.min, ",\"max\":", v.max,
+                         ",\"bounds\":[");
+        for (std::size_t i = 0; i < v.bounds.size(); ++i)
+          out += util::cat(i ? "," : "", v.bounds[i]);
+        out += "],\"counts\":[";
+        for (std::size_t i = 0; i < v.bucket_counts.size(); ++i)
+          out += util::cat(i ? "," : "", v.bucket_counts[i]);
+        out += "]";
+        break;
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::optional<RegistrySnapshot> parse_jsonl(const std::string& text) {
+  RegistrySnapshot snap;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol == pos) {
+      ++pos;
+      continue;
+    }
+    Cursor c{text.data() + pos, text.data() + eol};
+    pos = eol + 1;
+
+    SnapshotValue v;
+    std::string kind;
+    if (!c.eat('{')) return std::nullopt;
+    do {
+      std::string key = parse_string(c);
+      if (!c.eat(':')) return std::nullopt;
+      if (key == "at") {
+        snap.at = parse_int(c);
+      } else if (key == "name") {
+        v.name = parse_string(c);
+      } else if (key == "labels") {
+        v.labels = parse_labels(c);
+      } else if (key == "kind") {
+        kind = parse_string(c);
+      } else if (key == "value") {
+        std::int64_t raw = parse_int(c);
+        v.value = raw;
+        v.count = static_cast<std::uint64_t>(raw < 0 ? 0 : raw);
+      } else if (key == "count") {
+        v.count = static_cast<std::uint64_t>(parse_int(c));
+      } else if (key == "sum") {
+        v.value = parse_int(c);
+      } else if (key == "min") {
+        v.min = parse_int(c);
+      } else if (key == "max") {
+        v.max = parse_int(c);
+      } else if (key == "bounds") {
+        v.bounds = parse_int_array<std::int64_t>(c);
+      } else if (key == "counts") {
+        v.bucket_counts = parse_int_array<std::uint64_t>(c);
+      } else {
+        return std::nullopt;
+      }
+      if (!c.ok) return std::nullopt;
+    } while (c.eat(','));
+    c.ok = true;
+    if (!c.eat('}')) return std::nullopt;
+
+    if (kind == "counter") {
+      v.kind = Kind::kCounter;
+      v.value = 0;
+    } else if (kind == "gauge") {
+      v.kind = Kind::kGauge;
+      v.count = 0;
+    } else if (kind == "histogram") {
+      v.kind = Kind::kHistogram;
+    } else {
+      return std::nullopt;
+    }
+    snap.values.push_back(std::move(v));
+  }
+  return snap;
+}
+
+// ------------------------------------------------------------ prometheus
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  auto labels_text = [](const Labels& labels,
+                        const std::string& extra = {}) -> std::string {
+    if (labels.empty() && extra.empty()) return "";
+    std::string s = "{";
+    bool first = true;
+    for (const auto& [k, val] : labels) {
+      if (!first) s += ',';
+      first = false;
+      s += util::cat(k, "=\"", val, "\"");
+    }
+    if (!extra.empty()) {
+      if (!first) s += ',';
+      s += extra;
+    }
+    s += '}';
+    return s;
+  };
+  std::string last_typed;
+  for (const auto& v : snapshot.values) {
+    if (v.name != last_typed) {
+      out += util::cat("# TYPE ", v.name, " ", to_string(v.kind), "\n");
+      last_typed = v.name;
+    }
+    switch (v.kind) {
+      case Kind::kCounter:
+        out += util::cat(v.name, labels_text(v.labels), " ", v.count, "\n");
+        break;
+      case Kind::kGauge:
+        out += util::cat(v.name, labels_text(v.labels), " ", v.value, "\n");
+        break;
+      case Kind::kHistogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < v.bucket_counts.size(); ++i) {
+          cum += v.bucket_counts[i];
+          std::string le =
+              i < v.bounds.size() ? util::cat("le=\"", v.bounds[i], "\"")
+                                  : std::string("le=\"+Inf\"");
+          out += util::cat(v.name, "_bucket", labels_text(v.labels, le), " ",
+                           cum, "\n");
+        }
+        out += util::cat(v.name, "_sum", labels_text(v.labels), " ", v.value,
+                         "\n");
+        out += util::cat(v.name, "_count", labels_text(v.labels), " ",
+                         v.count, "\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- timeline
+
+util::TextTable timeline_table(const std::vector<RegistrySnapshot>& timeline,
+                               const std::vector<std::string>& columns,
+                               std::string title) {
+  util::TextTable table(std::move(title));
+  std::vector<std::string> header{"t"};
+  std::vector<util::Align> align{util::Align::kLeft};
+  for (const auto& c : columns) {
+    header.push_back(c);
+    align.push_back(util::Align::kRight);
+  }
+  table.set_header(std::move(header), std::move(align));
+  for (const auto& snap : timeline) {
+    std::vector<std::string> row{simnet::format_duration(snap.at)};
+    for (const auto& c : columns) {
+      const SnapshotValue* v = snap.find(c);
+      if (!v) {
+        row.push_back("-");
+      } else if (v->kind == Kind::kGauge) {
+        row.push_back(util::grouped(v->value));
+      } else {
+        row.push_back(util::grouped(v->count));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+// ----------------------------------------------------------------- spans
+
+util::TextTable span_table(const Tracer& tracer, std::string title) {
+  util::TextTable table(std::move(title));
+  table.set_header({"span", "count", "sim total", "sim max", "wall total",
+                    "wall max"},
+                   {util::Align::kLeft});
+  auto wall_ms = [](std::int64_t ns) {
+    return util::cat(util::fixed(static_cast<double>(ns) / 1e6, 2), " ms");
+  };
+  for (const auto& [name, s] : tracer.stats()) {
+    table.add_row({name, util::grouped(s.count),
+                   simnet::format_duration(s.total_sim),
+                   simnet::format_duration(s.max_sim),
+                   wall_ms(s.total_wall_ns), wall_ms(s.max_wall_ns)});
+  }
+  if (tracer.dropped() > 0)
+    table.add_note(util::cat("ring dropped ", tracer.dropped(),
+                             " oldest records (aggregates are complete)"));
+  return table;
+}
+
+}  // namespace tts::obs

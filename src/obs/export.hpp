@@ -1,0 +1,49 @@
+// Exporters: turn registry snapshots, heartbeat timelines and tracer
+// aggregates into a human-readable table (util::TextTable), a JSONL dump
+// (one instrument per line, machine-parseable — parse_jsonl() reads it
+// back) and a Prometheus-style text exposition.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace tts::obs {
+
+/// Metrics table: one row per instrument; histograms show count, mean and
+/// p50/p95/max read off the bucket edges.
+util::TextTable to_table(const RegistrySnapshot& snapshot,
+                         std::string title = "metrics");
+
+/// One JSON object per line:
+///   {"at":0,"name":"x","labels":{"a":"b"},"kind":"counter","value":7}
+/// Histograms carry "count","sum","min","max","bounds","counts".
+std::string to_jsonl(const RegistrySnapshot& snapshot);
+
+/// Prometheus text format: "# TYPE" comments, name{labels} value lines;
+/// histograms expand to _bucket{le=...}/_sum/_count series.
+std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+/// Parse a to_jsonl() dump back into a snapshot (values sorted as emitted).
+/// Returns nullopt on malformed input. Only the subset of JSON that
+/// to_jsonl emits is understood.
+std::optional<RegistrySnapshot> parse_jsonl(const std::string& text);
+
+/// Heartbeat timeline as a table: one row per snapshot, one column per
+/// requested instrument (matched by SnapshotValue::full_name()); missing
+/// instruments render as "-".
+util::TextTable timeline_table(const std::vector<RegistrySnapshot>& timeline,
+                               const std::vector<std::string>& columns,
+                               std::string title = "heartbeat timeline");
+
+/// Tracer aggregates: per span name, count and total/mean/max in both the
+/// virtual and the wall clock.
+util::TextTable span_table(const Tracer& tracer,
+                           std::string title = "spans");
+
+}  // namespace tts::obs

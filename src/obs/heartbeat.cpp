@@ -1,0 +1,43 @@
+#include "obs/heartbeat.hpp"
+
+namespace tts::obs {
+
+Heartbeat::Heartbeat(simnet::EventQueue& events, const Registry& registry,
+                     HeartbeatConfig config)
+    : events_(events), registry_(registry), config_(config) {
+  if (config_.interval < 1) config_.interval = 1;
+}
+
+void Heartbeat::start() {
+  if (started_) return;
+  started_ = true;
+  arm();
+}
+
+void Heartbeat::arm() {
+  simnet::SimTime next = events_.now() + config_.interval;
+  if (next > config_.until || timeline_.size() >= config_.max_snapshots)
+    return;
+  // The queue may outlive `this` only if the owner never runs it again
+  // after destroying the heartbeat; Study guarantees that ordering.
+  events_.schedule_at(next, [this] { tick(); });
+}
+
+void Heartbeat::tick() {
+  if (stopped_) return;
+  snap_now();
+  arm();
+}
+
+void Heartbeat::snap_now() {
+  RegistrySnapshot snap = registry_.snapshot(events_.now());
+  // A second reading at the same virtual instant (e.g. a tick on the run
+  // horizon followed by the final end-of-run snapshot) replaces the first
+  // instead of duplicating the timeline row.
+  if (!timeline_.empty() && timeline_.back().at == snap.at)
+    timeline_.back() = std::move(snap);
+  else
+    timeline_.push_back(std::move(snap));
+}
+
+}  // namespace tts::obs

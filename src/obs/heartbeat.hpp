@@ -1,0 +1,57 @@
+// Pipeline heartbeat: an event scheduled on the simnet::EventQueue that
+// snapshots a Registry every N virtual hours into a bounded timeline —
+// per-day collection/scan/telescope progress, like the paper's Section 3
+// timeline, but for any enrolled instrument.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "simnet/event_queue.hpp"
+
+namespace tts::obs {
+
+struct HeartbeatConfig {
+  /// Virtual time between snapshots.
+  simnet::SimDuration interval = simnet::hours(24);
+  /// No ticks are scheduled past this virtual time (so a drained event
+  /// queue terminates); the Study sets it to its run horizon.
+  simnet::SimTime until = std::numeric_limits<simnet::SimTime>::max();
+  /// Timeline size cap; once reached the heartbeat stops rescheduling.
+  std::size_t max_snapshots = 4096;
+};
+
+class Heartbeat {
+ public:
+  Heartbeat(simnet::EventQueue& events, const Registry& registry,
+            HeartbeatConfig config);
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// Schedule the first tick (at now + interval). Idempotent.
+  void start();
+  /// Stop rescheduling; an already-queued tick becomes a no-op.
+  void stop() { stopped_ = true; }
+
+  /// Take one snapshot immediately (used for the final end-of-run reading).
+  void snap_now();
+
+  const std::vector<RegistrySnapshot>& timeline() const { return timeline_; }
+  const HeartbeatConfig& config() const { return config_; }
+
+ private:
+  void arm();
+  void tick();
+
+  simnet::EventQueue& events_;
+  const Registry& registry_;
+  HeartbeatConfig config_;
+  std::vector<RegistrySnapshot> timeline_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace tts::obs

@@ -1,0 +1,195 @@
+// Observability instruments: named counters, gauges and fixed-bucket
+// histograms, plus the Registry that exports them.
+//
+// Design: instruments are plain value types *owned by the component they
+// measure* (a ScanEngine owns its probe counters), so the accessor methods
+// the benches already use read the very same cell the exporters see — one
+// source of truth, no drift. A Registry holds non-owning references
+// enrolled under a name and a label set ("probes_launched{proto=ssh}") and
+// turns them into snapshots for the heartbeat timeline and the exporters.
+//
+// Hot-path cost: one relaxed atomic add per counter increment and a short
+// linear bucket scan per histogram record (bucket counts are measured in
+// bench/micro_benchmarks.cpp). Relaxed atomics keep the instruments
+// data-race free under TSan/ASan without fences the simulator (single
+// threaded) would pay for.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tts::obs {
+
+/// Instrument labels, e.g. {{"proto","ssh"},{"dataset","ntp"}}. Enrolment
+/// sorts them by key so equal label sets compare equal.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples <= bounds[i] (bounds are
+/// sorted, inclusive upper edges); one implicit overflow bucket follows.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxBuckets = 32;
+
+  /// Default shape: exponential microsecond buckets 1us .. ~1000s.
+  Histogram();
+  explicit Histogram(std::vector<std::int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// `count` bounds starting at `first`, each `factor` times the previous.
+  static std::vector<std::int64_t> exponential(std::int64_t first,
+                                               double factor,
+                                               std::size_t count);
+
+  void record(std::int64_t v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Bucket count including the overflow bucket (== bounds().size() + 1).
+  std::size_t buckets() const { return bounds_.size() + 1; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Approximate percentile (p in [0,1]) read off the bucket edges; the
+  /// overflow bucket reports the observed max.
+  std::int64_t percentile(double p) const;
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+std::string_view to_string(Kind kind);
+
+/// One exported value, decoupled from the live instrument: what a heartbeat
+/// tick or exporter sees.
+struct SnapshotValue {
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;  // counter value / histogram sample count
+  std::int64_t value = 0;   // gauge value / histogram sum
+  std::int64_t min = 0, max = 0;               // histogram only
+  std::vector<std::int64_t> bounds;            // histogram only
+  std::vector<std::uint64_t> bucket_counts;    // histogram only
+
+  /// "name{k=v,...}" (just "name" without labels).
+  std::string full_name() const;
+};
+
+struct RegistrySnapshot {
+  std::int64_t at = 0;  // virtual time (simnet microseconds) of the snapshot
+  std::vector<SnapshotValue> values;
+
+  /// First value whose full_name() matches, else nullptr.
+  const SnapshotValue* find(std::string_view full_name) const;
+};
+
+/// Non-owning directory of instruments. Enrolment is the cold path (guarded
+/// by a mutex); reads happen only in snapshot(). Components that may die
+/// before the registry drop their entries by owner tag.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void enroll(const Counter& c, std::string name, Labels labels = {},
+              const void* owner = nullptr);
+  void enroll(const Gauge& g, std::string name, Labels labels = {},
+              const void* owner = nullptr);
+  void enroll(const Histogram& h, std::string name, Labels labels = {},
+              const void* owner = nullptr);
+
+  /// Remove every instrument enrolled under `owner`.
+  void drop_owner(const void* owner);
+
+  const Counter* find_counter(std::string_view name,
+                              const Labels& labels = {}) const;
+  const Gauge* find_gauge(std::string_view name,
+                          const Labels& labels = {}) const;
+  const Histogram* find_histogram(std::string_view name,
+                                  const Labels& labels = {}) const;
+
+  std::size_t size() const;
+
+  /// Copy every instrument's current value, sorted by (name, labels) so the
+  /// output is stable regardless of enrolment order. `at` stamps the
+  /// snapshot with the virtual time it was taken.
+  RegistrySnapshot snapshot(std::int64_t at = 0) const;
+
+  /// Process-wide default registry for ad-hoc instrumentation; Study and
+  /// tests use their own instances to stay hermetic.
+  static Registry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    const void* ptr;
+    const void* owner;
+  };
+
+  const Entry* find_entry(std::string_view name, const Labels& labels,
+                          Kind kind) const;
+  void add(Kind kind, const void* ptr, std::string name, Labels labels,
+           const void* owner);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tts::obs

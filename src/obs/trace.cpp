@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace tts::obs {
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+std::int64_t Tracer::wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::SpanId Tracer::open(std::string name) {
+  if (!enabled_) return kNoSpan;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Active& a = slots_[slot];
+  a.name = std::move(name);
+  a.sim_begin = sim_now();
+  a.wall_begin_ns = wall_now_ns();
+  a.depth = static_cast<std::uint32_t>(open_count_++);
+  a.in_use = true;
+  ++a.gen;
+  return (static_cast<SpanId>(a.gen) << 32) | (slot + 1);
+}
+
+void Tracer::close(SpanId id) {
+  if (id == kNoSpan) return;
+  std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  if (slot >= slots_.size()) return;
+  Active& a = slots_[slot];
+  if (!a.in_use || a.gen != static_cast<std::uint32_t>(id >> 32)) return;
+  SpanRecord rec;
+  rec.name = std::move(a.name);
+  rec.sim_begin = a.sim_begin;
+  rec.sim_end = sim_now();
+  rec.wall_ns = wall_now_ns() - a.wall_begin_ns;
+  rec.depth = a.depth;
+  a.in_use = false;
+  free_slots_.push_back(slot);
+  --open_count_;
+
+  SpanStats& s = stats_[rec.name];
+  ++s.count;
+  s.total_sim += rec.sim_duration();
+  if (rec.sim_duration() > s.max_sim) s.max_sim = rec.sim_duration();
+  s.total_wall_ns += rec.wall_ns;
+  if (rec.wall_ns > s.max_wall_ns) s.max_wall_ns = rec.wall_ns;
+
+  ++completed_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[ring_next_] = std::move(rec);
+    ++dropped_;
+  }
+  ring_next_ = (ring_next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: oldest record sits at ring_next_.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace tts::obs

@@ -1,0 +1,112 @@
+// Span tracing for pipeline stages, in both clocks at once: wall time
+// (steady_clock, observational only — it never feeds back into the
+// simulation) and virtual time (the simnet::EventQueue clock, so a span
+// covering an async probe round-trip reports the simulated RTT).
+//
+// Completed spans land in a bounded ring buffer plus a per-name aggregate
+// (count / total / max in each clock), so long runs keep the recent detail
+// and never grow unbounded. Scoped spans handle synchronous stages; the
+// open()/close() pair handles stages that finish in a later event-queue
+// callback (probe launch -> completion).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnet/event_queue.hpp"
+
+namespace tts::obs {
+
+struct SpanRecord {
+  std::string name;
+  simnet::SimTime sim_begin = 0;
+  simnet::SimTime sim_end = 0;
+  std::int64_t wall_ns = 0;
+  std::uint32_t depth = 0;  // nesting level at open time (0 = top level)
+
+  simnet::SimDuration sim_duration() const { return sim_end - sim_begin; }
+};
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  simnet::SimDuration total_sim = 0;
+  simnet::SimDuration max_sim = 0;
+  std::int64_t total_wall_ns = 0;
+  std::int64_t max_wall_ns = 0;
+};
+
+class Tracer {
+ public:
+  using SpanId = std::uint64_t;
+  static constexpr SpanId kNoSpan = 0;
+
+  explicit Tracer(std::size_t capacity = 4096);
+
+  /// Virtual-time source; without one, spans record sim times of 0.
+  void set_sim_clock(const simnet::EventQueue* events) { events_ = events; }
+
+  /// A disabled tracer's open() is a no-op returning kNoSpan (no wall-clock
+  /// reads on the hot path).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  SpanId open(std::string name);
+  void close(SpanId id);
+
+  /// RAII span for synchronous stages.
+  class Scope {
+   public:
+    Scope(Tracer& tracer, std::string name)
+        : tracer_(tracer), id_(tracer.open(std::move(name))) {}
+    ~Scope() { tracer_.close(id_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer& tracer_;
+    SpanId id_;
+  };
+
+  Scope span(std::string name) { return Scope(*this, std::move(name)); }
+
+  /// The most recent completed spans in completion order (ring contents).
+  std::vector<SpanRecord> records() const;
+  /// Aggregates over *all* completed spans, keyed by span name (ordered so
+  /// report output is stable).
+  const std::map<std::string, SpanStats>& stats() const { return stats_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t open_spans() const { return open_count_; }
+
+ private:
+  // Open spans live in reusable slots (no per-span node allocation on the
+  // hot path); a SpanId packs the slot index and a generation counter so a
+  // stale close of a recycled slot is ignored.
+  struct Active {
+    std::string name;
+    simnet::SimTime sim_begin = 0;
+    std::int64_t wall_begin_ns = 0;
+    std::uint32_t depth = 0;
+    std::uint32_t gen = 0;
+    bool in_use = false;
+  };
+
+  static std::int64_t wall_now_ns();
+  simnet::SimTime sim_now() const { return events_ ? events_->now() : 0; }
+
+  const simnet::EventQueue* events_ = nullptr;
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::vector<SpanRecord> ring_;
+  std::size_t ring_next_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;  // records overwritten in the ring
+  std::vector<Active> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t open_count_ = 0;
+  std::map<std::string, SpanStats> stats_;
+};
+
+}  // namespace tts::obs

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/format.hpp"
+
 namespace tts::scan {
 
 ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
@@ -19,9 +21,37 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
   scanners_.push_back(make_amqp_scanner(false, config_.sni));
   scanners_.push_back(make_amqp_scanner(true, config_.sni));
   scanners_.push_back(make_coap_scanner());
+  for (std::size_t p = 0; p < kProtocolCount; ++p)
+    span_names_[p] =
+        util::cat("probe/", label(static_cast<Protocol>(p)));
+  enroll_metrics();
 }
 
-ScanEngine::~ScanEngine() { network_.detach(config_.scanner_address); }
+ScanEngine::~ScanEngine() {
+  if (config_.registry) config_.registry->drop_owner(this);
+  network_.detach(config_.scanner_address);
+}
+
+void ScanEngine::enroll_metrics() {
+  obs::Registry* reg = config_.registry;
+  if (!reg) return;
+  obs::Labels ds{{"dataset", std::string(label(config_.dataset))}};
+  reg->enroll(submitted_, "scan_submitted", ds, this);
+  reg->enroll(skipped_blackout_, "scan_skipped_blackout", ds, this);
+  reg->enroll(probes_launched_, "scan_probes_launched", ds, this);
+  reg->enroll(probes_completed_, "scan_probes_completed", ds, this);
+  reg->enroll(token_wait_, "scan_token_wait_us", ds, this);
+  reg->enroll(probe_rtt_, "scan_probe_rtt_us", ds, this);
+  reg->enroll(pending_gauge_, "scan_pending_depth", ds, this);
+  for (std::size_t p = 0; p < kProtocolCount; ++p) {
+    obs::Labels labeled = ds;
+    labeled.emplace_back("proto",
+                         std::string(label(static_cast<Protocol>(p))));
+    reg->enroll(launched_by_proto_[p], "scan_probes_launched", labeled, this);
+    reg->enroll(completed_by_proto_[p], "scan_probes_completed",
+                std::move(labeled), this);
+  }
+}
 
 simnet::SimTime ScanEngine::allocate_slot() {
   auto gap = static_cast<simnet::SimDuration>(1e6 / config_.max_pps);
@@ -29,6 +59,7 @@ simnet::SimTime ScanEngine::allocate_slot() {
   simnet::SimTime now = network_.now();
   if (next_token_ < now) next_token_ = now;
   next_token_ += gap;
+  token_wait_.record(next_token_ - now);
   return next_token_;
 }
 
@@ -36,11 +67,11 @@ bool ScanEngine::submit(const net::Ipv6Address& target) {
   simnet::SimTime now = network_.now();
   auto it = last_scan_.find(target);
   if (it != last_scan_.end() && now - it->second < config_.rescan_blackout) {
-    ++skipped_blackout_;
+    skipped_blackout_.inc();
     return false;
   }
   last_scan_[target] = now;
-  ++submitted_;
+  submitted_.inc();
 
   // One token per protocol probe, plus the staggered inter-protocol delay
   // (Appendix A.2.1: 10 s to 10 min between protocols of one target).
@@ -53,6 +84,7 @@ bool ScanEngine::submit(const net::Ipv6Address& target) {
                    static_cast<std::uint64_t>(config_.max_protocol_delay -
                                               config_.min_protocol_delay)));
   }
+  pending_gauge_.set(static_cast<std::int64_t>(pending_.size()));
   arm_pump();
   return true;
 }
@@ -80,6 +112,7 @@ void ScanEngine::pump() {
     pending_.pop();
     launch(p.protocol, p.target, p.at);
   }
+  pending_gauge_.set(static_cast<std::int64_t>(pending_.size()));
   arm_pump();
 }
 
@@ -90,7 +123,8 @@ void ScanEngine::launch(Protocol proto, const net::Ipv6Address& target,
     if (s->protocol() == proto) scanner = s.get();
   if (!scanner) return;
 
-  ++probes_launched_;
+  probes_launched_.inc();
+  launched_by_proto_[static_cast<std::size_t>(proto)].inc();
   auto src_port =
       static_cast<std::uint16_t>(1024 + (next_ephemeral_++ % 60000));
 
@@ -102,10 +136,19 @@ void ScanEngine::launch(Protocol proto, const net::Ipv6Address& target,
         base.target = target;
         base.at = network_.now();
         simnet::Endpoint src{config_.scanner_address, src_port};
-        scanner->probe(network_, src, std::move(base), [this](ScanRecord r) {
-          ++probes_completed_;
-          results_.add(std::move(r));
-        });
+        obs::Tracer::SpanId span = obs::Tracer::kNoSpan;
+        if (config_.tracer)
+          span = config_.tracer->open(
+              span_names_[static_cast<std::size_t>(proto)]);
+        scanner->probe(network_, src, std::move(base),
+                       [this, proto, span](ScanRecord r) {
+                         probes_completed_.inc();
+                         completed_by_proto_[static_cast<std::size_t>(proto)]
+                             .inc();
+                         probe_rtt_.record(network_.now() - r.at);
+                         if (config_.tracer) config_.tracer->close(span);
+                         results_.add(std::move(r));
+                       });
       });
 }
 

@@ -7,14 +7,22 @@
 // of one target, and a 3-day blackout before any address is scanned again.
 // Each protocol probe performs a full byte-level exchange through the
 // protocol scanners and records one ScanRecord.
+//
+// All campaign counters (submitted / skipped / launched / completed, the
+// per-protocol splits, the token-bucket wait histogram and pending-queue
+// depth) are obs instruments; the accessors read the same cells, and a
+// Registry in the config exports them labelled with the campaign dataset.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scan/results.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
@@ -51,6 +59,13 @@ struct ScanEngineConfig {
   /// SNI offered in TLS probes ("" = none: we scan addresses, not names).
   std::string sni;
   std::uint64_t seed = 0x5ca9;
+
+  /// Export the engine's instruments (labelled dataset=...); must outlive
+  /// the engine. Optional.
+  obs::Registry* registry = nullptr;
+  /// Span per probe round-trip ("probe/<proto>", virtual launch->done).
+  /// Optional.
+  obs::Tracer* tracer = nullptr;
 };
 
 class ScanEngine {
@@ -69,10 +84,22 @@ class ScanEngine {
   /// Queue many targets (hitlist sweep); paced by the token bucket.
   void submit_bulk(const std::vector<net::Ipv6Address>& targets);
 
-  std::uint64_t submitted() const { return submitted_; }
-  std::uint64_t skipped_blackout() const { return skipped_blackout_; }
-  std::uint64_t probes_launched() const { return probes_launched_; }
-  std::uint64_t probes_completed() const { return probes_completed_; }
+  std::uint64_t submitted() const { return submitted_.value(); }
+  std::uint64_t skipped_blackout() const { return skipped_blackout_.value(); }
+  std::uint64_t probes_launched() const { return probes_launched_.value(); }
+  std::uint64_t probes_completed() const { return probes_completed_.value(); }
+  std::uint64_t probes_launched(Protocol proto) const {
+    return launched_by_proto_[static_cast<std::size_t>(proto)].value();
+  }
+  std::uint64_t probes_completed(Protocol proto) const {
+    return completed_by_proto_[static_cast<std::size_t>(proto)].value();
+  }
+
+  /// Virtual-time wait imposed by the token bucket per allocated slot (us).
+  const obs::Histogram& token_wait() const { return token_wait_; }
+  /// Virtual launch-to-completion time per probe (us), all protocols.
+  const obs::Histogram& probe_rtt() const { return probe_rtt_; }
+  std::size_t pending_depth() const { return pending_.size(); }
 
   const ScanEngineConfig& config() const { return config_; }
 
@@ -96,6 +123,7 @@ class ScanEngine {
               simnet::SimTime at);
   void arm_pump();
   void pump();
+  void enroll_metrics();
 
   simnet::Network& network_;
   ResultStore& results_;
@@ -109,10 +137,19 @@ class ScanEngine {
   bool pump_armed_ = false;
   simnet::SimTime next_token_ = 0;
   std::uint64_t next_ephemeral_ = 40000;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t skipped_blackout_ = 0;
-  std::uint64_t probes_launched_ = 0;
-  std::uint64_t probes_completed_ = 0;
+
+  obs::Counter submitted_;
+  obs::Counter skipped_blackout_;
+  obs::Counter probes_launched_;
+  obs::Counter probes_completed_;
+  std::array<obs::Counter, kProtocolCount> launched_by_proto_;
+  std::array<obs::Counter, kProtocolCount> completed_by_proto_;
+  obs::Histogram token_wait_{obs::Histogram::exponential(1000, 4.0, 14)};
+  obs::Histogram probe_rtt_{obs::Histogram::exponential(1000, 4.0, 14)};
+  obs::Gauge pending_gauge_;
+  // Prebuilt "probe/<proto>" span names (building one per launch would
+  // dominate the span cost).
+  std::array<std::string, kProtocolCount> span_names_;
 };
 
 /// Factories for the built-in protocol scanners (one per Table 2 protocol).

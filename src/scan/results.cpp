@@ -18,6 +18,20 @@ std::string_view to_string(Protocol p) {
   return "?";
 }
 
+std::string_view label(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp: return "http";
+    case Protocol::kHttps: return "https";
+    case Protocol::kSsh: return "ssh";
+    case Protocol::kMqtt: return "mqtt";
+    case Protocol::kMqtts: return "mqtts";
+    case Protocol::kAmqp: return "amqp";
+    case Protocol::kAmqps: return "amqps";
+    case Protocol::kCoap: return "coap";
+  }
+  return "?";
+}
+
 std::uint16_t port_of(Protocol p) {
   switch (p) {
     case Protocol::kHttp: return proto::kHttpPort;
@@ -42,6 +56,15 @@ std::string_view to_string(Dataset d) {
     case Dataset::kNtp: return "Our Data";
     case Dataset::kHitlist: return "TUM IPv6 Hitlist";
     case Dataset::kRyeLevin: return "Rye and Levin";
+  }
+  return "?";
+}
+
+std::string_view label(Dataset d) {
+  switch (d) {
+    case Dataset::kNtp: return "ntp";
+    case Dataset::kHitlist: return "hitlist";
+    case Dataset::kRyeLevin: return "rye-levin";
   }
   return "?";
 }

@@ -26,12 +26,16 @@ enum class Protocol : std::uint8_t {
 inline constexpr std::size_t kProtocolCount = 8;
 
 std::string_view to_string(Protocol p);
+/// Lowercase metric-label form ("proto=ssh"); to_string() is the display name.
+std::string_view label(Protocol p);
 std::uint16_t port_of(Protocol p);
 bool is_tls(Protocol p);
 
 /// Which address feed produced the target.
 enum class Dataset : std::uint8_t { kNtp, kHitlist, kRyeLevin };
 std::string_view to_string(Dataset d);
+/// Metric-label form ("dataset=ntp"); to_string() is the display name.
+std::string_view label(Dataset d);
 
 enum class Outcome : std::uint8_t {
   kSuccess,      // full protocol exchange completed

@@ -1,8 +1,17 @@
 #include "simnet/event_queue.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 namespace tts::simnet {
+
+namespace {
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 std::string format_duration(SimDuration d) {
   bool neg = d < 0;
@@ -22,9 +31,25 @@ std::string format_duration(SimDuration d) {
   return buf;
 }
 
+EventQueue::~EventQueue() {
+  if (registry_) registry_->drop_owner(this);
+}
+
+void EventQueue::attach_metrics(obs::Registry& registry, obs::Labels labels,
+                                bool time_dispatch) {
+  registry_ = &registry;
+  time_dispatch_ = time_dispatch;
+  registry.enroll(executed_ctr_, "simnet_events_executed", labels, this);
+  registry.enroll(pending_gauge_, "simnet_events_pending", labels, this);
+  if (time_dispatch)
+    registry.enroll(dispatch_wall_, "simnet_dispatch_wall_ns",
+                    std::move(labels), this);
+}
+
 void EventQueue::schedule_at(SimTime at, Callback fn) {
   if (at < now_) at = now_;
   heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  pending_gauge_.set(static_cast<std::int64_t>(heap_.size()));
 }
 
 void EventQueue::schedule_in(SimDuration delay, Callback fn) {
@@ -37,10 +62,24 @@ bool EventQueue::step() {
   // via const_cast-free copy of the small fields and move of the function.
   Entry e = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+  pending_gauge_.set(static_cast<std::int64_t>(heap_.size()));
   now_ = e.at;
-  ++executed_;
-  e.fn();
+  executed_ctr_.inc();
+  if (time_dispatch_ &&
+      (executed_ctr_.value() & dispatch_mask_) == 0) {
+    std::int64_t t0 = wall_ns();
+    e.fn();
+    dispatch_wall_.record(wall_ns() - t0);
+  } else {
+    e.fn();
+  }
   return true;
+}
+
+void EventQueue::set_dispatch_sampling(std::uint32_t every) {
+  std::uint64_t mask = 0;
+  while (((mask + 1) << 1) <= every) mask = (mask << 1) | 1;
+  dispatch_mask_ = mask;
 }
 
 std::uint64_t EventQueue::run() {

@@ -3,6 +3,12 @@
 // Determinism contract: events at equal timestamps fire in scheduling order
 // (a monotonic sequence number breaks ties), so runs are reproducible
 // regardless of heap internals.
+//
+// Observability: the executed counter and pending-depth gauge are always
+// live (they are the queue's own state); attach_metrics() additionally
+// enrols them in an obs::Registry and can enable a wall-clock dispatch
+// histogram (how long each callback runs) — wall readings are
+// observational only and never influence the virtual clock.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simnet/time.hpp"
 
 namespace tts::simnet {
@@ -17,6 +24,11 @@ namespace tts::simnet {
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   SimTime now() const { return now_; }
 
@@ -38,7 +50,21 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
 
   /// Total events executed over the queue's lifetime.
-  std::uint64_t executed() const { return executed_; }
+  std::uint64_t executed() const { return executed_ctr_.value(); }
+
+  /// Enrol the queue's instruments (events_executed, events_pending and —
+  /// when `time_dispatch` — the dispatch_wall_ns histogram) in `registry`.
+  /// The registry must outlive this queue.
+  void attach_metrics(obs::Registry& registry, obs::Labels labels = {},
+                      bool time_dispatch = true);
+
+  void enable_dispatch_timing(bool on) { time_dispatch_ = on; }
+  /// Time only every `every`-th event (rounded down to a power of two;
+  /// default 1 = every event). Sampling keeps the two steady_clock reads
+  /// off most dispatches — at study scale the full-timing cost dominates
+  /// the whole observability overhead.
+  void set_dispatch_sampling(std::uint32_t every);
+  const obs::Histogram& dispatch_wall_ns() const { return dispatch_wall_; }
 
  private:
   struct Entry {
@@ -56,7 +82,13 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
+
+  obs::Counter executed_ctr_;
+  obs::Gauge pending_gauge_;
+  obs::Histogram dispatch_wall_{obs::Histogram::exponential(250, 4.0, 12)};
+  bool time_dispatch_ = false;
+  std::uint64_t dispatch_mask_ = 0;  // time when (executed & mask) == 0
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace tts::simnet

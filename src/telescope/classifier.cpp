@@ -36,7 +36,18 @@ struct DisjointSet {
 
 ClassifierReport classify_actors(
     const PoolProber& prober, const inet::AsRegistry& registry,
-    const std::function<std::string(const net::Ipv6Address&)>& identity_of) {
+    const std::function<std::string(const net::Ipv6Address&)>& identity_of,
+    obs::Tracer* tracer) {
+  obs::Tracer::SpanId span = obs::Tracer::kNoSpan;
+  if (tracer) span = tracer->open("telescope/classify");
+  struct CloseOnExit {
+    obs::Tracer* tracer;
+    obs::Tracer::SpanId span;
+    ~CloseOnExit() {
+      if (tracer) tracer->close(span);
+    }
+  } closer{tracer, span};
+
   ClassifierReport report;
   report.total_captures = prober.captures().size();
 

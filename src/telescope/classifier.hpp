@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "inet/as_registry.hpp"
+#include "obs/trace.hpp"
 #include "telescope/prober.hpp"
 
 namespace tts::telescope {
@@ -50,9 +51,11 @@ struct ClassifierReport {
 
 /// `identity_of` models the out-of-band identification check (reverse DNS,
 /// hosted explanation pages): returns a non-empty identity string when the
-/// scan source identifies itself.
+/// scan source identifies itself. With a tracer, the pass records a
+/// "telescope/classify" span (wall + virtual duration).
 ClassifierReport classify_actors(
     const PoolProber& prober, const inet::AsRegistry& registry,
-    const std::function<std::string(const net::Ipv6Address&)>& identity_of);
+    const std::function<std::string(const net::Ipv6Address&)>& identity_of,
+    obs::Tracer* tracer = nullptr);
 
 }  // namespace tts::telescope

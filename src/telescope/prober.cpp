@@ -10,9 +10,17 @@ PoolProber::PoolProber(simnet::Network& network, const ntp::NtpPool& pool,
       pool_(pool),
       config_(std::move(config)),
       rng_(config_.seed),
-      client_(network) {}
+      client_(network) {
+  if (config_.registry) {
+    config_.registry->enroll(queries_, "telescope_queries", {}, this);
+    config_.registry->enroll(answered_, "telescope_answered", {}, this);
+    config_.registry->enroll(captured_, "telescope_captures", {}, this);
+    config_.registry->enroll(scattering_, "telescope_scattering", {}, this);
+  }
+}
 
 PoolProber::~PoolProber() {
+  if (config_.registry) config_.registry->drop_owner(this);
   if (tap_id_) network_.remove_tap(tap_id_);
 }
 
@@ -35,6 +43,8 @@ void PoolProber::start() {
         pkt.target = ev.dst.addr;
         pkt.port = ev.dst.port;
         pkt.in_probe_prefix = config_.probe_prefix.contains(ev.dst.addr);
+        captured_.inc();
+        if (!pkt.in_probe_prefix) scattering_.inc();
         captures_.push_back(pkt);
       });
 
@@ -70,10 +80,14 @@ void PoolProber::run_query() {
   probes_.push_back(ProbeRecord{source, server.address, network_.now(),
                                 false});
   by_source_[source] = index;
+  queries_.inc();
 
   client_.query(source, 123, server.address,
                 [this, index](std::optional<ntp::NtpQueryResult> result) {
-                  if (result) probes_[index].answered = true;
+                  if (result) {
+                    probes_[index].answered = true;
+                    answered_.inc();
+                  }
                 });
 }
 

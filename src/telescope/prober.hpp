@@ -13,6 +13,7 @@
 #include "net/ipv6.hpp"
 #include "ntp/client.hpp"
 #include "ntp/pool.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
 
@@ -43,6 +44,9 @@ struct ProberConfig {
   simnet::SimDuration query_interval = simnet::minutes(20);
   simnet::SimDuration duration = simnet::days(28);
   std::uint64_t seed = 0x7e1e;
+  /// Export query/capture counters ("telescope_*"); must outlive the
+  /// prober. Optional.
+  obs::Registry* registry = nullptr;
 };
 
 class PoolProber {
@@ -64,6 +68,12 @@ class PoolProber {
 
   double answered_share() const;
 
+  std::uint64_t queries_sent() const { return queries_.value(); }
+  std::uint64_t queries_answered() const { return answered_.value(); }
+  std::uint64_t captured_packets() const { return captured_.value(); }
+  /// Captures outside the probe prefix (the scattering share).
+  std::uint64_t captured_scattering() const { return scattering_.value(); }
+
  private:
   void schedule_next();
   void run_query();
@@ -83,6 +93,11 @@ class PoolProber {
   std::size_t next_server_ = 0;
   std::uint64_t tap_id_ = 0;
   bool started_ = false;
+
+  obs::Counter queries_;
+  obs::Counter answered_;
+  obs::Counter captured_;
+  obs::Counter scattering_;
 };
 
 }  // namespace tts::telescope
