@@ -1,5 +1,6 @@
 #include "core/study.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -227,13 +228,30 @@ void Study::run() {
     engine.scanner_address = allocate_infra_address("DE", 0x51);
     engine.dataset = scan::Dataset::kNtp;
     engine.max_pps = config_.scan_pps;
+    engine.max_pending = config_.scan_max_pending;
     engine.seed = rng_.stream("ntp-engine").root_seed();
     engine.registry = &metrics_;
     engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
     ntp_engine_ =
         std::make_unique<scan::ScanEngine>(*network_, results_, engine);
     collector_.subscribe([this](const ntp::CollectedAddress& rec) {
-      ntp_engine_->submit(rec.addr);
+      if (ntp_engine_->try_submit(rec.addr) != scan::SubmitResult::kQueueFull)
+        return;
+      // Backpressure: a collector-fed address must not be silently lost to
+      // a momentarily full lane, so it overflows into a study-side buffer
+      // the engine drains as a pull source once staging room frees up.
+      ntp_overflow_.push_back(rec.addr);
+      if (ntp_overflow_active_) return;
+      ntp_overflow_active_ = true;
+      ntp_engine_->add_source([this](std::size_t max_n) {
+        auto n = static_cast<std::ptrdiff_t>(
+            std::min(max_n, ntp_overflow_.size()));
+        std::vector<net::Ipv6Address> out(ntp_overflow_.begin(),
+                                          ntp_overflow_.begin() + n);
+        ntp_overflow_.erase(ntp_overflow_.begin(), ntp_overflow_.begin() + n);
+        if (out.empty()) ntp_overflow_active_ = false;
+        return out;
+      });
     });
   }
 
@@ -261,13 +279,19 @@ void Study::run() {
     engine.scanner_address = allocate_infra_address("DE", 0x52);
     engine.dataset = scan::Dataset::kHitlist;
     engine.max_pps = config_.scan_pps;
+    engine.max_pending = config_.scan_max_pending;
     engine.seed = rng_.stream("hitlist-engine").root_seed();
     engine.registry = &metrics_;
     engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
     hitlist_engine_ =
         std::make_unique<scan::ScanEngine>(*network_, results_, engine);
     events_.schedule_at(config_.hitlist_scan_start, [this] {
-      hitlist_engine_->submit_bulk(hitlist_.full);
+      // Chunked pull feed: the engine drains the hitlist as staging room
+      // frees up, so pending_depth stays bounded by scan_max_pending
+      // instead of one intent per probe of the whole sweep.
+      sweeper_ = std::make_unique<hitlist::SweepFeeder>(*hitlist_engine_,
+                                                        hitlist_.full);
+      sweeper_->start();
     });
   }
 
@@ -341,6 +365,7 @@ std::vector<std::string> Study::timeline_columns() {
           "scan_probes_launched{dataset=ntp}",
           "scan_probes_completed{dataset=ntp}",
           "scan_probes_launched{dataset=hitlist}",
+          "scan_pending_depth{dataset=hitlist}",
           "telescope_queries",
           "telescope_captures",
           "simnet_events_executed"};

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "analysis/eui64_analysis.hpp"
 #include "hitlist/hitlist.hpp"
+#include "hitlist/sweep.hpp"
 #include "inet/as_registry.hpp"
 #include "inet/population.hpp"
 #include "inet/services.hpp"
@@ -68,6 +70,10 @@ struct StudyConfig {
   double background_netspeed = 3000;
 
   double scan_pps = 2000;
+  /// Per-dataset cap on each engine's staged probe intents: bounds the
+  /// pending queue (and memory) regardless of hitlist size; a full lane
+  /// pushes back on the feed instead of queueing (scan_backpressure_events).
+  std::size_t scan_max_pending = 4096;
   simnet::SimTime hitlist_scan_start = simnet::days(21);
 
   bool enable_ntp_scans = true;
@@ -133,6 +139,11 @@ class Study {
   const scan::ScanEngine* hitlist_engine() const {
     return hitlist_engine_.get();
   }
+  /// The chunked feeder driving the hitlist sweep (nullptr before the
+  /// sweep starts or when the hitlist scan is disabled).
+  const hitlist::SweepFeeder* hitlist_sweeper() const {
+    return sweeper_.get();
+  }
 
   std::uint64_t events_executed() const { return events_.executed(); }
 
@@ -180,6 +191,11 @@ class Study {
   scan::ResultStore results_;
   std::unique_ptr<scan::ScanEngine> ntp_engine_;
   std::unique_ptr<scan::ScanEngine> hitlist_engine_;
+  std::unique_ptr<hitlist::SweepFeeder> sweeper_;
+  /// Collector addresses refused with kQueueFull, drained back into the
+  /// NTP engine via a pull source (no silent loss under backpressure).
+  std::deque<net::Ipv6Address> ntp_overflow_;
+  bool ntp_overflow_active_ = false;
 
   analysis::Eui64Accumulator eui64_;
 

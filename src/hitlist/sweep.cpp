@@ -1,0 +1,31 @@
+#include "hitlist/sweep.hpp"
+
+#include <algorithm>
+
+namespace tts::hitlist {
+
+SweepFeeder::SweepFeeder(scan::ScanEngine& engine,
+                         std::vector<net::Ipv6Address> targets,
+                         SweepConfig config)
+    : engine_(engine),
+      config_(config),
+      state_(std::make_shared<State>(State{std::move(targets), 0})) {}
+
+void SweepFeeder::start() {
+  if (started_) return;
+  started_ = true;
+  engine_.add_source(
+      [state = state_, chunk = config_.chunk](std::size_t max_n) {
+        std::size_t n = std::min({max_n, chunk,
+                                  state->targets.size() - state->next});
+        auto first = state->targets.begin() +
+                     static_cast<std::ptrdiff_t>(state->next);
+        std::vector<net::Ipv6Address> out(
+            first, first + static_cast<std::ptrdiff_t>(n));
+        state->next += n;
+        return out;
+      },
+      config_.dataset);
+}
+
+}  // namespace tts::hitlist

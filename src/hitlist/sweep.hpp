@@ -1,0 +1,58 @@
+// Chunked hitlist sweep feeder.
+//
+// Bridges a prebuilt address list (the TUM-style hitlist of Table 1) into
+// the scan engine's pull-based pump: instead of handing the engine every
+// target up front — which is exactly what used to balloon the pending
+// queue to one entry per probe of the whole sweep — the feeder registers a
+// pull source the pump drains chunk-by-chunk as staging room frees up.
+// Progress accessors expose how far the sweep has advanced so the study
+// and benches can report it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "scan/engine.hpp"
+
+namespace tts::hitlist {
+
+struct SweepConfig {
+  /// Upper bound on targets handed over per pull. The engine already caps
+  /// pulls at its free staging slots; this additionally smooths very large
+  /// staging windows into several pulls.
+  std::size_t chunk = 512;
+  scan::Dataset dataset = scan::Dataset::kHitlist;
+};
+
+class SweepFeeder {
+ public:
+  SweepFeeder(scan::ScanEngine& engine, std::vector<net::Ipv6Address> targets,
+              SweepConfig config = {});
+
+  /// Register the pull source with the engine. Call once; the engine pulls
+  /// from then on. Safe to destroy the feeder afterwards — the source owns
+  /// the target list via shared state.
+  void start();
+  bool started() const { return started_; }
+
+  /// Targets handed to the engine so far.
+  std::size_t fed() const { return state_->next; }
+  std::size_t remaining() const { return state_->targets.size() - state_->next; }
+  std::size_t total() const { return state_->targets.size(); }
+  bool drained() const { return remaining() == 0; }
+
+ private:
+  struct State {
+    std::vector<net::Ipv6Address> targets;
+    std::size_t next = 0;
+  };
+
+  scan::ScanEngine& engine_;
+  SweepConfig config_;
+  std::shared_ptr<State> state_;
+  bool started_ = false;
+};
+
+}  // namespace tts::hitlist

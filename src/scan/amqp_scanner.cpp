@@ -101,10 +101,9 @@ class AmqpScanner final : public ProtocolScanner {
                 state->record.certificate = result.certificate;
                 send_tls(proto::amqp_protocol_header());
               });
-          state->done = [inner = std::move(state->done),
-                         session](ScanRecord r) mutable {
-            inner(std::move(r));
-          };
+          // Anchors the session to the probe AND breaks the closure
+          // cycles (session callbacks capture state) at finish time.
+          state->cleanup = [session] { session->drop_callbacks(); };
         },
         simnet::sec(5));
   }

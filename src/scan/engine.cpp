@@ -1,6 +1,8 @@
 #include "scan/engine.hpp"
 
+#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/format.hpp"
 
@@ -11,7 +13,19 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
     : network_(network),
       results_(results),
       config_(std::move(config)),
-      rng_(config_.seed) {
+      rng_(config_.seed),
+      queue_(config_.max_pending) {
+  if (config_.max_pps <= 0)
+    throw std::invalid_argument("ScanEngine: max_pps must be positive");
+  if (config_.min_protocol_delay < 0)
+    throw std::invalid_argument(
+        "ScanEngine: min_protocol_delay must be non-negative");
+  if (config_.max_protocol_delay < config_.min_protocol_delay)
+    throw std::invalid_argument(
+        "ScanEngine: inverted protocol-delay range (max < min)");
+  if (config_.max_pending == 0)
+    throw std::invalid_argument("ScanEngine: max_pending must be >= 1");
+
   network_.attach(config_.scanner_address);
   scanners_.push_back(make_http_scanner(false, config_.sni));
   scanners_.push_back(make_http_scanner(true, config_.sni));
@@ -21,6 +35,11 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
   scanners_.push_back(make_amqp_scanner(false, config_.sni));
   scanners_.push_back(make_amqp_scanner(true, config_.sni));
   scanners_.push_back(make_coap_scanner());
+  for (const auto& scanner : scanners_) {
+    auto idx = static_cast<std::size_t>(scanner->protocol());
+    assert(!by_proto_[idx] && "duplicate scanner for protocol");
+    by_proto_[idx] = scanner.get();
+  }
   for (std::size_t p = 0; p < kProtocolCount; ++p)
     span_names_[p] =
         util::cat("probe/", label(static_cast<Protocol>(p)));
@@ -38,11 +57,15 @@ void ScanEngine::enroll_metrics() {
   obs::Labels ds{{"dataset", std::string(label(config_.dataset))}};
   reg->enroll(submitted_, "scan_submitted", ds, this);
   reg->enroll(skipped_blackout_, "scan_skipped_blackout", ds, this);
+  reg->enroll(backpressure_, "scan_backpressure_events", ds, this);
+  reg->enroll(no_scanner_, "scan_no_scanner", ds, this);
   reg->enroll(probes_launched_, "scan_probes_launched", ds, this);
   reg->enroll(probes_completed_, "scan_probes_completed", ds, this);
   reg->enroll(token_wait_, "scan_token_wait_us", ds, this);
+  reg->enroll(queue_delay_, "scan_queue_delay_us", ds, this);
   reg->enroll(probe_rtt_, "scan_probe_rtt_us", ds, this);
   reg->enroll(pending_gauge_, "scan_pending_depth", ds, this);
+  reg->enroll(pending_peak_gauge_, "scan_pending_peak", ds, this);
   for (std::size_t p = 0; p < kProtocolCount; ++p) {
     obs::Labels labeled = ds;
     labeled.emplace_back("proto",
@@ -53,75 +76,170 @@ void ScanEngine::enroll_metrics() {
   }
 }
 
-simnet::SimTime ScanEngine::allocate_slot() {
+simnet::SimDuration ScanEngine::token_gap() const {
   auto gap = static_cast<simnet::SimDuration>(1e6 / config_.max_pps);
-  if (gap < 1) gap = 1;
-  simnet::SimTime now = network_.now();
-  if (next_token_ < now) next_token_ = now;
-  next_token_ += gap;
-  token_wait_.record(next_token_ - now);
-  return next_token_;
+  return gap < 1 ? 1 : gap;
 }
 
-bool ScanEngine::submit(const net::Ipv6Address& target) {
+SubmitResult ScanEngine::try_submit(const net::Ipv6Address& target,
+                                    Dataset lane) {
   simnet::SimTime now = network_.now();
   auto it = last_scan_.find(target);
   if (it != last_scan_.end() && now - it->second < config_.rescan_blackout) {
     skipped_blackout_.inc();
-    return false;
+    return SubmitResult::kBlackout;
+  }
+  if (queue_.full(lane)) {
+    // Backpressure: the target is NOT blackout-marked, so the feed may
+    // resubmit it once the lane drains.
+    backpressure_.inc();
+    if (on_backpressure_) on_backpressure_(lane);
+    return SubmitResult::kQueueFull;
   }
   last_scan_[target] = now;
-  submitted_.inc();
-
-  // One token per protocol probe, plus the staggered inter-protocol delay
-  // (Appendix A.2.1: 10 s to 10 min between protocols of one target).
-  simnet::SimDuration stagger = 0;
-  for (const auto& scanner : scanners_) {
-    simnet::SimTime at = allocate_slot() + stagger;
-    pending_.push(Pending{at, scanner->protocol(), target});
-    stagger += config_.min_protocol_delay +
-               static_cast<simnet::SimDuration>(rng_.below(
-                   static_cast<std::uint64_t>(config_.max_protocol_delay -
-                                              config_.min_protocol_delay)));
-  }
-  pending_gauge_.set(static_cast<std::int64_t>(pending_.size()));
+  stage_target(target, lane);
   arm_pump();
-  return true;
+  return SubmitResult::kAccepted;
 }
 
 void ScanEngine::submit_bulk(const std::vector<net::Ipv6Address>& targets) {
-  for (const auto& t : targets) submit(t);
+  // Wrap the list in a cursor source: the pump pulls it chunk-by-chunk as
+  // staging room frees up instead of scheduling the whole sweep up front.
+  struct Cursor {
+    std::vector<net::Ipv6Address> targets;
+    std::size_t next = 0;
+  };
+  auto cursor = std::make_shared<Cursor>(Cursor{targets, 0});
+  add_source([cursor](std::size_t max_n) {
+    std::size_t n = std::min(max_n, cursor->targets.size() - cursor->next);
+    auto first = cursor->targets.begin() +
+                 static_cast<std::ptrdiff_t>(cursor->next);
+    std::vector<net::Ipv6Address> out(first,
+                                      first + static_cast<std::ptrdiff_t>(n));
+    cursor->next += n;
+    return out;
+  });
+}
+
+void ScanEngine::add_source(SourceFn fn, Dataset lane) {
+  sources_.push_back(Source{std::move(fn), lane});
+  arm_pump();
+}
+
+void ScanEngine::stage_target(const net::Ipv6Address& target, Dataset lane) {
+  bool ok = queue_.push(ScanIntent{network_.now(), lane, 0, target});
+  assert(ok && "stage_target called on a full lane");
+  (void)ok;
+  submitted_.inc();
+  pending_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+  pending_peak_gauge_.set(static_cast<std::int64_t>(queue_.peak()));
+}
+
+void ScanEngine::stage_successor(const ScanIntent& intent,
+                                 simnet::SimTime slot) {
+  std::size_t next = static_cast<std::size_t>(intent.chain_pos) + 1;
+  if (next >= scanners_.size()) return;
+  // Staggered inter-protocol delay (Appendix A.2.1: 10 s to 10 min between
+  // the protocols of one target), relative to the previous probe's slot.
+  simnet::SimDuration span =
+      config_.max_protocol_delay - config_.min_protocol_delay;
+  simnet::SimDuration jitter =
+      span > 0 ? static_cast<simnet::SimDuration>(
+                     rng_.below(static_cast<std::uint64_t>(span)))
+               : 0;
+  bool ok = queue_.push(ScanIntent{
+      slot + config_.min_protocol_delay + jitter, intent.dataset,
+      static_cast<std::uint8_t>(next), intent.target});
+  assert(ok && "successor push must fit: its predecessor just left");
+  (void)ok;
+}
+
+void ScanEngine::refill_from_sources() {
+  for (std::size_t i = 0; i < sources_.size();) {
+    Source& source = sources_[i];
+    bool drained = false;
+    std::size_t room;
+    while ((room = queue_.free_slots(source.lane)) > 0) {
+      std::vector<net::Ipv6Address> batch = source.fn(room);
+      if (batch.empty()) {  // a source is dry when it returns nothing
+        drained = true;
+        break;
+      }
+      simnet::SimTime now = network_.now();
+      for (const auto& target : batch) {
+        auto it = last_scan_.find(target);
+        if (it != last_scan_.end() &&
+            now - it->second < config_.rescan_blackout) {
+          skipped_blackout_.inc();
+          continue;
+        }
+        last_scan_[target] = now;
+        stage_target(target, source.lane);
+      }
+    }
+    if (drained)
+      sources_.erase(sources_.begin() + static_cast<std::ptrdiff_t>(i));
+    else
+      ++i;
+  }
+}
+
+std::optional<simnet::SimTime> ScanEngine::next_wake() const {
+  // A source with staging room wants an immediate pull.
+  for (const Source& source : sources_)
+    if (queue_.free_slots(source.lane) > 0) return network_.now();
+  auto due = queue_.next_not_before();
+  if (!due) return std::nullopt;
+  // Wake when the earliest intent is due AND the bucket can grant a slot.
+  return std::max({*due, network_.now(), next_token_});
 }
 
 void ScanEngine::arm_pump() {
-  if (pump_armed_ || pending_.empty()) return;
+  auto wake = next_wake();
+  if (!wake) return;
+  if (pump_armed_ && *wake >= armed_wake_) return;
   pump_armed_ = true;
-  simnet::SimTime next = pending_.top().at;
-  network_.events().schedule_at(next, [this] {
+  armed_wake_ = *wake;
+  network_.events().schedule_at(*wake, [this, at = *wake] {
+    // A later re-arm may have superseded this event with an earlier one.
+    if (!pump_armed_ || at != armed_wake_) return;
     pump_armed_ = false;
     pump();
   });
 }
 
 void ScanEngine::pump() {
-  // Launch everything due within the next pump window; keeping the window
-  // short bounds the number of in-flight probe closures.
-  simnet::SimTime horizon = network_.now() + kPumpWindow;
-  while (!pending_.empty() && pending_.top().at <= horizon) {
-    Pending p = pending_.top();
-    pending_.pop();
-    launch(p.protocol, p.target, p.at);
+  const simnet::SimTime now = network_.now();
+  refill_from_sources();
+  const simnet::SimDuration gap = token_gap();
+  // Grant at most kPumpSlackSlots slots past `now` per wake: launches stay
+  // a couple of gaps ahead at most, so token_wait_ records the real pacing
+  // delay instead of a backlog position.
+  const simnet::SimTime horizon = now + kPumpSlackSlots * gap;
+  while (queue_.has_due(now)) {
+    simnet::SimTime slot = next_token_ > now ? next_token_ : now;
+    if (slot > horizon) break;
+    ScanIntent intent = *queue_.pull_due(now);
+    next_token_ = slot + gap;
+    token_wait_.record(slot - now);
+    queue_delay_.record(slot - intent.not_before);
+    stage_successor(intent, slot);
+    launch(intent, slot);
   }
-  pending_gauge_.set(static_cast<std::int64_t>(pending_.size()));
+  refill_from_sources();  // freed lane slots admit the next bulk chunk
+  pending_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+  pending_peak_gauge_.set(static_cast<std::int64_t>(queue_.peak()));
   arm_pump();
 }
 
-void ScanEngine::launch(Protocol proto, const net::Ipv6Address& target,
-                        simnet::SimTime at) {
-  ProtocolScanner* scanner = nullptr;
-  for (const auto& s : scanners_)
-    if (s->protocol() == proto) scanner = s.get();
-  if (!scanner) return;
+void ScanEngine::launch(const ScanIntent& intent, simnet::SimTime at) {
+  Protocol proto = scanners_[intent.chain_pos]->protocol();
+  ProtocolScanner* scanner = by_proto_[static_cast<std::size_t>(proto)];
+  if (!scanner) {
+    no_scanner_.inc();
+    assert(!"no scanner registered for staged protocol");
+    return;
+  }
 
   probes_launched_.inc();
   launched_by_proto_[static_cast<std::size_t>(proto)].inc();
@@ -129,9 +247,10 @@ void ScanEngine::launch(Protocol proto, const net::Ipv6Address& target,
       static_cast<std::uint16_t>(1024 + (next_ephemeral_++ % 60000));
 
   network_.events().schedule_at(
-      at, [this, scanner, proto, target, src_port] {
+      at, [this, scanner, proto, target = intent.target,
+           dataset = intent.dataset, src_port] {
         ScanRecord base;
-        base.dataset = config_.dataset;
+        base.dataset = dataset;
         base.protocol = proto;
         base.target = target;
         base.at = network_.now();

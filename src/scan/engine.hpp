@@ -1,28 +1,40 @@
 // The zgrab2-style scan engine (Section 4.1).
 //
 // Targets arrive either in real time (the AddressCollector feeds every new
-// NTP-sourced address) or in bulk (the hitlist sweep). The engine enforces
-// the study's ethical-scanning mechanics: a global packet budget (token
-// bucket), randomised 10 s - 10 min delays between the per-protocol probes
-// of one target, and a 3-day blackout before any address is scanned again.
-// Each protocol probe performs a full byte-level exchange through the
-// protocol scanners and records one ScanRecord.
+// NTP-sourced address) or in bulk (the hitlist sweep, pulled in chunks).
+// The engine enforces the study's ethical-scanning mechanics: a global
+// packet budget (token bucket), randomised 10 s - 10 min delays between the
+// per-protocol probes of one target, and a 3-day blackout before any
+// address is scanned again. Each protocol probe performs a full byte-level
+// exchange through the protocol scanners and records one ScanRecord.
+//
+// Pacing is pull-based: submissions only stage *intents* in a bounded
+// PendingQueue; a single pump event wakes at token-availability time,
+// pulls the due intents, and grants token-bucket slots at launch time. A
+// full lane applies backpressure to the submitter, and registered bulk
+// sources are pulled chunk-by-chunk as staging room frees up, so the
+// pending depth stays O(max_pending) instead of O(total targets) and
+// `scan_token_wait_us` measures the real pacing delay a granted slot
+// imposes rather than the position of a probe in a bulk backlog.
 //
 // All campaign counters (submitted / skipped / launched / completed, the
-// per-protocol splits, the token-bucket wait histogram and pending-queue
-// depth) are obs instruments; the accessors read the same cells, and a
-// Registry in the config exports them labelled with the campaign dataset.
+// per-protocol splits, the token-bucket wait and queue-delay histograms,
+// pending depth/peak, backpressure events) are obs instruments; the
+// accessors read the same cells, and a Registry in the config exports them
+// labelled with the campaign dataset.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scan/pending_queue.hpp"
 #include "scan/results.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
@@ -54,6 +66,9 @@ struct ScanEngineConfig {
   simnet::SimDuration min_protocol_delay = simnet::sec(10);
   simnet::SimDuration max_protocol_delay = simnet::minutes(10);
   simnet::SimDuration rescan_blackout = simnet::days(3);
+  /// Per-dataset-lane cap on staged probe intents: bounds pending_depth()
+  /// and therefore the engine's memory, whatever the bulk feed size.
+  std::size_t max_pending = 4096;
   net::Ipv6Address scanner_address;
   Dataset dataset = Dataset::kNtp;
   /// SNI offered in TLS probes ("" = none: we scan addresses, not names).
@@ -68,8 +83,27 @@ struct ScanEngineConfig {
   obs::Tracer* tracer = nullptr;
 };
 
+/// Outcome of a single-target submission.
+enum class SubmitResult : std::uint8_t {
+  kAccepted,  ///< staged; the pump will launch it as the budget allows
+  kBlackout,  ///< inside its rescan blackout; skipped (counted)
+  kQueueFull, ///< staging lane at capacity; backpressure (counted, the
+              ///< target is NOT blackout-marked and may be resubmitted)
+};
+
 class ScanEngine {
  public:
+  /// Pull source for bulk feeds: return up to `max_n` fresh targets; an
+  /// empty result marks the source as drained and unregisters it. Called
+  /// repeatedly as staging room frees up; the source must advance its own
+  /// cursor between calls.
+  using SourceFn =
+      std::function<std::vector<net::Ipv6Address>(std::size_t max_n)>;
+  /// Invoked (if set) every time a submission is refused with kQueueFull.
+  using BackpressureFn = std::function<void(Dataset)>;
+
+  /// Throws std::invalid_argument on inverted protocol-delay ranges,
+  /// non-positive max_pps, or a zero max_pending.
   ScanEngine(simnet::Network& network, ResultStore& results,
              ScanEngineConfig config);
   ~ScanEngine();
@@ -78,14 +112,37 @@ class ScanEngine {
   ScanEngine& operator=(const ScanEngine&) = delete;
 
   /// Queue a target for a full multi-protocol scan. Returns false when the
-  /// target is inside its rescan blackout and was skipped.
-  bool submit(const net::Ipv6Address& target);
+  /// target was not accepted (blackout or backpressure); use try_submit()
+  /// to distinguish.
+  bool submit(const net::Ipv6Address& target) {
+    return try_submit(target) == SubmitResult::kAccepted;
+  }
+  SubmitResult try_submit(const net::Ipv6Address& target) {
+    return try_submit(target, config_.dataset);
+  }
+  /// Submit into a specific dataset lane (results are tagged with `lane`).
+  SubmitResult try_submit(const net::Ipv6Address& target, Dataset lane);
 
-  /// Queue many targets (hitlist sweep); paced by the token bucket.
+  /// Queue many targets (hitlist sweep). The vector is copied into an
+  /// internal pull source and fed to the pump chunk-by-chunk, so staging
+  /// stays bounded no matter how large the sweep is.
   void submit_bulk(const std::vector<net::Ipv6Address>& targets);
+
+  /// Register a pull source the pump drains as staging room frees up.
+  void add_source(SourceFn fn) { add_source(std::move(fn), config_.dataset); }
+  void add_source(SourceFn fn, Dataset lane);
+  /// Sources registered and not yet drained.
+  std::size_t sources_pending() const { return sources_.size(); }
+
+  void set_backpressure_callback(BackpressureFn fn) {
+    on_backpressure_ = std::move(fn);
+  }
 
   std::uint64_t submitted() const { return submitted_.value(); }
   std::uint64_t skipped_blackout() const { return skipped_blackout_.value(); }
+  std::uint64_t backpressure_events() const {
+    return backpressure_.value();
+  }
   std::uint64_t probes_launched() const { return probes_launched_.value(); }
   std::uint64_t probes_completed() const { return probes_completed_.value(); }
   std::uint64_t probes_launched(Protocol proto) const {
@@ -95,34 +152,37 @@ class ScanEngine {
     return completed_by_proto_[static_cast<std::size_t>(proto)].value();
   }
 
-  /// Virtual-time wait imposed by the token bucket per allocated slot (us).
+  /// Virtual-time wait the token bucket imposed on each granted slot (us):
+  /// the delay between the pump considering a due intent and its launch
+  /// slot. Bounded by the pump's slack window (~2 token gaps).
   const obs::Histogram& token_wait() const { return token_wait_; }
+  /// Staging delay per probe (us): launch slot minus the intent's
+  /// not-before time. Shows token starvation of a backlogged lane.
+  const obs::Histogram& queue_delay() const { return queue_delay_; }
   /// Virtual launch-to-completion time per probe (us), all protocols.
   const obs::Histogram& probe_rtt() const { return probe_rtt_; }
-  std::size_t pending_depth() const { return pending_.size(); }
+  /// Staged intents right now (bounded by max_pending per lane).
+  std::size_t pending_depth() const { return queue_.size(); }
+  /// Lifetime high-water mark of pending_depth().
+  std::size_t pending_peak() const { return queue_.peak(); }
 
   const ScanEngineConfig& config() const { return config_; }
 
  private:
-  static constexpr simnet::SimDuration kPumpWindow = simnet::sec(1);
+  /// Slots the pump may grant past its wake time per cycle: batches a few
+  /// launches per event while keeping token_wait within ~2 token gaps.
+  static constexpr std::int64_t kPumpSlackSlots = 2;
 
-  struct Pending {
-    simnet::SimTime at;
-    Protocol protocol;
-    net::Ipv6Address target;
-  };
-  struct PendingLater {
-    bool operator()(const Pending& a, const Pending& b) const {
-      return a.at > b.at;
-    }
-  };
-
-  /// Reserve the next token-bucket slot (absolute virtual time).
-  simnet::SimTime allocate_slot();
-  void launch(Protocol proto, const net::Ipv6Address& target,
-              simnet::SimTime at);
+  simnet::SimDuration token_gap() const;
+  /// Stage the first-protocol intent for an accepted target.
+  void stage_target(const net::Ipv6Address& target, Dataset lane);
+  /// Stage the next protocol of `intent`'s chain after a launch at `slot`.
+  void stage_successor(const ScanIntent& intent, simnet::SimTime slot);
+  void launch(const ScanIntent& intent, simnet::SimTime at);
+  void refill_from_sources();
   void arm_pump();
   void pump();
+  std::optional<simnet::SimTime> next_wake() const;
   void enroll_metrics();
 
   simnet::Network& network_;
@@ -130,23 +190,36 @@ class ScanEngine {
   ScanEngineConfig config_;
   util::Rng rng_;
   std::vector<std::unique_ptr<ProtocolScanner>> scanners_;
+  /// Scanner lookup by protocol, built at construction (no per-probe scan).
+  std::array<ProtocolScanner*, kProtocolCount> by_proto_{};
 
   std::unordered_map<net::Ipv6Address, simnet::SimTime, net::Ipv6AddressHash>
       last_scan_;
-  std::priority_queue<Pending, std::vector<Pending>, PendingLater> pending_;
+  PendingQueue queue_;
+  struct Source {
+    SourceFn fn;
+    Dataset lane;
+  };
+  std::vector<Source> sources_;
+  BackpressureFn on_backpressure_;
   bool pump_armed_ = false;
+  simnet::SimTime armed_wake_ = 0;
   simnet::SimTime next_token_ = 0;
   std::uint64_t next_ephemeral_ = 40000;
 
   obs::Counter submitted_;
   obs::Counter skipped_blackout_;
+  obs::Counter backpressure_;
+  obs::Counter no_scanner_;
   obs::Counter probes_launched_;
   obs::Counter probes_completed_;
   std::array<obs::Counter, kProtocolCount> launched_by_proto_;
   std::array<obs::Counter, kProtocolCount> completed_by_proto_;
   obs::Histogram token_wait_{obs::Histogram::exponential(1000, 4.0, 14)};
+  obs::Histogram queue_delay_{obs::Histogram::exponential(1000, 4.0, 14)};
   obs::Histogram probe_rtt_{obs::Histogram::exponential(1000, 4.0, 14)};
   obs::Gauge pending_gauge_;
+  obs::Gauge pending_peak_gauge_;
   // Prebuilt "probe/<proto>" span names (building one per launch would
   // dominate the span cost).
   std::array<std::string, kProtocolCount> span_names_;

@@ -82,24 +82,15 @@ class HttpScanner final : public ProtocolScanner {
             state->record.certificate = result.certificate;
             session->send(request.serialize());
           });
-          // Keep the TLS session alive as long as the probe runs.
           state->record.http_status = 0;
-          sessions_keepalive(state, session);
+          // Anchors the session to the probe AND breaks the closure
+          // cycles (session callbacks capture state) at finish time.
+          state->cleanup = [session] { session->drop_callbacks(); };
         },
         simnet::sec(5));
   }
 
  private:
-  // Anchor the session's lifetime to the probe state (the session is only
-  // referenced from callbacks otherwise).
-  static void sessions_keepalive(const ProbeStatePtr& state,
-                                 std::shared_ptr<TlsClientSession> session) {
-    // Stash in the done-callback closure via aliasing shared_ptr trick:
-    // simply extend lifetime by capturing in the guard of the record.
-    state->done = [inner = std::move(state->done),
-                   session](ScanRecord r) mutable { inner(std::move(r)); };
-  }
-
   bool tls_;
   std::string sni_;
 };

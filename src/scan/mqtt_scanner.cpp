@@ -76,10 +76,9 @@ class MqttScanner final : public ProtocolScanner {
                 state->record.certificate = result.certificate;
                 session->send(connect.serialize());
               });
-          state->done = [inner = std::move(state->done),
-                         session](ScanRecord r) mutable {
-            inner(std::move(r));
-          };
+          // Anchors the session to the probe AND breaks the closure
+          // cycles (session callbacks capture state) at finish time.
+          state->cleanup = [session] { session->drop_callbacks(); };
         },
         simnet::sec(5));
   }

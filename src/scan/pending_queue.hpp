@@ -1,0 +1,82 @@
+// Bounded, dataset-fair staging for scan probe intents.
+//
+// The pull-based pacing pump (ScanEngine::pump) stores *intents* here —
+// (target, position in the protocol chain, not-before time) — instead of
+// pre-reserving token-bucket slots at submission. Each dataset gets its own
+// lane with its own capacity, so a bulk hitlist sweep can never crowd out
+// the real-time NTP feed: pulls round-robin across lanes with due work, and
+// a full lane pushes back on the submitter instead of growing without
+// bound. Ties at equal not-before times break by staging order, keeping
+// pull order (and therefore every downstream RNG draw) deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "scan/results.hpp"
+#include "simnet/time.hpp"
+
+namespace tts::scan {
+
+/// One staged probe: the pump launches it at the first token-bucket slot at
+/// or after `not_before`.
+struct ScanIntent {
+  simnet::SimTime not_before = 0;
+  Dataset dataset = Dataset::kNtp;
+  /// Index into the engine's protocol order (the stagger chain position).
+  std::uint8_t chain_pos = 0;
+  net::Ipv6Address target;
+};
+
+class PendingQueue {
+ public:
+  explicit PendingQueue(std::size_t lane_capacity);
+
+  /// Stage an intent. False when the intent's lane is at capacity — the
+  /// caller must apply backpressure instead of queueing.
+  bool push(ScanIntent intent);
+
+  bool full(Dataset lane) const { return free_slots(lane) == 0; }
+  std::size_t free_slots(Dataset lane) const;
+
+  /// Earliest not_before across all lanes (nullopt when empty).
+  std::optional<simnet::SimTime> next_not_before() const;
+  bool has_due(simnet::SimTime now) const;
+  /// Pop one intent with not_before <= now, round-robin across lanes with
+  /// due work so no dataset starves another. nullopt when nothing is due.
+  std::optional<ScanIntent> pull_due(simnet::SimTime now);
+
+  std::size_t size() const { return size_; }
+  std::size_t lane_size(Dataset lane) const;
+  std::size_t lane_capacity() const { return lane_capacity_; }
+  /// High-water mark of size() over the queue's lifetime.
+  std::size_t peak() const { return peak_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Entry {
+    ScanIntent intent;
+    std::uint64_t seq;  // staging-order tie-break: deterministic pulls
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.intent.not_before != b.intent.not_before)
+        return a.intent.not_before > b.intent.not_before;
+      return a.seq > b.seq;
+    }
+  };
+  using Lane = std::priority_queue<Entry, std::vector<Entry>, Later>;
+
+  std::array<Lane, kDatasetCount> lanes_;
+  std::size_t lane_capacity_;
+  std::size_t size_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t rr_next_ = 0;  // lane offset the next pull starts from
+};
+
+}  // namespace tts::scan

@@ -16,6 +16,9 @@ struct ProbeState {
   ScanRecord record;
   ProtocolScanner::DoneFn done;
   simnet::TcpConnectionPtr conn;  // kept so finish() can close it
+  /// Releases probe-owned helpers (a TLS session's callbacks) whose
+  /// closures form shared_ptr cycles with this state. Runs exactly once.
+  std::function<void()> cleanup;
   bool finished = false;
 
   void finish(Outcome outcome) {
@@ -24,7 +27,18 @@ struct ProbeState {
     record.outcome = outcome;
     if (conn && conn->open())
       conn->close(simnet::TcpConnection::Side::kClient);
-    done(std::move(record));
+    conn = nullptr;
+    if (cleanup) {
+      auto release = std::move(cleanup);
+      cleanup = nullptr;
+      release();
+    }
+    // Hand `done` off to the stack so everything it keeps alive (the TLS
+    // session anchored via `cleanup`/`done` closures) dies with this call
+    // instead of cycling back to the state.
+    auto fn = std::move(done);
+    done = nullptr;
+    fn(std::move(record));
   }
 };
 

@@ -33,6 +33,7 @@ bool is_tls(Protocol p);
 
 /// Which address feed produced the target.
 enum class Dataset : std::uint8_t { kNtp, kHitlist, kRyeLevin };
+inline constexpr std::size_t kDatasetCount = 3;
 std::string_view to_string(Dataset d);
 /// Metric-label form ("dataset=ntp"); to_string() is the display name.
 std::string_view label(Dataset d);
@@ -97,7 +98,6 @@ class ResultStore {
 
  private:
   static constexpr std::size_t kOutcomeCount = 5;
-  static constexpr std::size_t kDatasetCount = 3;
 
   std::vector<ScanRecord> records_;
   std::uint64_t counts_[kDatasetCount][kProtocolCount][kOutcomeCount] = {};

@@ -40,6 +40,15 @@ class TlsClientSession
   /// Receive unwrapped application data.
   void set_on_app_data(AppDataFn fn) { on_app_data_ = std::move(fn); }
 
+  /// Release both user callbacks. The scanners' closures capture the
+  /// session (and the probe state) in shared_ptr cycles; the probe calls
+  /// this from its finish path so a completed or timed-out session can
+  /// actually be destroyed.
+  void drop_callbacks() {
+    on_handshake_ = nullptr;
+    on_app_data_ = nullptr;
+  }
+
  private:
   TlsClientSession(simnet::TcpConnectionPtr conn, std::string sni)
       : conn_(std::move(conn)), sni_(std::move(sni)) {}

@@ -1,5 +1,6 @@
 #include "simnet/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tts::simnet {
@@ -39,14 +40,34 @@ void TcpConnection::close(Side from) {
   int to = 1 - static_cast<int>(from);
   auto self = shared_from_this();
   net_->events_.schedule_in(latency_, [self, to] {
-    if (self->on_close_[to]) self->on_close_[to]();
+    // Move the peer's close handler out, then drop every handler before
+    // invoking it: the handlers routinely capture the connection pointer,
+    // and clearing them here breaks the shared_ptr cycle the moment the
+    // close delivers. Data queued before the close was scheduled earlier
+    // on the same event queue, so it has already been delivered.
+    CloseFn fn = std::move(self->on_close_[to]);
+    self->drop_handlers();
+    if (fn) fn();
   });
+}
+
+void TcpConnection::drop_handlers() {
+  for (auto& fn : on_data_) fn = nullptr;
+  for (auto& fn : on_close_) fn = nullptr;
 }
 
 // --------------------------------------------------------------------- Network
 
 Network::Network(EventQueue& events, NetworkConfig config)
     : events_(events), config_(config), rng_(config.seed) {}
+
+Network::~Network() {
+  // Connections that never closed (in-flight probes at the simulation
+  // horizon) still hold user callbacks capturing their own shared_ptr;
+  // break those cycles so nothing outlives the teardown.
+  for (const auto& weak : live_tcp_)
+    if (auto conn = weak.lock()) conn->drop_handlers();
+}
 
 void Network::attach(const net::Ipv6Address& addr) { ++online_[addr]; }
 
@@ -181,11 +202,23 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
   TcpAcceptor acceptor = wildcard ? wildcard : listener->second;
   events_.schedule_in(2 * lat, [this, src, dst, lat, result, acceptor] {
     auto conn = TcpConnectionPtr(new TcpConnection(this, src, dst, lat));
+    track_connection(conn);
     // Server learns of the connection first (it must install handlers
     // before any client data can arrive — data takes >= lat anyway).
     acceptor(conn);
     result(conn, false);
   });
+}
+
+void Network::track_connection(const TcpConnectionPtr& conn) {
+  if (live_tcp_.size() >= live_tcp_prune_at_) {
+    std::erase_if(live_tcp_,
+                  [](const std::weak_ptr<TcpConnection>& w) {
+                    return w.expired();
+                  });
+    live_tcp_prune_at_ = std::max<std::size_t>(64, 2 * live_tcp_.size());
+  }
+  live_tcp_.push_back(conn);
 }
 
 void Network::listen_tcp_prefix(const net::Ipv6Prefix& prefix,

@@ -85,6 +85,14 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   TcpConnection(Network* net, Endpoint client, Endpoint server,
                 SimDuration latency);
 
+  /// Drop both sides' callbacks. User callbacks routinely capture the
+  /// connection's own shared_ptr, which forms a reference cycle
+  /// (connection -> callback -> connection); resetting the handlers when
+  /// the close delivers — or from ~Network for connections still open when
+  /// the simulation is torn down — breaks the cycle so LeakSanitizer runs
+  /// clean.
+  void drop_handlers();
+
   Network* net_;
   Endpoint client_;
   Endpoint server_;
@@ -117,6 +125,10 @@ class Network {
   using TapFn = std::function<void(const TapEvent&)>;
 
   Network(EventQueue& events, NetworkConfig config = {});
+  /// Drops the callback handlers of every connection still open so their
+  /// capture cycles cannot outlive the network (see
+  /// TcpConnection::drop_handlers).
+  ~Network();
 
   EventQueue& events() { return events_; }
   SimTime now() const { return events_.now(); }
@@ -179,6 +191,7 @@ class Network {
                              const net::Ipv6Address& b);
   void run_taps(TransportProto proto, const Endpoint& src,
                 const Endpoint& dst, std::size_t payload_size);
+  void track_connection(const TcpConnectionPtr& conn);
 
   EventQueue& events_;
   NetworkConfig config_;
@@ -209,6 +222,12 @@ class Network {
   std::vector<PrefixTcp> prefix_tcp_;
   std::vector<PrefixUdp> prefix_udp_;
   std::uint64_t next_tap_id_ = 1;
+
+  /// Weak handles on every established connection, pruned amortised; used
+  /// only by ~Network to break callback cycles of never-closed connections
+  /// (e.g. probes still in flight when a run is truncated at its horizon).
+  std::vector<std::weak_ptr<TcpConnection>> live_tcp_;
+  std::size_t live_tcp_prune_at_ = 64;
 
   std::uint64_t udp_sent_ = 0;
   std::uint64_t udp_delivered_ = 0;

@@ -351,6 +351,60 @@ TEST_F(NetworkTest, UnbindDuringDeliveryIsSafe) {
   EXPECT_EQ(received, 1);
 }
 
+TEST_F(NetworkTest, CloseBreaksHandlerCycleAndFreesConnection) {
+  // Handlers routinely capture the TcpConnectionPtr they are set on; the
+  // connection must still be freed once the close is delivered (the
+  // handlers are dropped with it), or every scanned host leaks.
+  Endpoint server{addr(1), 80};
+  network_.attach(addr(1));
+  std::weak_ptr<TcpConnection> server_side;
+  network_.listen_tcp(server, [&](TcpConnectionPtr conn) {
+    server_side = conn;
+    conn->set_on_data(TcpConnection::Side::kServer,
+                      [conn](std::vector<std::uint8_t>) {
+                        conn->close(TcpConnection::Side::kServer);
+                      });
+  });
+  std::weak_ptr<TcpConnection> client_side;
+  network_.connect_tcp({addr(2), 1}, server,
+                       [&](TcpConnectionPtr conn, bool) {
+                         ASSERT_NE(conn, nullptr);
+                         client_side = conn;
+                         conn->set_on_close(TcpConnection::Side::kClient,
+                                            [conn] { /* keeps the cycle */ });
+                         conn->send(TcpConnection::Side::kClient, {1});
+                       });
+  events_.run();
+  EXPECT_TRUE(server_side.expired());
+  EXPECT_TRUE(client_side.expired());
+}
+
+TEST(NetworkLifecycle, DestructorBreaksCyclesOfNeverClosedConnections) {
+  // run_until() can truncate a study before in-flight connections close;
+  // Network teardown must still break their handler cycles.
+  EventQueue events;
+  std::weak_ptr<TcpConnection> leaked;
+  {
+    Network network(events);
+    network.attach(addr(1));
+    network.listen_tcp({addr(1), 80}, [](TcpConnectionPtr conn) {
+      conn->set_on_data(TcpConnection::Side::kServer,
+                        [conn](std::vector<std::uint8_t>) {});
+    });
+    network.connect_tcp({addr(2), 1}, {addr(1), 80},
+                        [&](TcpConnectionPtr conn, bool) {
+                          ASSERT_NE(conn, nullptr);
+                          leaked = conn;
+                          conn->set_on_data(TcpConnection::Side::kClient,
+                                            [conn](std::vector<std::uint8_t>) {
+                                            });
+                        });
+    events.run();  // established, never closed
+    EXPECT_FALSE(leaked.expired());
+  }
+  EXPECT_TRUE(leaked.expired());
+}
+
 TEST_F(NetworkTest, LatencyIsDeterministicAndBounded) {
   auto a = addr(100), b = addr(200);
   SimDuration l1 = network_.base_latency(a, b);

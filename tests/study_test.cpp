@@ -151,6 +151,22 @@ TEST_F(StudyTest, TelescopeSeesOurScansAndBothActors) {
   EXPECT_GE(covert, 1);
 }
 
+TEST_F(StudyTest, ScanStagingStaysBoundedAndSweepDrains) {
+  const Study& s = study();
+  // The pull-based pump keeps every engine's staging at O(max_pending)
+  // even though the hitlist sweep covers thousands of targets (the eager
+  // design peaked at one queue entry per probe of the whole sweep).
+  ASSERT_NE(s.hitlist_engine(), nullptr);
+  EXPECT_LE(s.hitlist_engine()->pending_peak(), s.config().scan_max_pending);
+  ASSERT_NE(s.ntp_engine(), nullptr);
+  EXPECT_LE(s.ntp_engine()->pending_peak(), s.config().scan_max_pending);
+  // The chunked feeder handed over the full hitlist before the run ended.
+  ASSERT_NE(s.hitlist_sweeper(), nullptr);
+  EXPECT_TRUE(s.hitlist_sweeper()->drained());
+  EXPECT_EQ(s.hitlist_sweeper()->fed(), s.hitlist_sweeper()->total());
+  EXPECT_GT(s.hitlist_sweeper()->total(), 1000u);
+}
+
 TEST_F(StudyTest, HitlistOverlapIsPartial) {
   auto ntp = study().ntp_addresses();
   const auto& hitlist = study().hitlist().full;
