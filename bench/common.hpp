@@ -46,6 +46,19 @@ inline core::Study& shared_study() {
               << " events, "
               << s->collector().distinct_addresses()
               << " addresses collected\n";
+    if (const auto* budget = s->scan_budget()) {
+      std::cerr << "[bench] shared scan budget: " << budget->max_pps()
+                << " pps cap";
+      if (const auto* ntp = s->ntp_engine())
+        std::cerr << ", ntp " << budget->grants(ntp->budget_client())
+                  << " grants (" << budget->borrowed(ntp->budget_client())
+                  << " borrowed, " << ntp->pump_wakes() << " pump wakes)";
+      if (const auto* hit = s->hitlist_engine())
+        std::cerr << ", hitlist " << budget->grants(hit->budget_client())
+                  << " grants (" << budget->borrowed(hit->budget_client())
+                  << " borrowed, " << hit->pump_wakes() << " pump wakes)";
+      std::cerr << ", " << s->overflow_dropped() << " overflow drops\n";
+    }
     if (s->config().obs.enabled)
       std::cerr << "\n[bench] observability epilogue "
                    "(TTS_BENCH_METRICS=0 to silence)\n"

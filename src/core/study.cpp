@@ -54,9 +54,18 @@ Study::Study(StudyConfig config)
   // events (two clock reads per timed dispatch dominate the obs cost).
   events_.set_dispatch_sampling(64);
   pool_.set_registry(&metrics_);
+  metrics_.enroll(overflow_dropped_, "scan_overflow_dropped",
+                  {{"dataset", "ntp"}}, this);
+  // One token source for both engines: the aggregate rate is the paper's
+  // scan budget, per-engine shares come from the weights. Built here (not
+  // in run()) so tests can attach a grant observer up front.
+  if (config_.enable_ntp_scans || config_.enable_hitlist_scan)
+    scan_budget_ = std::make_unique<scan::SharedBudget>(
+        scan::SharedBudgetConfig{config_.scan_pps, /*burst_slots=*/2,
+                                 &metrics_});
 }
 
-Study::~Study() = default;
+Study::~Study() { metrics_.drop_owner(this); }
 
 net::Ipv6Address Study::allocate_infra_address(const std::string& country,
                                                std::uint16_t tag) {
@@ -227,7 +236,8 @@ void Study::run() {
     scan::ScanEngineConfig engine;
     engine.scanner_address = allocate_infra_address("DE", 0x51);
     engine.dataset = scan::Dataset::kNtp;
-    engine.max_pps = config_.scan_pps;
+    engine.budget = scan_budget_.get();
+    engine.budget_weight = config_.ntp_scan_weight;
     engine.max_pending = config_.scan_max_pending;
     engine.seed = rng_.stream("ntp-engine").root_seed();
     engine.registry = &metrics_;
@@ -239,7 +249,14 @@ void Study::run() {
         return;
       // Backpressure: a collector-fed address must not be silently lost to
       // a momentarily full lane, so it overflows into a study-side buffer
-      // the engine drains as a pull source once staging room frees up.
+      // the engine drains as a pull source once staging room frees up. The
+      // buffer itself is capped: a feed that outruns the scan budget for
+      // long enough drops (and counts) the excess instead of growing
+      // without bound.
+      if (ntp_overflow_.size() >= config_.overflow_cap) {
+        overflow_dropped_.inc();
+        return;
+      }
       ntp_overflow_.push_back(rec.addr);
       if (ntp_overflow_active_) return;
       ntp_overflow_active_ = true;
@@ -278,7 +295,8 @@ void Study::run() {
     scan::ScanEngineConfig engine;
     engine.scanner_address = allocate_infra_address("DE", 0x52);
     engine.dataset = scan::Dataset::kHitlist;
-    engine.max_pps = config_.scan_pps;
+    engine.budget = scan_budget_.get();
+    engine.budget_weight = config_.hitlist_scan_weight;
     engine.max_pending = config_.scan_max_pending;
     engine.seed = rng_.stream("hitlist-engine").root_seed();
     engine.registry = &metrics_;
@@ -382,7 +400,11 @@ std::string Study::observability_report() const {
                .to_string();
     out += "\n";
   }
-  out += obs::to_table(metrics_.snapshot(events_.now()), "final metrics")
+  obs::TableRollup rollup;
+  rollup.names = config_.obs.rollup_names;
+  rollup.top_n = config_.obs.rollup_top_n;
+  out += obs::to_table(metrics_.snapshot(events_.now()), "final metrics",
+                       rollup)
              .to_string();
   if (!tracer_.stats().empty()) {
     out += "\n";

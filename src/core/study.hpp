@@ -49,6 +49,11 @@ struct ObservabilityConfig {
   std::size_t max_snapshots = 4096;
   /// Completed-span ring capacity (aggregates cover all spans regardless).
   std::size_t trace_capacity = 4096;
+  /// Series families the final-metrics table rolls up to their top_n
+  /// largest members plus one "other" row (population-proportional families
+  /// would otherwise swamp the report).
+  std::vector<std::string> rollup_names = {"pool_selections"};
+  std::size_t rollup_top_n = 8;
 };
 
 struct StudyConfig {
@@ -69,11 +74,22 @@ struct StudyConfig {
   /// Aggregate netspeed of third-party servers per zone.
   double background_netspeed = 3000;
 
+  /// Aggregate probe budget across BOTH engines (one shared uplink, the
+  /// paper's Section 3 setup): the NTP feed and the hitlist sweep draw
+  /// weighted fair shares of this single rate.
   double scan_pps = 2000;
+  /// Fair-share weights on the shared budget. An idle engine's share is
+  /// lent to the busy one and reclaimed within about one token gap.
+  double ntp_scan_weight = 1.0;
+  double hitlist_scan_weight = 1.0;
   /// Per-dataset cap on each engine's staged probe intents: bounds the
   /// pending queue (and memory) regardless of hitlist size; a full lane
   /// pushes back on the feed instead of queueing (scan_backpressure_events).
   std::size_t scan_max_pending = 4096;
+  /// Cap on the study-side buffer of collector addresses refused with
+  /// kQueueFull. Beyond it addresses are dropped and counted
+  /// (scan_overflow_dropped) instead of growing the deque without bound.
+  std::size_t overflow_cap = 65536;
   simnet::SimTime hitlist_scan_start = simnet::days(21);
 
   bool enable_ntp_scans = true;
@@ -139,6 +155,14 @@ class Study {
   const scan::ScanEngine* hitlist_engine() const {
     return hitlist_engine_.get();
   }
+  /// The shared pacing budget both engines draw from (nullptr when all
+  /// scanning is disabled). Non-const so tests can attach a grant observer.
+  scan::SharedBudget* scan_budget() { return scan_budget_.get(); }
+  const scan::SharedBudget* scan_budget() const { return scan_budget_.get(); }
+  /// Collector addresses dropped because the overflow buffer hit its cap.
+  std::uint64_t overflow_dropped() const { return overflow_dropped_.value(); }
+  /// Current depth of the collector-overflow buffer (<= overflow_cap).
+  std::size_t overflow_depth() const { return ntp_overflow_.size(); }
   /// The chunked feeder driving the hitlist sweep (nullptr before the
   /// sweep starts or when the hitlist scan is disabled).
   const hitlist::SweepFeeder* hitlist_sweeper() const {
@@ -189,13 +213,19 @@ class Study {
   hitlist::Hitlist hitlist_;
 
   scan::ResultStore results_;
+  /// One token source for both engines (created in the constructor so
+  /// harness tests can attach a grant observer before run()); declared
+  /// before the engines, which hold pointers into it.
+  std::unique_ptr<scan::SharedBudget> scan_budget_;
   std::unique_ptr<scan::ScanEngine> ntp_engine_;
   std::unique_ptr<scan::ScanEngine> hitlist_engine_;
   std::unique_ptr<hitlist::SweepFeeder> sweeper_;
   /// Collector addresses refused with kQueueFull, drained back into the
-  /// NTP engine via a pull source (no silent loss under backpressure).
+  /// NTP engine via a pull source; bounded by config_.overflow_cap
+  /// (drops beyond it are counted, not silent).
   std::deque<net::Ipv6Address> ntp_overflow_;
   bool ntp_overflow_active_ = false;
+  obs::Counter overflow_dropped_;
 
   analysis::Eui64Accumulator eui64_;
 

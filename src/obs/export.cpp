@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 #include "simnet/time.hpp"
@@ -126,29 +127,119 @@ std::vector<T> parse_int_array(Cursor& c) {
   return out;
 }
 
+void add_value_row(util::TextTable& table, const SnapshotValue& v,
+                   const std::string& extra_detail) {
+  switch (v.kind) {
+    case Kind::kCounter:
+      table.add_row(
+          {v.full_name(), "counter", util::grouped(v.count), extra_detail});
+      break;
+    case Kind::kGauge:
+      table.add_row(
+          {v.full_name(), "gauge", util::grouped(v.value), extra_detail});
+      break;
+    case Kind::kHistogram: {
+      std::string detail = histogram_detail(v);
+      if (!extra_detail.empty()) detail += util::cat("  ", extra_detail);
+      table.add_row(
+          {v.full_name(), "histogram", util::grouped(v.count), detail});
+      break;
+    }
+  }
+}
+
+/// Ranking key for rollup: how "big" a series is.
+std::uint64_t series_magnitude(const SnapshotValue& v) {
+  if (v.kind == Kind::kGauge)
+    return v.value < 0 ? 0 : static_cast<std::uint64_t>(v.value);
+  return v.count;
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------- table
 
 util::TextTable to_table(const RegistrySnapshot& snapshot,
                          std::string title) {
+  return to_table(snapshot, std::move(title), TableRollup{});
+}
+
+util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
+                         const TableRollup& rollup) {
   util::TextTable table(std::move(title));
   table.set_header({"instrument", "kind", "value", "detail"},
                    {util::Align::kLeft, util::Align::kLeft,
                     util::Align::kRight, util::Align::kLeft});
-  for (const auto& v : snapshot.values) {
-    switch (v.kind) {
-      case Kind::kCounter:
-        table.add_row({v.full_name(), "counter", util::grouped(v.count), ""});
-        break;
-      case Kind::kGauge:
-        table.add_row({v.full_name(), "gauge", util::grouped(v.value), ""});
-        break;
-      case Kind::kHistogram:
-        table.add_row({v.full_name(), "histogram", util::grouped(v.count),
-                       histogram_detail(v)});
-        break;
+  auto rolled = [&](const std::string& name) {
+    for (const auto& n : rollup.names)
+      if (n == name) return true;
+    return false;
+  };
+  // Snapshots are sorted by (name, labels), so a series family is one
+  // contiguous run.
+  for (std::size_t i = 0; i < snapshot.values.size();) {
+    const SnapshotValue& v = snapshot.values[i];
+    std::size_t end = i + 1;
+    while (end < snapshot.values.size() &&
+           snapshot.values[end].name == v.name)
+      ++end;
+    std::size_t family = end - i;
+    if (!rolled(v.name) || family <= rollup.top_n + 1) {
+      for (std::size_t j = i; j < end; ++j)
+        add_value_row(table, snapshot.values[j], "");
+      i = end;
+      continue;
     }
+    std::vector<const SnapshotValue*> group;
+    group.reserve(family);
+    for (std::size_t j = i; j < end; ++j) group.push_back(&snapshot.values[j]);
+    std::stable_sort(group.begin(), group.end(),
+                     [](const SnapshotValue* a, const SnapshotValue* b) {
+                       return series_magnitude(*a) > series_magnitude(*b);
+                     });
+    for (std::size_t k = 0; k < rollup.top_n; ++k)
+      add_value_row(table, *group[k], "");
+
+    SnapshotValue other;
+    other.name = v.name;
+    other.labels = {{"series", "other"}};
+    other.kind = v.kind;
+    bool first_data = true;
+    bool bounds_match = true;
+    for (std::size_t k = rollup.top_n; k < group.size(); ++k) {
+      const SnapshotValue& g = *group[k];
+      other.count += g.count;
+      other.value += g.value;
+      if (g.kind == Kind::kHistogram && g.count > 0) {
+        if (first_data) {
+          other.min = g.min;
+          other.max = g.max;
+          first_data = false;
+        } else {
+          other.min = std::min(other.min, g.min);
+          other.max = std::max(other.max, g.max);
+        }
+      }
+      if (k == rollup.top_n) {
+        other.bounds = g.bounds;
+        other.bucket_counts = g.bucket_counts;
+      } else if (g.bounds != other.bounds) {
+        bounds_match = false;
+      } else {
+        for (std::size_t b = 0; b < g.bucket_counts.size() &&
+                                b < other.bucket_counts.size();
+             ++b)
+          other.bucket_counts[b] += g.bucket_counts[b];
+      }
+    }
+    if (!bounds_match) {
+      // Mixed shapes: keep totals, drop the (incomparable) buckets.
+      other.bounds.clear();
+      other.bucket_counts.clear();
+    }
+    add_value_row(table, other,
+                  util::cat("rollup of ", family - rollup.top_n, " series"));
+    i = end;
   }
   table.add_note(util::cat("snapshot at virtual t = ",
                            simnet::format_duration(snapshot.at)));

@@ -20,6 +20,23 @@ namespace tts::obs {
 util::TextTable to_table(const RegistrySnapshot& snapshot,
                          std::string title = "metrics");
 
+/// Label-prefix aggregation for high-cardinality instruments: any series
+/// family whose *name* is listed keeps only its `top_n` largest members
+/// (counters/histograms by count, gauges by value) and folds the rest into
+/// one "<name>{series=other}" row whose detail says how many series it
+/// rolled up. A family small enough that rolling saves nothing
+/// (<= top_n + 1 members) renders in full.
+struct TableRollup {
+  std::vector<std::string> names;
+  std::size_t top_n = 5;
+};
+
+/// to_table() with per-name rollup: a study's final-metrics table stays
+/// readable when pool_selections{server=...}-style families grow with the
+/// population instead of the instrument count.
+util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
+                         const TableRollup& rollup);
+
 /// One JSON object per line:
 ///   {"at":0,"name":"x","labels":{"a":"b"},"kind":"counter","value":7}
 /// Histograms carry "count","sum","min","max","bounds","counts".

@@ -14,9 +14,13 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
       results_(results),
       config_(std::move(config)),
       rng_(config_.seed),
-      queue_(config_.max_pending) {
-  if (config_.max_pps <= 0)
+      queue_(config_.max_pending),
+      pump_timer_(network.events(), [this] { pump(); }) {
+  if (!config_.budget && config_.max_pps <= 0)
     throw std::invalid_argument("ScanEngine: max_pps must be positive");
+  if (!(config_.budget_weight > 0) || !std::isfinite(config_.budget_weight))
+    throw std::invalid_argument(
+        "ScanEngine: budget_weight must be positive and finite");
   if (config_.min_protocol_delay < 0)
     throw std::invalid_argument(
         "ScanEngine: min_protocol_delay must be non-negative");
@@ -43,10 +47,22 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
   for (std::size_t p = 0; p < kProtocolCount; ++p)
     span_names_[p] =
         util::cat("probe/", label(static_cast<Protocol>(p)));
+
+  if (config_.budget) {
+    budget_ = config_.budget;
+  } else {
+    own_budget_ = std::make_unique<SharedBudget>(SharedBudgetConfig{
+        config_.max_pps, kPumpSlackSlots, config_.registry});
+    budget_ = own_budget_.get();
+  }
+  budget_id_ =
+      budget_->add_client(std::string(label(config_.dataset)),
+                          config_.budget_weight, [this] { arm_pump(); });
   enroll_metrics();
 }
 
 ScanEngine::~ScanEngine() {
+  budget_->remove_client(budget_id_);
   if (config_.registry) config_.registry->drop_owner(this);
   network_.detach(config_.scanner_address);
 }
@@ -61,6 +77,7 @@ void ScanEngine::enroll_metrics() {
   reg->enroll(no_scanner_, "scan_no_scanner", ds, this);
   reg->enroll(probes_launched_, "scan_probes_launched", ds, this);
   reg->enroll(probes_completed_, "scan_probes_completed", ds, this);
+  reg->enroll(pump_wakes_, "scan_pump_wakes", ds, this);
   reg->enroll(token_wait_, "scan_token_wait_us", ds, this);
   reg->enroll(queue_delay_, "scan_queue_delay_us", ds, this);
   reg->enroll(probe_rtt_, "scan_probe_rtt_us", ds, this);
@@ -74,11 +91,6 @@ void ScanEngine::enroll_metrics() {
     reg->enroll(completed_by_proto_[p], "scan_probes_completed",
                 std::move(labeled), this);
   }
-}
-
-simnet::SimDuration ScanEngine::token_gap() const {
-  auto gap = static_cast<simnet::SimDuration>(1e6 / config_.max_pps);
-  return gap < 1 ? 1 : gap;
 }
 
 SubmitResult ScanEngine::try_submit(const net::Ipv6Address& target,
@@ -140,7 +152,7 @@ void ScanEngine::stage_successor(const ScanIntent& intent,
   std::size_t next = static_cast<std::size_t>(intent.chain_pos) + 1;
   if (next >= scanners_.size()) return;
   // Staggered inter-protocol delay (Appendix A.2.1: 10 s to 10 min between
-  // the protocols of one target), relative to the previous probe's slot.
+  // the protocols of one target), relative to the previous probe's launch.
   simnet::SimDuration span =
       config_.max_protocol_delay - config_.min_protocol_delay;
   simnet::SimDuration jitter =
@@ -190,41 +202,41 @@ std::optional<simnet::SimTime> ScanEngine::next_wake() const {
     if (queue_.free_slots(source.lane) > 0) return network_.now();
   auto due = queue_.next_not_before();
   if (!due) return std::nullopt;
-  // Wake when the earliest intent is due AND the bucket can grant a slot.
-  return std::max({*due, network_.now(), next_token_});
+  simnet::SimTime now = network_.now();
+  if (*due > now) return *due;
+  // Due now but token-blocked: the budget says when to retry, folding in
+  // the burst-bank batching slack when no peer is contending.
+  return budget_->suggested_wake(budget_id_, now);
 }
 
 void ScanEngine::arm_pump() {
+  // Keep the budget's view of this engine current on every (re-)arm: the
+  // backlog flag is what peers' fair shares and wake-ups key off.
+  simnet::SimTime now = network_.now();
+  budget_->set_backlog(budget_id_, queue_.has_due(now), now);
   auto wake = next_wake();
-  if (!wake) return;
-  if (pump_armed_ && *wake >= armed_wake_) return;
-  pump_armed_ = true;
-  armed_wake_ = *wake;
-  network_.events().schedule_at(*wake, [this, at = *wake] {
-    // A later re-arm may have superseded this event with an earlier one.
-    if (!pump_armed_ || at != armed_wake_) return;
-    pump_armed_ = false;
-    pump();
-  });
+  if (!wake) {
+    pump_timer_.cancel();
+    return;
+  }
+  pump_timer_.arm(*wake);
 }
 
 void ScanEngine::pump() {
   const simnet::SimTime now = network_.now();
+  pump_wakes_.inc();
   refill_from_sources();
-  const simnet::SimDuration gap = token_gap();
-  // Grant at most kPumpSlackSlots slots past `now` per wake: launches stay
-  // a couple of gaps ahead at most, so token_wait_ records the real pacing
-  // delay instead of a backlog position.
-  const simnet::SimTime horizon = now + kPumpSlackSlots * gap;
+  // Launch every due intent the budget grants a token for, inline: one
+  // timer wake covers the whole banked batch (up to burst_slots + 1), so a
+  // saturated sweep pays ~1 event per batch instead of one per probe.
   while (queue_.has_due(now)) {
-    simnet::SimTime slot = next_token_ > now ? next_token_ : now;
-    if (slot > horizon) break;
+    std::optional<simnet::SimTime> slot = budget_->try_acquire(budget_id_, now);
+    if (!slot) break;  // next token not accrued, or a contending peer's turn
     ScanIntent intent = *queue_.pull_due(now);
-    next_token_ = slot + gap;
-    token_wait_.record(slot - now);
-    queue_delay_.record(slot - intent.not_before);
-    stage_successor(intent, slot);
-    launch(intent, slot);
+    token_wait_.record(now - *slot);
+    queue_delay_.record(now - intent.not_before);
+    stage_successor(intent, now);
+    launch(intent, now);
   }
   refill_from_sources();  // freed lane slots admit the next bulk chunk
   pending_gauge_.set(static_cast<std::int64_t>(queue_.size()));
@@ -246,29 +258,23 @@ void ScanEngine::launch(const ScanIntent& intent, simnet::SimTime at) {
   auto src_port =
       static_cast<std::uint16_t>(1024 + (next_ephemeral_++ % 60000));
 
-  network_.events().schedule_at(
-      at, [this, scanner, proto, target = intent.target,
-           dataset = intent.dataset, src_port] {
-        ScanRecord base;
-        base.dataset = dataset;
-        base.protocol = proto;
-        base.target = target;
-        base.at = network_.now();
-        simnet::Endpoint src{config_.scanner_address, src_port};
-        obs::Tracer::SpanId span = obs::Tracer::kNoSpan;
-        if (config_.tracer)
-          span = config_.tracer->open(
-              span_names_[static_cast<std::size_t>(proto)]);
-        scanner->probe(network_, src, std::move(base),
-                       [this, proto, span](ScanRecord r) {
-                         probes_completed_.inc();
-                         completed_by_proto_[static_cast<std::size_t>(proto)]
-                             .inc();
-                         probe_rtt_.record(network_.now() - r.at);
-                         if (config_.tracer) config_.tracer->close(span);
-                         results_.add(std::move(r));
-                       });
-      });
+  ScanRecord base;
+  base.dataset = intent.dataset;
+  base.protocol = proto;
+  base.target = intent.target;
+  base.at = at;
+  simnet::Endpoint src{config_.scanner_address, src_port};
+  obs::Tracer::SpanId span = obs::Tracer::kNoSpan;
+  if (config_.tracer)
+    span = config_.tracer->open(span_names_[static_cast<std::size_t>(proto)]);
+  scanner->probe(network_, src, std::move(base),
+                 [this, proto, span](ScanRecord r) {
+                   probes_completed_.inc();
+                   completed_by_proto_[static_cast<std::size_t>(proto)].inc();
+                   probe_rtt_.record(network_.now() - r.at);
+                   if (config_.tracer) config_.tracer->close(span);
+                   results_.add(std::move(r));
+                 });
 }
 
 }  // namespace tts::scan

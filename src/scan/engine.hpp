@@ -2,26 +2,32 @@
 //
 // Targets arrive either in real time (the AddressCollector feeds every new
 // NTP-sourced address) or in bulk (the hitlist sweep, pulled in chunks).
-// The engine enforces the study's ethical-scanning mechanics: a global
-// packet budget (token bucket), randomised 10 s - 10 min delays between the
-// per-protocol probes of one target, and a 3-day blackout before any
-// address is scanned again. Each protocol probe performs a full byte-level
-// exchange through the protocol scanners and records one ScanRecord.
+// The engine enforces the study's ethical-scanning mechanics: a shared
+// packet budget (SharedBudget — one uplink across engines, weighted fair
+// borrowing), randomised 10 s - 10 min delays between the per-protocol
+// probes of one target, and a 3-day blackout before any address is scanned
+// again. Each protocol probe performs a full byte-level exchange through
+// the protocol scanners and records one ScanRecord.
 //
 // Pacing is pull-based: submissions only stage *intents* in a bounded
-// PendingQueue; a single pump event wakes at token-availability time,
-// pulls the due intents, and grants token-bucket slots at launch time. A
-// full lane applies backpressure to the submitter, and registered bulk
-// sources are pulled chunk-by-chunk as staging room frees up, so the
-// pending depth stays O(max_pending) instead of O(total targets) and
-// `scan_token_wait_us` measures the real pacing delay a granted slot
-// imposes rather than the position of a probe in a bulk backlog.
+// PendingQueue; a single coalesced pump timer (simnet::Timer — one
+// re-schedulable wake slot per engine, not one heap entry per grant) wakes
+// at token-availability time, pulls the due intents, and launches them
+// inline against tokens acquired from the budget. An uncontended pump
+// oversleeps by the budget's burst bank and launches the banked batch in
+// one wake, which is what cuts a saturated sweep's event count by
+// ~kPumpSlackSlots x versus a per-grant wake. A full lane applies
+// backpressure to the submitter, and registered bulk sources are pulled
+// chunk-by-chunk as staging room frees up, so the pending depth stays
+// O(max_pending) instead of O(total targets) and `scan_token_wait_us`
+// measures the real pacing delay (launch minus token accrual, bounded by
+// the burst bank) rather than the position of a probe in a bulk backlog.
 //
 // All campaign counters (submitted / skipped / launched / completed, the
 // per-protocol splits, the token-bucket wait and queue-delay histograms,
-// pending depth/peak, backpressure events) are obs instruments; the
-// accessors read the same cells, and a Registry in the config exports them
-// labelled with the campaign dataset.
+// pending depth/peak, backpressure events, pump wake-ups) are obs
+// instruments; the accessors read the same cells, and a Registry in the
+// config exports them labelled with the campaign dataset.
 #pragma once
 
 #include <array>
@@ -34,6 +40,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scan/budget.hpp"
 #include "scan/pending_queue.hpp"
 #include "scan/results.hpp"
 #include "simnet/network.hpp"
@@ -59,10 +66,17 @@ class ProtocolScanner {
 };
 
 struct ScanEngineConfig {
-  /// Probe budget per second of virtual time. The paper scans at up to
+  /// Probe budget per second of virtual time for an engine that owns its
+  /// budget privately (budget == nullptr). The paper scans at up to
   /// 100 kpps; the simulation defaults lower since its populations are
   /// scaled down by orders of magnitude.
   double max_pps = 2000;
+  /// Share one uplink with other engines: acquire tokens from this budget
+  /// (which must outlive the engine) instead of a private one; max_pps is
+  /// then ignored. Optional.
+  SharedBudget* budget = nullptr;
+  /// Fair-share weight of this engine on the (shared) budget.
+  double budget_weight = 1.0;
   simnet::SimDuration min_protocol_delay = simnet::sec(10);
   simnet::SimDuration max_protocol_delay = simnet::minutes(10);
   simnet::SimDuration rescan_blackout = simnet::days(3);
@@ -103,7 +117,8 @@ class ScanEngine {
   using BackpressureFn = std::function<void(Dataset)>;
 
   /// Throws std::invalid_argument on inverted protocol-delay ranges,
-  /// non-positive max_pps, or a zero max_pending.
+  /// non-positive max_pps (private budget), non-positive budget_weight,
+  /// or a zero max_pending.
   ScanEngine(simnet::Network& network, ResultStore& results,
              ScanEngineConfig config);
   ~ScanEngine();
@@ -151,12 +166,21 @@ class ScanEngine {
   std::uint64_t probes_completed(Protocol proto) const {
     return completed_by_proto_[static_cast<std::size_t>(proto)].value();
   }
+  /// Pump wake-ups (coalesced timer firings). A saturated sweep launches
+  /// ~(kPumpSlackSlots + 1) probes per wake, so this stays well under
+  /// probes_launched() — the event-count cut the coalesced slot buys.
+  std::uint64_t pump_wakes() const { return pump_wakes_.value(); }
+
+  /// The budget this engine draws tokens from (shared or private).
+  const SharedBudget& budget() const { return *budget_; }
+  SharedBudget& budget() { return *budget_; }
+  SharedBudget::ClientId budget_client() const { return budget_id_; }
 
   /// Virtual-time wait the token bucket imposed on each granted slot (us):
-  /// the delay between the pump considering a due intent and its launch
-  /// slot. Bounded by the pump's slack window (~2 token gaps).
+  /// launch time minus the consumed token's accrual time. Bounded by the
+  /// budget's burst bank (~kPumpSlackSlots token gaps).
   const obs::Histogram& token_wait() const { return token_wait_; }
-  /// Staging delay per probe (us): launch slot minus the intent's
+  /// Staging delay per probe (us): launch time minus the intent's
   /// not-before time. Shows token starvation of a backlogged lane.
   const obs::Histogram& queue_delay() const { return queue_delay_; }
   /// Virtual launch-to-completion time per probe (us), all protocols.
@@ -169,11 +193,11 @@ class ScanEngine {
   const ScanEngineConfig& config() const { return config_; }
 
  private:
-  /// Slots the pump may grant past its wake time per cycle: batches a few
-  /// launches per event while keeping token_wait within ~2 token gaps.
+  /// Token gaps the budget may bank for a private budget — the burst a
+  /// single pump wake launches at most (plus one), and therefore the bound
+  /// on token_wait. Shared budgets configure their own burst.
   static constexpr std::int64_t kPumpSlackSlots = 2;
 
-  simnet::SimDuration token_gap() const;
   /// Stage the first-protocol intent for an accepted target.
   void stage_target(const net::Ipv6Address& target, Dataset lane);
   /// Stage the next protocol of `intent`'s chain after a launch at `slot`.
@@ -202,9 +226,12 @@ class ScanEngine {
   };
   std::vector<Source> sources_;
   BackpressureFn on_backpressure_;
-  bool pump_armed_ = false;
-  simnet::SimTime armed_wake_ = 0;
-  simnet::SimTime next_token_ = 0;
+  /// Engines without a shared budget own a single-client one.
+  std::unique_ptr<SharedBudget> own_budget_;
+  SharedBudget* budget_ = nullptr;
+  SharedBudget::ClientId budget_id_ = 0;
+  /// The coalesced wake slot: every pump wake re-arms this one timer.
+  simnet::Timer pump_timer_;
   std::uint64_t next_ephemeral_ = 40000;
 
   obs::Counter submitted_;
@@ -213,6 +240,7 @@ class ScanEngine {
   obs::Counter no_scanner_;
   obs::Counter probes_launched_;
   obs::Counter probes_completed_;
+  obs::Counter pump_wakes_;
   std::array<obs::Counter, kProtocolCount> launched_by_proto_;
   std::array<obs::Counter, kProtocolCount> completed_by_proto_;
   obs::Histogram token_wait_{obs::Histogram::exponential(1000, 4.0, 14)};

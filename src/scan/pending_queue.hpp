@@ -1,8 +1,10 @@
 // Bounded, dataset-fair staging for scan probe intents.
 //
-// The pull-based pacing pump (ScanEngine::pump) stores *intents* here —
-// (target, position in the protocol chain, not-before time) — instead of
-// pre-reserving token-bucket slots at submission. Each dataset gets its own
+// The pull-based pacing pump (ScanEngine::pump, woken by one coalesced
+// simnet::Timer per engine) stores *intents* here — (target, position in
+// the protocol chain, not-before time) — instead of pre-reserving
+// rate-limiter slots at submission; slots come from the engine's
+// scan::SharedBudget at launch time. Each dataset gets its own
 // lane with its own capacity, so a bulk hitlist sweep can never crowd out
 // the real-time NTP feed: pulls round-robin across lanes with due work, and
 // a full lane pushes back on the submitter instead of growing without

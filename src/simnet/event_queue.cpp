@@ -98,4 +98,56 @@ std::uint64_t EventQueue::run_until(SimTime until) {
   return n;
 }
 
+// ------------------------------------------------------------------ Timer
+
+Timer::Timer(EventQueue& queue, EventQueue::Callback fn)
+    : state_(std::make_shared<State>()) {
+  state_->queue = &queue;
+  state_->fn = std::move(fn);
+}
+
+Timer::~Timer() {
+  // Pending heap entries share the state; disarming makes them inert and
+  // dropping the callback releases whatever it captured.
+  state_->armed = false;
+  state_->fn = nullptr;
+}
+
+void Timer::arm(SimTime at) {
+  State& s = *state_;
+  if (at < s.queue->now()) at = s.queue->now();
+  s.armed = true;
+  s.target = at;
+  // An entry at or before the new deadline reaches it for free: when it
+  // fires early it re-schedules itself to the (moved) target. Only an
+  // earlier deadline needs a fresh entry.
+  if (s.entry_live && s.entry_at <= at) return;
+  push_entry(state_);
+}
+
+void Timer::cancel() { state_->armed = false; }
+
+void Timer::push_entry(const std::shared_ptr<State>& s) {
+  s->entry_at = s->target;
+  s->entry_live = true;
+  ++s->entries;
+  std::uint64_t gen = ++s->gen;
+  s->queue->schedule_at(s->target, [s, gen] { fire(s, gen); });
+}
+
+void Timer::fire(const std::shared_ptr<State>& s, std::uint64_t gen) {
+  if (gen != s->gen) return;  // superseded by a later (earlier-armed) entry
+  s->entry_live = false;
+  if (!s->armed) return;
+  if (s->target > s->queue->now()) {
+    // Deadline moved later since this entry was pushed; chase it.
+    push_entry(s);
+    return;
+  }
+  s->armed = false;
+  // Copy: the callback may destroy the Timer (clearing s->fn) mid-call.
+  EventQueue::Callback fn = s->fn;
+  fn();
+}
+
 }  // namespace tts::simnet

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -89,6 +90,58 @@ class EventQueue {
   bool time_dispatch_ = false;
   std::uint64_t dispatch_mask_ = 0;  // time when (executed & mask) == 0
   obs::Registry* registry_ = nullptr;
+};
+
+/// A re-schedulable one-shot timer slot: one logical deadline, at most one
+/// *useful* heap entry, re-armable in both directions.
+///
+/// schedule_at() alone cannot model a deadline that moves: every re-arm
+/// pushes a fresh entry and the superseded ones sit in the heap until their
+/// (dead) time comes. A Timer keeps a single shared deadline instead:
+/// re-arming earlier pushes one new entry and invalidates the old by
+/// generation; re-arming *later* pushes nothing — the existing entry fires,
+/// notices the deadline moved, and re-schedules itself. This is what lets
+/// the scan pump coalesce its per-grant wake-ups into one slot per engine.
+///
+/// The callback only runs when the armed deadline is actually reached;
+/// cancel() and destruction make any in-flight heap entries inert. The
+/// EventQueue must outlive the Timer's pending entries (it owns them).
+class Timer {
+ public:
+  Timer(EventQueue& queue, EventQueue::Callback fn);
+  ~Timer();
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Move the deadline to `at` (clamped to now) and arm. Idempotent for an
+  /// unchanged deadline.
+  void arm(SimTime at);
+  void cancel();
+
+  bool armed() const { return state_->armed; }
+  /// Deadline of the armed timer (meaningless when !armed()).
+  SimTime deadline() const { return state_->target; }
+  /// Heap entries pushed over the timer's lifetime — the cost a pump pays
+  /// for its wake-ups; tests assert coalescing keeps it near the number of
+  /// distinct deadlines actually reached.
+  std::uint64_t entries_scheduled() const { return state_->entries; }
+
+ private:
+  struct State {
+    EventQueue* queue;
+    EventQueue::Callback fn;
+    bool armed = false;
+    SimTime target = 0;
+    bool entry_live = false;  // a non-superseded heap entry exists
+    SimTime entry_at = 0;
+    std::uint64_t gen = 0;
+    std::uint64_t entries = 0;
+  };
+
+  static void push_entry(const std::shared_ptr<State>& s);
+  static void fire(const std::shared_ptr<State>& s, std::uint64_t gen);
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace tts::simnet

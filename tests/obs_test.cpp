@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 
 #include "ntp/collector.hpp"
 #include "obs/export.hpp"
@@ -352,6 +353,50 @@ TEST(Exporters, MetricsTableListsEveryInstrument) {
   EXPECT_NE(text.find("alpha"), std::string::npos);
   EXPECT_NE(text.find("beta"), std::string::npos);
   EXPECT_NE(text.find("histogram"), std::string::npos);
+}
+
+TEST(Exporters, TableRollupFoldsTheLongTailIntoOther) {
+  Registry reg;
+  // A 6-series family: top-2 + "other" should fold the remaining 4.
+  std::array<Counter, 6> picks;
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    picks[i].inc(100 * (i + 1));  // s5 (600) and s4 (500) are the top two
+    reg.enroll(picks[i], "pool_selections",
+               {{"server", "s" + std::to_string(i)}});
+  }
+  Counter untouched;
+  reg.enroll(untouched, "scan_submitted", {{"dataset", "ntp"}});
+
+  TableRollup rollup;
+  rollup.names = {"pool_selections"};
+  rollup.top_n = 2;
+  std::string text = to_table(reg.snapshot(), "metrics", rollup).to_string();
+
+  EXPECT_NE(text.find("pool_selections{server=s5}"), std::string::npos);
+  EXPECT_NE(text.find("pool_selections{server=s4}"), std::string::npos);
+  EXPECT_EQ(text.find("pool_selections{server=s0}"), std::string::npos);
+  EXPECT_NE(text.find("pool_selections{series=other}"), std::string::npos);
+  EXPECT_NE(text.find("rollup of 4 series"), std::string::npos);
+  // The "other" value is the exact sum of the folded series (100..400).
+  EXPECT_NE(text.find("1 000"), std::string::npos);
+  // Unlisted families render in full.
+  EXPECT_NE(text.find("scan_submitted{dataset=ntp}"), std::string::npos);
+}
+
+TEST(Exporters, TableRollupLeavesSmallFamiliesAlone) {
+  Registry reg;
+  std::array<Counter, 3> picks;
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    picks[i].inc(i + 1);
+    reg.enroll(picks[i], "pool_selections",
+               {{"server", "s" + std::to_string(i)}});
+  }
+  TableRollup rollup;
+  rollup.names = {"pool_selections"};
+  rollup.top_n = 2;  // 3 <= top_n + 1: rolling would save nothing
+  std::string text = to_table(reg.snapshot(), "metrics", rollup).to_string();
+  EXPECT_NE(text.find("pool_selections{server=s0}"), std::string::npos);
+  EXPECT_EQ(text.find("series=other"), std::string::npos);
 }
 
 // ------------------------------------------- instrumented components

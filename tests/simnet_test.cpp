@@ -74,6 +74,109 @@ TEST(EventQueue, FormatDuration) {
   EXPECT_EQ(format_duration(-sec(5)), "-00:00:05");
 }
 
+// ------------------------------------------------------------------- timer
+
+TEST(Timer, FiresOnceAtDeadlineAndDisarms) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] { ++fired; });
+  t.arm(sec(2));
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(t.deadline(), sec(2));
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());  // one-shot: re-arm explicitly
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, ReArmEarlierSupersedesTheOldEntry) {
+  EventQueue q;
+  std::vector<SimTime> fires;
+  Timer t(q, [&] { fires.push_back(q.now()); });
+  t.arm(sec(10));
+  t.arm(sec(3));  // moved earlier: new entry, old one goes inert
+  q.run();
+  EXPECT_EQ(fires, (std::vector<SimTime>{sec(3)}));
+  EXPECT_EQ(q.now(), sec(10));  // the dead entry still sat in the heap
+  EXPECT_EQ(t.entries_scheduled(), 2u);
+}
+
+TEST(Timer, ReArmLaterReusesTheEntryLazily) {
+  EventQueue q;
+  std::vector<SimTime> fires;
+  Timer t(q, [&] { fires.push_back(q.now()); });
+  t.arm(sec(1));
+  t.arm(sec(5));  // moved later: NO new entry now...
+  EXPECT_EQ(t.entries_scheduled(), 1u);
+  q.run();
+  // ...the t=1 entry fired early, noticed the move and chased the deadline.
+  EXPECT_EQ(fires, (std::vector<SimTime>{sec(5)}));
+  EXPECT_EQ(t.entries_scheduled(), 2u);
+}
+
+TEST(Timer, SameDeadlineReArmIsFree) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] { ++fired; });
+  for (int i = 0; i < 100; ++i) t.arm(sec(4));
+  EXPECT_EQ(t.entries_scheduled(), 1u);  // the coalescing the pump relies on
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CancelMakesPendingEntriesInert) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] { ++fired; });
+  t.arm(sec(2));
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  q.run();
+  EXPECT_EQ(fired, 0);
+  // Cancel-then-re-arm still works.
+  t.arm(sec(3));
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CallbackMayReArmItself) {
+  EventQueue q;
+  int fired = 0;
+  Timer t(q, [&] {
+    if (++fired < 3) t.arm(q.now() + sec(1));
+  });
+  t.arm(sec(1));
+  q.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), sec(3));
+}
+
+TEST(Timer, DestructionLeavesHeapEntriesInert) {
+  EventQueue q;
+  int fired = 0;
+  {
+    Timer t(q, [&] { ++fired; });
+    t.arm(sec(1));
+  }  // destroyed with a pending entry
+  q.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CallbackMayDestroyItsOwnTimer) {
+  EventQueue q;
+  int fired = 0;
+  std::unique_ptr<Timer> t;
+  t = std::make_unique<Timer>(q, [&] {
+    ++fired;
+    t.reset();  // the copy-before-call in fire() keeps this safe
+  });
+  t->arm(sec(1));
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(t, nullptr);
+}
+
 // ------------------------------------------------------------------ network
 
 class NetworkTest : public ::testing::Test {
