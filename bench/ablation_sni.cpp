@@ -42,7 +42,8 @@ SweepResult sweep(bool with_sni) {
   scan::ScanEngine engine(network, results, config);
 
   // 400 random addresses inside the aliased region.
-  util::Rng rng(42);
+  constexpr std::uint64_t kSeed = 42;
+  util::Rng rng(kSeed);
   const auto& region = registry.cdn_alias_region();
   for (int i = 0; i < 400; ++i) {
     engine.submit(net::Ipv6Address::from_halves(

@@ -36,7 +36,8 @@ BENCHMARK(BM_Ipv6Format);
 
 static void BM_RoutingLookup(benchmark::State& state) {
   net::RoutingTable table;
-  util::Rng rng(1);
+  constexpr std::uint64_t kSeed = 1;
+  util::Rng rng(kSeed);
   std::vector<net::Ipv6Address> probes;
   for (int i = 0; i < 1000; ++i) {
     auto addr = net::Ipv6Address::from_halves(
@@ -93,7 +94,8 @@ static void BM_LevenshteinBounded(benchmark::State& state) {
 BENCHMARK(BM_LevenshteinBounded);
 
 static void BM_RngStream(benchmark::State& state) {
-  util::Rng rng(7);
+  constexpr std::uint64_t kSeed = 7;
+  util::Rng rng(kSeed);
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());
 }
 BENCHMARK(BM_RngStream);

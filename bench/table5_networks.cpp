@@ -5,6 +5,7 @@
 
 #include "analysis/network_agg.hpp"
 #include "common.hpp"
+#include "util/ordered.hpp"
 
 using namespace tts;
 
@@ -20,7 +21,7 @@ Aggregates aggregate_protocol(const core::Study& study, scan::Dataset ds,
   std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addrs;
   for (const auto* r : study.results().successes(ds, proto))
     addrs.insert(r->target);
-  std::vector<net::Ipv6Address> list(addrs.begin(), addrs.end());
+  auto list = util::sorted_keys(addrs);
   auto agg = analysis::aggregate(list, study.registry());
   return {agg.addresses, agg.nets32, agg.nets48, agg.nets56,
           agg.nets64,    agg.ases,   agg.countries};

@@ -1,0 +1,23 @@
+# Run clang-tidy over src/ using the build tree's compile_commands.json.
+# Invoked as a ctest (lint.clang_tidy); fails on any warning.
+file(GLOB_RECURSE TIDY_SOURCES "${SOURCE_DIR}/src/*.cpp")
+list(SORT TIDY_SOURCES)
+
+set(failed 0)
+foreach(source IN LISTS TIDY_SOURCES)
+  execute_process(
+    COMMAND "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet
+            --warnings-as-errors=* "${source}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE errout)
+  if(NOT result EQUAL 0)
+    message(STATUS "clang-tidy: ${source}")
+    message(STATUS "${output}")
+    set(failed 1)
+  endif()
+endforeach()
+
+if(failed)
+  message(FATAL_ERROR "clang-tidy reported warnings")
+endif()

@@ -46,8 +46,14 @@ int main() {
               << util::grouped(dispatch->count()) << " events\n";
   }
 
-  // Machine-readable exports of the end-of-run snapshot.
-  obs::RegistrySnapshot snap = metrics.snapshot(study.network().now());
+  // Machine-readable exports of the end-of-run snapshot, rolled up the
+  // same way the report table is (per-server families keep their top_n
+  // members plus one {series=other} aggregate, so cardinality is bounded).
+  obs::TableRollup rollup;
+  rollup.names = study.config().obs.rollup_names;
+  rollup.top_n = study.config().obs.rollup_top_n;
+  obs::RegistrySnapshot snap = obs::apply_rollup(
+      metrics.snapshot(study.network().now()), rollup);
   std::string jsonl = obs::to_jsonl(snap);
   std::cout << "\nJSONL export: " << snap.values.size()
             << " instruments, " << jsonl.size() << " bytes. First lines:\n";

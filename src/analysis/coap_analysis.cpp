@@ -17,12 +17,12 @@ std::string coap_resource_group(const std::vector<std::string>& resources) {
   return "other";
 }
 
-std::unordered_map<std::string, std::uint64_t> coap_group_counts(
+std::map<std::string, std::uint64_t> coap_group_counts(
     const scan::ResultStore& results, scan::Dataset dataset,
     unsigned prefix_len) {
   // One unit per address (or network); resource sets are stable per device,
   // so the first observation's grouping stands.
-  std::unordered_map<std::string, std::uint64_t> counts;
+  std::map<std::string, std::uint64_t> counts;
   std::unordered_set<std::uint64_t> seen;
   for (const auto* r : results.successes(dataset, scan::Protocol::kCoap)) {
     std::uint64_t unit =

@@ -3,9 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "scan/results.hpp"
@@ -17,8 +17,9 @@ namespace tts::analysis {
 std::string coap_resource_group(const std::vector<std::string>& resources);
 
 /// group -> unique-address count for a dataset (by /N network when
-/// `prefix_len` < 128; 128 = by address).
-std::unordered_map<std::string, std::uint64_t> coap_group_counts(
+/// `prefix_len` < 128; 128 = by address). Ordered so direct iteration
+/// renders deterministically.
+std::map<std::string, std::uint64_t> coap_group_counts(
     const scan::ResultStore& results, scan::Dataset dataset,
     unsigned prefix_len = 128);
 

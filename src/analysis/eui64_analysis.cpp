@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/ordered.hpp"
+
 namespace tts::analysis {
 
 void Eui64Accumulator::attach(ntp::AddressCollector& collector) {
@@ -39,9 +41,9 @@ Eui64Accumulator::vendor_ranking() const {
   std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
       out;
   out.reserve(vendors_.size());
-  for (const auto& [vendor, tally] : vendors_)
-    out.emplace_back(vendor,
-                     std::make_pair(tally.macs.size(), tally.ips));
+  for (const auto* kv : util::sorted_ptrs(vendors_))
+    out.emplace_back(kv->first,
+                     std::make_pair(kv->second.macs.size(), kv->second.ips));
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second.first != b.second.first)
       return a.second.first > b.second.first;

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,9 +52,10 @@ class Eui64Accumulator {
   std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
   vendor_ranking() const;
 
-  /// Figure 4: per-server counts for each MAC-embedding class.
-  const std::unordered_map<ntp::ServerId,
-                           std::array<std::uint64_t, 4>>&
+  /// Figure 4: per-server counts for each MAC-embedding class. Ordered by
+  /// server id so direct iteration renders deterministically (a handful of
+  /// servers; the tree map costs nothing).
+  const std::map<ntp::ServerId, std::array<std::uint64_t, 4>>&
   per_server_embedding() const {
     return per_server_;
   }
@@ -68,7 +70,7 @@ class Eui64Accumulator {
   std::unordered_set<net::MacAddress, net::MacAddressHash> unique_macs_;
   std::unordered_set<net::MacAddress, net::MacAddressHash> listed_macs_;
   std::unordered_map<std::string, VendorTally> vendors_;
-  std::unordered_map<ntp::ServerId, std::array<std::uint64_t, 4>> per_server_;
+  std::map<ntp::ServerId, std::array<std::uint64_t, 4>> per_server_;
 };
 
 }  // namespace tts::analysis

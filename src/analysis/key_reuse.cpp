@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/ordered.hpp"
+
 namespace tts::analysis {
 
 KeyReuseStats http_key_reuse(const scan::ResultStore& results,
@@ -24,7 +26,10 @@ KeyReuseStats http_key_reuse(const scan::ResultStore& results,
   }
 
   KeyReuseStats stats;
-  for (const auto& [fingerprint, entry] : keys) {
+  // Sorted drain: the strict > updates below would otherwise resolve
+  // most-used ties in hash order.
+  for (const auto* kv : util::sorted_ptrs(keys)) {
+    const PerKey& entry = kv->second;
     if (entry.ases.size() <= 2) continue;  // double-homing excused
     ++stats.reused_keys;
     stats.ips_on_reused_keys += entry.ips.size();

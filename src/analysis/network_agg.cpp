@@ -65,12 +65,12 @@ std::uint64_t overlap(const AsSet& a, const AsSet& b) {
   return n;
 }
 
-std::uint64_t address_overlap(std::span<const net::Ipv6Address> a,
-                              std::span<const net::Ipv6Address> b) {
+std::uint64_t address_overlap(std::span<const net::Ipv6Address> lhs,
+                              std::span<const net::Ipv6Address> rhs) {
   std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> set(
-      a.begin(), a.end());
+      lhs.begin(), lhs.end());
   std::uint64_t n = 0;
-  for (const auto& addr : b)
+  for (const auto& addr : rhs)
     if (set.contains(addr)) ++n;
   return n;
 }
@@ -82,6 +82,7 @@ double median_ips_per_net(std::span<const net::Ipv6Address> addresses,
   for (const auto& a : addresses) ++counts[net::Ipv6Prefix(a, prefix_len)];
   std::vector<double> values;
   values.reserve(counts.size());
+  // ttslint: allow(unordered-iter) reason=median() sorts values, so the visit order cannot affect the result
   for (const auto& [prefix, n] : counts)
     values.push_back(static_cast<double>(n));
   return util::median(std::move(values));
@@ -94,6 +95,7 @@ double median_ips_per_as(std::span<const net::Ipv6Address> addresses,
     if (const inet::AsInfo* as = registry.origin(a)) ++counts[as->number];
   std::vector<double> values;
   values.reserve(counts.size());
+  // ttslint: allow(unordered-iter) reason=median() sorts values, so the visit order cannot affect the result
   for (const auto& [asn, n] : counts)
     values.push_back(static_cast<double>(n));
   return util::median(std::move(values));

@@ -38,8 +38,8 @@ AsSet ases_of(std::span<const net::Ipv6Address> addresses,
 /// |a ∩ b| without materialising the intersection.
 std::uint64_t overlap(const PrefixSet& a, const PrefixSet& b);
 std::uint64_t overlap(const AsSet& a, const AsSet& b);
-std::uint64_t address_overlap(std::span<const net::Ipv6Address> a,
-                              std::span<const net::Ipv6Address> b);
+std::uint64_t address_overlap(std::span<const net::Ipv6Address> lhs,
+                              std::span<const net::Ipv6Address> rhs);
 
 /// Median number of addresses per enclosing /N network (Table 1 bottom).
 double median_ips_per_net(std::span<const net::Ipv6Address> addresses,

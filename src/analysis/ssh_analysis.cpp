@@ -4,6 +4,7 @@
 
 #include "inet/device.hpp"
 #include "proto/sshwire.hpp"
+#include "util/ordered.hpp"
 
 namespace tts::analysis {
 
@@ -20,15 +21,18 @@ std::vector<SshHost> dedup_ssh_hosts(const scan::ResultStore& results,
     }
     host.addresses.push_back(r->target);
   }
+  // Drain in host-key order: the output feeds reports and distributions,
+  // so its order must not depend on hash layout.
   std::vector<SshHost> out;
   out.reserve(by_key.size());
-  for (auto& [key, host] : by_key) out.push_back(std::move(host));
+  for (std::uint64_t key : util::sorted_keys(by_key))
+    out.push_back(std::move(by_key.at(key)));
   return out;
 }
 
-std::unordered_map<std::string, std::uint64_t> os_distribution(
+std::map<std::string, std::uint64_t> os_distribution(
     const std::vector<SshHost>& hosts) {
-  std::unordered_map<std::string, std::uint64_t> out;
+  std::map<std::string, std::uint64_t> out;
   for (const auto& h : hosts) ++out[h.os];
   return out;
 }

@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "scan/results.hpp"
@@ -29,7 +29,8 @@ std::vector<SshHost> dedup_ssh_hosts(const scan::ResultStore& results,
                                      scan::Dataset dataset);
 
 /// OS -> unique-host-key count (Table 3's SSH panel; "" = other/unknown).
-std::unordered_map<std::string, std::uint64_t> os_distribution(
+/// Ordered so direct iteration renders deterministically.
+std::map<std::string, std::uint64_t> os_distribution(
     const std::vector<SshHost>& hosts);
 
 /// Whether a banner carries the latest patch level of its lineage.

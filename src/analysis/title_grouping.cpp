@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/levenshtein.hpp"
+#include "util/ordered.hpp"
 
 namespace tts::analysis {
 
@@ -67,8 +68,7 @@ std::vector<TitleGroup> group_titles(
 
   // Cluster seeds in descending frequency so the most common variant of a
   // family becomes its representative.
-  std::vector<std::pair<std::string, Tally>> ordered(distinct.begin(),
-                                                     distinct.end());
+  auto ordered = util::sorted_items(distinct);
   std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
     std::uint64_t ta = a.second.ntp + a.second.hitlist;
     std::uint64_t tb = b.second.ntp + b.second.hitlist;

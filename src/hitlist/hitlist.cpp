@@ -2,8 +2,8 @@
 
 namespace tts::hitlist {
 
-std::unordered_map<Source, std::uint64_t> Hitlist::counts_by_source() const {
-  std::unordered_map<Source, std::uint64_t> out;
+std::map<Source, std::uint64_t> Hitlist::counts_by_source() const {
+  std::map<Source, std::uint64_t> out;
   for (const auto& [addr, src] : provenance) ++out[src];
   return out;
 }

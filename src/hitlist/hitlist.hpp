@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,7 +25,8 @@ struct Hitlist {
   std::unordered_map<net::Ipv6Address, Source, net::Ipv6AddressHash>
       provenance;
 
-  std::unordered_map<Source, std::uint64_t> counts_by_source() const;
+  /// Ordered by source id so direct iteration renders deterministically.
+  std::map<Source, std::uint64_t> counts_by_source() const;
 };
 
 class HitlistBuilder {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "net/mac.hpp"
+#include "util/ordered.hpp"
 
 namespace tts::hitlist {
 
@@ -23,7 +24,7 @@ void NtpSeededTga::train(std::span<const net::Ipv6Address> observed) {
       ++mix_random_;
   }
   hot48_.reserve(counts.size());
-  for (const auto& [hi48, weight] : counts)
+  for (const auto& [hi48, weight] : util::sorted_items(counts))
     hot48_.push_back(Hot48{hi48, weight});
   std::sort(hot48_.begin(), hot48_.end(),
             [](const Hot48& a, const Hot48& b) {

@@ -1,5 +1,7 @@
 #include "net/oui_db.hpp"
 
+#include <algorithm>
+
 namespace tts::net {
 
 OuiDatabase::OuiDatabase(std::vector<OuiEntry> entries) {
@@ -24,8 +26,10 @@ std::optional<std::string_view> OuiDatabase::lookup(
 std::vector<std::uint32_t> OuiDatabase::ouis_for(
     std::string_view vendor) const {
   std::vector<std::uint32_t> out;
+  // ttslint: allow(unordered-iter) reason=out is sorted below, so the visit order cannot escape
   for (const auto& [oui, name] : by_oui_)
     if (name == vendor) out.push_back(oui);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

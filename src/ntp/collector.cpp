@@ -25,6 +25,7 @@ bool AddressCollector::record(const net::Ipv6Address& addr, ServerId server,
     return false;
   }
   distinct_.inc();
+  order_.push_back(addr);
   auto [sit, fresh] = per_server_.try_emplace(server);
   if (fresh && registry_)
     registry_->enroll(sit->second, "ntp_server_distinct",
@@ -42,7 +43,7 @@ std::uint64_t AddressCollector::server_distinct(ServerId server) const {
 }
 
 std::vector<net::Ipv6Address> AddressCollector::snapshot() const {
-  return std::vector<net::Ipv6Address>(addresses_.begin(), addresses_.end());
+  return order_;
 }
 
 }  // namespace tts::ntp

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -59,7 +60,8 @@ class AddressCollector {
   std::uint64_t server_distinct(ServerId server) const;
 
   /// Distinct addresses first seen on each day (day = floor(t / 1 day)).
-  const std::unordered_map<std::int64_t, std::uint64_t>& daily_new() const {
+  /// Ordered by day: consumers iterate this straight into timelines.
+  const std::map<std::int64_t, std::uint64_t>& daily_new() const {
     return daily_new_;
   }
 
@@ -68,14 +70,16 @@ class AddressCollector {
     return addresses_;
   }
 
-  /// Snapshot of all collected addresses (unspecified but stable order).
+  /// Snapshot of all collected addresses in first-seen order — a function
+  /// of the event sequence only, never of hash layout.
   std::vector<net::Ipv6Address> snapshot() const;
 
  private:
   std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addresses_;
+  std::vector<net::Ipv6Address> order_;  // first-seen order of addresses_
   // Node-based map keeps counter addresses stable across rehashes.
   std::unordered_map<ServerId, obs::Counter> per_server_;
-  std::unordered_map<std::int64_t, std::uint64_t> daily_new_;
+  std::map<std::int64_t, std::uint64_t> daily_new_;
   std::vector<NewAddressFn> subscribers_;
   obs::Counter requests_;
   obs::Counter distinct_;

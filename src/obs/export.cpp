@@ -155,21 +155,20 @@ std::uint64_t series_magnitude(const SnapshotValue& v) {
   return v.count;
 }
 
-}  // namespace
+/// One post-rollup output value. `folded` is how many series a synthetic
+/// {series=other} aggregate absorbed (0 = the value passed through as-is).
+struct RolledValue {
+  SnapshotValue value;
+  std::size_t folded = 0;
+};
 
-// ----------------------------------------------------------------- table
-
-util::TextTable to_table(const RegistrySnapshot& snapshot,
-                         std::string title) {
-  return to_table(snapshot, std::move(title), TableRollup{});
-}
-
-util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
-                         const TableRollup& rollup) {
-  util::TextTable table(std::move(title));
-  table.set_header({"instrument", "kind", "value", "detail"},
-                   {util::Align::kLeft, util::Align::kLeft,
-                    util::Align::kRight, util::Align::kLeft});
+/// The shared rollup pass behind to_table/to_jsonl/to_prometheus: keep the
+/// top_n largest members of each listed family, fold the rest into one
+/// {series=other} aggregate.
+std::vector<RolledValue> roll_values(const RegistrySnapshot& snapshot,
+                                     const TableRollup& rollup) {
+  std::vector<RolledValue> out;
+  out.reserve(snapshot.values.size());
   auto rolled = [&](const std::string& name) {
     for (const auto& n : rollup.names)
       if (n == name) return true;
@@ -186,7 +185,7 @@ util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
     std::size_t family = end - i;
     if (!rolled(v.name) || family <= rollup.top_n + 1) {
       for (std::size_t j = i; j < end; ++j)
-        add_value_row(table, snapshot.values[j], "");
+        out.push_back({snapshot.values[j], 0});
       i = end;
       continue;
     }
@@ -198,7 +197,7 @@ util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
                        return series_magnitude(*a) > series_magnitude(*b);
                      });
     for (std::size_t k = 0; k < rollup.top_n; ++k)
-      add_value_row(table, *group[k], "");
+      out.push_back({*group[k], 0});
 
     SnapshotValue other;
     other.name = v.name;
@@ -237,13 +236,44 @@ util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
       other.bounds.clear();
       other.bucket_counts.clear();
     }
-    add_value_row(table, other,
-                  util::cat("rollup of ", family - rollup.top_n, " series"));
+    out.push_back({std::move(other), family - rollup.top_n});
     i = end;
   }
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- table
+
+util::TextTable to_table(const RegistrySnapshot& snapshot,
+                         std::string title) {
+  return to_table(snapshot, std::move(title), TableRollup{});
+}
+
+util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
+                         const TableRollup& rollup) {
+  util::TextTable table(std::move(title));
+  table.set_header({"instrument", "kind", "value", "detail"},
+                   {util::Align::kLeft, util::Align::kLeft,
+                    util::Align::kRight, util::Align::kLeft});
+  for (const RolledValue& rv : roll_values(snapshot, rollup))
+    add_value_row(table, rv.value,
+                  rv.folded ? util::cat("rollup of ", rv.folded, " series")
+                            : std::string());
   table.add_note(util::cat("snapshot at virtual t = ",
                            simnet::format_duration(snapshot.at)));
   return table;
+}
+
+RegistrySnapshot apply_rollup(const RegistrySnapshot& snapshot,
+                              const TableRollup& rollup) {
+  RegistrySnapshot out;
+  out.at = snapshot.at;
+  std::vector<RolledValue> rolled = roll_values(snapshot, rollup);
+  out.values.reserve(rolled.size());
+  for (RolledValue& rv : rolled) out.values.push_back(std::move(rv.value));
+  return out;
 }
 
 // ----------------------------------------------------------------- jsonl
@@ -284,6 +314,11 @@ std::string to_jsonl(const RegistrySnapshot& snapshot) {
     out += "}\n";
   }
   return out;
+}
+
+std::string to_jsonl(const RegistrySnapshot& snapshot,
+                     const TableRollup& rollup) {
+  return to_jsonl(apply_rollup(snapshot, rollup));
 }
 
 std::optional<RegistrySnapshot> parse_jsonl(const std::string& text) {
@@ -406,6 +441,11 @@ std::string to_prometheus(const RegistrySnapshot& snapshot) {
     }
   }
   return out;
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot,
+                          const TableRollup& rollup) {
+  return to_prometheus(apply_rollup(snapshot, rollup));
 }
 
 // -------------------------------------------------------------- timeline

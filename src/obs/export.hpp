@@ -37,14 +37,27 @@ struct TableRollup {
 util::TextTable to_table(const RegistrySnapshot& snapshot, std::string title,
                          const TableRollup& rollup);
 
+/// Apply a rollup to a snapshot: listed families keep their top_n largest
+/// members plus one synthetic "<name>{series=other}" aggregate. The result
+/// feeds any exporter (and keeps the snapshot's sorted-by-name family
+/// grouping, so Prometheus "# TYPE" runs stay contiguous).
+RegistrySnapshot apply_rollup(const RegistrySnapshot& snapshot,
+                              const TableRollup& rollup);
+
 /// One JSON object per line:
 ///   {"at":0,"name":"x","labels":{"a":"b"},"kind":"counter","value":7}
 /// Histograms carry "count","sum","min","max","bounds","counts".
 std::string to_jsonl(const RegistrySnapshot& snapshot);
+/// to_jsonl() after apply_rollup(): bounded-cardinality machine output.
+std::string to_jsonl(const RegistrySnapshot& snapshot,
+                     const TableRollup& rollup);
 
 /// Prometheus text format: "# TYPE" comments, name{labels} value lines;
 /// histograms expand to _bucket{le=...}/_sum/_count series.
 std::string to_prometheus(const RegistrySnapshot& snapshot);
+/// to_prometheus() after apply_rollup(): bounded-cardinality exposition.
+std::string to_prometheus(const RegistrySnapshot& snapshot,
+                          const TableRollup& rollup);
 
 /// Parse a to_jsonl() dump back into a snapshot (values sorted as emitted).
 /// Returns nullopt on malformed input. Only the subset of JSON that

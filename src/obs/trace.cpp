@@ -1,8 +1,16 @@
 #include "obs/trace.hpp"
 
+#include <bit>
 #include <chrono>
 
 namespace tts::obs {
+
+std::size_t SpanStats::bucket_of(simnet::SimDuration d) {
+  if (d <= 0) return 0;
+  auto width = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(d)));
+  return width < kHistBuckets ? width : kHistBuckets - 1;
+}
 
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
   ring_.reserve(capacity_);
@@ -14,7 +22,17 @@ std::int64_t Tracer::wall_now_ns() {
       .count();
 }
 
-Tracer::SpanId Tracer::open(std::string name) {
+Tracer::NameId Tracer::intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  stats_.emplace_back();
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Tracer::SpanId Tracer::open(NameId name) {
   if (!enabled_) return kNoSpan;
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -25,7 +43,7 @@ Tracer::SpanId Tracer::open(std::string name) {
     slots_.emplace_back();
   }
   Active& a = slots_[slot];
-  a.name = std::move(name);
+  a.name = name;
   a.sim_begin = sim_now();
   a.wall_begin_ns = wall_now_ns();
   a.depth = static_cast<std::uint32_t>(open_count_++);
@@ -41,7 +59,7 @@ void Tracer::close(SpanId id) {
   Active& a = slots_[slot];
   if (!a.in_use || a.gen != static_cast<std::uint32_t>(id >> 32)) return;
   SpanRecord rec;
-  rec.name = std::move(a.name);
+  rec.name = names_[a.name];
   rec.sim_begin = a.sim_begin;
   rec.sim_end = sim_now();
   rec.wall_ns = wall_now_ns() - a.wall_begin_ns;
@@ -50,12 +68,13 @@ void Tracer::close(SpanId id) {
   free_slots_.push_back(slot);
   --open_count_;
 
-  SpanStats& s = stats_[rec.name];
+  SpanStats& s = stats_[a.name];
   ++s.count;
   s.total_sim += rec.sim_duration();
   if (rec.sim_duration() > s.max_sim) s.max_sim = rec.sim_duration();
   s.total_wall_ns += rec.wall_ns;
   if (rec.wall_ns > s.max_wall_ns) s.max_wall_ns = rec.wall_ns;
+  ++s.sim_hist[SpanStats::bucket_of(rec.sim_duration())];
 
   ++completed_;
   if (ring_.size() < capacity_) {
@@ -65,6 +84,13 @@ void Tracer::close(SpanId id) {
     ++dropped_;
   }
   ring_next_ = (ring_next_ + 1) % capacity_;
+}
+
+std::map<std::string, SpanStats> Tracer::stats() const {
+  std::map<std::string, SpanStats> out;
+  for (NameId id = 0; id < names_.size(); ++id)
+    if (stats_[id].count > 0) out.emplace(names_[id], stats_[id]);
+  return out;
 }
 
 std::vector<SpanRecord> Tracer::records() const {

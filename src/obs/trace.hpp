@@ -3,16 +3,24 @@
 // simulation) and virtual time (the simnet::EventQueue clock, so a span
 // covering an async probe round-trip reports the simulated RTT).
 //
-// Completed spans land in a bounded ring buffer plus a per-name aggregate
-// (count / total / max in each clock), so long runs keep the recent detail
-// and never grow unbounded. Scoped spans handle synchronous stages; the
-// open()/close() pair handles stages that finish in a later event-queue
-// callback (probe launch -> completion).
+// Span names are interned once (name -> NameId) and the hot path carries
+// only the 32-bit id: open(NameId) does no string work at all, and repeat
+// open(string_view) calls cost one hash lookup, not an allocation. Per-name
+// aggregates (count / total / max in each clock, plus a log-scale
+// sim-duration histogram) are a flat vector indexed by NameId.
+//
+// Completed spans land in a bounded ring buffer, so long runs keep the
+// recent detail and never grow unbounded. Scoped spans handle synchronous
+// stages; the open()/close() pair handles stages that finish in a later
+// event-queue callback (probe launch -> completion).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "simnet/event_queue.hpp"
@@ -30,16 +38,25 @@ struct SpanRecord {
 };
 
 struct SpanStats {
+  /// Sim-duration histogram: bucket b counts spans with
+  /// 2^(b-1) <= duration < 2^b time units (bucket 0 = zero-length spans);
+  /// the last bucket absorbs everything longer.
+  static constexpr std::size_t kHistBuckets = 24;
+
   std::uint64_t count = 0;
   simnet::SimDuration total_sim = 0;
   simnet::SimDuration max_sim = 0;
   std::int64_t total_wall_ns = 0;
   std::int64_t max_wall_ns = 0;
+  std::array<std::uint64_t, kHistBuckets> sim_hist{};
+
+  static std::size_t bucket_of(simnet::SimDuration d);
 };
 
 class Tracer {
  public:
   using SpanId = std::uint64_t;
+  using NameId = std::uint32_t;
   static constexpr SpanId kNoSpan = 0;
 
   explicit Tracer(std::size_t capacity = 4096);
@@ -52,14 +69,22 @@ class Tracer {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
-  SpanId open(std::string name);
+  /// Intern a span name once (idempotent); open(NameId) is then free of
+  /// string hashing entirely. Enrol at setup time, trace on the hot path.
+  NameId intern(std::string_view name);
+  const std::string& name_of(NameId name) const { return names_[name]; }
+
+  SpanId open(NameId name);
+  SpanId open(std::string_view name) { return open(intern(name)); }
   void close(SpanId id);
 
   /// RAII span for synchronous stages.
   class Scope {
    public:
-    Scope(Tracer& tracer, std::string name)
-        : tracer_(tracer), id_(tracer.open(std::move(name))) {}
+    Scope(Tracer& tracer, std::string_view name)
+        : tracer_(tracer), id_(tracer.open(name)) {}
+    Scope(Tracer& tracer, NameId name)
+        : tracer_(tracer), id_(tracer.open(name)) {}
     ~Scope() { tracer_.close(id_); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
@@ -69,13 +94,17 @@ class Tracer {
     SpanId id_;
   };
 
-  Scope span(std::string name) { return Scope(*this, std::move(name)); }
+  Scope span(std::string_view name) { return Scope(*this, name); }
+  Scope span(NameId name) { return Scope(*this, name); }
 
   /// The most recent completed spans in completion order (ring contents).
   std::vector<SpanRecord> records() const;
-  /// Aggregates over *all* completed spans, keyed by span name (ordered so
-  /// report output is stable).
-  const std::map<std::string, SpanStats>& stats() const { return stats_; }
+  /// Aggregates over *all* completed spans, keyed by span name (an ordered
+  /// map, so report output is stable). Built on demand from the per-id
+  /// vector; bind it to a local when reading more than one entry.
+  std::map<std::string, SpanStats> stats() const;
+  /// Aggregate for one interned name (hot-path-shaped accessor).
+  const SpanStats& stats_of(NameId name) const { return stats_[name]; }
   std::uint64_t completed() const { return completed_; }
   std::uint64_t dropped() const { return dropped_; }
   std::size_t open_spans() const { return open_count_; }
@@ -85,7 +114,7 @@ class Tracer {
   // hot path); a SpanId packs the slot index and a generation counter so a
   // stale close of a recycled slot is ignored.
   struct Active {
-    std::string name;
+    NameId name = 0;
     simnet::SimTime sim_begin = 0;
     std::int64_t wall_begin_ns = 0;
     std::uint32_t depth = 0;
@@ -106,7 +135,15 @@ class Tracer {
   std::vector<Active> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t open_count_ = 0;
-  std::map<std::string, SpanStats> stats_;
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, NameId, StringHash, std::equal_to<>> ids_;
+  std::vector<std::string> names_;     // NameId -> name
+  std::vector<SpanStats> stats_;       // NameId -> aggregate
 };
 
 }  // namespace tts::obs

@@ -44,9 +44,10 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
     assert(!by_proto_[idx] && "duplicate scanner for protocol");
     by_proto_[idx] = scanner.get();
   }
-  for (std::size_t p = 0; p < kProtocolCount; ++p)
-    span_names_[p] =
-        util::cat("probe/", label(static_cast<Protocol>(p)));
+  if (config_.tracer)
+    for (std::size_t p = 0; p < kProtocolCount; ++p)
+      span_ids_[p] = config_.tracer->intern(
+          util::cat("probe/", label(static_cast<Protocol>(p))));
 
   if (config_.budget) {
     budget_ = config_.budget;
@@ -266,7 +267,7 @@ void ScanEngine::launch(const ScanIntent& intent, simnet::SimTime at) {
   simnet::Endpoint src{config_.scanner_address, src_port};
   obs::Tracer::SpanId span = obs::Tracer::kNoSpan;
   if (config_.tracer)
-    span = config_.tracer->open(span_names_[static_cast<std::size_t>(proto)]);
+    span = config_.tracer->open(span_ids_[static_cast<std::size_t>(proto)]);
   scanner->probe(network_, src, std::move(base),
                  [this, proto, span](ScanRecord r) {
                    probes_completed_.inc();

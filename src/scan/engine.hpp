@@ -248,9 +248,9 @@ class ScanEngine {
   obs::Histogram probe_rtt_{obs::Histogram::exponential(1000, 4.0, 14)};
   obs::Gauge pending_gauge_;
   obs::Gauge pending_peak_gauge_;
-  // Prebuilt "probe/<proto>" span names (building one per launch would
-  // dominate the span cost).
-  std::array<std::string, kProtocolCount> span_names_;
+  // Pre-interned "probe/<proto>" span names: each launch passes a 32-bit
+  // id to the tracer, no string work at all.
+  std::array<obs::Tracer::NameId, kProtocolCount> span_ids_{};
 };
 
 /// Factories for the built-in protocol scanners (one per Table 2 protocol).

@@ -77,12 +77,14 @@ void Network::detach(const net::Ipv6Address& addr) {
   if (--it->second > 0) return;
   online_.erase(it);
   // Drop every binding on this address.
+  // ttslint: allow(unordered-iter) reason=erase-only sweep; which bindings remain does not depend on visit order
   for (auto b = udp_.begin(); b != udp_.end();) {
     if (b->first.addr == addr)
       b = udp_.erase(b);
     else
       ++b;
   }
+  // ttslint: allow(unordered-iter) reason=erase-only sweep; which bindings remain does not depend on visit order
   for (auto b = tcp_.begin(); b != tcp_.end();) {
     if (b->first.addr == addr)
       b = tcp_.erase(b);

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "util/ordered.hpp"
 #include "util/stats.hpp"
 
 namespace tts::telescope {
@@ -120,15 +121,18 @@ ClassifierReport classify_actors(
     if (it != actors.end()) it->second.actor.scan_sources.push_back(sources[i]);
   }
 
-  for (auto& [root, w] : actors) {
+  // Drain actors in sorted root order so the report (and the tie order of
+  // the popularity sort below) never depends on hash layout.
+  for (std::size_t root : util::sorted_keys(actors)) {
+    Working& w = actors.at(root);
     ObservedActor& a = w.actor;
     a.targets = w.target_span.size();
     a.median_delay =
         static_cast<simnet::SimDuration>(util::median(w.delays));
     std::vector<double> spans;
     spans.reserve(w.target_span.size());
-    for (const auto& [target, span] : w.target_span)
-      spans.push_back(static_cast<double>(span.second - span.first));
+    for (const auto& [target, window] : w.target_span)
+      spans.push_back(static_cast<double>(window.second - window.first));
     a.median_target_span =
         static_cast<simnet::SimDuration>(util::median(std::move(spans)));
     for (const auto& src : a.scan_sources)
@@ -153,10 +157,12 @@ ClassifierReport classify_actors(
     report.actors.push_back(std::move(a));
   }
 
-  std::sort(report.actors.begin(), report.actors.end(),
-            [](const ObservedActor& x, const ObservedActor& y) {
-              return x.packets > y.packets;
-            });
+  // stable_sort over the root-ordered list: actors tied on packet count
+  // keep a deterministic relative order.
+  std::stable_sort(report.actors.begin(), report.actors.end(),
+                   [](const ObservedActor& x, const ObservedActor& y) {
+                     return x.packets > y.packets;
+                   });
   return report;
 }
 

@@ -1,0 +1,63 @@
+// Order-stable drains for unordered containers.
+//
+// Iterating an unordered_{map,set} directly exposes hash order, which
+// varies across libstdc++ versions and (for pointer keys) across runs.
+// Whenever that order can escape — into a report, a vector, a tie-break —
+// drain through one of these helpers instead. ttslint (tools/ttslint)
+// recognises them and treats the resulting range as ordered.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace tts::util {
+
+namespace detail {
+template <class K, class V>
+const K& key_of(const std::pair<const K, V>& p) {
+  return p.first;
+}
+template <class K>
+const K& key_of(const K& k) {
+  return k;
+}
+}  // namespace detail
+
+/// Copy a map's (key, value) pairs, sorted by key ascending.
+template <class Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      out;
+  out.reserve(m.size());
+  for (const auto& item : m) out.emplace_back(item.first, item.second);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+/// Copy a set's elements (or a map's keys), sorted ascending.
+template <class Container>
+std::vector<typename Container::key_type> sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> out;
+  out.reserve(c.size());
+  for (const auto& item : c) out.push_back(detail::key_of(item));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Pointers into a map's entries, sorted by key — no value copies, but the
+/// pointers are invalidated by any rehash/erase on the source container.
+template <class Map>
+std::vector<const typename Map::value_type*> sorted_ptrs(const Map& m) {
+  std::vector<const typename Map::value_type*> out;
+  out.reserve(m.size());
+  for (const auto& item : m) out.push_back(&item);
+  std::sort(out.begin(), out.end(), [](const auto* a, const auto* b) {
+    return a->first < b->first;
+  });
+  return out;
+}
+
+}  // namespace tts::util

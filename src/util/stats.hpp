@@ -49,10 +49,10 @@ class Counter {
   std::size_t distinct() const { return counts_.size(); }
   bool empty() const { return counts_.empty(); }
 
-  /// Entries sorted by descending count (ties broken by key order via
-  /// stable comparison where Key is ordered; otherwise arbitrary but
-  /// deterministic given map iteration is snapshotted and sorted).
+  /// Entries sorted by descending count, ties broken by ascending key — a
+  /// total order, so the result is independent of hash layout.
   std::vector<std::pair<Key, std::uint64_t>> sorted_desc() const {
+    // ttslint: allow(unordered-iter) reason=snapshot is fully sorted below under a total (count, key) order
     std::vector<std::pair<Key, std::uint64_t>> v(counts_.begin(),
                                                  counts_.end());
     std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {

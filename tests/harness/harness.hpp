@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -101,6 +102,14 @@ class Fnv64 {
   Fnv64& mix(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
   Fnv64& mix(const Grant& g) {
     return mix(static_cast<std::uint64_t>(g.client)).mix(g.slot).mix(g.at);
+  }
+  /// Straight FNV-1a over a byte string (whole-report digests).
+  Fnv64& mix_bytes(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      h_ ^= c;
+      h_ *= 0x100000001b3ULL;
+    }
+    return *this;
   }
   std::uint64_t value() const { return h_; }
 

@@ -4,6 +4,7 @@
 // buffer under deliberate scan-budget starvation.
 #include <gtest/gtest.h>
 
+#include "core/report.hpp"
 #include "core/study.hpp"
 #include "harness.hpp"
 
@@ -40,6 +41,21 @@ std::uint64_t run_digest(const core::StudyConfig& config) {
   return f.value();
 }
 
+/// Digest of the entire rendered study report, byte for byte: every
+/// analysis table, every ranking, every percentage. This is the invariant
+/// the ttslint rules (ordered iteration, no ambient clocks, seeded RNGs)
+/// exist to protect — any hash-order or wall-clock leak anywhere in the
+/// pipeline shows up here as a digest mismatch.
+std::uint64_t report_digest(const core::StudyConfig& config) {
+  core::Study study(config);
+  study.run();
+  std::string md = core::render_markdown(core::build_report(study));
+  Fnv64 f;
+  f.mix_bytes(md);
+  f.mix(static_cast<std::uint64_t>(md.size()));
+  return f.value();
+}
+
 TEST(StudyHarness, SameSeedBitIdenticalGrantSequenceAndTotals) {
   auto config = mini_config();
   EXPECT_EQ(run_digest(config), run_digest(config));
@@ -50,6 +66,18 @@ TEST(StudyHarness, DifferentSeedDifferentGrantSequence) {
   std::uint64_t base = run_digest(config);
   config.seed ^= 0x9e3779b97f4a7c15ULL;
   EXPECT_NE(base, run_digest(config));
+}
+
+TEST(StudyHarness, SameSeedBitIdenticalFullReport) {
+  auto config = mini_config();
+  EXPECT_EQ(report_digest(config), report_digest(config));
+}
+
+TEST(StudyHarness, DifferentSeedDifferentFullReport) {
+  auto config = mini_config();
+  std::uint64_t base = report_digest(config);
+  config.seed ^= 0x9e3779b97f4a7c15ULL;
+  EXPECT_NE(base, report_digest(config));
 }
 
 TEST(StudyHarness, OverflowBufferIsCappedUnderBudgetStarvation) {

@@ -1,0 +1,27 @@
+// D3 fixture: raw pointer values as associative keys. Ordering and
+// iteration then depend on allocation addresses, which vary run to run.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> rank_by_addr;                 // FINDING(pointer-key)
+std::set<const Node*> visited;                     // FINDING(pointer-key)
+std::unordered_map<const Node*, int> degree;       // FINDING(pointer-key)
+
+// Pointers as *values* are fine: nothing orders by them.
+std::map<int, Node*> node_by_id;
+std::unordered_map<std::string, Node*> node_by_name;
+
+// Non-pointer keys, including nested templates, are fine.
+std::map<std::pair<int, int>, Node*> by_coord;
+std::map<std::string, std::map<int, int>> nested;
+
+// Comparisons are not template argument lists.
+bool lt(int set_size, int map_size) {
+  return set_size < map_size;
+}

@@ -1,0 +1,63 @@
+// Pragma-grammar fixture: suppression placement, malformed pragmas, and
+// stale pragmas. (FINDING markers appear inside some pragma comments; the
+// fixture harness reads markers textually, the linter does not care.)
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<int, int> table;
+
+// Own-line pragma covers the next code line.
+std::vector<int> own_line_suppressed() {
+  std::vector<int> out;
+  // ttslint: allow(unordered-iter) reason=fixture exercises own-line pragmas
+  for (const auto& [k, v] : table) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+// Trailing pragma covers its own line.
+std::vector<int> trailing_suppressed() {
+  std::vector<int> out;
+  for (const auto& [k, v] : table) {  // ttslint: allow(unordered-iter) reason=fixture exercises trailing pragmas
+    out.push_back(v);
+  }
+  return out;
+}
+
+// A multi-rule pragma is "used" if any listed rule fires on its line.
+std::vector<int> multi_rule_suppressed() {
+  std::vector<int> out;
+  // ttslint: allow(unordered-iter, wall-clock) reason=fixture multi-rule list
+  for (const auto& [k, v] : table) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+// Unknown rule id.
+// ttslint: allow(made-up-rule) reason=will not parse FINDING(bad-pragma)
+int x1 = 0;
+
+// Missing reason clause entirely.
+// ttslint: allow(wall-clock) FINDING(bad-pragma)
+int x2 = 0;
+
+// Empty reason text; the bad pragma sits on the next line. FINDING-NEXT(bad-pragma)
+// ttslint: allow(wall-clock) reason=
+int x3 = 0;
+
+// Well-formed but suppresses nothing on its target line.
+// ttslint: allow(pointer-key) reason=nothing fires here FINDING(unused-pragma)
+int x4 = 0;
+
+// A pragma does NOT cover findings two lines below.
+// ttslint: allow(unordered-iter) reason=too far away FINDING(unused-pragma)
+int spacer = 0;
+std::vector<int> not_covered() {
+  std::vector<int> out;
+  for (const auto& [k, v] : table) {  // FINDING(unordered-iter)
+    out.push_back(v);
+  }
+  return out;
+}

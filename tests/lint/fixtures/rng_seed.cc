@@ -1,0 +1,44 @@
+// D4 fixture: every Rng construction must trace to a seed. Bare literals
+// or unrelated values are hidden ambient state.
+#include <cstdint>
+#include <string_view>
+
+struct StudyConfig {
+  std::uint64_t seed = 20240720;
+};
+
+// The type's own declarations are not constructions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  Rng stream(std::string_view name) const;
+  std::uint64_t next();
+};
+
+Rng make_root(const StudyConfig& cfg) {
+  return Rng(cfg.seed);
+}
+
+Rng make_derived(const StudyConfig& cfg) {
+  Rng root(cfg.seed);
+  return root.stream("pool");
+}
+
+Rng make_reseeded(std::uint64_t run_seed) {
+  Rng rng(run_seed + 1);
+  return rng;
+}
+
+Rng bad_literal() {
+  return Rng(42);  // FINDING(rng-seed)
+}
+
+Rng bad_variable(int trial) {
+  Rng rng(static_cast<std::uint64_t>(trial));  // FINDING(rng-seed)
+  return rng;
+}
+
+Rng bad_braced() {
+  Rng rng{7};  // FINDING(rng-seed)
+  return rng;
+}

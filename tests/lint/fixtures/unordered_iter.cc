@@ -1,0 +1,117 @@
+// D1 fixture: unordered-container iteration whose order can escape.
+// Lines expected to be flagged carry a FINDING marker naming the rule;
+// everything else must lint clean.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<std::string, int> counts;
+std::unordered_set<int> ids;
+
+// Hash order lands in a vector: order escapes.
+std::vector<int> escape_to_vector() {
+  std::vector<int> out;
+  for (const auto& [key, value] : counts) {  // FINDING(unordered-iter)
+    out.push_back(value);
+  }
+  return out;
+}
+
+// Pure counting fold: mechanically order-insensitive, no finding.
+long total() {
+  long sum = 0;
+  for (const auto& [key, value] : counts) {
+    sum += value;
+  }
+  return sum;
+}
+
+// Min/max folding in the self-update form is order-insensitive.
+int largest_id() {
+  int best = 0;
+  for (int id : ids) {
+    best = std::max(best, id);
+  }
+  return best;
+}
+
+// Set-semantics insertion commutes.
+std::unordered_set<int> doubled() {
+  std::unordered_set<int> twice;
+  for (int id : ids) {
+    twice.insert(id * 2);
+  }
+  return twice;
+}
+
+// Handing out iterators exposes hash order to the caller.
+auto first_entry() {
+  return counts.begin();  // FINDING(unordered-iter)
+}
+
+// Draining through util::sorted_items() is ordered by construction.
+namespace tts::util {
+template <class M> int sorted_items(const M& m);
+}
+std::vector<int> drained_sorted() {
+  std::vector<int> out;
+  for (const auto& kv : tts::util::sorted_items(counts)) {
+    out.push_back(kv);
+  }
+  return out;
+}
+
+// Aliases of unordered types are tracked through `using`.
+using CountsByName = std::unordered_map<std::string, long>;
+CountsByName by_name;
+std::vector<long> escape_via_alias() {
+  std::vector<long> out;
+  for (const auto& [name, n] : by_name) {  // FINDING(unordered-iter)
+    out.push_back(n);
+  }
+  return out;
+}
+
+// Conditional counting stays commutative.
+int count_positive() {
+  int n = 0;
+  for (int id : ids) {
+    if (id > 0) {
+      ++n;
+    } else {
+      continue;
+    }
+  }
+  return n;
+}
+
+// Early exit makes the result depend on visitation order.
+int first_positive() {
+  int hit = 0;
+  for (int id : ids) {  // FINDING(unordered-iter)
+    if (id > 0) {
+      hit = id;
+      break;
+    }
+  }
+  return hit;
+}
+
+// Member access on another object that happens to share a name with an
+// unordered global resolves to that object, not the global: no finding.
+struct Wrapper {
+  std::vector<int> counts;
+};
+int wrapper_front(const Wrapper& w) {
+  return *w.counts.begin();
+}
+
+// Appending to a string is concatenation, not arithmetic: order-sensitive.
+std::string joined() {
+  std::string all;
+  for (const auto& [key, value] : counts) {  // FINDING(unordered-iter)
+    all += key;
+  }
+  return all;
+}

@@ -1,0 +1,43 @@
+// D2 fixture: ambient time/entropy reads. Every flagged line carries a
+// FINDING marker; the same file linted with --allow-wallclock=wall_clock.cc
+// must come back clean (the allowlist test).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double ambient_jitter() {
+  return static_cast<double>(rand()) / 32768.0;  // FINDING(wall-clock)
+}
+
+long long stamp_micros() {
+  auto now = std::chrono::system_clock::now();  // FINDING(wall-clock)
+  return now.time_since_epoch().count();
+}
+
+long long mono_now() {
+  return std::chrono::steady_clock::now()  // FINDING(wall-clock)
+      .time_since_epoch()
+      .count();
+}
+
+long unix_seconds() {
+  return time(nullptr);  // FINDING(wall-clock)
+}
+
+unsigned entropy_seed() {
+  std::random_device rd;  // FINDING(wall-clock)
+  std::mt19937 gen(rd());  // FINDING(wall-clock)
+  return gen();
+}
+
+// Identifiers merely containing the banned names are fine.
+bool fresh(long timestamp, int randomish) {
+  return timestamp > 0 && randomish != 0;
+}
+
+// Member access named .count() / a variable named clock_skew: fine.
+struct Sim {
+  long clock_skew = 0;
+  long count() const { return clock_skew; }
+};

@@ -1,0 +1,188 @@
+// ttslint's own test suite: tokenizer behaviour, rule semantics over the
+// fixture corpus, and the pragma/allowlist escape hatches.
+//
+// Fixtures are asserted line-exact in both directions: every `FINDING(rule)`
+// marker must be matched by a finding on that line, and every finding must
+// land on a marked line. `FINDING-NEXT(rule)` expects the finding one line
+// below the marker (for findings that sit on pragma lines the marker cannot
+// share).
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+using Expectation = std::multiset<std::pair<int, std::string>>;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(TTSLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name));
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Collect (line, rule) expectations from FINDING / FINDING-NEXT markers.
+Expectation parse_markers(const std::string& source) {
+  Expectation expected;
+  std::istringstream lines(source);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    for (std::size_t at = 0; (at = line.find("FINDING", at)) != std::string::npos;
+         ++at) {
+      std::size_t open = at + 7;
+      int target = lineno;
+      if (line.compare(open, 5, "-NEXT") == 0) {
+        open += 5;
+        target = lineno + 1;
+      }
+      if (open >= line.size() || line[open] != '(') continue;
+      std::size_t close = line.find(')', open);
+      if (close == std::string::npos) continue;
+      expected.emplace(target, line.substr(open + 1, close - open - 1));
+    }
+  }
+  return expected;
+}
+
+Expectation as_expectation(const std::vector<ttslint::Finding>& findings) {
+  Expectation got;
+  for (const auto& f : findings) got.emplace(f.line, f.rule);
+  return got;
+}
+
+std::string describe(const Expectation& e) {
+  std::ostringstream out;
+  for (const auto& [line, rule] : e) out << "  line " << line << ": " << rule << "\n";
+  return out.str();
+}
+
+std::vector<ttslint::Finding> lint_fixture(const std::string& name,
+                                           const ttslint::Options& options = {}) {
+  return ttslint::lint_source(name, read_fixture(name), "", options);
+}
+
+void check_fixture(const std::string& name) {
+  const std::string source = read_fixture(name);
+  const Expectation expected = parse_markers(source);
+  const Expectation got =
+      as_expectation(ttslint::lint_source(name, source, "", {}));
+  EXPECT_EQ(expected, got) << "expected:\n"
+                           << describe(expected) << "got:\n"
+                           << describe(got);
+}
+
+TEST(Tokenizer, KindsAndPositions) {
+  auto toks = ttslint::tokenize("int x = 42;\nauto s = \"hi\"; // note\n");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_TRUE(toks[0].ident("int"));
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_TRUE(toks[3].is(ttslint::Tok::kNumber, "42"));
+  EXPECT_TRUE(toks.back().is(ttslint::Tok::kComment, " note"));
+  EXPECT_EQ(toks.back().line, 2);
+}
+
+TEST(Tokenizer, RawStringsAndDigitSeparators) {
+  auto toks = ttslint::tokenize("auto r = R\"x(a \"b\" c)x\"; int n = 1'000;");
+  bool saw_raw = false;
+  for (const auto& t : toks)
+    if (t.kind == ttslint::Tok::kString) {
+      EXPECT_EQ(t.text, "a \"b\" c");
+      saw_raw = true;
+    }
+  EXPECT_TRUE(saw_raw);
+  // The digit separator must not open a char literal.
+  for (const auto& t : toks) EXPECT_NE(t.kind, ttslint::Tok::kChar);
+}
+
+TEST(Tokenizer, PreprocessorLinesFoldContinuations) {
+  auto toks = ttslint::tokenize("#define ADD(a, b) \\\n  ((a) + (b))\nint x;");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, ttslint::Tok::kPreproc);
+  EXPECT_NE(toks[0].text.find("((a) + (b))"), std::string::npos);
+  EXPECT_TRUE(toks[1].ident("int"));
+}
+
+TEST(Tokenizer, MultiCharOperators) {
+  auto toks = ttslint::tokenize("a <<= b; c && d; e->f; g::h;");
+  int hits = 0;
+  for (const auto& t : toks)
+    if (t.punct("<<=") || t.punct("&&") || t.punct("->") || t.punct("::"))
+      ++hits;
+  EXPECT_EQ(hits, 4);
+}
+
+TEST(Rules, KnownRuleIds) {
+  for (const char* r : {"unordered-iter", "wall-clock", "pointer-key",
+                        "rng-seed", "bad-pragma", "unused-pragma"})
+    EXPECT_TRUE(ttslint::known_rule(r)) << r;
+  EXPECT_FALSE(ttslint::known_rule("made-up-rule"));
+  EXPECT_FALSE(ttslint::known_rule(""));
+}
+
+TEST(Fixtures, UnorderedIter) { check_fixture("unordered_iter.cc"); }
+TEST(Fixtures, WallClock) { check_fixture("wall_clock.cc"); }
+TEST(Fixtures, PointerKey) { check_fixture("pointer_key.cc"); }
+TEST(Fixtures, RngSeed) { check_fixture("rng_seed.cc"); }
+TEST(Fixtures, Pragmas) { check_fixture("pragmas.cc"); }
+
+TEST(Allowlist, WallClockSuffixSilencesFile) {
+  ttslint::Options options;
+  options.wallclock_allow = {"wall_clock.cc"};
+  EXPECT_TRUE(lint_fixture("wall_clock.cc", options).empty());
+}
+
+TEST(Allowlist, SuffixMustMatchEnd) {
+  ttslint::Options options;
+  options.wallclock_allow = {"other_file.cc"};
+  EXPECT_FALSE(lint_fixture("wall_clock.cc", options).empty());
+}
+
+TEST(PairedHeader, SeedsTypeEnvironment) {
+  // The member is declared in the "header"; the "source" iterates it and
+  // leaks hash order into a vector.
+  const char* header =
+      "class Registry {\n"
+      "  std::unordered_map<int, int> weights_;\n"
+      "};\n";
+  const char* source =
+      "std::vector<int> Registry::drain() {\n"
+      "  std::vector<int> out;\n"
+      "  for (const auto& [k, v] : weights_) {\n"
+      "    out.push_back(v);\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n";
+  auto with_header = ttslint::lint_source("registry.cpp", source, header, {});
+  ASSERT_EQ(with_header.size(), 1u);
+  EXPECT_EQ(with_header[0].rule, "unordered-iter");
+  EXPECT_EQ(with_header[0].line, 3);
+  // Without the header the member's type is unknown: no finding.
+  EXPECT_TRUE(ttslint::lint_source("registry.cpp", source, "", {}).empty());
+}
+
+TEST(Formatting, TextAndJson) {
+  ttslint::Finding f{"src/a.cpp", 12, 3, "wall-clock", "uses \"time\""};
+  EXPECT_EQ(ttslint::format_finding(f),
+            "src/a.cpp:12:3: [wall-clock] uses \"time\"");
+  EXPECT_EQ(ttslint::format_finding_json(f),
+            "{\"file\":\"src/a.cpp\",\"line\":12,\"col\":3,"
+            "\"rule\":\"wall-clock\",\"message\":\"uses \\\"time\\\"\"}");
+}
+
+}  // namespace

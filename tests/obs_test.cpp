@@ -182,6 +182,71 @@ TEST(Tracer, DisabledTracerIsANoOp) {
   EXPECT_EQ(tracer.completed(), 0u);
 }
 
+TEST(Tracer, InternIsIdempotentAndNamesAreStable) {
+  Tracer tracer(8);
+  Tracer::NameId http = tracer.intern("probe/http");
+  Tracer::NameId ssh = tracer.intern("probe/ssh");
+  EXPECT_NE(http, ssh);
+  EXPECT_EQ(tracer.intern("probe/http"), http);
+  EXPECT_EQ(tracer.name_of(http), "probe/http");
+  EXPECT_EQ(tracer.name_of(ssh), "probe/ssh");
+}
+
+TEST(Tracer, OpenByIdAndByStringShareOneAggregate) {
+  simnet::EventQueue events;
+  Tracer tracer(8);
+  tracer.set_sim_clock(&events);
+  Tracer::NameId id = tracer.intern("probe/http");
+  Tracer::SpanId span = tracer.open(id);
+  events.schedule_at(simnet::sec(3), [&] { tracer.close(span); });
+  events.run();
+  EXPECT_EQ(tracer.stats_of(id).count, 1u);
+  EXPECT_EQ(tracer.stats_of(id).total_sim, simnet::sec(3));
+  {
+    auto scope = tracer.span("probe/http");  // string path, same NameId
+  }
+  EXPECT_EQ(tracer.stats_of(id).count, 2u);
+  EXPECT_EQ(tracer.stats().at("probe/http").count, 2u);
+  // Records still carry the resolved name for human output.
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].name, "probe/http");
+}
+
+TEST(Tracer, StatsSkipInternedButNeverOpenedNames) {
+  Tracer tracer(8);
+  tracer.intern("enrolled/unused");
+  {
+    auto scope = tracer.span("used");
+  }
+  auto stats = tracer.stats();
+  EXPECT_EQ(stats.count("enrolled/unused"), 0u);
+  EXPECT_EQ(stats.count("used"), 1u);
+}
+
+TEST(Tracer, SimDurationHistogramIsLogScale) {
+  EXPECT_EQ(SpanStats::bucket_of(0), 0u);
+  EXPECT_EQ(SpanStats::bucket_of(1), 1u);
+  EXPECT_EQ(SpanStats::bucket_of(2), 2u);
+  EXPECT_EQ(SpanStats::bucket_of(3), 2u);
+  EXPECT_EQ(SpanStats::bucket_of(4), 3u);
+  // The last bucket absorbs everything longer.
+  EXPECT_EQ(SpanStats::bucket_of(std::int64_t{1} << 40),
+            SpanStats::kHistBuckets - 1);
+
+  simnet::EventQueue events;
+  Tracer tracer(8);
+  tracer.set_sim_clock(&events);
+  Tracer::NameId id = tracer.intern("wait");
+  Tracer::SpanId span = tracer.open(id);
+  events.schedule_at(simnet::SimTime{4}, [&] { tracer.close(span); });
+  events.run();
+  const SpanStats& s = tracer.stats_of(id);
+  EXPECT_EQ(s.sim_hist[SpanStats::bucket_of(4)], 1u);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : s.sim_hist) total += c;
+  EXPECT_EQ(total, s.count);
+}
+
 TEST(Tracer, OpenCloseSpansAsyncStages) {
   simnet::EventQueue events;
   Tracer tracer(16);
@@ -397,6 +462,47 @@ TEST(Exporters, TableRollupLeavesSmallFamiliesAlone) {
   std::string text = to_table(reg.snapshot(), "metrics", rollup).to_string();
   EXPECT_NE(text.find("pool_selections{server=s0}"), std::string::npos);
   EXPECT_EQ(text.find("series=other"), std::string::npos);
+}
+
+TEST(Exporters, RollupAppliesToJsonlAndPrometheus) {
+  Registry reg;
+  std::array<Counter, 6> picks;
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    picks[i].inc(100 * (i + 1));
+    reg.enroll(picks[i], "pool_selections",
+               {{"server", "s" + std::to_string(i)}});
+  }
+  Counter untouched;
+  reg.enroll(untouched, "scan_submitted", {{"dataset", "ntp"}});
+  TableRollup rollup;
+  rollup.names = {"pool_selections"};
+  rollup.top_n = 2;
+
+  RegistrySnapshot rolled = apply_rollup(reg.snapshot(), rollup);
+  ASSERT_EQ(rolled.values.size(), 4u);  // top-2 + other + untouched family
+  EXPECT_EQ(rolled.values[0].full_name(), "pool_selections{server=s5}");
+  EXPECT_EQ(rolled.values[1].full_name(), "pool_selections{server=s4}");
+  EXPECT_EQ(rolled.values[2].full_name(), "pool_selections{series=other}");
+  EXPECT_EQ(rolled.values[2].count, 1000u);  // 100+200+300+400
+  EXPECT_EQ(rolled.values[3].full_name(), "scan_submitted{dataset=ntp}");
+
+  // The JSONL overload emits the rolled set and still round-trips.
+  std::string jsonl = to_jsonl(reg.snapshot(), rollup);
+  auto parsed = parse_jsonl(jsonl);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->values.size(), 4u);
+  EXPECT_EQ(parsed->values[2].full_name(), "pool_selections{series=other}");
+  EXPECT_EQ(parsed->values[2].count, 1000u);
+
+  // Prometheus: folded members gone, family stays one contiguous TYPE run.
+  std::string prom = to_prometheus(reg.snapshot(), rollup);
+  EXPECT_NE(prom.find("pool_selections{series=\"other\"} 1000"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("server=\"s0\""), std::string::npos);
+  std::size_t first = prom.find("# TYPE pool_selections");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(prom.find("# TYPE pool_selections", first + 1),
+            std::string::npos);
 }
 
 // ------------------------------------------- instrumented components

@@ -1,0 +1,711 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace ttslint {
+
+namespace {
+
+constexpr std::string_view kRules[] = {
+    "unordered-iter", "wall-clock", "pointer-key",
+    "rng-seed",       "bad-pragma", "unused-pragma",
+};
+
+const std::set<std::string, std::less<>> kUnorderedBases = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string, std::less<>> kAssociativeBases = {
+    "map",           "set",           "multimap",
+    "multiset",      "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset"};
+
+// Sequence-ish types whose insert/append order is meaningful: pushing into
+// one from an unordered loop is the canonical order escape.
+const std::set<std::string, std::less<>> kSequenceBases = {
+    "vector", "deque", "list", "basic_string", "string", "ostringstream",
+    "stringstream", "ostream"};
+
+// util/ordered.hpp's sorted-drain helpers: a range expression routed through
+// one of these is ordered by construction.
+const std::set<std::string, std::less<>> kSortedDrains = {
+    "sorted_items", "sorted_keys", "sorted_ptrs"};
+
+// Wall-clock / ambient-entropy identifiers flagged wherever they appear.
+const std::set<std::string, std::less<>> kClockIdents = {
+    "system_clock", "steady_clock",  "high_resolution_clock",
+    "random_device", "srand",        "gettimeofday",
+    "clock_gettime", "localtime",    "gmtime",
+    "mktime",        "timespec_get", "mt19937",
+    "mt19937_64",    "default_random_engine"};
+
+// Flagged only when called (identifier immediately followed by '(').
+const std::set<std::string, std::less<>> kClockCalls = {"rand", "time",
+                                                        "clock"};
+
+// Calls that may appear inside a mechanically order-insensitive loop body:
+// pure lookups/queries and set-semantics insertion.
+const std::set<std::string, std::less<>> kCommutativeCalls = {
+    "insert", "emplace", "try_emplace", "find",  "count", "contains",
+    "at",     "size",    "empty",       "min",   "max",   "abs",
+    "first",  "second"};
+
+// Casts: ident '<' ... '>' '(' — allowed.
+const std::set<std::string, std::less<>> kCasts = {
+    "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast"};
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    std::size_t j = 0;
+    while (j < needle.size() &&
+           std::tolower(static_cast<unsigned char>(haystack[i + j])) ==
+               std::tolower(static_cast<unsigned char>(needle[j])))
+      ++j;
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool type_like(std::string_view name) {
+  return !name.empty() &&
+         std::isupper(static_cast<unsigned char>(name.front()));
+}
+
+// --------------------------------------------------------------- pragmas
+
+struct Pragma {
+  int comment_line = 0;    // where the pragma itself sits
+  int target_line = 0;     // the code line it suppresses
+  int col = 0;
+  std::vector<std::string> rules;
+  bool used = false;
+};
+
+// ------------------------------------------------------- declaration scan
+
+/// File-local type environment: names whose declared type makes iteration
+/// order a hazard (unordered), names that are strings (so "+=" on them is
+/// concatenation, not arithmetic), and names of sequence containers (so
+/// "insert" on them is order-sensitive).
+struct DeclEnv {
+  std::set<std::string, std::less<>> unordered;  // vars, aliases, functions
+  std::set<std::string, std::less<>> strings;
+  std::set<std::string, std::less<>> sequences;
+};
+
+/// Skip a balanced template argument list starting at tokens[i] == '<'.
+/// Returns the index one past the closing '>'. Treats ">>" as two closes.
+/// Bails (returns i) if the list does not look like template args.
+std::size_t skip_template_args(const std::vector<Token>& code,
+                               std::size_t i) {
+  if (i >= code.size() || !code[i].punct("<")) return i;
+  int depth = 0;
+  std::size_t j = i;
+  while (j < code.size()) {
+    const Token& t = code[j];
+    if (t.punct("<")) {
+      ++depth;
+    } else if (t.punct(">")) {
+      if (--depth == 0) return j + 1;
+    } else if (t.punct(">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t.punct(";") || t.punct("{")) {
+      return i;  // was a comparison, not template args
+    }
+    ++j;
+  }
+  return i;
+}
+
+void scan_declarations(const std::vector<Token>& code, DeclEnv& env) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = code[i];
+    if (t.kind != Tok::kIdent) continue;
+
+    // using Alias = ... unordered ... ;
+    if (t.text == "using" && i + 2 < code.size() &&
+        code[i + 1].kind == Tok::kIdent && code[i + 2].punct("=")) {
+      const std::string& alias = code[i + 1].text;
+      bool unordered = false;
+      std::size_t j = i + 3;
+      while (j < code.size() && !code[j].punct(";")) {
+        if (code[j].kind == Tok::kIdent &&
+            (kUnorderedBases.count(code[j].text) ||
+             env.unordered.count(code[j].text)))
+          unordered = true;
+        ++j;
+      }
+      if (unordered) env.unordered.insert(alias);
+      i = j;
+      continue;
+    }
+
+    bool is_unordered = kUnorderedBases.count(t.text) > 0 ||
+                        env.unordered.count(t.text) > 0;
+    bool is_string = t.text == "string" || t.text == "ostringstream" ||
+                     t.text == "stringstream";
+    bool is_sequence = kSequenceBases.count(t.text) > 0;
+    if (!is_unordered && !is_string && !is_sequence) continue;
+
+    // Skip template args, then an optional ref/const, then take the
+    // declared name. "unordered_map<...> name" / "string name".
+    std::size_t j = skip_template_args(code, i + 1);
+    while (j < code.size() &&
+           (code[j].punct("&") || code[j].punct("*") ||
+            code[j].ident("const")))
+      ++j;
+    if (j < code.size() && code[j].kind == Tok::kIdent &&
+        code[j].text != "operator") {
+      const std::string& name = code[j].text;
+      if (is_unordered) env.unordered.insert(name);
+      if (is_string) env.strings.insert(name);
+      if (is_sequence) env.sequences.insert(name);
+    }
+  }
+}
+
+// ------------------------------------------------------------ lint pass
+
+class Linter {
+ public:
+  Linter(std::string path, std::string_view source,
+         std::string_view paired_header, const Options& options)
+      : path_(std::move(path)), options_(options) {
+    auto all = tokenize(source);
+    for (auto& t : all) {
+      if (t.kind == Tok::kComment) {
+        comments_.push_back(std::move(t));
+      } else if (t.kind != Tok::kPreproc) {
+        code_.push_back(std::move(t));
+      }
+    }
+    if (!paired_header.empty()) {
+      auto header_tokens = tokenize(paired_header);
+      std::vector<Token> header_code;
+      for (auto& t : header_tokens)
+        if (t.kind != Tok::kComment && t.kind != Tok::kPreproc)
+          header_code.push_back(std::move(t));
+      scan_declarations(header_code, env_);
+    }
+    scan_declarations(code_, env_);
+  }
+
+  std::vector<Finding> run() {
+    parse_pragmas();
+    rule_unordered_iter();
+    rule_wall_clock();
+    rule_pointer_key();
+    rule_rng_seed();
+    flush_suppressed();
+    return std::move(findings_);
+  }
+
+ private:
+  const Token& tok(std::size_t i) const { return code_[i]; }
+  bool have(std::size_t i) const { return i < code_.size(); }
+
+  void report(const Token& at, std::string rule, std::string message) {
+    raw_.push_back(
+        {path_, at.line, at.col, std::move(rule), std::move(message)});
+  }
+
+  // ---- pragmas ----
+
+  void parse_pragmas() {
+    // Lines that carry code, for "pragma on its own line covers the next
+    // code line" resolution.
+    std::set<int> code_lines;
+    for (const Token& t : code_) code_lines.insert(t.line);
+
+    for (const Token& c : comments_) {
+      std::size_t at = c.text.find("ttslint:");
+      if (at == std::string::npos) continue;
+      std::string body = c.text.substr(at + 8);
+      Pragma p;
+      p.comment_line = c.line;
+      p.col = c.col;
+      if (!parse_allow(body, p.rules)) {
+        findings_.push_back(
+            {path_, c.line, c.col, "bad-pragma",
+             "malformed pragma; expected 'ttslint: allow(rule[, rule...]) "
+             "reason=<text>' with a known rule and a non-empty reason"});
+        continue;
+      }
+      bool own_line = !code_lines.count(c.line);
+      if (own_line) {
+        auto next = code_lines.upper_bound(c.line);
+        p.target_line = next == code_lines.end() ? -1 : *next;
+      } else {
+        p.target_line = c.line;
+      }
+      pragmas_.push_back(std::move(p));
+    }
+  }
+
+  bool parse_allow(std::string_view body, std::vector<std::string>& rules) {
+    auto skip_ws = [&](std::size_t i) {
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i])))
+        ++i;
+      return i;
+    };
+    std::size_t i = skip_ws(0);
+    if (body.compare(i, 5, "allow") != 0) return false;
+    i = skip_ws(i + 5);
+    if (i >= body.size() || body[i] != '(') return false;
+    ++i;
+    std::string current;
+    for (; i < body.size() && body[i] != ')'; ++i) {
+      char ch = body[i];
+      if (ch == ',') {
+        if (!current.empty()) rules.push_back(current);
+        current.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(ch))) {
+        current += ch;
+      }
+    }
+    if (i >= body.size()) return false;  // no ')'
+    if (!current.empty()) rules.push_back(current);
+    if (rules.empty()) return false;
+    for (const auto& r : rules)
+      if (!known_rule(r)) return false;
+    i = skip_ws(i + 1);
+    if (body.compare(i, 7, "reason=") != 0) return false;
+    i = skip_ws(i + 7);
+    return i < body.size();  // non-empty reason
+  }
+
+  void flush_suppressed() {
+    for (Finding& f : raw_) {
+      bool suppressed = false;
+      for (Pragma& p : pragmas_) {
+        if (p.target_line != f.line) continue;
+        if (std::find(p.rules.begin(), p.rules.end(), f.rule) !=
+            p.rules.end()) {
+          p.used = true;
+          suppressed = true;
+        }
+      }
+      if (!suppressed) findings_.push_back(std::move(f));
+    }
+    for (const Pragma& p : pragmas_) {
+      if (p.used) continue;
+      findings_.push_back({path_, p.comment_line, p.col, "unused-pragma",
+                           "pragma suppresses nothing on its target line; "
+                           "remove it or move it next to the finding"});
+    }
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) return a.line < b.line;
+                if (a.col != b.col) return a.col < b.col;
+                return a.rule < b.rule;
+              });
+  }
+
+  // ---- D2: wall clock ----
+
+  void rule_wall_clock() {
+    for (const auto& suffix : options_.wallclock_allow)
+      if (ends_with(path_, suffix)) return;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != Tok::kIdent) continue;
+      bool hit = kClockIdents.count(t.text) > 0;
+      if (!hit && kClockCalls.count(t.text) && have(i + 1) &&
+          tok(i + 1).punct("("))
+        hit = true;
+      if (hit)
+        report(t, "wall-clock",
+               "'" + t.text +
+                   "' reads ambient time/entropy; derive from the simulated "
+                   "clock or a seeded Rng (allowlist: observational "
+                   "wall-profiling only)");
+    }
+  }
+
+  // ---- D3: pointer keys ----
+
+  void rule_pointer_key() {
+    for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != Tok::kIdent || !kAssociativeBases.count(t.text)) continue;
+      if (!tok(i + 1).punct("<")) continue;
+      // Walk the first template argument (depth 1, up to ',' or close).
+      int depth = 0;
+      std::size_t j = i + 1;
+      std::size_t last_arg_tok = 0;
+      bool closed = false;
+      while (j < code_.size()) {
+        const Token& u = tok(j);
+        if (u.punct("<")) {
+          ++depth;
+        } else if (u.punct(">") || u.punct(">>")) {
+          depth -= u.text == ">>" ? 2 : 1;
+          if (depth <= 0) {
+            closed = true;
+            break;
+          }
+        } else if (u.punct(",") && depth == 1) {
+          break;
+        } else if (u.punct(";") || u.punct("{")) {
+          break;  // comparison, not a template
+        } else if (depth >= 1) {
+          last_arg_tok = j;
+        }
+        ++j;
+      }
+      (void)closed;
+      if (last_arg_tok && tok(last_arg_tok).punct("*"))
+        report(t, "pointer-key",
+               "raw pointer as associative key: iteration and ordering "
+               "depend on allocation addresses; key by a stable id instead");
+    }
+  }
+
+  // ---- D4: Rng seeds ----
+
+  void rule_rng_seed() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!tok(i).ident("Rng")) continue;
+      // Skip type mentions and member declarations: `class Rng`,
+      // `explicit Rng(...)`, `~Rng()`, `Rng::stream`.
+      if (i > 0 && (tok(i - 1).ident("class") || tok(i - 1).ident("struct") ||
+                    tok(i - 1).ident("explicit") || tok(i - 1).punct("~")))
+        continue;
+      if (have(i + 1) && tok(i + 1).punct("::")) continue;
+      std::size_t open = 0;
+      if (have(i + 1) && (tok(i + 1).punct("(") || tok(i + 1).punct("{"))) {
+        open = i + 1;  // Rng(expr) — direct construction
+      } else if (have(i + 2) && tok(i + 1).kind == Tok::kIdent &&
+                 (tok(i + 2).punct("(") || tok(i + 2).punct("{"))) {
+        open = i + 2;  // Rng name(expr) — declaration with init
+      } else {
+        continue;
+      }
+      std::string close = tok(open).text == "(" ? ")" : "}";
+      int depth = 0;
+      bool ok = false;
+      bool any_arg = false;
+      bool param_list = false;  // declaration, not a construction
+      bool prev_ident = false;
+      std::size_t j = open;
+      for (; j < code_.size(); ++j) {
+        const Token& u = tok(j);
+        if (u.text == tok(open).text && u.kind == Tok::kPunct) ++depth;
+        if (u.kind == Tok::kPunct && u.text == close && --depth == 0) break;
+        if (j == open) continue;
+        any_arg = true;
+        if (u.kind == Tok::kIdent) {
+          // An argument tracing to a seed satisfies the rule; two adjacent
+          // identifiers ("uint64_t n") or a const only occur in parameter
+          // lists, which are declarations, not constructions.
+          if (contains_ci(u.text, "seed")) ok = true;
+          if (u.text == "const" || prev_ident) param_list = true;
+          prev_ident = true;
+        } else {
+          prev_ident = false;
+        }
+      }
+      // `) const` / `) {` trail member declarations and function
+      // definitions; constructions are followed by ; , ) or an operator.
+      if (have(j + 1) && (tok(j + 1).ident("const") || tok(j + 1).punct("{")))
+        param_list = true;
+      if (any_arg && !ok && !param_list)
+        report(tok(i), "rng-seed",
+               "Rng constructed from a value that does not trace to a "
+               "seed; derive via StudyConfig::seed or Rng::stream()");
+    }
+  }
+
+  // ---- D1: unordered iteration ----
+
+  bool in_unordered_env(std::size_t begin, std::size_t end) const {
+    bool unordered = false;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (code_[i].kind != Tok::kIdent) continue;
+      if (kSortedDrains.count(code_[i].text)) return false;
+      if (env_.unordered.count(code_[i].text)) unordered = true;
+    }
+    return unordered;
+  }
+
+  /// Index one past the matching close for the open paren/brace at `open`.
+  std::size_t match(std::size_t open) const {
+    std::string_view o = code_[open].text;
+    std::string_view c = o == "(" ? ")" : o == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t i = open; i < code_.size(); ++i) {
+      if (code_[i].kind != Tok::kPunct) continue;
+      if (code_[i].text == o) ++depth;
+      if (code_[i].text == c && --depth == 0) return i + 1;
+    }
+    return code_.size();
+  }
+
+  void rule_unordered_iter() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != Tok::kIdent) continue;
+
+      // x.begin() / x.cbegin() on an unordered container: hands hash order
+      // to whatever consumes the iterators. A name preceded by . or -> is
+      // a member of some other object, not the tracked variable.
+      if (i > 0 && (tok(i - 1).punct(".") || tok(i - 1).punct("->")))
+        continue;
+      if (env_.unordered.count(t.text) && have(i + 3) &&
+          (tok(i + 1).punct(".") || tok(i + 1).punct("->")) &&
+          (tok(i + 2).ident("begin") || tok(i + 2).ident("cbegin") ||
+           tok(i + 2).ident("rbegin")) &&
+          tok(i + 3).punct("(")) {
+        report(t, "unordered-iter",
+               "iterators over unordered '" + t.text +
+                   "' expose hash order; drain via util::sorted_items()/"
+                   "sorted_ptrs() or annotate with a reason");
+        continue;
+      }
+
+      // Range-for over an unordered container.
+      if (!t.ident("for") || !have(i + 1) || !tok(i + 1).punct("(")) continue;
+      std::size_t close = match(i + 1) - 1;
+      if (close >= code_.size()) continue;
+      // Find the range-for ':' at paren depth 1.
+      std::size_t colon = 0;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        const Token& u = tok(j);
+        if (u.kind != Tok::kPunct) continue;
+        if (u.text == "(" || u.text == "[" || u.text == "{") ++depth;
+        if (u.text == ")" || u.text == "]" || u.text == "}") --depth;
+        if (u.text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (!colon) continue;
+      if (!in_unordered_env(colon + 1, close)) continue;
+
+      // Body: next statement or block after the ')'.
+      std::size_t body_begin = close + 1;
+      std::size_t body_end;
+      if (have(body_begin) && tok(body_begin).punct("{")) {
+        body_end = match(body_begin);
+      } else {
+        body_end = body_begin;
+        int d = 0;
+        while (body_end < code_.size()) {
+          const Token& u = tok(body_end);
+          if (u.kind == Tok::kPunct) {
+            if (u.text == "(" || u.text == "[" || u.text == "{") ++d;
+            if (u.text == ")" || u.text == "]" || u.text == "}") --d;
+            if (u.text == ";" && d == 0) {
+              ++body_end;
+              break;
+            }
+          }
+          ++body_end;
+        }
+      }
+      if (!body_commutative(body_begin, body_end))
+        report(t, "unordered-iter",
+               "range-for over an unordered container with an "
+               "order-sensitive body; drain via util::sorted_items()/"
+               "sorted_ptrs(), use std::map, or annotate with a reason");
+    }
+  }
+
+  /// Conservative commutativity check over a loop body: every effect must
+  /// be insensitive to visitation order (counting, summing, min/max
+  /// folding, set-semantics insertion). Anything unrecognised fails.
+  bool body_commutative(std::size_t begin, std::size_t end) const {
+    bool stmt_start = true;
+    bool stmt_is_decl = false;         // statement began with auto/const
+    std::vector<std::string> lhs;      // tokens before '=' in this stmt
+    bool capturing_lhs = true;
+    std::size_t for_header_end = 0;    // '=' exemption inside for(;;)
+
+    for (std::size_t i = begin; i < end; ++i) {
+      const Token& t = code_[i];
+      if (t.kind == Tok::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        stmt_start = true;
+        stmt_is_decl = false;
+        lhs.clear();
+        capturing_lhs = true;
+        continue;
+      }
+
+      if (t.kind == Tok::kIdent) {
+        if (stmt_start && (t.text == "auto" || t.text == "const"))
+          stmt_is_decl = true;
+        stmt_start = false;
+
+        // Structural keywords.
+        if (t.text == "if" || t.text == "else" || t.text == "continue") {
+          lhs.clear();
+          capturing_lhs = true;
+          continue;
+        }
+        if (t.text == "for") {
+          // Classic-for headers may assign their induction variable; nested
+          // range-fors over unordered containers are reported separately.
+          if (i + 1 < end && code_[i + 1].punct("("))
+            for_header_end = match(i + 1);
+          lhs.clear();
+          capturing_lhs = true;
+          continue;
+        }
+        if (t.text == "return" || t.text == "break" || t.text == "goto" ||
+            t.text == "throw" || t.text == "co_return" ||
+            t.text == "co_yield")
+          return false;
+
+        // Calls.
+        if (i + 1 < end && code_[i + 1].punct("(")) {
+          if (!kCommutativeCalls.count(t.text) && !type_like(t.text))
+            return false;
+          if (kSequenceBases.count(t.text)) return false;
+          // insert/emplace into a sequence is order-sensitive.
+          if ((t.text == "insert" || t.text == "emplace") && i >= 2 &&
+              (code_[i - 1].punct(".") || code_[i - 1].punct("->")) &&
+              code_[i - 2].kind == Tok::kIdent &&
+              env_.sequences.count(code_[i - 2].text))
+            return false;
+          continue;
+        }
+        if (kCasts.count(t.text)) continue;
+        if (capturing_lhs) lhs.push_back(t.text);
+        continue;
+      }
+
+      if (t.kind == Tok::kString || t.kind == Tok::kChar ||
+          t.kind == Tok::kNumber) {
+        stmt_start = false;
+        if (capturing_lhs && t.kind == Tok::kNumber) lhs.push_back(t.text);
+        continue;
+      }
+
+      // Punctuation.
+      stmt_start = false;
+      const std::string& p = t.text;
+      if (p == "<<" || p == ">>") return false;  // streaming / shifts
+      if (p == "<<=" || p == ">>=") return false;
+      if (p == "[") {
+        // Subscript after a value is fine; anything else is a lambda.
+        if (i == begin || !(code_[i - 1].kind == Tok::kIdent ||
+                            code_[i - 1].punct(")") ||
+                            code_[i - 1].punct("]")))
+          return false;
+        if (capturing_lhs) lhs.push_back(p);
+        continue;
+      }
+      if (p == "+=" || p == "-=" || p == "|=" || p == "&=" || p == "^=") {
+        // Compound adds commute — unless the target is a string.
+        if (!lhs.empty() && env_.strings.count(lhs.front())) return false;
+        // String-literal append.
+        for (std::size_t j = i + 1; j < end; ++j) {
+          if (code_[j].punct(";")) break;
+          if (code_[j].kind == Tok::kString) return false;
+        }
+        capturing_lhs = false;
+        continue;
+      }
+      if (p == "=") {
+        if (i < for_header_end) continue;
+        if (stmt_is_decl) {
+          capturing_lhs = false;
+          continue;
+        }
+        // x = std::max(x, ...) / x = std::min(x, ...) folding.
+        std::size_t j = i + 1;
+        if (j < end && code_[j].ident("std")) j += 2;  // std ::
+        if (!(j < end &&
+              (code_[j].ident("max") || code_[j].ident("min")) &&
+              j + 1 < end && code_[j + 1].punct("(")))
+          return false;
+        std::size_t k = j + 2;
+        for (const std::string& part : lhs) {
+          // Compare ignoring access punctuation.
+          while (k < end && code_[k].kind == Tok::kPunct &&
+                 (code_[k].text == "." || code_[k].text == "->" ||
+                  code_[k].text == "[" || code_[k].text == "]"))
+            ++k;
+          if (k >= end || code_[k].text != part) return false;
+          ++k;
+        }
+        capturing_lhs = false;
+        continue;
+      }
+      if (p == "++" || p == "--") continue;
+      if (p == "." || p == "->" || p == "]") {
+        continue;  // member access chains stay in lhs via idents
+      }
+      if (p == "(" || p == ")" || p == "," || p == "<" || p == ">" ||
+          p == "<=" || p == ">=" || p == "==" || p == "!=" || p == "&&" ||
+          p == "||" || p == "!" || p == "+" || p == "-" || p == "*" ||
+          p == "/" || p == "%" || p == "&" || p == "?" || p == ":" ||
+          p == "::" || p == "~" || p == "^" || p == "|")
+        continue;
+      return false;  // anything unrecognised
+    }
+    return true;
+  }
+
+  std::string path_;
+  Options options_;
+  DeclEnv env_;
+  std::vector<Token> code_;
+  std::vector<Token> comments_;
+  std::vector<Pragma> pragmas_;
+  std::vector<Finding> raw_;       // pre-suppression
+  std::vector<Finding> findings_;  // final
+};
+
+}  // namespace
+
+bool known_rule(std::string_view rule) {
+  for (std::string_view r : kRules)
+    if (r == rule) return true;
+  return false;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view source,
+                                 std::string_view paired_header,
+                                 const Options& options) {
+  return Linter(path, source, paired_header, options).run();
+}
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream out;
+  out << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule << "] "
+      << f.message;
+  return out.str();
+}
+
+std::string format_finding_json(const Finding& f) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  std::ostringstream out;
+  out << "{\"file\":\"" << escape(f.file) << "\",\"line\":" << f.line
+      << ",\"col\":" << f.col << ",\"rule\":\"" << escape(f.rule)
+      << "\",\"message\":\"" << escape(f.message) << "\"}";
+  return out.str();
+}
+
+}  // namespace ttslint

@@ -1,0 +1,65 @@
+// ttslint — the project's determinism linter.
+//
+// Token-level static analysis (no libclang) enforcing the invariants a
+// same-seed bit-identical study run depends on:
+//
+//   unordered-iter  (D1) iteration over unordered_{map,set} whose order can
+//                        escape (range-for / begin()) must be mechanically
+//                        order-insensitive (a conservative commutative-body
+//                        check) or annotated with a reasoned pragma
+//   wall-clock      (D2) ambient time/entropy (system_clock, steady_clock,
+//                        rand, random_device, time(...)...) is banned
+//                        outside an explicit file allowlist
+//   pointer-key     (D3) raw pointer values as associative-container keys
+//                        make iteration order address-dependent
+//   rng-seed        (D4) every Rng construction must trace to a seed (an
+//                        argument mentioning "seed"), not a bare literal
+//
+// Suppression pragma grammar (reason is mandatory):
+//   // ttslint: allow(rule[, rule...]) reason=<free text>
+// On a line of its own the pragma covers the next code line; trailing a
+// statement it covers that line. Malformed or unused pragmas are findings
+// themselves (bad-pragma / unused-pragma), so every suppression in the tree
+// stays accurate and reasoned.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "token.hpp"
+
+namespace ttslint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Path suffixes exempt from the wall-clock rule (the observational
+  /// wall-profiling reads, e.g. "obs/trace.cpp").
+  std::vector<std::string> wallclock_allow;
+};
+
+/// Rule ids accepted by the allow(...) pragma.
+bool known_rule(std::string_view rule);
+
+/// Lint one file. `paired_header` (possibly empty) is the matching .hpp's
+/// contents: its declarations seed the container-type environment so a .cpp
+/// iterating a member declared in its own header resolves correctly. The
+/// header itself is linted as its own input, not here.
+std::vector<Finding> lint_source(const std::string& path,
+                                 std::string_view source,
+                                 std::string_view paired_header,
+                                 const Options& options);
+
+/// Render one finding as "file:line:col: [rule] message".
+std::string format_finding(const Finding& f);
+/// Render one finding as a single-line JSON object.
+std::string format_finding_json(const Finding& f);
+
+}  // namespace ttslint

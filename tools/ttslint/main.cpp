@@ -1,0 +1,116 @@
+// ttslint CLI: lint files or directory trees of C++ sources.
+//
+//   ttslint [--json] [--allow-wallclock=<path-suffix>]... <path>...
+//
+// Directories are walked recursively for .cpp/.cc/.hpp/.h files. When a
+// .cpp/.cc has a same-named .hpp/.h next to it, that header's declarations
+// seed the type environment (the header is also linted on its own).
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::string paired_header_for(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  if (ext != ".cpp" && ext != ".cc") return {};
+  for (const char* hext : {".hpp", ".h"}) {
+    fs::path header = p;
+    header.replace_extension(hext);
+    std::string text;
+    if (fs::exists(header) && read_file(header, text)) return text;
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ttslint::Options options;
+  bool json = false;
+  std::vector<fs::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--allow-wallclock=", 0) == 0) {
+      options.wallclock_allow.push_back(arg.substr(18));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ttslint [--json] [--allow-wallclock=<suffix>]... "
+                   "<file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ttslint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "ttslint: no inputs (see --help)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path()))
+          files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "ttslint: cannot read '" << root.string() << "'\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  int total = 0;
+  for (const fs::path& file : files) {
+    std::string source;
+    if (!read_file(file, source)) {
+      std::cerr << "ttslint: cannot read '" << file.string() << "'\n";
+      return 2;
+    }
+    const std::string path = file.generic_string();
+    auto findings = ttslint::lint_source(path, source,
+                                         paired_header_for(file), options);
+    for (const auto& f : findings) {
+      std::cout << (json ? ttslint::format_finding_json(f)
+                         : ttslint::format_finding(f))
+                << "\n";
+      ++total;
+    }
+  }
+  if (!json && total > 0)
+    std::cerr << "ttslint: " << total << " finding(s)\n";
+  return total == 0 ? 0 : 1;
+}

@@ -1,0 +1,218 @@
+#include "token.hpp"
+
+namespace ttslint {
+
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+// Multi-character operators the rules care about, longest first so the
+// greedy match below picks ">>=" over ">>" over ">".
+constexpr std::string_view kOps[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "<<", ">>", "==", "!=",
+    "<=",  ">=",  "&&",  "||",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        col_ = 1;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance(1);
+        continue;
+      }
+      int line = line_, col = col_;
+      if (c == '#' && at_line_start(out)) {
+        out.push_back({Tok::kPreproc, preproc(), line, col});
+      } else if (c == '/' && peek(1) == '/') {
+        out.push_back({Tok::kComment, line_comment(), line, col});
+      } else if (c == '/' && peek(1) == '*') {
+        out.push_back({Tok::kComment, block_comment(), line, col});
+      } else if (c == 'R' && peek(1) == '"') {
+        out.push_back({Tok::kString, raw_string(), line, col});
+      } else if (c == '"') {
+        out.push_back({Tok::kString, quoted('"'), line, col});
+      } else if (c == '\'' && !(!out.empty() && out.back().kind == Tok::kNumber)) {
+        // A ' directly after a number is a digit separator (1'000'000);
+        // the number path consumes those itself.
+        out.push_back({Tok::kChar, quoted('\''), line, col});
+      } else if (ident_start(c)) {
+        out.push_back({Tok::kIdent, identifier(), line, col});
+      } else if (digit(c) || (c == '.' && digit(peek(1)))) {
+        out.push_back({Tok::kNumber, number(), line, col});
+      } else {
+        out.push_back({Tok::kPunct, op(), line, col});
+      }
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance(std::size_t n) {
+    for (std::size_t i = 0; i < n && pos_ < src_.size(); ++i, ++pos_) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+    }
+  }
+
+  bool at_line_start(const std::vector<Token>& out) const {
+    return out.empty() || out.back().line != line_ ||
+           out.back().kind == Tok::kPreproc;
+  }
+
+  std::string take(std::size_t n) {
+    std::string s(src_.substr(pos_, n));
+    advance(n);
+    return s;
+  }
+
+  std::string preproc() {
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && peek(1) == '\n') {
+        advance(2);
+        continue;
+      }
+      if (c == '\n') break;
+      text += c;
+      advance(1);
+    }
+    return text;
+  }
+
+  std::string line_comment() {
+    advance(2);
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      text += src_[pos_];
+      advance(1);
+    }
+    return text;
+  }
+
+  std::string block_comment() {
+    advance(2);
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        advance(2);
+        break;
+      }
+      text += src_[pos_];
+      advance(1);
+    }
+    return text;
+  }
+
+  std::string quoted(char quote) {
+    advance(1);
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text += c;
+        text += src_[pos_ + 1];
+        advance(2);
+        continue;
+      }
+      if (c == quote || c == '\n') {
+        advance(1);
+        break;
+      }
+      text += c;
+      advance(1);
+    }
+    return text;
+  }
+
+  std::string raw_string() {
+    advance(2);  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim += src_[pos_];
+      advance(1);
+    }
+    advance(1);  // (
+    std::string close = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, close.size(), close) == 0) {
+        advance(close.size());
+        break;
+      }
+      text += src_[pos_];
+      advance(1);
+    }
+    return text;
+  }
+
+  std::string identifier() {
+    std::size_t n = 0;
+    while (ident_char(peek(n))) ++n;
+    return take(n);
+  }
+
+  std::string number() {
+    std::size_t n = 0;
+    // Loose pp-number-ish scan: digits, letters (hex/suffixes/exponents),
+    // dots, digit separators, and a sign directly after an exponent marker.
+    while (true) {
+      char c = peek(n);
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++n;
+        continue;
+      }
+      if ((c == '+' || c == '-') && n > 0) {
+        char prev = src_[pos_ + n - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++n;
+          continue;
+        }
+      }
+      break;
+    }
+    return take(n);
+  }
+
+  std::string op() {
+    for (std::string_view candidate : kOps)
+      if (src_.compare(pos_, candidate.size(), candidate) == 0)
+        return take(candidate.size());
+    return take(1);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace ttslint

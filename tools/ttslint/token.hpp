@@ -1,0 +1,42 @@
+// ttslint's C++ tokenizer: a deliberately small lexer that understands just
+// enough C++ to drive token-level determinism rules — identifiers, numbers,
+// string/char literals (incl. raw strings), comments (kept as tokens so the
+// suppression-pragma grammar can read them), preprocessor lines, and the
+// handful of multi-character operators the rules match on.
+//
+// It does NOT preprocess, expand macros, or track types; the rules in
+// lint.cpp layer file-local declaration scans on top of this stream.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ttslint {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,   // "..." or R"(...)" — text excludes quotes
+  kChar,     // '...'
+  kPunct,    // operators & punctuation, possibly multi-char (::, +=, ...)
+  kComment,  // // or /* */ — text excludes the comment markers
+  kPreproc,  // a whole preprocessor line (continuations folded)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+  int col = 1;   // 1-based column of the token's first character
+
+  bool is(Tok k, std::string_view t) const { return kind == k && text == t; }
+  bool ident(std::string_view t) const { return is(Tok::kIdent, t); }
+  bool punct(std::string_view t) const { return is(Tok::kPunct, t); }
+};
+
+/// Lex `src`. Malformed input (unterminated literals/comments) never throws:
+/// the remainder becomes one final token of the open kind.
+std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace ttslint
