@@ -213,6 +213,11 @@ void Study::run() {
   simnet::NetworkConfig net_config = config_.network;
   net_config.seed = rng_.stream("network").root_seed();
   network_ = std::make_unique<simnet::Network>(events_, net_config);
+  if (!config_.faults.empty()) {
+    simnet::FaultScenario scenario = config_.faults;
+    scenario.seed = rng_.stream("faults").root_seed() ^ scenario.seed;
+    network_->install_faults(std::move(scenario), &metrics_);
+  }
 
   {
     auto span = tracer_.span("study/build_internet");
@@ -232,6 +237,16 @@ void Study::run() {
 
   eui64_.attach(collector_);
 
+  if (config_.enable_pool_monitor) {
+    ntp::PoolMonitorConfig monitor_config = config_.pool_monitor;
+    monitor_config.vantage = allocate_infra_address("US", 0x77);
+    monitor_config.duration =
+        std::min(monitor_config.duration, config_.runtime.duration);
+    monitor_ =
+        std::make_unique<ntp::PoolMonitor>(*network_, pool_, monitor_config);
+    monitor_->start();
+  }
+
   if (config_.enable_ntp_scans) {
     scan::ScanEngineConfig engine;
     engine.scanner_address = allocate_infra_address("DE", 0x51);
@@ -239,6 +254,11 @@ void Study::run() {
     engine.budget = scan_budget_.get();
     engine.budget_weight = config_.ntp_scan_weight;
     engine.max_pending = config_.scan_max_pending;
+    // One source of truth for the connect give-up: the network default the
+    // simnet blackhole path uses (instead of a silently different 5 s).
+    engine.connect_timeout = config_.network.connect_timeout;
+    engine.retry = config_.scan_retry;
+    engine.breaker = config_.scan_breaker;
     engine.seed = rng_.stream("ntp-engine").root_seed();
     engine.registry = &metrics_;
     engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
@@ -298,6 +318,9 @@ void Study::run() {
     engine.budget = scan_budget_.get();
     engine.budget_weight = config_.hitlist_scan_weight;
     engine.max_pending = config_.scan_max_pending;
+    engine.connect_timeout = config_.network.connect_timeout;
+    engine.retry = config_.scan_retry;
+    engine.breaker = config_.scan_breaker;
     engine.seed = rng_.stream("hitlist-engine").root_seed();
     engine.registry = &metrics_;
     engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
@@ -317,6 +340,11 @@ void Study::run() {
     build_telescope();
     prober_->start();
   }
+
+  // Everything is built; scenarios that need generated artifacts (an
+  // eyeball prefix, a pool server's address) script themselves now, before
+  // the first event fires.
+  if (config_.on_built) config_.on_built(*this);
 
   simnet::SimTime horizon = config_.runtime.duration + config_.drain;
   if (config_.obs.enabled) {
@@ -392,11 +420,17 @@ std::vector<std::string> Study::timeline_columns() {
 std::string Study::observability_report() const {
   std::string out;
   if (heartbeat_) {
+    // Delta columns turn the per-interval table into the paper's
+    // collection-rate view: each row shows how much that interval added,
+    // not just the running totals.
+    obs::TimelineOptions timeline_options;
+    timeline_options.deltas = true;
     out += obs::timeline_table(heartbeat_->timeline(), timeline_columns(),
                                "heartbeat timeline (per virtual " +
                                    simnet::format_duration(
                                        config_.obs.heartbeat_interval) +
-                                   ")")
+                                   ")",
+                               timeline_options)
                .to_string();
     out += "\n";
   }

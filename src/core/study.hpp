@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -23,6 +24,7 @@
 #include "inet/population.hpp"
 #include "inet/services.hpp"
 #include "ntp/collector.hpp"
+#include "ntp/monitor.hpp"
 #include "ntp/ntp_server.hpp"
 #include "ntp/pool.hpp"
 #include "obs/heartbeat.hpp"
@@ -65,6 +67,9 @@ struct StudyConfig {
   inet::RuntimeConfig runtime;
   hitlist::SourceConfig hitlist;
   simnet::NetworkConfig network;
+  /// Scripted impairments installed into the network before traffic starts
+  /// (empty = pristine). See simnet/fault.hpp for the scenario grammar.
+  simnet::FaultScenario faults;
 
   /// Countries hosting our capture servers (default: the paper's 11).
   std::vector<std::string> server_countries;
@@ -91,11 +96,29 @@ struct StudyConfig {
   /// (scan_overflow_dropped) instead of growing the deque without bound.
   std::size_t overflow_cap = 65536;
   simnet::SimTime hitlist_scan_start = simnet::days(21);
+  /// Retry schedule for timed-out probes, applied to both engines
+  /// (default: no retries — probes tally their first timeout).
+  scan::RetryPolicy scan_retry;
+  /// Per-routed-prefix circuit breaking on both engines (default off).
+  scan::BreakerConfig scan_breaker;
 
   bool enable_ntp_scans = true;
   bool enable_hitlist_scan = true;
   bool enable_telescope = true;
   bool enable_actors = true;
+  /// Run the pool-monitoring model against every pool server: misses decay
+  /// a server's score out of rotation, recoveries promote it back
+  /// (exercised end to end by the fault-injection harness).
+  bool enable_pool_monitor = false;
+  /// Monitor knobs (vantage is allocated by the study; duration is clamped
+  /// to the collection window).
+  ntp::PoolMonitorConfig pool_monitor;
+
+  /// Runs after every component is built (registry, population, pool,
+  /// engines), right before the event loop: fault-injection scenarios that
+  /// need generated artifacts (an eyeball prefix, our servers' addresses)
+  /// script themselves here via Study::network().install_faults(...).
+  std::function<void(class Study&)> on_built;
 
   /// Virtual time allowed after the collection window for in-flight scans
   /// and delayed covert probes to finish.
@@ -155,6 +178,8 @@ class Study {
   const scan::ScanEngine* hitlist_engine() const {
     return hitlist_engine_.get();
   }
+  /// The pool monitor (nullptr unless config().enable_pool_monitor).
+  const ntp::PoolMonitor* pool_monitor() const { return monitor_.get(); }
   /// The shared pacing budget both engines draw from (nullptr when all
   /// scanning is disabled). Non-const so tests can attach a grant observer.
   scan::SharedBudget* scan_budget() { return scan_budget_.get(); }
@@ -208,6 +233,7 @@ class Study {
   ntp::AddressCollector collector_;
   std::vector<std::unique_ptr<ntp::NtpServer>> our_servers_;
   std::vector<std::unique_ptr<ntp::NtpServer>> background_servers_;
+  std::unique_ptr<ntp::PoolMonitor> monitor_;
 
   std::unique_ptr<inet::InternetRuntime> runtime_;
   hitlist::Hitlist hitlist_;

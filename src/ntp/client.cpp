@@ -22,6 +22,31 @@ simnet::SimDuration NtpQueryResult::delay() const {
   return (t4 - t1) - (t3 - t2);
 }
 
+namespace {
+
+/// Shared between the reply handler and the timeout guard. Whichever fires
+/// first flips `done`, releases the bindings and *moves the callback out*,
+/// so a completed query holds nothing until the other closure fires — and
+/// neither closure captures the NtpClient, so a client destroyed with a
+/// query in flight leaves nothing dangling (the Network outlives both).
+struct QueryState {
+  bool done = false;
+  NtpClient::ResultFn on_result;
+};
+
+NtpClient::ResultFn settle(simnet::Network& network,
+                           const simnet::Endpoint& src_ep,
+                           const std::shared_ptr<QueryState>& state) {
+  state->done = true;
+  network.unbind_udp(src_ep);
+  network.detach(src_ep.addr);
+  NtpClient::ResultFn fn = std::move(state->on_result);
+  state->on_result = nullptr;
+  return fn;
+}
+
+}  // namespace
+
 void NtpClient::query(const net::Ipv6Address& src, std::uint16_t src_port,
                       const net::Ipv6Address& server, ResultFn on_result,
                       simnet::SimDuration timeout) {
@@ -29,31 +54,26 @@ void NtpClient::query(const net::Ipv6Address& src, std::uint16_t src_port,
   simnet::Endpoint dst_ep{server, kNtpPort};
 
   auto request = NtpPacket::client_request(network_.now());
-  auto done = std::make_shared<bool>(false);
+  auto state = std::make_shared<QueryState>();
+  state->on_result = std::move(on_result);
   auto sent_at = network_.now();
+  simnet::Network& net = network_;
 
   network_.attach(src);
-  network_.bind_udp(src_ep, [this, src_ep, src, request, done, on_result,
+  network_.bind_udp(src_ep, [&net, src_ep, request, state,
                              sent_at](const simnet::Datagram& dg) {
-    if (*done) return;
+    if (state->done) return;
     auto response = NtpPacket::parse(dg.payload);
     if (!response || !response->valid_response_to(request)) return;
-    *done = true;
-    network_.unbind_udp(src_ep);
-    network_.detach(src);
-    NtpQueryResult result{*response, sent_at, network_.now()};
-    on_result(result);
+    NtpQueryResult result{*response, sent_at, net.now()};
+    settle(net, src_ep, state)(result);
   });
   ++sent_;
   network_.send_udp(src_ep, dst_ep, request.serialize());
 
-  network_.events().schedule_in(timeout, [this, src_ep, src, done,
-                                          on_result] {
-    if (*done) return;
-    *done = true;
-    network_.unbind_udp(src_ep);
-    network_.detach(src);
-    on_result(std::nullopt);
+  network_.events().schedule_in(timeout, [&net, src_ep, state] {
+    if (state->done) return;
+    settle(net, src_ep, state)(std::nullopt);
   });
 }
 

@@ -39,7 +39,7 @@ void PoolMonitor::run_round() {
             score = std::min(config_.max_score, score + config_.on_success);
           } else {
             ++misses_;
-            score = std::max(-100, score + config_.on_miss);
+            score = std::max(config_.min_score, score + config_.on_miss);
           }
           pool_.set_monitor_score(addr, score);
         },

@@ -25,6 +25,10 @@ struct PoolMonitorConfig {
   /// valid response).
   int on_miss = -5;
   int on_success = 1;
+  /// Decay floor. The real pool bottoms out around -100; a higher floor
+  /// bounds how long a recovered server needs to climb back into rotation
+  /// (useful for fault-injection runs on short horizons).
+  int min_score = -100;
 };
 
 class PoolMonitor {

@@ -17,6 +17,8 @@ void NtpPool::set_registry(obs::Registry* registry) {
   if (!registry_) return;
   registry_->enroll(resolve_total_, "pool_resolve_total", {}, this);
   registry_->enroll(resolve_fallback_, "pool_resolve_fallback", {}, this);
+  registry_->enroll(demotions_, "pool_demotions", {}, this);
+  registry_->enroll(promotions_, "pool_promotions", {}, this);
   for (std::size_t i = 0; i < servers_.size(); ++i) enroll_server(i);
 }
 
@@ -48,8 +50,16 @@ void NtpPool::set_netspeed(const net::Ipv6Address& address, double netspeed) {
 }
 
 void NtpPool::set_monitor_score(const net::Ipv6Address& address, int score) {
-  for (auto& s : servers_)
-    if (s.address == address) s.monitor_score = score;
+  for (auto& s : servers_) {
+    if (s.address != address) continue;
+    // Count rotation-eligibility flips: this is the pool's demote/promote
+    // path (Appendix A.1.1) the chaos harness asserts end to end.
+    bool was = s.monitor_score >= kRotationThreshold;
+    bool is = score >= kRotationThreshold;
+    if (was && !is) demotions_.inc();
+    if (!was && is) promotions_.inc();
+    s.monitor_score = score;
+  }
 }
 
 std::vector<std::size_t> NtpPool::eligible_in_zone(

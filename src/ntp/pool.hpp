@@ -82,6 +82,11 @@ class NtpPool {
   std::uint64_t resolve_fallbacks() const {
     return resolve_fallback_.value();
   }
+  /// Rotation transitions driven by monitor-score updates: a server whose
+  /// score crossed below kRotationThreshold (demotion, it stops being
+  /// handed out) or recovered to at-or-above it (promotion).
+  std::uint64_t demotions() const { return demotions_.value(); }
+  std::uint64_t promotions() const { return promotions_.value(); }
 
  private:
   /// Netspeed-weighted pick; returns an index into servers_, or nullopt.
@@ -97,6 +102,8 @@ class NtpPool {
   mutable std::deque<obs::Counter> selections_;
   mutable obs::Counter resolve_total_;
   mutable obs::Counter resolve_fallback_;
+  obs::Counter demotions_;
+  obs::Counter promotions_;
   obs::Registry* registry_ = nullptr;
 };
 

@@ -452,27 +452,64 @@ std::string to_prometheus(const RegistrySnapshot& snapshot,
 
 util::TextTable timeline_table(const std::vector<RegistrySnapshot>& timeline,
                                const std::vector<std::string>& columns,
-                               std::string title) {
+                               std::string title, TimelineOptions options) {
+  // A column's kind comes from its first appearance in the timeline; the
+  // delta/rate views only apply to monotone counters (a delta of a gauge
+  // level reading is noise, so gauges keep a single absolute column).
+  auto is_counter = [&timeline](const std::string& column) {
+    for (const auto& snap : timeline)
+      if (const SnapshotValue* v = snap.find(column))
+        return v->kind != Kind::kGauge;
+    return true;
+  };
+
   util::TextTable table(std::move(title));
   std::vector<std::string> header{"t"};
   std::vector<util::Align> align{util::Align::kLeft};
   for (const auto& c : columns) {
     header.push_back(c);
     align.push_back(util::Align::kRight);
+    if (!is_counter(c)) continue;
+    if (options.deltas) {
+      header.push_back(util::cat("Δ", c));
+      align.push_back(util::Align::kRight);
+    }
+    if (options.rates) {
+      header.push_back(util::cat(c, "/s"));
+      align.push_back(util::Align::kRight);
+    }
   }
   table.set_header(std::move(header), std::move(align));
+  const RegistrySnapshot* prev = nullptr;
   for (const auto& snap : timeline) {
     std::vector<std::string> row{simnet::format_duration(snap.at)};
     for (const auto& c : columns) {
       const SnapshotValue* v = snap.find(c);
+      bool counter = is_counter(c);
       if (!v) {
         row.push_back("-");
-      } else if (v->kind == Kind::kGauge) {
+      } else if (!counter) {
         row.push_back(util::grouped(v->value));
       } else {
         row.push_back(util::grouped(v->count));
       }
+      if (!counter) continue;
+      const SnapshotValue* pv = prev ? prev->find(c) : nullptr;
+      bool have_delta = v && pv && v->count >= pv->count;
+      std::uint64_t delta = have_delta ? v->count - pv->count : 0;
+      if (options.deltas)
+        row.push_back(have_delta ? util::grouped(delta) : std::string("-"));
+      if (options.rates) {
+        double interval_s =
+            prev ? static_cast<double>(snap.at - prev->at) / 1e6 : 0.0;
+        row.push_back(have_delta && interval_s > 0
+                          ? util::fixed(static_cast<double>(delta) /
+                                            interval_s,
+                                        2)
+                          : std::string("-"));
+      }
     }
+    prev = &snap;
     table.add_row(std::move(row));
   }
   return table;

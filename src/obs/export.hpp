@@ -64,12 +64,25 @@ std::string to_prometheus(const RegistrySnapshot& snapshot,
 /// to_jsonl emits is understood.
 std::optional<RegistrySnapshot> parse_jsonl(const std::string& text);
 
+/// Presentation knobs for timeline_table().
+struct TimelineOptions {
+  /// Append a "Δ<col>" column after each counter column: the per-interval
+  /// increment (first row "-", no prior snapshot to diff against). Gauges
+  /// stay absolute — a delta of a level reading is noise.
+  bool deltas = false;
+  /// Append a "<col>/s" column after each counter (and its delta): the
+  /// per-interval rate over virtual time, so the per-day table reads like
+  /// the paper's collection-rate discussion directly.
+  bool rates = false;
+};
+
 /// Heartbeat timeline as a table: one row per snapshot, one column per
 /// requested instrument (matched by SnapshotValue::full_name()); missing
 /// instruments render as "-".
 util::TextTable timeline_table(const std::vector<RegistrySnapshot>& timeline,
                                const std::vector<std::string>& columns,
-                               std::string title = "heartbeat timeline");
+                               std::string title = "heartbeat timeline",
+                               TimelineOptions options = {});
 
 /// Tracer aggregates: per span name, count and total/mean/max in both the
 /// virtual and the wall clock.

@@ -22,11 +22,13 @@ class CoapScanner final : public ProtocolScanner {
     std::uint64_t token = 0x9e3779b9u ^ (message_id * 2654435761u);
     auto request = proto::CoapMessage::well_known_core(message_id, token);
 
-    // Bind the ephemeral UDP port for the reply; unbind on completion.
-    network.bind_udp(src, [state, &network, src, message_id](
-                              const simnet::Datagram& dg) {
+    // Bind the ephemeral UDP port for the reply. The unbind is the probe's
+    // cleanup hook, so every completion path — reply, guard timeout — runs
+    // it through ProbeState::finish exactly like the TCP scanners release
+    // their sessions.
+    state->cleanup = [&network, src] { network.unbind_udp(src); };
+    network.bind_udp(src, [state, message_id](const simnet::Datagram& dg) {
       auto response = proto::CoapMessage::parse(dg.payload);
-      network.unbind_udp(src);
       if (!response || response->message_id != message_id) {
         state->finish(Outcome::kMalformed);
         return;
@@ -43,12 +45,7 @@ class CoapScanner final : public ProtocolScanner {
     network.send_udp(src, dst, request.serialize());
 
     // UDP silence (no listener, lost packet, filtered) = timeout.
-    network.events().schedule_in(kProbeTimeout, [state, &network, src] {
-      if (!state->finished) {
-        network.unbind_udp(src);
-        state->finish(Outcome::kTimeout);
-      }
-    });
+    detail::arm_guard(network, state, probe_timeout_);
   }
 
  private:

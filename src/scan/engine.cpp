@@ -29,6 +29,23 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
         "ScanEngine: inverted protocol-delay range (max < min)");
   if (config_.max_pending == 0)
     throw std::invalid_argument("ScanEngine: max_pending must be >= 1");
+  if (config_.probe_timeout <= 0 || config_.connect_timeout <= 0)
+    throw std::invalid_argument("ScanEngine: timeouts must be positive");
+  if (config_.connect_timeout > config_.probe_timeout)
+    throw std::invalid_argument(
+        "ScanEngine: connect_timeout must not exceed probe_timeout");
+
+  for (std::size_t p = 0; p < kProtocolCount; ++p) {
+    retry_[p] = config_.retry_by_proto[p].value_or(config_.retry);
+    // ScanIntent::attempt is 8-bit; anything near that is a config bug.
+    if (retry_[p].max_retries > 100)
+      throw std::invalid_argument("ScanEngine: max_retries too large");
+  }
+  if (config_.breaker.enabled) {
+    if (config_.breaker.prefix_len > 128)
+      throw std::invalid_argument("ScanEngine: breaker prefix_len > 128");
+    breaker_.emplace(config_.breaker);
+  }
 
   network_.attach(config_.scanner_address);
   scanners_.push_back(make_http_scanner(false, config_.sni));
@@ -43,6 +60,7 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
     auto idx = static_cast<std::size_t>(scanner->protocol());
     assert(!by_proto_[idx] && "duplicate scanner for protocol");
     by_proto_[idx] = scanner.get();
+    scanner->set_timeouts(config_.probe_timeout, config_.connect_timeout);
   }
   if (config_.tracer)
     for (std::size_t p = 0; p < kProtocolCount; ++p)
@@ -79,6 +97,11 @@ void ScanEngine::enroll_metrics() {
   reg->enroll(probes_launched_, "scan_probes_launched", ds, this);
   reg->enroll(probes_completed_, "scan_probes_completed", ds, this);
   reg->enroll(pump_wakes_, "scan_pump_wakes", ds, this);
+  reg->enroll(retries_, "scan_retries", ds, this);
+  reg->enroll(retry_success_, "scan_retry_success_total", ds, this);
+  reg->enroll(retry_dropped_, "scan_retry_dropped", ds, this);
+  reg->enroll(retry_delay_, "scan_retry_delay_us", ds, this);
+  if (breaker_) breaker_->enroll(*reg, ds, this);
   reg->enroll(token_wait_, "scan_token_wait_us", ds, this);
   reg->enroll(queue_delay_, "scan_queue_delay_us", ds, this);
   reg->enroll(probe_rtt_, "scan_probe_rtt_us", ds, this);
@@ -140,7 +163,11 @@ void ScanEngine::add_source(SourceFn fn, Dataset lane) {
 }
 
 void ScanEngine::stage_target(const net::Ipv6Address& target, Dataset lane) {
-  bool ok = queue_.push(ScanIntent{network_.now(), lane, 0, target});
+  bool ok = queue_.push(ScanIntent{.not_before = network_.now(),
+                                   .dataset = lane,
+                                   .chain_pos = 0,
+                                   .attempt = 0,
+                                   .target = target});
   assert(ok && "stage_target called on a full lane");
   (void)ok;
   submitted_.inc();
@@ -160,9 +187,12 @@ void ScanEngine::stage_successor(const ScanIntent& intent,
       span > 0 ? static_cast<simnet::SimDuration>(
                      rng_.below(static_cast<std::uint64_t>(span)))
                : 0;
-  bool ok = queue_.push(ScanIntent{
-      slot + config_.min_protocol_delay + jitter, intent.dataset,
-      static_cast<std::uint8_t>(next), intent.target});
+  bool ok = queue_.push(
+      ScanIntent{.not_before = slot + config_.min_protocol_delay + jitter,
+                 .dataset = intent.dataset,
+                 .chain_pos = static_cast<std::uint8_t>(next),
+                 .attempt = 0,
+                 .target = intent.target});
   assert(ok && "successor push must fit: its predecessor just left");
   (void)ok;
 }
@@ -230,13 +260,23 @@ void ScanEngine::pump() {
   // Launch every due intent the budget grants a token for, inline: one
   // timer wake covers the whole banked batch (up to burst_slots + 1), so a
   // saturated sweep pays ~1 event per batch instead of one per probe.
-  while (queue_.has_due(now)) {
+  while (const ScanIntent* next = queue_.peek_due(now)) {
+    if (breaker_ && !breaker_->would_admit(next->target, now)) {
+      // Open breaker: shed before spending a token, so a dead prefix costs
+      // no budget and the freed slots go to responsive space.
+      ScanIntent intent = *queue_.pull_due(now);
+      shed_probe(intent, now);
+      continue;
+    }
     std::optional<simnet::SimTime> slot = budget_->try_acquire(budget_id_, now);
     if (!slot) break;  // next token not accrued, or a contending peer's turn
     ScanIntent intent = *queue_.pull_due(now);
+    if (breaker_) breaker_->note_launch(intent.target, now);
     token_wait_.record(now - *slot);
     queue_delay_.record(now - intent.not_before);
-    stage_successor(intent, now);
+    // Only a first attempt advances the protocol chain: a retry's
+    // predecessor already staged the successor when it first launched.
+    if (intent.attempt == 0) stage_successor(intent, now);
     launch(intent, now);
   }
   refill_from_sources();  // freed lane slots admit the next bulk chunk
@@ -269,13 +309,59 @@ void ScanEngine::launch(const ScanIntent& intent, simnet::SimTime at) {
   if (config_.tracer)
     span = config_.tracer->open(span_ids_[static_cast<std::size_t>(proto)]);
   scanner->probe(network_, src, std::move(base),
-                 [this, proto, span](ScanRecord r) {
+                 [this, intent, proto, span](ScanRecord r) {
                    probes_completed_.inc();
                    completed_by_proto_[static_cast<std::size_t>(proto)].inc();
                    probe_rtt_.record(network_.now() - r.at);
                    if (config_.tracer) config_.tracer->close(span);
-                   results_.add(std::move(r));
+                   finish_probe(intent, std::move(r));
                  });
+}
+
+void ScanEngine::finish_probe(const ScanIntent& intent, ScanRecord record) {
+  simnet::SimTime now = network_.now();
+  bool timeout = record.outcome == Outcome::kTimeout;
+  // Any answer — even an RST or garbage bytes — proves the path carries
+  // packets; only silence counts against the prefix.
+  if (breaker_) breaker_->on_outcome(record.target, !timeout, now);
+  if (intent.attempt > 0 && record.outcome == Outcome::kSuccess)
+    retry_success_.inc();
+  const RetryPolicy& policy = retry_[static_cast<std::size_t>(record.protocol)];
+  if (timeout && intent.attempt < policy.max_retries) {
+    std::uint32_t attempt = intent.attempt + 1u;
+    simnet::SimDuration delay = policy.backoff(attempt, rng_);
+    ScanIntent again = intent;
+    again.attempt = static_cast<std::uint8_t>(attempt);
+    again.not_before = now + delay;
+    if (queue_.push(again)) {
+      // Re-staged through the queue: pacing and the shared budget govern
+      // the retry like any first attempt. The intermediate timeout is
+      // suppressed — each probe chain slot tallies exactly one outcome.
+      retries_.inc();
+      retry_delay_.record(delay);
+      pending_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+      pending_peak_gauge_.set(static_cast<std::int64_t>(queue_.peak()));
+      arm_pump();
+      return;
+    }
+    retry_dropped_.inc();  // lane full: give up, record the timeout
+  }
+  results_.add(std::move(record));
+}
+
+void ScanEngine::shed_probe(const ScanIntent& intent, simnet::SimTime now) {
+  breaker_->shed();
+  // The chain continues: a later protocol's probe is the half-open trial
+  // that eventually re-closes the breaker. (A shed retry's successor was
+  // already staged by its first attempt.)
+  if (intent.attempt == 0) stage_successor(intent, now);
+  ScanRecord record;
+  record.dataset = intent.dataset;
+  record.protocol = scanners_[intent.chain_pos]->protocol();
+  record.target = intent.target;
+  record.at = now;
+  record.outcome = Outcome::kTimeout;
+  results_.add(std::move(record));
 }
 
 }  // namespace tts::scan

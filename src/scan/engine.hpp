@@ -43,6 +43,7 @@
 #include "scan/budget.hpp"
 #include "scan/pending_queue.hpp"
 #include "scan/results.hpp"
+#include "scan/retry.hpp"
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
 
@@ -61,8 +62,18 @@ class ProtocolScanner {
   virtual void probe(simnet::Network& network, const simnet::Endpoint& src,
                      ScanRecord base, DoneFn done) = 0;
 
+  /// Engine-configured timeouts: the overall probe guard and the TCP
+  /// connect give-up (defaults suit a standalone scanner; the engine
+  /// overrides both from its config at construction).
+  void set_timeouts(simnet::SimDuration probe_timeout,
+                    simnet::SimDuration connect_timeout) {
+    probe_timeout_ = probe_timeout;
+    connect_timeout_ = connect_timeout;
+  }
+
  protected:
-  static constexpr simnet::SimDuration kProbeTimeout = simnet::sec(8);
+  simnet::SimDuration probe_timeout_ = simnet::sec(8);
+  simnet::SimDuration connect_timeout_ = simnet::sec(5);
 };
 
 struct ScanEngineConfig {
@@ -80,6 +91,17 @@ struct ScanEngineConfig {
   simnet::SimDuration min_protocol_delay = simnet::sec(10);
   simnet::SimDuration max_protocol_delay = simnet::minutes(10);
   simnet::SimDuration rescan_blackout = simnet::days(3);
+  /// Per-probe guard: a probe with no conclusion by then records kTimeout.
+  simnet::SimDuration probe_timeout = simnet::sec(8);
+  /// TCP connect give-up, passed to every scanner (must not exceed
+  /// probe_timeout, or connects would outlive their own probe guard).
+  simnet::SimDuration connect_timeout = simnet::sec(5);
+  /// Retry schedule applied to every protocol (default: no retries) …
+  RetryPolicy retry;
+  /// … with optional per-protocol overrides (index by Protocol).
+  std::array<std::optional<RetryPolicy>, kProtocolCount> retry_by_proto{};
+  /// Per-routed-prefix circuit breaking (default off).
+  BreakerConfig breaker;
   /// Per-dataset-lane cap on staged probe intents: bounds pending_depth()
   /// and therefore the engine's memory, whatever the bulk feed size.
   std::size_t max_pending = 4096;
@@ -166,6 +188,20 @@ class ScanEngine {
   std::uint64_t probes_completed(Protocol proto) const {
     return completed_by_proto_[static_cast<std::size_t>(proto)].value();
   }
+  /// Timed-out probes re-staged for another attempt.
+  std::uint64_t retries_staged() const { return retries_.value(); }
+  /// Retry attempts (attempt > 0) that completed with kSuccess.
+  std::uint64_t retry_successes() const { return retry_success_.value(); }
+  /// Retries abandoned because the staging lane was full at re-stage time.
+  std::uint64_t retries_dropped() const { return retry_dropped_.value(); }
+  /// Probes shed at admission by an open breaker (recorded as timeouts).
+  std::uint64_t breaker_shed() const {
+    return breaker_ ? breaker_->sheds() : 0;
+  }
+  /// The per-prefix breaker set (nullptr when breaking is disabled).
+  const CircuitBreakerSet* breaker() const {
+    return breaker_ ? &*breaker_ : nullptr;
+  }
   /// Pump wake-ups (coalesced timer firings). A saturated sweep launches
   /// ~(kPumpSlackSlots + 1) probes per wake, so this stays well under
   /// probes_launched() — the event-count cut the coalesced slot buys.
@@ -203,6 +239,12 @@ class ScanEngine {
   /// Stage the next protocol of `intent`'s chain after a launch at `slot`.
   void stage_successor(const ScanIntent& intent, simnet::SimTime slot);
   void launch(const ScanIntent& intent, simnet::SimTime at);
+  /// Drop an intent refused by its prefix breaker: synthesize the timeout
+  /// record (conserving the one-outcome-per-probe tally) and keep the
+  /// protocol chain going so later probes can close the breaker again.
+  void shed_probe(const ScanIntent& intent, simnet::SimTime now);
+  /// Probe completion: breaker feedback, retry re-staging, result tally.
+  void finish_probe(const ScanIntent& intent, ScanRecord record);
   void refill_from_sources();
   void arm_pump();
   void pump();
@@ -213,6 +255,9 @@ class ScanEngine {
   ResultStore& results_;
   ScanEngineConfig config_;
   util::Rng rng_;
+  /// Resolved per-protocol retry policies (config.retry plus overrides).
+  std::array<RetryPolicy, kProtocolCount> retry_{};
+  std::optional<CircuitBreakerSet> breaker_;
   std::vector<std::unique_ptr<ProtocolScanner>> scanners_;
   /// Scanner lookup by protocol, built at construction (no per-probe scan).
   std::array<ProtocolScanner*, kProtocolCount> by_proto_{};
@@ -241,8 +286,12 @@ class ScanEngine {
   obs::Counter probes_launched_;
   obs::Counter probes_completed_;
   obs::Counter pump_wakes_;
+  obs::Counter retries_;
+  obs::Counter retry_success_;
+  obs::Counter retry_dropped_;
   std::array<obs::Counter, kProtocolCount> launched_by_proto_;
   std::array<obs::Counter, kProtocolCount> completed_by_proto_;
+  obs::Histogram retry_delay_{obs::Histogram::exponential(1000, 4.0, 14)};
   obs::Histogram token_wait_{obs::Histogram::exponential(1000, 4.0, 14)};
   obs::Histogram queue_delay_{obs::Histogram::exponential(1000, 4.0, 14)};
   obs::Histogram probe_rtt_{obs::Histogram::exponential(1000, 4.0, 14)};

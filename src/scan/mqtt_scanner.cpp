@@ -35,7 +35,7 @@ class MqttScanner final : public ProtocolScanner {
   void probe(simnet::Network& network, const simnet::Endpoint& src,
              ScanRecord base, DoneFn done) override {
     auto state = detail::make_probe_state(std::move(base), std::move(done));
-    detail::arm_guard(network, state, kProbeTimeout);
+    detail::arm_guard(network, state, probe_timeout_);
 
     simnet::Endpoint dst{state->record.target, port_of(protocol())};
     bool tls = tls_;
@@ -80,7 +80,7 @@ class MqttScanner final : public ProtocolScanner {
           // cycles (session callbacks capture state) at finish time.
           state->cleanup = [session] { session->drop_callbacks(); };
         },
-        simnet::sec(5));
+        connect_timeout_);
   }
 
  private:

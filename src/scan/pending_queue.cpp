@@ -39,6 +39,16 @@ bool PendingQueue::has_due(simnet::SimTime now) const {
   return false;
 }
 
+const ScanIntent* PendingQueue::peek_due(simnet::SimTime now) const {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    std::size_t li = (rr_next_ + i) % lanes_.size();
+    const Lane& lane = lanes_[li];
+    if (lane.empty() || lane.top().intent.not_before > now) continue;
+    return &lane.top().intent;
+  }
+  return nullptr;
+}
+
 std::optional<ScanIntent> PendingQueue::pull_due(simnet::SimTime now) {
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     std::size_t li = (rr_next_ + i) % lanes_.size();

@@ -31,6 +31,8 @@ struct ScanIntent {
   Dataset dataset = Dataset::kNtp;
   /// Index into the engine's protocol order (the stagger chain position).
   std::uint8_t chain_pos = 0;
+  /// Retry attempt: 0 for the first probe, incremented each re-stage.
+  std::uint8_t attempt = 0;
   net::Ipv6Address target;
 };
 
@@ -51,6 +53,10 @@ class PendingQueue {
   /// Pop one intent with not_before <= now, round-robin across lanes with
   /// due work so no dataset starves another. nullopt when nothing is due.
   std::optional<ScanIntent> pull_due(simnet::SimTime now);
+  /// The intent the next pull_due(now) would return, without popping or
+  /// advancing the round-robin cursor — lets the pump decide (breaker
+  /// admission) before spending a budget token on it.
+  const ScanIntent* peek_due(simnet::SimTime now) const;
 
   std::size_t size() const { return size_; }
   std::size_t lane_size(Dataset lane) const;

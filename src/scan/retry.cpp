@@ -1,0 +1,112 @@
+#include "scan/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tts::scan {
+
+simnet::SimDuration RetryPolicy::backoff(std::uint32_t retry_index,
+                                         util::Rng& rng) const {
+  double scale = std::pow(multiplier, static_cast<double>(retry_index - 1));
+  auto base = static_cast<simnet::SimDuration>(
+      std::min(static_cast<double>(max_backoff),
+               static_cast<double>(base_backoff) * scale));
+  base = std::clamp<simnet::SimDuration>(base, 0, max_backoff);
+  if (jitter <= 0.0 || base == 0) return base;
+  auto spread = static_cast<std::uint64_t>(static_cast<double>(base) * jitter);
+  if (spread == 0) return base;
+  return base + static_cast<simnet::SimDuration>(rng.below(spread));
+}
+
+CircuitBreakerSet::CircuitBreakerSet(BreakerConfig config)
+    : config_(config) {}
+
+void CircuitBreakerSet::enroll(obs::Registry& registry,
+                               const obs::Labels& labels, const void* owner) {
+  registry.enroll(opens_, "scan_breaker_opens", labels, owner);
+  registry.enroll(closes_, "scan_breaker_closes", labels, owner);
+  registry.enroll(half_opens_, "scan_breaker_half_opens", labels, owner);
+  registry.enroll(shed_, "scan_breaker_shed", labels, owner);
+  registry.enroll(tripped_gauge_, "scan_breaker_tripped_prefixes", labels,
+                  owner);
+}
+
+CircuitBreakerSet::State CircuitBreakerSet::state(
+    const net::Ipv6Address& target) const {
+  auto it = by_prefix_.find(key_of(target));
+  return it == by_prefix_.end() ? State::kClosed : it->second.state;
+}
+
+bool CircuitBreakerSet::would_admit(const net::Ipv6Address& target,
+                                    simnet::SimTime now) const {
+  auto it = by_prefix_.find(key_of(target));
+  if (it == by_prefix_.end()) return true;
+  const Breaker& b = it->second;
+  switch (b.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      // Past the cool-down the breaker will half-open on the next launch;
+      // admit iff a trial slot would be free.
+      return now >= b.open_until && config_.half_open_probes > 0;
+    case State::kHalfOpen:
+      return b.trials_in_flight < config_.half_open_probes;
+  }
+  return true;
+}
+
+void CircuitBreakerSet::note_launch(const net::Ipv6Address& target,
+                                    simnet::SimTime now) {
+  auto it = by_prefix_.find(key_of(target));
+  if (it == by_prefix_.end()) return;
+  Breaker& b = it->second;
+  if (b.state == State::kOpen && now >= b.open_until) {
+    b.state = State::kHalfOpen;
+    b.trials_in_flight = 0;
+    half_opens_.inc();
+  }
+  if (b.state == State::kHalfOpen) ++b.trials_in_flight;
+}
+
+void CircuitBreakerSet::open(Breaker& b, simnet::SimTime now) {
+  if (b.state == State::kClosed) tripped_gauge_.add(1);
+  b.state = State::kOpen;
+  b.open_until = now + config_.open_for;
+  b.trials_in_flight = 0;
+  b.timeout_streak = 0;
+  opens_.inc();
+}
+
+void CircuitBreakerSet::on_outcome(const net::Ipv6Address& target,
+                                   bool conclusive, simnet::SimTime now) {
+  if (conclusive) {
+    auto it = by_prefix_.find(key_of(target));
+    if (it == by_prefix_.end()) return;
+    Breaker& b = it->second;
+    b.timeout_streak = 0;
+    if (b.trials_in_flight > 0) --b.trials_in_flight;
+    if (b.state != State::kClosed) {
+      // The prefix answered: whatever state the breaker was in, it closes.
+      b.state = State::kClosed;
+      tripped_gauge_.add(-1);
+      closes_.inc();
+    }
+    return;
+  }
+  Breaker& b = by_prefix_[key_of(target)];
+  if (b.trials_in_flight > 0) --b.trials_in_flight;
+  switch (b.state) {
+    case State::kClosed:
+      if (++b.timeout_streak >= config_.open_after) open(b, now);
+      break;
+    case State::kHalfOpen:
+      // The trial probe also went unanswered: back to open, fresh cool-down.
+      open(b, now);
+      break;
+    case State::kOpen:
+      // A straggler from before the trip; the cool-down already runs.
+      break;
+  }
+}
+
+}  // namespace tts::scan

@@ -18,7 +18,7 @@ class SshScanner final : public ProtocolScanner {
   void probe(simnet::Network& network, const simnet::Endpoint& src,
              ScanRecord base, DoneFn done) override {
     auto state = detail::make_probe_state(std::move(base), std::move(done));
-    detail::arm_guard(network, state, kProbeTimeout);
+    detail::arm_guard(network, state, probe_timeout_);
 
     simnet::Endpoint dst{state->record.target, port_of(Protocol::kSsh)};
     network.connect_tcp(
@@ -62,7 +62,7 @@ class SshScanner final : public ProtocolScanner {
                 state->finish(Outcome::kSuccess);
               });
         },
-        simnet::sec(5));
+        connect_timeout_);
   }
 };
 

@@ -1,0 +1,111 @@
+#include "simnet/fault.hpp"
+
+namespace tts::simnet {
+
+FaultPlane::FaultPlane(FaultScenario scenario, obs::Registry* registry)
+    : scenario_(std::move(scenario)),
+      rng_(util::Rng(scenario_.seed).stream("faultplane")),
+      registry_(registry) {
+  if (!registry_) return;
+  registry_->enroll(udp_dropped_, "fault_udp_dropped", {}, this);
+  registry_->enroll(udp_host_down_, "fault_udp_host_down", {}, this);
+  registry_->enroll(tcp_blackholed_, "fault_tcp_blackholed", {}, this);
+  registry_->enroll(tcp_rst_, "fault_tcp_rst", {}, this);
+  registry_->enroll(tcp_stalled_, "fault_tcp_stalled", {}, this);
+  registry_->enroll(stall_data_dropped_, "fault_stall_data_dropped", {},
+                    this);
+  registry_->enroll(delays_injected_, "fault_delays_injected", {}, this);
+}
+
+FaultPlane::~FaultPlane() {
+  if (registry_) registry_->drop_owner(this);
+}
+
+bool FaultPlane::host_down(const net::Ipv6Address& host, SimTime now) const {
+  for (const HostOutage& outage : scenario_.outages)
+    if (outage.host == host && outage.active(now)) return true;
+  return false;
+}
+
+FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
+                                          SimTime now) {
+  UdpVerdict verdict;
+  if (host_down(dst, now)) {
+    udp_host_down_.inc();
+    verdict.drop = true;
+    return verdict;
+  }
+  for (const FaultRule& rule : scenario_.rules) {
+    if (!rule.udp || !rule.active(now) || !rule.prefix.contains(dst))
+      continue;
+    switch (rule.kind) {
+      case FaultKind::kBlackhole:
+        udp_dropped_.inc();
+        verdict.drop = true;
+        return verdict;
+      case FaultKind::kLoss:
+        if (rng_.chance(rule.probability)) {
+          udp_dropped_.inc();
+          verdict.drop = true;
+          return verdict;
+        }
+        break;
+      case FaultKind::kDelay:
+        verdict.extra_latency += rule.added_latency;
+        if (rule.added_jitter > 0)
+          verdict.extra_latency += static_cast<SimDuration>(
+              rng_.below(static_cast<std::uint64_t>(rule.added_jitter)));
+        break;
+      case FaultKind::kRst:
+      case FaultKind::kStall:
+        break;  // TCP-only semantics; no effect on datagrams
+    }
+  }
+  if (verdict.extra_latency > 0) delays_injected_.inc();
+  return verdict;
+}
+
+FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
+                                                  SimTime now) {
+  TcpVerdict verdict;
+  if (host_down(dst, now)) {
+    tcp_blackholed_.inc();
+    verdict.action = TcpAction::kBlackhole;
+    return verdict;
+  }
+  for (const FaultRule& rule : scenario_.rules) {
+    if (!rule.tcp || !rule.active(now) || !rule.prefix.contains(dst))
+      continue;
+    switch (rule.kind) {
+      case FaultKind::kBlackhole:
+        tcp_blackholed_.inc();
+        verdict.action = TcpAction::kBlackhole;
+        return verdict;
+      case FaultKind::kLoss:
+        if (rng_.chance(rule.probability)) {
+          tcp_blackholed_.inc();  // a lost SYN looks like a blackhole
+          verdict.action = TcpAction::kBlackhole;
+          return verdict;
+        }
+        break;
+      case FaultKind::kRst:
+        tcp_rst_.inc();
+        verdict.action = TcpAction::kRst;
+        return verdict;
+      case FaultKind::kStall:
+        tcp_stalled_.inc();
+        verdict.action = TcpAction::kStall;
+        return verdict;
+      case FaultKind::kDelay:
+        verdict.extra_latency += rule.added_latency;
+        if (rule.added_jitter > 0)
+          verdict.extra_latency += static_cast<SimDuration>(
+              rng_.below(static_cast<std::uint64_t>(rule.added_jitter)));
+        break;
+    }
+  }
+  if (verdict.extra_latency > 0) delays_injected_.inc();
+  return verdict;
+}
+
+}  // namespace tts::simnet

@@ -1,0 +1,141 @@
+// Deterministic, scenario-scripted fault injection for the simulated
+// data plane.
+//
+// A FaultScenario is a declarative script: prefix-scoped impairment rules
+// with sim-time windows (extra loss, added latency/jitter, full blackhole,
+// RST-on-connect, established-but-silent stall) plus host outages that take
+// one address offline for a window (the pool-monitor demote/promote
+// experiments schedule an NTP server outage this way). Network consults the
+// installed FaultPlane on every UDP send and TCP connect; rules are
+// evaluated in declaration order, delay rules accumulate, and the first
+// matching terminal rule (loss hit, blackhole, RST, stall) decides the
+// packet's fate — all draws come from one seeded stream, so the same
+// scenario under the same seed perturbs a run bit-identically.
+//
+// Every injected fault is counted (fault_* instruments) so a chaos harness
+// can prove conservation: nothing the plane swallows goes unaccounted.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "obs/metrics.hpp"
+#include "simnet/time.hpp"
+#include "util/rng.hpp"
+
+namespace tts::simnet {
+
+enum class FaultKind : std::uint8_t {
+  kLoss,       ///< extra probabilistic loss (UDP drop / TCP SYN blackhole)
+  kDelay,      ///< added one-way latency plus uniform jitter
+  kBlackhole,  ///< every matching packet / connect vanishes
+  kRst,        ///< TCP connects are refused after one RTT; UDP unaffected
+  kStall,      ///< TCP establishes, then neither side's data ever arrives
+};
+
+/// Maximum representable sim time: an "until" of kFaultForever never expires.
+inline constexpr SimTime kFaultForever =
+    std::numeric_limits<SimTime>::max();
+
+/// One impairment, scoped to traffic *destined into* `prefix` and active
+/// while `from <= now < until` (evaluated at send/connect time).
+struct FaultRule {
+  net::Ipv6Prefix prefix;
+  FaultKind kind = FaultKind::kLoss;
+  SimTime from = 0;
+  SimTime until = kFaultForever;
+  /// Per-packet / per-connect hit chance for kLoss (1.0 = drop everything).
+  double probability = 1.0;
+  /// kDelay: deterministic extra latency plus uniform jitter in [0, jitter).
+  SimDuration added_latency = 0;
+  SimDuration added_jitter = 0;
+  /// Transport scoping: a rule may impair only UDP or only TCP.
+  bool udp = true;
+  bool tcp = true;
+
+  bool active(SimTime now) const { return now >= from && now < until; }
+};
+
+/// Take one host fully offline for a window: its inbound UDP blackholes and
+/// TCP connects to it time out, exactly as if it had detached.
+struct HostOutage {
+  net::Ipv6Address host;
+  SimTime from = 0;
+  SimTime until = kFaultForever;
+
+  bool active(SimTime now) const { return now >= from && now < until; }
+};
+
+struct FaultScenario {
+  std::vector<FaultRule> rules;
+  std::vector<HostOutage> outages;
+  std::uint64_t seed = 0xfa017;
+
+  bool empty() const { return rules.empty() && outages.empty(); }
+};
+
+class FaultPlane {
+ public:
+  struct UdpVerdict {
+    bool drop = false;
+    SimDuration extra_latency = 0;
+  };
+
+  enum class TcpAction : std::uint8_t {
+    kNone,       ///< connect proceeds normally
+    kBlackhole,  ///< SYN vanishes: caller times out after connect_timeout
+    kRst,        ///< refused after one RTT
+    kStall,      ///< establishes, but the connection is marked stalled
+  };
+  struct TcpVerdict {
+    TcpAction action = TcpAction::kNone;
+    SimDuration extra_latency = 0;
+  };
+
+  /// Instruments are enrolled into `registry` (may be null) under fault_*
+  /// names; the registry must outlive the plane.
+  FaultPlane(FaultScenario scenario, obs::Registry* registry);
+  ~FaultPlane();
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  /// Verdict for one datagram to `dst` sent at `now`. Draws from the
+  /// plane's RNG; call exactly once per datagram.
+  UdpVerdict on_udp(const net::Ipv6Address& dst, SimTime now);
+  /// Verdict for one TCP connect to `dst` at `now` (one RNG draw per
+  /// matching loss rule, as for UDP).
+  TcpVerdict on_tcp_connect(const net::Ipv6Address& dst, SimTime now);
+  /// True when `host` is inside a scripted outage window at `now`.
+  bool host_down(const net::Ipv6Address& host, SimTime now) const;
+  /// Count one data delivery swallowed by a stalled connection.
+  void note_stalled_data() { stall_data_dropped_.inc(); }
+
+  const FaultScenario& scenario() const { return scenario_; }
+
+  std::uint64_t udp_dropped() const { return udp_dropped_.value(); }
+  std::uint64_t udp_host_down() const { return udp_host_down_.value(); }
+  std::uint64_t tcp_blackholed() const { return tcp_blackholed_.value(); }
+  std::uint64_t tcp_rst() const { return tcp_rst_.value(); }
+  std::uint64_t tcp_stalled() const { return tcp_stalled_.value(); }
+  std::uint64_t stall_data_dropped() const {
+    return stall_data_dropped_.value();
+  }
+  std::uint64_t delays_injected() const { return delays_injected_.value(); }
+
+ private:
+  FaultScenario scenario_;
+  util::Rng rng_;
+  obs::Registry* registry_;
+
+  obs::Counter udp_dropped_;      // loss + blackhole rules on datagrams
+  obs::Counter udp_host_down_;    // datagrams to a host in outage
+  obs::Counter tcp_blackholed_;   // blackhole rules + outages on connects
+  obs::Counter tcp_rst_;          // RST-on-connect injections
+  obs::Counter tcp_stalled_;      // connections established then stalled
+  obs::Counter stall_data_dropped_;
+  obs::Counter delays_injected_;  // packets/connects given extra latency
+};
+
+}  // namespace tts::simnet

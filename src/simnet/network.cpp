@@ -24,6 +24,12 @@ void TcpConnection::set_on_close(Side side, CloseFn fn) {
 
 void TcpConnection::send(Side from, std::vector<std::uint8_t> data) {
   if (!open_) return;
+  if (stalled_) {
+    // Fault-injected stall: the connection looks established, but payload
+    // bytes silently vanish in both directions (counted by the plane).
+    if (net_->fault_) net_->fault_->note_stalled_data();
+    return;
+  }
   int to = 1 - static_cast<int>(from);
   auto self = shared_from_this();
   // Data queued before a close is still delivered (TCP flushes the send
@@ -37,8 +43,16 @@ void TcpConnection::send(Side from, std::vector<std::uint8_t> data) {
 void TcpConnection::close(Side from) {
   if (!open_) return;
   open_ = false;
-  int to = 1 - static_cast<int>(from);
   auto self = shared_from_this();
+  if (stalled_) {
+    // The FIN is swallowed like everything else: the peer never hears the
+    // close. Still break the handler capture cycles (deferred one latency
+    // so a close from inside a callback never drops the running closure's
+    // own captures out from under it).
+    net_->events_.schedule_in(latency_, [self] { self->drop_handlers(); });
+    return;
+  }
+  int to = 1 - static_cast<int>(from);
   net_->events_.schedule_in(latency_, [self, to] {
     // Move the peer's close handler out, then drop every handler before
     // invoking it: the handlers routinely capture the connection pointer,
@@ -139,6 +153,11 @@ void Network::send_udp(const Endpoint& src, const Endpoint& dst,
   run_taps(TransportProto::kUdp, src, dst, payload.size());
   if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) return;
   SimDuration lat = sample_latency(src.addr, dst.addr);
+  if (fault_) {
+    FaultPlane::UdpVerdict verdict = fault_->on_udp(dst.addr, events_.now());
+    if (verdict.drop) return;
+    lat += verdict.extra_latency;
+  }
   events_.schedule_in(lat, [this, src, dst, payload = std::move(payload)] {
     auto it = udp_.find(dst);
     if (it == udp_.end()) {
@@ -167,11 +186,28 @@ void Network::listen_tcp(const Endpoint& ep, TcpAcceptor acceptor) {
 void Network::unlisten_tcp(const Endpoint& ep) { tcp_.erase(ep); }
 
 void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
-                          ConnectResult result, SimDuration connect_timeout) {
+                          ConnectResult result,
+                          std::optional<SimDuration> connect_timeout) {
   ++tcp_attempts_;
   run_taps(TransportProto::kTcp, src, dst, 0);
 
+  SimDuration timeout = connect_timeout.value_or(config_.connect_timeout);
   SimDuration lat = sample_latency(src.addr, dst.addr);
+  FaultPlane::TcpVerdict verdict;
+  if (fault_) {
+    verdict = fault_->on_tcp_connect(dst.addr, events_.now());
+    lat += verdict.extra_latency;
+    if (verdict.action == FaultPlane::TcpAction::kBlackhole) {
+      events_.schedule_in(timeout,
+                          [result] { result(nullptr, /*refused=*/false); });
+      return;
+    }
+    if (verdict.action == FaultPlane::TcpAction::kRst) {
+      events_.schedule_in(2 * lat,
+                          [result] { result(nullptr, /*refused=*/true); });
+      return;
+    }
+  }
   bool host_online = online(dst.addr);
   auto listener = tcp_.find(dst);
   bool has_listener = listener != tcp_.end();
@@ -189,7 +225,7 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
 
   if (!host_online) {
     // Blackhole: the connect attempt times out.
-    events_.schedule_in(connect_timeout,
+    events_.schedule_in(timeout,
                         [result] { result(nullptr, /*refused=*/false); });
     return;
   }
@@ -201,15 +237,22 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
   }
 
   ++tcp_established_;
+  bool stalled = verdict.action == FaultPlane::TcpAction::kStall;
   TcpAcceptor acceptor = wildcard ? wildcard : listener->second;
-  events_.schedule_in(2 * lat, [this, src, dst, lat, result, acceptor] {
+  events_.schedule_in(2 * lat,
+                      [this, src, dst, lat, stalled, result, acceptor] {
     auto conn = TcpConnectionPtr(new TcpConnection(this, src, dst, lat));
+    conn->stalled_ = stalled;
     track_connection(conn);
     // Server learns of the connection first (it must install handlers
     // before any client data can arrive — data takes >= lat anyway).
     acceptor(conn);
     result(conn, false);
   });
+}
+
+void Network::install_faults(FaultScenario scenario, obs::Registry* registry) {
+  fault_ = std::make_unique<FaultPlane>(std::move(scenario), registry);
 }
 
 void Network::track_connection(const TcpConnectionPtr& conn) {

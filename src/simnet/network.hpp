@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "net/ipv6.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/event_queue.hpp"
+#include "simnet/fault.hpp"
 #include "util/rng.hpp"
 
 namespace tts::simnet {
@@ -80,6 +82,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   const Endpoint& client() const { return client_; }
   const Endpoint& server() const { return server_; }
 
+  /// True when a FaultPlane stall rule hit this connection at establishment:
+  /// it looks open to both sides, but no data (or close notification) ever
+  /// crosses it.
+  bool stalled() const { return stalled_; }
+
  private:
   friend class Network;
   TcpConnection(Network* net, Endpoint client, Endpoint server,
@@ -98,6 +105,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   Endpoint server_;
   SimDuration latency_;
   bool open_ = true;
+  bool stalled_ = false;
   DataFn on_data_[2];
   CloseFn on_close_[2];
 };
@@ -111,6 +119,9 @@ struct NetworkConfig {
   SimDuration max_latency = msec(150);
   SimDuration jitter = msec(3);
   double loss_rate = 0.0;  // applied to UDP datagrams only
+  /// How long a blackholed TCP connect waits before giving up — the
+  /// network-wide default for connect_tcp callers that do not override it.
+  SimDuration connect_timeout = sec(5);
   std::uint64_t seed = 0x7715c4a11ULL;
 };
 
@@ -154,10 +165,18 @@ class Network {
   void unlisten_tcp(const Endpoint& ep);
   /// Attempt a connection; result callback fires after one RTT on success
   /// or refusal. Blackholed attempts fire with (nullptr, refused=false)
-  /// after `connect_timeout`.
+  /// after `connect_timeout` (nullopt = the NetworkConfig default).
   void connect_tcp(const Endpoint& src, const Endpoint& dst,
                    ConnectResult result,
-                   SimDuration connect_timeout = sec(5));
+                   std::optional<SimDuration> connect_timeout = std::nullopt);
+
+  // -- fault injection --------------------------------------------------------
+  /// Install (or replace) the fault plane driving scripted impairments; see
+  /// simnet/fault.hpp. Instruments enroll into `registry` when given.
+  void install_faults(FaultScenario scenario,
+                      obs::Registry* registry = nullptr);
+  /// The installed plane (nullptr when no scenario is active).
+  const FaultPlane* faults() const { return fault_.get(); }
 
   // -- wildcard (aliased-region) listeners ------------------------------------
   /// Accept TCP to *every* address inside `prefix` on `port`. Models fully
@@ -196,6 +215,9 @@ class Network {
   EventQueue& events_;
   NetworkConfig config_;
   util::Rng rng_;
+  /// Scripted impairments (null = pristine network). Consulted on every
+  /// UDP send and TCP connect; stalled connections swallow data through it.
+  std::unique_ptr<FaultPlane> fault_;
 
   std::unordered_map<net::Ipv6Address, std::uint32_t, net::Ipv6AddressHash>
       online_;  // refcount: a device may attach an address it already owns

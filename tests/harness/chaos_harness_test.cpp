@@ -1,0 +1,175 @@
+// Chaos harness: a full Study under scripted impairment — 20% loss plus a
+// blackhole window on the eyeball prefixes, and a mid-run outage of one of
+// our NTP pool servers — with retries, circuit breaking and the pool
+// monitor all enabled. Asserts the run degrades gracefully: probe-record
+// conservation under retries and shedding, breaker open AND re-close, the
+// pool's demote/promote path exercised end to end, and bit-identical
+// same-seed digests of the whole perturbed run.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "harness.hpp"
+#include "inet/as_registry.hpp"
+#include "simnet/fault.hpp"
+
+namespace tts::harness {
+namespace {
+
+/// Script the scenario against generated artifacts: the eyeball (cable/DSL
+/// ISP) prefixes and our first capture server's address only exist once the
+/// study has built its Internet, so the faults install from on_built.
+void install_chaos(core::Study& study) {
+  simnet::FaultScenario scenario;
+  for (const inet::AsInfo* as :
+       study.registry().by_category(inet::AsCategory::kCableDslIsp)) {
+    for (const net::Ipv6Prefix& prefix : as->prefixes) {
+      // Steady impairment: 20% of everything into the eyeball space drops.
+      scenario.rules.push_back({.prefix = prefix,
+                                .kind = simnet::FaultKind::kLoss,
+                                .probability = 0.2});
+      // Hard window: the whole eyeball space goes dark for 10 hours, long
+      // enough for every touched breaker to trip on its timeout streak.
+      scenario.rules.push_back({.prefix = prefix,
+                                .kind = simnet::FaultKind::kBlackhole,
+                                .from = simnet::hours(6),
+                                .until = simnet::hours(16)});
+    }
+  }
+  // Mid-run outage of one of our capture servers: the pool monitor must
+  // demote it out of rotation and promote it back after recovery.
+  auto ours = study.pool().our_servers();
+  ASSERT_FALSE(ours.empty());
+  scenario.outages.push_back({.host = ours.front().address,
+                              .from = simnet::hours(12),
+                              .until = simnet::hours(18)});
+  study.network().install_faults(scenario, &study.metrics());
+}
+
+core::StudyConfig chaos_config() {
+  auto config = core::make_study_config(core::StudyScale::kTiny);
+  config.population.device_scale = 0.05;
+  config.runtime.duration = simnet::days(2);
+  config.hitlist_scan_start = simnet::days(1);
+  config.drain = simnet::hours(12);
+
+  config.scan_retry.max_retries = 2;
+  config.scan_retry.base_backoff = simnet::sec(30);
+
+  config.scan_breaker.enabled = true;
+  config.scan_breaker.prefix_len = 32;  // one breaker per eyeball AS
+  config.scan_breaker.open_after = 6;
+  config.scan_breaker.open_for = simnet::minutes(10);
+
+  config.enable_pool_monitor = true;
+  config.pool_monitor.check_interval = simnet::minutes(30);
+  // Bound the outage's score damage so recovery fits the 2-day horizon.
+  config.pool_monitor.min_score = -20;
+
+  config.on_built = install_chaos;
+  return config;
+}
+
+/// Per-engine record conservation. Every launched probe completes at most
+/// once; a completion either records its outcome or re-stages a retry, and
+/// every breaker shed synthesizes exactly one timeout record — so records
+/// = completed + shed - retries, whatever is still in flight at horizon.
+void expect_conserved(const scan::ScanEngine& engine,
+                      const scan::ResultStore& results) {
+  scan::Dataset ds = engine.config().dataset;
+  EXPECT_EQ(results.total(ds), engine.probes_completed() +
+                                   engine.breaker_shed() -
+                                   engine.retries_staged())
+      << "dataset " << to_string(ds);
+  EXPECT_LE(engine.probes_completed(), engine.probes_launched());
+}
+
+std::uint64_t chaos_digest(const core::StudyConfig& config) {
+  core::Study study(config);
+  study.run();
+  std::string md = core::render_markdown(core::build_report(study));
+  Fnv64 f;
+  f.mix_bytes(md);
+  const simnet::FaultPlane* faults = study.network().faults();
+  f.mix(faults->udp_dropped())
+      .mix(faults->udp_host_down())
+      .mix(faults->tcp_blackholed())
+      .mix(faults->delays_injected());
+  for (const scan::ScanEngine* engine :
+       {study.ntp_engine(), study.hitlist_engine()}) {
+    f.mix(engine->probes_launched())
+        .mix(engine->retries_staged())
+        .mix(engine->breaker_shed())
+        .mix(engine->breaker()->opens())
+        .mix(engine->breaker()->closes());
+  }
+  f.mix(study.pool().demotions()).mix(study.pool().promotions());
+  f.mix(study.events_executed());
+  return f.value();
+}
+
+TEST(ChaosHarness, StudyDegradesGracefullyUnderFaults) {
+  core::Study study(chaos_config());
+  study.run();
+
+  const simnet::FaultPlane* faults = study.network().faults();
+  ASSERT_NE(faults, nullptr);
+  // The scenario actually bit: losses and blackholes were injected.
+  EXPECT_GT(faults->udp_dropped(), 0u);
+  EXPECT_GT(faults->tcp_blackholed(), 0u);
+  EXPECT_GT(faults->udp_host_down(), 0u);
+
+  // The run still completed and produced scan material.
+  ASSERT_NE(study.ntp_engine(), nullptr);
+  ASSERT_NE(study.hitlist_engine(), nullptr);
+  EXPECT_GT(study.results().size(), 0u);
+  EXPECT_GT(study.collector().distinct_addresses(), 0u);
+
+  // Retries were exercised and every record is conserved.
+  EXPECT_GT(study.ntp_engine()->retries_staged(), 0u);
+  expect_conserved(*study.ntp_engine(), study.results());
+  expect_conserved(*study.hitlist_engine(), study.results());
+
+  // Breaker convergence: the blackhole window opened breakers, and the
+  // post-window conclusive outcomes (RSTs from live hosts) re-closed them.
+  std::uint64_t opens = 0, closes = 0;
+  for (const scan::ScanEngine* engine :
+       {study.ntp_engine(), study.hitlist_engine()}) {
+    ASSERT_NE(engine->breaker(), nullptr);
+    opens += engine->breaker()->opens();
+    closes += engine->breaker()->closes();
+  }
+  EXPECT_GT(opens, 0u);
+  EXPECT_GT(closes, 0u);
+
+  // The pool monitor demoted the dark server and promoted it back.
+  ASSERT_NE(study.pool_monitor(), nullptr);
+  EXPECT_GT(study.pool_monitor()->checks_run(), 0u);
+  EXPECT_GT(study.pool_monitor()->misses(), 0u);
+  EXPECT_GE(study.pool().demotions(), 1u);
+  EXPECT_GE(study.pool().promotions(), 1u);
+
+  // Fault and breaker instruments reached the registry for the report.
+  EXPECT_NE(study.metrics().find_counter("fault_udp_dropped", {}), nullptr);
+  EXPECT_NE(study.metrics().find_counter("scan_breaker_opens",
+                                         {{"dataset", "ntp"}}),
+            nullptr);
+  EXPECT_NE(study.metrics().find_counter("scan_retries",
+                                         {{"dataset", "ntp"}}),
+            nullptr);
+}
+
+TEST(ChaosHarness, SameSeedSameChaosBitIdentical) {
+  auto config = chaos_config();
+  EXPECT_EQ(chaos_digest(config), chaos_digest(config));
+}
+
+TEST(ChaosHarness, DifferentSeedDifferentChaos) {
+  auto config = chaos_config();
+  std::uint64_t base = chaos_digest(config);
+  config.seed ^= 0x9e3779b97f4a7c15ULL;
+  EXPECT_NE(base, chaos_digest(config));
+}
+
+}  // namespace
+}  // namespace tts::harness

@@ -407,6 +407,40 @@ TEST(Exporters, TimelineTableShowsColumnsAndMissingDash) {
   EXPECT_NE(text.find("-"), std::string::npos);
 }
 
+TEST(Exporters, TimelineDeltasAndRatesForCountersOnly) {
+  simnet::EventQueue events;
+  Registry reg;
+  Counter c;
+  Gauge g;
+  reg.enroll(c, "reqs");
+  reg.enroll(g, "depth");
+  Heartbeat hb(events, reg, HeartbeatConfig{});
+
+  c.inc(10);
+  g.set(5);
+  events.schedule_at(simnet::sec(0), [&] { hb.snap_now(); });
+  events.schedule_at(simnet::sec(10), [&] {
+    c.inc(30);
+    g.set(7);
+    hb.snap_now();
+  });
+  events.run_until(simnet::sec(11));
+
+  std::string text = timeline_table(hb.timeline(), {"reqs", "depth"}, "t",
+                                    {.deltas = true, .rates = true})
+                         .to_string();
+  // Counter columns grow a Δ and a /s view; the gauge stays absolute.
+  EXPECT_NE(text.find("Δreqs"), std::string::npos);
+  EXPECT_NE(text.find("reqs/s"), std::string::npos);
+  EXPECT_EQ(text.find("Δdepth"), std::string::npos);
+  EXPECT_EQ(text.find("depth/s"), std::string::npos);
+  // First row has no predecessor: delta and rate render as "-". The second
+  // row increments by 30 over 10 s.
+  EXPECT_NE(text.find("30"), std::string::npos);
+  EXPECT_NE(text.find("3.00"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
 TEST(Exporters, MetricsTableListsEveryInstrument) {
   Registry reg;
   Counter c;

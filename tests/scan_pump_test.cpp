@@ -44,11 +44,15 @@ class ScanPumpTest : public ::testing::Test {
 
 TEST(PendingQueue, PerLaneCapAndPeak) {
   PendingQueue q(2);
-  EXPECT_TRUE(q.push({0, Dataset::kNtp, 0, addr(1)}));
-  EXPECT_TRUE(q.push({0, Dataset::kNtp, 0, addr(2)}));
-  EXPECT_FALSE(q.push({0, Dataset::kNtp, 0, addr(3)}));  // ntp lane full
+  auto intent = [](simnet::SimTime at, Dataset lane, net::Ipv6Address target) {
+    return ScanIntent{.not_before = at, .dataset = lane, .target = target};
+  };
+  EXPECT_TRUE(q.push(intent(0, Dataset::kNtp, addr(1))));
+  EXPECT_TRUE(q.push(intent(0, Dataset::kNtp, addr(2))));
+  EXPECT_FALSE(q.push(intent(0, Dataset::kNtp, addr(3))));  // ntp lane full
   EXPECT_TRUE(q.full(Dataset::kNtp));
-  EXPECT_TRUE(q.push({0, Dataset::kHitlist, 0, addr(3)}));  // other lane free
+  EXPECT_TRUE(
+      q.push(intent(0, Dataset::kHitlist, addr(3))));  // other lane free
   EXPECT_EQ(q.size(), 3u);
   EXPECT_EQ(q.peak(), 3u);
   EXPECT_EQ(q.free_slots(Dataset::kNtp), 0u);
@@ -62,10 +66,13 @@ TEST(PendingQueue, PerLaneCapAndPeak) {
 
 TEST(PendingQueue, PullsEarliestDueAndRoundRobinsLanes) {
   PendingQueue q(8);
-  q.push({50, Dataset::kNtp, 0, addr(1)});
-  q.push({10, Dataset::kNtp, 0, addr(2)});
-  q.push({20, Dataset::kHitlist, 0, addr(3)});
-  q.push({90, Dataset::kNtp, 0, addr(4)});  // not due yet
+  auto intent = [](simnet::SimTime at, Dataset lane, net::Ipv6Address target) {
+    return ScanIntent{.not_before = at, .dataset = lane, .target = target};
+  };
+  q.push(intent(50, Dataset::kNtp, addr(1)));
+  q.push(intent(10, Dataset::kNtp, addr(2)));
+  q.push(intent(20, Dataset::kHitlist, addr(3)));
+  q.push(intent(90, Dataset::kNtp, addr(4)));  // not due yet
 
   auto a = q.pull_due(60);
   auto b = q.pull_due(60);
