@@ -4,9 +4,14 @@
 // trade statistics for time.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/study.hpp"
 #include "util/format.hpp"
@@ -23,6 +28,14 @@ inline core::StudyScale bench_scale() {
   return core::StudyScale::kSmall;
 }
 
+inline std::string scale_label(core::StudyScale scale) {
+  switch (scale) {
+    case core::StudyScale::kTiny: return "tiny";
+    case core::StudyScale::kMedium: return "medium";
+    default: return "small";
+  }
+}
+
 /// Metrics epilogue (heartbeat timeline + final metrics + spans) after the
 /// shared study; set TTS_BENCH_METRICS=0 to suppress it.
 inline bool bench_metrics_enabled() {
@@ -30,18 +43,115 @@ inline bool bench_metrics_enabled() {
   return !(env && std::string(env) == "0");
 }
 
-/// Run the standard study once (shared by the whole binary).
+/// Wall-clock read for the perf-trajectory samples. Observational only:
+/// nothing simulated may branch on it (ttslint enforces that elsewhere).
+inline std::int64_t bench_wall_ns() {
+  auto t =
+      // ttslint: allow(wall-clock) reason=observational perf sampling for BENCH_*.json only
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+/// Peak resident set (VmHWM) in kB from /proc/self/status; 0 when the
+/// field is unavailable (non-Linux).
+inline std::int64_t bench_rss_peak_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    return std::strtoll(line.c_str() + 6, nullptr, 10);
+  }
+  return 0;
+}
+
+/// Emit one versioned perf-trajectory sample (schema v1, see DESIGN.md
+/// "Perf trajectory") to the path in TTS_BENCH_JSON. No-op when the
+/// variable is unset. The sim-deterministic counts (events, addresses,
+/// probes, pending peak, token wait) are bit-stable for a given seed and
+/// scale; the wall metrics (dispatch percentiles, wall_seconds,
+/// throughput, RSS) vary with the machine — tools/benchdiff applies a
+/// separate tolerance to them.
+inline void emit_bench_json(const std::string& name,
+                            const core::Study& study, double wall_seconds,
+                            const std::string& scale) {
+  const char* path = std::getenv("TTS_BENCH_JSON");
+  if (!path || !*path) return;
+
+  std::vector<std::pair<std::string, std::string>> metrics;
+  auto add_u64 = [&metrics](const std::string& key, std::uint64_t v) {
+    metrics.emplace_back(key, std::to_string(v));
+  };
+  auto add_i64 = [&metrics](const std::string& key, std::int64_t v) {
+    metrics.emplace_back(key, std::to_string(v));
+  };
+  auto add_f = [&metrics](const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    metrics.emplace_back(key, buf);
+  };
+
+  std::uint64_t events = study.events_executed();
+  std::uint64_t addresses = study.collector().distinct_addresses();
+  std::uint64_t launched = 0, completed = 0;
+  std::uint64_t pending_peak = 0;
+  for (const scan::ScanEngine* engine :
+       {study.ntp_engine(), study.hitlist_engine()}) {
+    if (!engine) continue;
+    launched += engine->probes_launched();
+    completed += engine->probes_completed();
+    pending_peak = std::max<std::uint64_t>(pending_peak,
+                                           engine->pending_peak());
+  }
+  add_u64("events_executed", events);
+  add_u64("addresses_collected", addresses);
+  add_u64("probes_launched", launched);
+  add_u64("probes_completed", completed);
+  add_u64("scan_pending_peak", pending_peak);
+  if (const scan::ScanEngine* ntp = study.ntp_engine())
+    add_i64("token_wait_p95_us", ntp->token_wait().percentile(0.95));
+
+  const obs::Histogram& dispatch =
+      study.network().events().dispatch_wall_ns();
+  if (dispatch.count() > 0) {
+    add_i64("dispatch_p50_ns", dispatch.percentile(0.50));
+    add_i64("dispatch_p95_ns", dispatch.percentile(0.95));
+    add_i64("dispatch_max_ns", dispatch.max());
+  }
+  add_f("wall_seconds", wall_seconds);
+  if (wall_seconds > 0) {
+    add_f("events_per_sec_wall", static_cast<double>(events) / wall_seconds);
+    add_f("addresses_per_sec_wall",
+          static_cast<double>(addresses) / wall_seconds);
+  }
+  add_i64("rss_peak_kb", bench_rss_peak_kb());
+
+  std::ofstream out(path);
+  out << "{\n  \"schema\": 1,\n  \"name\": \"" << name << "\",\n"
+      << "  \"scale\": \"" << scale << "\",\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out << "    \"" << metrics[i].first << "\": " << metrics[i].second
+        << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  std::cerr << "[bench] wrote perf sample " << path << " (" << name
+            << ")\n";
+}
+
+/// Run the standard study once (shared by the whole binary). When
+/// TTS_BENCH_JSON is set, a perf sample is emitted right after the run
+/// (name from TTS_BENCH_NAME, default "shared_study").
 inline core::Study& shared_study() {
   static core::Study* study = [] {
     auto config = core::make_study_config(bench_scale());
     config.obs.enabled = bench_metrics_enabled();
     auto* s = new core::Study(std::move(config));
-    std::cerr << "[bench] running study (scale="
-              << (bench_scale() == core::StudyScale::kTiny     ? "tiny"
-                  : bench_scale() == core::StudyScale::kMedium ? "medium"
-                                                               : "small")
+    std::cerr << "[bench] running study (scale=" << scale_label(bench_scale())
               << ")...\n";
+    std::int64_t t0 = bench_wall_ns();
     s->run();
+    double wall_seconds = static_cast<double>(bench_wall_ns() - t0) / 1e9;
     std::cerr << "[bench] study done: " << s->events_executed()
               << " events, "
               << s->collector().distinct_addresses()
@@ -59,6 +169,10 @@ inline core::Study& shared_study() {
                   << " borrowed, " << hit->pump_wakes() << " pump wakes)";
       std::cerr << ", " << s->overflow_dropped() << " overflow drops\n";
     }
+    const char* sample_name = std::getenv("TTS_BENCH_NAME");
+    emit_bench_json(sample_name && *sample_name ? sample_name
+                                                : "shared_study",
+                    *s, wall_seconds, scale_label(bench_scale()));
     if (s->config().obs.enabled)
       std::cerr << "\n[bench] observability epilogue "
                    "(TTS_BENCH_METRICS=0 to silence)\n"

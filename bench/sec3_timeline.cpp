@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "common.hpp"
 #include "core/study.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -16,8 +17,16 @@ int main() {
   config.enable_hitlist_scan = false;
   config.enable_telescope = false;
   config.enable_actors = false;
+  // The perf-smoke lane compares this binary's sample against the
+  // committed BENCH_sec3_timeline.json, so the dispatch profiler must be
+  // on regardless of the epilogue setting.
+  config.obs.enabled = true;
   core::Study study(config);
+  std::int64_t t0 = bench::bench_wall_ns();
   study.run();
+  double wall_seconds =
+      static_cast<double>(bench::bench_wall_ns() - t0) / 1e9;
+  bench::emit_bench_json("sec3_timeline", study, wall_seconds, "tiny");
 
   const auto& daily = study.collector().daily_new();
   std::vector<std::pair<std::int64_t, std::uint64_t>> days(daily.begin(),

@@ -2,11 +2,15 @@
 // everything tts::obs records along the way — the heartbeat timeline (one
 // row per virtual day), the final metrics table (per-protocol scan
 // counters, per-server collection counts, event-queue dispatch histogram),
-// the span aggregates, and machine-readable JSONL / Prometheus dumps.
+// the span aggregates, machine-readable JSONL / Prometheus dumps, a
+// Perfetto-loadable causal trace of probe lifecycles, and the anomaly
+// flight recorder's ring.
+#include <fstream>
 #include <iostream>
 
 #include "core/study.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "util/format.hpp"
 
 using namespace tts;
@@ -79,6 +83,34 @@ int main() {
     for (int lines = 0; lines < 4 && stop != std::string::npos; ++lines)
       stop = prom.find('\n', stop + 1);
     std::cout << prom.substr(pos, stop - pos) << "\n";
+  }
+
+  // Causal probe-lifecycle traces on the virtual-time axis: load
+  // tts_trace.json at ui.perfetto.dev (or chrome://tracing). Every probe
+  // lifecycle (stage -> grant -> launch -> retry -> record) shares one
+  // TraceId, so its spans stack on a single async track. Same seed, same
+  // bytes: the export holds sim time only.
+  std::string trace = obs::to_chrome_trace(study.tracer());
+  std::ofstream("tts_trace.json") << trace;
+  std::cout << "\nWrote tts_trace.json (" << trace.size()
+            << " bytes, " << study.tracer().completed()
+            << " spans completed; ring keeps the most recent "
+            << study.config().obs.trace_capacity << ")\n";
+
+  // The anomaly flight recorder appends typed, trace-linked events
+  // (breaker transitions, sheds, retries, fault injections, slow
+  // dispatches) into a bounded ring and dumps itself on trigger rules.
+  // Nothing anomalous happens in the pristine tiny study, so trigger a
+  // dump by hand — scan_campaign's fault scenarios show the automatic
+  // breaker-open and fault-burst dumps.
+  obs::FlightRecorder& flight = study.flight();
+  flight.trigger("example-walkthrough");
+  if (!flight.dumps().empty()) {
+    const auto& [reason, text] = flight.dumps().back();
+    std::ofstream("tts_flight.txt") << text;
+    std::cout << "Wrote tts_flight.txt (trigger: " << reason << ", "
+              << flight.recorded() << " events recorded, "
+              << flight.overwritten() << " overwritten)\n";
   }
   return 0;
 }

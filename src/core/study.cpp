@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/export.hpp"
+#include "util/format.hpp"
 
 namespace tts::core {
 
@@ -42,17 +43,27 @@ Study::Study(StudyConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
       tracer_(config_.obs.trace_capacity),
+      flight_(config_.obs.flight_capacity),
       collector_(&metrics_) {
   if (config_.server_countries.empty())
     config_.server_countries = ntp::deployment_countries();
   tracer_.set_sim_clock(&events_);
   tracer_.set_enabled(config_.obs.enabled);
+  // The flight recorder shares the virtual clock; its wall stamps come
+  // from the tracer's sanctioned clock (data only, never rendered).
+  flight_.set_sim_clock(&events_);
+  flight_.set_wall_clock(&obs::Tracer::wall_clock_ns);
+  flight_.set_enabled(config_.obs.enabled);
+  flight_.add_trigger(obs::FlightKind::kFaultInjected,
+                      config_.obs.fault_burst, config_.obs.fault_burst_window,
+                      "fault-burst");
   // The accessor-backing instruments are always enrolled (enrolment is a
   // cold path); obs.enabled only adds wall-clock work on hot paths.
   events_.attach_metrics(metrics_, {}, /*time_dispatch=*/config_.obs.enabled);
   // Sampling keeps the dispatch histogram's wall-clock reads off most
   // events (two clock reads per timed dispatch dominate the obs cost).
   events_.set_dispatch_sampling(64);
+  events_.set_flight_recorder(&flight_, config_.obs.slow_dispatch_ns);
   pool_.set_registry(&metrics_);
   metrics_.enroll(overflow_dropped_, "scan_overflow_dropped",
                   {{"dataset", "ntp"}}, this);
@@ -216,7 +227,7 @@ void Study::run() {
   if (!config_.faults.empty()) {
     simnet::FaultScenario scenario = config_.faults;
     scenario.seed = rng_.stream("faults").root_seed() ^ scenario.seed;
-    network_->install_faults(std::move(scenario), &metrics_);
+    network_->install_faults(std::move(scenario), &metrics_, &flight_);
   }
 
   {
@@ -262,6 +273,7 @@ void Study::run() {
     engine.seed = rng_.stream("ntp-engine").root_seed();
     engine.registry = &metrics_;
     engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
+    engine.flight = &flight_;
     ntp_engine_ =
         std::make_unique<scan::ScanEngine>(*network_, results_, engine);
     collector_.subscribe([this](const ntp::CollectedAddress& rec) {
@@ -305,7 +317,9 @@ void Study::run() {
   simnet::SimTime hitlist_build_at =
       std::max<simnet::SimTime>(0, config_.hitlist_scan_start -
                                        simnet::days(2));
-  events_.schedule_at(hitlist_build_at, [this] {
+  simnet::EventQueue::CategoryId hitlist_cat =
+      events_.register_category("hitlist_build");
+  events_.schedule_at(hitlist_build_at, hitlist_cat, [this] {
     auto span = tracer_.span("study/hitlist_build");
     hitlist_ = hitlist::HitlistBuilder::build(*population_, runtime_.get(),
                                               config_.hitlist);
@@ -324,9 +338,10 @@ void Study::run() {
     engine.seed = rng_.stream("hitlist-engine").root_seed();
     engine.registry = &metrics_;
     engine.tracer = config_.obs.enabled ? &tracer_ : nullptr;
+    engine.flight = &flight_;
     hitlist_engine_ =
         std::make_unique<scan::ScanEngine>(*network_, results_, engine);
-    events_.schedule_at(config_.hitlist_scan_start, [this] {
+    events_.schedule_at(config_.hitlist_scan_start, hitlist_cat, [this] {
       // Chunked pull feed: the engine drains the hitlist as staging room
       // frees up, so pending_depth stays bounded by scan_max_pending
       // instead of one intent per probe of the whole sweep.
@@ -414,7 +429,10 @@ std::vector<std::string> Study::timeline_columns() {
           "scan_pending_depth{dataset=hitlist}",
           "telescope_queries",
           "telescope_captures",
-          "simnet_events_executed"};
+          "simnet_events_executed",
+          // Per-category dispatch histogram (count column = sampled packet
+          // dispatches): the per-day share of the hot packet path.
+          "simnet_dispatch_wall_ns{category=packet}"};
 }
 
 std::string Study::observability_report() const {
@@ -443,6 +461,34 @@ std::string Study::observability_report() const {
   if (!tracer_.stats().empty()) {
     out += "\n";
     out += obs::span_table(tracer_, "pipeline spans").to_string();
+  }
+  // Top-K slow dispatches: names the ~9 ms tail the dispatch histogram
+  // only hints at (which category, at what sim time). Wall readings are
+  // nondeterministic, so this table is for humans, not digests.
+  auto slow = events_.slowest();
+  if (!slow.empty()) {
+    util::TextTable table("slowest timed dispatches");
+    table.set_header({"sim t", "category", "wall"},
+                     {util::Align::kLeft, util::Align::kLeft});
+    for (const auto& s : slow) {
+      table.add_row({simnet::format_duration(s.at),
+                     events_.category_name(s.category),
+                     util::cat(util::fixed(
+                                   static_cast<double>(s.wall_ns) / 1e6, 3),
+                               " ms")});
+    }
+    out += "\n";
+    out += table.to_string();
+  }
+  if (flight_.recorded() > 0 || flight_.triggers() > 0) {
+    out += util::cat("\nflight recorder: ", flight_.recorded(),
+                     " events recorded (", flight_.overwritten(),
+                     " overwritten), ", flight_.triggers(), " triggers (",
+                     flight_.suppressed(), " suppressed), ",
+                     flight_.dumps().size(), " dumps");
+    for (const auto& d : flight_.dumps())
+      out += util::cat("\n  dump: ", d.first);
+    out += "\n";
   }
   return out;
 }

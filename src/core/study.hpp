@@ -27,6 +27,7 @@
 #include "ntp/monitor.hpp"
 #include "ntp/ntp_server.hpp"
 #include "ntp/pool.hpp"
+#include "obs/flight.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -51,6 +52,15 @@ struct ObservabilityConfig {
   std::size_t max_snapshots = 4096;
   /// Completed-span ring capacity (aggregates cover all spans regardless).
   std::size_t trace_capacity = 4096;
+  /// Anomaly flight-recorder ring capacity (typed events, trace-linked).
+  std::size_t flight_capacity = 2048;
+  /// A timed dispatch whose wall time exceeds this is recorded in the
+  /// flight ring and triggers a dump (the known ~9 ms tail trips this).
+  std::int64_t slow_dispatch_ns = 1'000'000;
+  /// Fault-injection burst trigger: this many injections inside the window
+  /// dump the flight ring (a scenario's impairment wave in full context).
+  std::uint32_t fault_burst = 64;
+  simnet::SimDuration fault_burst_window = simnet::sec(1);
   /// Series families the final-metrics table rolls up to their top_n
   /// largest members plus one "other" row (population-proportional families
   /// would otherwise swamp the report).
@@ -200,6 +210,10 @@ class Study {
   const obs::Registry& metrics() const { return metrics_; }
   obs::Registry& metrics() { return metrics_; }
   const obs::Tracer& tracer() const { return tracer_; }
+  /// Anomaly flight recorder (disabled unless config().obs.enabled).
+  /// Non-const so tests and tools can trigger an on-demand dump.
+  const obs::FlightRecorder& flight() const { return flight_; }
+  obs::FlightRecorder& flight() { return flight_; }
   /// Heartbeat timeline (nullptr unless config().obs.enabled).
   const obs::Heartbeat* heartbeat() const { return heartbeat_.get(); }
 
@@ -223,6 +237,7 @@ class Study {
   // may drop its instruments from a still-live registry.
   obs::Registry metrics_;
   mutable obs::Tracer tracer_;
+  obs::FlightRecorder flight_;
 
   simnet::EventQueue events_;
   std::unique_ptr<simnet::Network> network_;

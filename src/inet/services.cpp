@@ -87,7 +87,8 @@ class DeviceRuntime {
   // ---- churn ----
 
   void schedule_churn() {
-    world_.network_.events().schedule_in(simnet::days(1), [this] {
+    world_.network_.events().schedule_in(
+        simnet::days(1), world_.churn_cat_, [this] {
       do_churn();
       if (world_.network_.now() < world_.config_.duration) schedule_churn();
     });
@@ -133,7 +134,7 @@ class DeviceRuntime {
     double wait = first ? rng_.uniform() * mean_us
                         : rng_.exponential(1.0 / mean_us);
     world_.network_.events().schedule_in(
-        static_cast<simnet::SimDuration>(wait), [this] {
+        static_cast<simnet::SimDuration>(wait), world_.poll_cat_, [this] {
           if (world_.network_.now() >= world_.config_.duration) return;
           do_poll();
           schedule_poll(false);
@@ -171,7 +172,8 @@ class DeviceRuntime {
     world_.network_.send_udp(src_ep, dst_ep, request.serialize());
     // Reclaim the ephemeral port even if the response never arrives.
     world_.network_.events().schedule_in(
-        simnet::sec(8), [this, src_ep] { world_.network_.unbind_udp(src_ep); });
+        simnet::sec(8), world_.poll_cat_,
+        [this, src_ep] { world_.network_.unbind_udp(src_ep); });
   }
 
   // ---- service binding ----
@@ -435,7 +437,9 @@ InternetRuntime::InternetRuntime(simnet::Network& network,
       population_(population),
       pool_(pool),
       config_(config),
-      rng_(config.seed) {}
+      rng_(config.seed),
+      churn_cat_(network.events().register_category("churn")),
+      poll_cat_(network.events().register_category("ntp_poll")) {}
 
 InternetRuntime::~InternetRuntime() = default;
 

@@ -85,6 +85,9 @@ class InternetRuntime {
       address_owner_;
   std::uint64_t churn_events_ = 0;
   std::uint64_t ntp_polls_sent_ = 0;
+  // Dispatch-profiler categories shared by every device agent.
+  simnet::EventQueue::CategoryId churn_cat_;
+  simnet::EventQueue::CategoryId poll_cat_;
 };
 
 }  // namespace tts::inet

@@ -71,7 +71,7 @@ void NtpClient::query(const net::Ipv6Address& src, std::uint16_t src_port,
   ++sent_;
   network_.send_udp(src_ep, dst_ep, request.serialize());
 
-  network_.events().schedule_in(timeout, [&net, src_ep, state] {
+  network_.events().schedule_in(timeout, category_, [&net, src_ep, state] {
     if (state->done) return;
     settle(net, src_ep, state)(std::nullopt);
   });

@@ -32,7 +32,9 @@ class NtpClient {
   /// Called with the result, or nullopt on timeout / invalid response.
   using ResultFn = std::function<void(std::optional<NtpQueryResult>)>;
 
-  explicit NtpClient(simnet::Network& network) : network_(network) {}
+  explicit NtpClient(simnet::Network& network)
+      : network_(network),
+        category_(network.events().register_category("ntp_query")) {}
 
   /// Fire one query from (src, src_port) to the server; the callback runs
   /// when a valid response arrives or after `timeout`.
@@ -44,6 +46,7 @@ class NtpClient {
 
  private:
   simnet::Network& network_;
+  simnet::EventQueue::CategoryId category_;
   std::uint64_t sent_ = 0;
 };
 

@@ -9,12 +9,13 @@ PoolMonitor::PoolMonitor(simnet::Network& network, NtpPool& pool,
     : network_(network),
       pool_(pool),
       config_(std::move(config)),
-      client_(network) {}
+      client_(network),
+      category_(network.events().register_category("pool_monitor")) {}
 
 void PoolMonitor::start() {
   if (started_) return;
   started_ = true;
-  network_.events().schedule_in(config_.check_interval, [this] {
+  network_.events().schedule_in(config_.check_interval, category_, [this] {
     run_round();
   });
 }
@@ -47,7 +48,7 @@ void PoolMonitor::run_round() {
   }
 
   if (network_.now() < config_.duration) {
-    network_.events().schedule_in(config_.check_interval,
+    network_.events().schedule_in(config_.check_interval, category_,
                                   [this] { run_round(); });
   }
 }

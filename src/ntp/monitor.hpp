@@ -48,6 +48,7 @@ class PoolMonitor {
   NtpPool& pool_;
   PoolMonitorConfig config_;
   NtpClient client_;
+  simnet::EventQueue::CategoryId category_;
   std::uint16_t next_port_ = 20000;
   std::uint64_t checks_ = 0;
   std::uint64_t misses_ = 0;

@@ -537,4 +537,58 @@ util::TextTable span_table(const Tracer& tracer, std::string title) {
   return table;
 }
 
+// ---------------------------------------------------------- chrome trace
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  do {
+    out.insert(out.begin(), kDigits[value & 0xf]);
+    value >>= 4;
+  } while (value != 0);
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer,
+                            const ChromeTraceOptions& options) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto event = [&](const SpanRecord& rec, char ph, simnet::SimTime ts) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, rec.name);
+    out += util::cat(",\"ph\":\"", std::string(1, ph),
+                     "\",\"pid\":1,\"tid\":0,\"ts\":", ts);
+    if (ph == 'X') out += util::cat(",\"dur\":", rec.sim_duration());
+    if (ph == 'i') out += ",\"s\":\"t\"";
+    if (rec.trace != 0)
+      out += util::cat(",\"cat\":\"trace\",\"id\":\"0x", hex64(rec.trace),
+                       "\"");
+    if (options.include_wall && !rec.instant)
+      out += util::cat(",\"args\":{\"wall_ns\":", rec.wall_ns, "}");
+    out += '}';
+  };
+  for (const SpanRecord& rec : tracer.records()) {
+    if (rec.trace != 0 && !rec.instant) {
+      // Async pair on the TraceId's track: stages of one probe lifecycle
+      // share an id and nest by timestamp.
+      event(rec, 'b', rec.sim_begin);
+      event(rec, 'e', rec.sim_end);
+    } else if (rec.trace != 0) {
+      event(rec, 'n', rec.sim_begin);
+    } else if (!rec.instant) {
+      event(rec, 'X', rec.sim_begin);
+    } else {
+      event(rec, 'i', rec.sim_begin);
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
 }  // namespace tts::obs

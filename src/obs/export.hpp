@@ -89,4 +89,24 @@ util::TextTable timeline_table(const std::vector<RegistrySnapshot>& timeline,
 util::TextTable span_table(const Tracer& tracer,
                            std::string title = "spans");
 
+/// Presentation knobs for to_chrome_trace().
+struct ChromeTraceOptions {
+  /// Attach each span's measured wall-clock duration as an argument.
+  /// Off by default so same-seed runs export bit-identical traces (wall
+  /// readings are the only nondeterministic field in a SpanRecord).
+  bool include_wall = false;
+};
+
+/// Chrome trace-event JSON over the tracer's ring (load in Perfetto or
+/// chrome://tracing). The time axis is *virtual* time: ts is the span's
+/// sim time directly (SimTime is already in microseconds, the unit the
+/// format expects). Trace-linked spans (SpanRecord::trace != 0) become
+/// async "b"/"e" pairs keyed by the TraceId, so every stage of one probe
+/// lifecycle lands on a single named track and nested stages stack;
+/// trace-linked instants become async instants ("n") on the same track.
+/// Untraced spans render as complete events ("X") and untraced instants
+/// as thread instants ("i").
+std::string to_chrome_trace(const Tracer& tracer,
+                            const ChromeTraceOptions& options = {});
+
 }  // namespace tts::obs

@@ -1,0 +1,157 @@
+#include "obs/flight.hpp"
+
+#include "simnet/event_queue.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace tts::obs {
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  do {
+    out.insert(out.begin(), kDigits[value & 0xf]);
+    value >>= 4;
+  } while (value != 0);
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kBreakerOpen:
+      return "breaker_open";
+    case FlightKind::kBreakerHalfOpen:
+      return "breaker_half_open";
+    case FlightKind::kBreakerClose:
+      return "breaker_close";
+    case FlightKind::kBreakerShed:
+      return "breaker_shed";
+    case FlightKind::kFaultInjected:
+      return "fault_injected";
+    case FlightKind::kSlowDispatch:
+      return "slow_dispatch";
+    case FlightKind::kRetryStaged:
+      return "retry_staged";
+    case FlightKind::kRetryDropped:
+      return "retry_dropped";
+    case FlightKind::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_);
+  notes_.emplace_back();  // NoteId 0 = ""
+}
+
+simnet::SimTime FlightRecorder::sim_now() const {
+  return events_ ? events_->now() : 0;
+}
+
+FlightRecorder::NoteId FlightRecorder::note(std::string_view text) {
+  for (NoteId id = 0; id < notes_.size(); ++id)
+    if (notes_[id] == text) return id;
+  notes_.emplace_back(text);
+  return static_cast<NoteId>(notes_.size() - 1);
+}
+
+void FlightRecorder::record(FlightKind kind, NoteId detail,
+                            std::uint64_t trace, std::int64_t a,
+                            std::int64_t b, std::int64_t wall_ns) {
+  if (!enabled_) return;
+  FlightEvent ev;
+  ev.sim = sim_now();
+  ev.wall_ns = wall_ns ? wall_ns : (wall_clock_ ? wall_clock_() : 0);
+  ev.trace = trace;
+  ev.a = a;
+  ev.b = b;
+  ev.kind = kind;
+  ev.detail = detail;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[ring_next_] = ev;
+    ++overwritten_;
+  }
+  ring_next_ = (ring_next_ + 1) % capacity_;
+
+  for (TriggerRule& rule : rules_) {
+    if (rule.kind != kind) continue;
+    std::size_t slot = rule.next;
+    rule.next = (rule.next + 1) % rule.burst;
+    simnet::SimTime oldest = rule.recent[slot];
+    rule.recent[slot] = ev.sim;
+    ++rule.seen;
+    // The slot we just overwrote held the (burst-1)-events-ago timestamp:
+    // once the buffer has wrapped, a full burst inside the window fires.
+    if (rule.seen >= rule.burst && ev.sim - oldest <= rule.window)
+      trigger(rule.reason);
+  }
+}
+
+void FlightRecorder::add_trigger(FlightKind kind, std::uint32_t burst,
+                                 simnet::SimDuration window,
+                                 std::string reason) {
+  if (burst == 0) burst = 1;
+  TriggerRule rule{kind, burst, window, std::move(reason), {}, 0, 0};
+  rule.recent.assign(burst, 0);
+  rules_.push_back(std::move(rule));
+}
+
+void FlightRecorder::trigger(std::string_view reason) {
+  if (!enabled_) return;
+  ++triggers_;
+  simnet::SimTime now = sim_now();
+  if (dumps_.size() >= max_dumps_ ||
+      (last_dump_at_ >= 0 && now - last_dump_at_ < min_dump_gap_)) {
+    ++suppressed_;
+    return;
+  }
+  last_dump_at_ = now;
+  dumps_.emplace_back(std::string(reason), dump());
+  if (sink_) sink_(reason, dumps_.back().second);
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump(std::size_t max_events) const {
+  std::vector<FlightEvent> all = events();
+  std::size_t first = all.size() > max_events ? all.size() - max_events : 0;
+  util::TextTable table(util::cat("flight recorder (", all.size() - first,
+                                  " of ", recorded_, " events)"));
+  table.set_header({"t", "kind", "trace", "detail", "a", "b"},
+                   {util::Align::kLeft, util::Align::kLeft,
+                    util::Align::kRight, util::Align::kLeft,
+                    util::Align::kRight, util::Align::kRight});
+  for (std::size_t i = first; i < all.size(); ++i) {
+    const FlightEvent& ev = all[i];
+    table.add_row({simnet::format_duration(ev.sim),
+                   std::string(to_string(ev.kind)),
+                   ev.trace ? util::cat("0x", hex64(ev.trace))
+                            : std::string("-"),
+                   notes_[ev.detail], util::grouped(ev.a),
+                   util::grouped(ev.b)});
+  }
+  if (overwritten_ > 0)
+    table.add_note(util::cat("ring overwrote ", overwritten_,
+                             " oldest events"));
+  return table.to_string();
+}
+
+}  // namespace tts::obs

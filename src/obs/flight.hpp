@@ -1,0 +1,157 @@
+// Anomaly flight recorder: a bounded ring of typed events that subsystems
+// append to cheaply (no strings, no allocation on the hot path once notes
+// are interned) and that dumps itself when something anomalous happens —
+// a breaker opening, a burst of fault injections, a dispatch blowing its
+// wall-time threshold — or on demand from the Study.
+//
+// Events carry both clocks: the sim timestamp is read from the attached
+// EventQueue; the wall timestamp comes from a caller-installed clock
+// function (obs::Tracer::wall_clock_ns), so this file never reads ambient
+// time itself and stays off the ttslint wall-clock allowlist. Wall values
+// are observational only — dump() excludes them, so same-seed dumps are
+// bit-identical.
+//
+// Dumps are rate-limited in sim time and bounded in count; each is a
+// rendered snapshot of the ring tail at trigger time, kept alongside its
+// reason so a post-run report (or a test) can ask "what was the system
+// doing just before the breaker opened?".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace tts::simnet {
+class EventQueue;
+}
+
+namespace tts::obs {
+
+enum class FlightKind : std::uint8_t {
+  kBreakerOpen,
+  kBreakerHalfOpen,
+  kBreakerClose,
+  kBreakerShed,
+  kFaultInjected,
+  kSlowDispatch,
+  kRetryStaged,
+  kRetryDropped,
+  kNote,
+};
+inline constexpr std::size_t kFlightKindCount = 9;
+
+std::string_view to_string(FlightKind kind);
+
+struct FlightEvent {
+  simnet::SimTime sim = 0;
+  /// Wall timestamp (ns) when a wall clock is installed; 0 otherwise.
+  /// Observational only — never rendered into dump().
+  std::int64_t wall_ns = 0;
+  /// Causal trace the event belongs to (0 = none); links the recorder to
+  /// the Tracer's probe-lifecycle spans.
+  std::uint64_t trace = 0;
+  /// Kind-specific payload (e.g. breaker prefix halves, dispatch wall ns).
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  FlightKind kind = FlightKind::kNote;
+  /// Interned detail string (FlightRecorder::note), 0 = none.
+  std::uint32_t detail = 0;
+};
+
+class FlightRecorder {
+ public:
+  using NoteId = std::uint32_t;
+  using WallClockFn = std::int64_t (*)();
+  using DumpFn =
+      std::function<void(std::string_view reason, const std::string& dump)>;
+
+  explicit FlightRecorder(std::size_t capacity = 2048);
+
+  /// Sim-time source; without one, events record sim time 0.
+  void set_sim_clock(const simnet::EventQueue* events) { events_ = events; }
+  /// Wall-time source (e.g. &Tracer::wall_clock_ns); without one, events
+  /// record wall_ns 0 unless the caller supplies a measured value.
+  void set_wall_clock(WallClockFn fn) { wall_clock_ = fn; }
+  /// A disabled recorder's record()/trigger() are no-ops.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Intern a detail string once (idempotent); id 0 is the empty string.
+  NoteId note(std::string_view text);
+  const std::string& note_text(NoteId id) const { return notes_[id]; }
+
+  /// Append one event. `wall_ns` 0 means "stamp from the installed wall
+  /// clock"; callers that already measured wall time (the dispatch
+  /// profiler) pass their measurement instead.
+  void record(FlightKind kind, NoteId detail = 0, std::uint64_t trace = 0,
+              std::int64_t a = 0, std::int64_t b = 0,
+              std::int64_t wall_ns = 0);
+
+  /// Auto-dump when `burst` events of `kind` land within `window` of sim
+  /// time (e.g. 64 fault injections within one virtual second).
+  void add_trigger(FlightKind kind, std::uint32_t burst,
+                   simnet::SimDuration window, std::string reason);
+  /// Minimum sim time between dumps (repeated triggers inside the gap are
+  /// counted in suppressed(), not dumped again).
+  void set_min_dump_gap(simnet::SimDuration gap) { min_dump_gap_ = gap; }
+  void set_max_dumps(std::size_t n) { max_dumps_ = n; }
+  /// Optional sink invoked on every dump (in addition to dumps() storage).
+  void set_dump_sink(DumpFn fn) { sink_ = std::move(fn); }
+
+  /// Dump now (rate-limited like an automatic trigger).
+  void trigger(std::string_view reason);
+
+  /// Ring contents, oldest first.
+  std::vector<FlightEvent> events() const;
+  /// Rendered table of the newest `max_events` ring events (sim clock
+  /// only — bit-identical across same-seed runs).
+  std::string dump(std::size_t max_events = 64) const;
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t overwritten() const { return overwritten_; }
+  std::uint64_t triggers() const { return triggers_; }
+  std::uint64_t suppressed() const { return suppressed_; }
+  /// (reason, rendered dump) pairs, oldest first, capped at max_dumps.
+  const std::vector<std::pair<std::string, std::string>>& dumps() const {
+    return dumps_;
+  }
+
+ private:
+  struct TriggerRule {
+    FlightKind kind;
+    std::uint32_t burst;
+    simnet::SimDuration window;
+    std::string reason;
+    /// Circular buffer of the last `burst` matching sim times.
+    std::vector<simnet::SimTime> recent;
+    std::size_t next = 0;
+    std::uint64_t seen = 0;
+  };
+
+  simnet::SimTime sim_now() const;
+
+  const simnet::EventQueue* events_ = nullptr;
+  WallClockFn wall_clock_ = nullptr;
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  std::size_t ring_next_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t overwritten_ = 0;
+  std::vector<std::string> notes_;
+  std::vector<TriggerRule> rules_;
+  simnet::SimDuration min_dump_gap_ = simnet::minutes(1);
+  simnet::SimTime last_dump_at_ = -1;
+  std::size_t max_dumps_ = 8;
+  std::uint64_t triggers_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::vector<std::pair<std::string, std::string>> dumps_;
+  DumpFn sink_;
+};
+
+}  // namespace tts::obs

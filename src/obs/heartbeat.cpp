@@ -4,7 +4,10 @@ namespace tts::obs {
 
 Heartbeat::Heartbeat(simnet::EventQueue& events, const Registry& registry,
                      HeartbeatConfig config)
-    : events_(events), registry_(registry), config_(config) {
+    : events_(events),
+      registry_(registry),
+      config_(config),
+      category_(events.register_category("heartbeat")) {
   if (config_.interval < 1) config_.interval = 1;
 }
 
@@ -20,7 +23,7 @@ void Heartbeat::arm() {
     return;
   // The queue may outlive `this` only if the owner never runs it again
   // after destroying the heartbeat; Study guarantees that ordering.
-  events_.schedule_at(next, [this] { tick(); });
+  events_.schedule_at(next, category_, [this] { tick(); });
 }
 
 void Heartbeat::tick() {

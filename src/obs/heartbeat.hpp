@@ -49,6 +49,7 @@ class Heartbeat {
   simnet::EventQueue& events_;
   const Registry& registry_;
   HeartbeatConfig config_;
+  simnet::EventQueue::CategoryId category_;
   std::vector<RegistrySnapshot> timeline_;
   bool started_ = false;
   bool stopped_ = false;

@@ -16,7 +16,7 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
   ring_.reserve(capacity_);
 }
 
-std::int64_t Tracer::wall_now_ns() {
+std::int64_t Tracer::wall_clock_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
@@ -32,7 +32,7 @@ Tracer::NameId Tracer::intern(std::string_view name) {
   return id;
 }
 
-Tracer::SpanId Tracer::open(NameId name) {
+Tracer::SpanId Tracer::open(NameId name, TraceId trace) {
   if (!enabled_) return kNoSpan;
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -45,8 +45,9 @@ Tracer::SpanId Tracer::open(NameId name) {
   Active& a = slots_[slot];
   a.name = name;
   a.sim_begin = sim_now();
-  a.wall_begin_ns = wall_now_ns();
+  a.wall_begin_ns = wall_clock_ns();
   a.depth = static_cast<std::uint32_t>(open_count_++);
+  a.trace = trace;
   a.in_use = true;
   ++a.gen;
   return (static_cast<SpanId>(a.gen) << 32) | (slot + 1);
@@ -62,13 +63,28 @@ void Tracer::close(SpanId id) {
   rec.name = names_[a.name];
   rec.sim_begin = a.sim_begin;
   rec.sim_end = sim_now();
-  rec.wall_ns = wall_now_ns() - a.wall_begin_ns;
+  rec.wall_ns = wall_clock_ns() - a.wall_begin_ns;
   rec.depth = a.depth;
+  rec.trace = a.trace;
   a.in_use = false;
   free_slots_.push_back(slot);
   --open_count_;
+  commit(std::move(rec), a.name);
+}
 
-  SpanStats& s = stats_[a.name];
+void Tracer::instant(NameId name, TraceId trace) {
+  if (!enabled_) return;
+  SpanRecord rec;
+  rec.name = names_[name];
+  rec.sim_begin = rec.sim_end = sim_now();
+  rec.depth = static_cast<std::uint32_t>(open_count_);
+  rec.trace = trace;
+  rec.instant = true;
+  commit(std::move(rec), name);
+}
+
+void Tracer::commit(SpanRecord rec, NameId name) {
+  SpanStats& s = stats_[name];
   ++s.count;
   s.total_sim += rec.sim_duration();
   if (rec.sim_duration() > s.max_sim) s.max_sim = rec.sim_duration();

@@ -33,6 +33,12 @@ struct SpanRecord {
   simnet::SimTime sim_end = 0;
   std::int64_t wall_ns = 0;
   std::uint32_t depth = 0;  // nesting level at open time (0 = top level)
+  /// Causal trace this span belongs to (0 = not trace-linked). All spans
+  /// of one probe lifecycle carry the same TraceId, so an exporter can
+  /// group stage/grant/launch/retry/record onto one timeline.
+  std::uint64_t trace = 0;
+  /// Zero-duration marker (Tracer::instant) rather than an open/close pair.
+  bool instant = false;
 
   simnet::SimDuration sim_duration() const { return sim_end - sim_begin; }
 };
@@ -57,9 +63,21 @@ class Tracer {
  public:
   using SpanId = std::uint64_t;
   using NameId = std::uint32_t;
+  /// Causal trace identity threaded through every stage of one logical
+  /// operation (a probe lifecycle). Minted by the producer (seed-stable —
+  /// e.g. ScanEngine derives it from the staging sequence, never from a
+  /// clock), 0 means "no trace".
+  using TraceId = std::uint64_t;
   static constexpr SpanId kNoSpan = 0;
 
   explicit Tracer(std::size_t capacity = 4096);
+
+  /// The wall clock every obs component shares (steady_clock, ns). This is
+  /// the one sanctioned ambient-time read outside the event queue: callers
+  /// (FlightRecorder, bench emitters) take the value as data instead of
+  /// reading clocks themselves, keeping the ttslint wall-clock allowlist
+  /// at exactly two files.
+  static std::int64_t wall_clock_ns();
 
   /// Virtual-time source; without one, spans record sim times of 0.
   void set_sim_clock(const simnet::EventQueue* events) { events_ = events; }
@@ -74,9 +92,17 @@ class Tracer {
   NameId intern(std::string_view name);
   const std::string& name_of(NameId name) const { return names_[name]; }
 
-  SpanId open(NameId name);
+  SpanId open(NameId name) { return open(name, /*trace=*/0); }
   SpanId open(std::string_view name) { return open(intern(name)); }
+  /// Open a span linked to a causal trace: the completed record carries
+  /// `trace`, so exporters can reassemble one probe's whole lifecycle.
+  SpanId open(NameId name, TraceId trace);
   void close(SpanId id);
+
+  /// Record a zero-duration marker (grant, retry, shed, record...) on a
+  /// trace. Counted in the per-name stats and the ring like any span; a
+  /// disabled tracer ignores it.
+  void instant(NameId name, TraceId trace);
 
   /// RAII span for synchronous stages.
   class Scope {
@@ -119,10 +145,11 @@ class Tracer {
     std::int64_t wall_begin_ns = 0;
     std::uint32_t depth = 0;
     std::uint32_t gen = 0;
+    std::uint64_t trace = 0;
     bool in_use = false;
   };
 
-  static std::int64_t wall_now_ns();
+  void commit(SpanRecord rec, NameId name);
   simnet::SimTime sim_now() const { return events_ ? events_->now() : 0; }
 
   const simnet::EventQueue* events_ = nullptr;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "util/format.hpp"
 
 namespace tts::scan {
@@ -15,7 +16,8 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
       config_(std::move(config)),
       rng_(config_.seed),
       queue_(config_.max_pending),
-      pump_timer_(network.events(), [this] { pump(); }) {
+      pump_timer_(network.events(), [this] { pump(); },
+                  network.events().register_category("scan_pump")) {
   if (!config_.budget && config_.max_pps <= 0)
     throw std::invalid_argument("ScanEngine: max_pps must be positive");
   if (!(config_.budget_weight > 0) || !std::isfinite(config_.budget_weight))
@@ -62,10 +64,38 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
     by_proto_[idx] = scanner.get();
     scanner->set_timeouts(config_.probe_timeout, config_.connect_timeout);
   }
-  if (config_.tracer)
-    for (std::size_t p = 0; p < kProtocolCount; ++p)
+  if (config_.tracer) {
+    for (std::size_t p = 0; p < kProtocolCount; ++p) {
       span_ids_[p] = config_.tracer->intern(
           util::cat("probe/", label(static_cast<Protocol>(p))));
+      lifecycle_ids_[p] = config_.tracer->intern(
+          util::cat("target/", label(static_cast<Protocol>(p))));
+    }
+    stage_name_ = config_.tracer->intern("probe/stage");
+    grant_name_ = config_.tracer->intern("probe/grant");
+    retry_name_ = config_.tracer->intern("probe/retry");
+    shed_name_ = config_.tracer->intern("probe/shed");
+    record_name_ = config_.tracer->intern("probe/record");
+  }
+  if (breaker_ && config_.flight) {
+    obs::FlightRecorder* flight = config_.flight;
+    breaker_->set_transition_observer(
+        [flight](const net::Ipv6Address& prefix,
+                 CircuitBreakerSet::State /*from*/,
+                 CircuitBreakerSet::State to, simnet::SimTime /*now*/) {
+          obs::FlightKind kind =
+              to == CircuitBreakerSet::State::kOpen
+                  ? obs::FlightKind::kBreakerOpen
+                  : to == CircuitBreakerSet::State::kHalfOpen
+                        ? obs::FlightKind::kBreakerHalfOpen
+                        : obs::FlightKind::kBreakerClose;
+          flight->record(kind, /*detail=*/0, /*trace=*/0,
+                         static_cast<std::int64_t>(prefix.hi64()),
+                         static_cast<std::int64_t>(prefix.lo64()));
+          if (kind == obs::FlightKind::kBreakerOpen)
+            flight->trigger("breaker-open");
+        });
+  }
 
   if (config_.budget) {
     budget_ = config_.budget;
@@ -97,6 +127,7 @@ void ScanEngine::enroll_metrics() {
   reg->enroll(probes_launched_, "scan_probes_launched", ds, this);
   reg->enroll(probes_completed_, "scan_probes_completed", ds, this);
   reg->enroll(pump_wakes_, "scan_pump_wakes", ds, this);
+  reg->enroll(refill_deferred_, "scan_refill_deferred", ds, this);
   reg->enroll(retries_, "scan_retries", ds, this);
   reg->enroll(retry_success_, "scan_retry_success_total", ds, this);
   reg->enroll(retry_dropped_, "scan_retry_dropped", ds, this);
@@ -163,11 +194,13 @@ void ScanEngine::add_source(SourceFn fn, Dataset lane) {
 }
 
 void ScanEngine::stage_target(const net::Ipv6Address& target, Dataset lane) {
-  bool ok = queue_.push(ScanIntent{.not_before = network_.now(),
-                                   .dataset = lane,
-                                   .chain_pos = 0,
-                                   .attempt = 0,
-                                   .target = target});
+  ScanIntent intent{.not_before = network_.now(),
+                    .dataset = lane,
+                    .chain_pos = 0,
+                    .attempt = 0,
+                    .target = target};
+  begin_intent_trace(intent);
+  bool ok = queue_.push(std::move(intent));
   assert(ok && "stage_target called on a full lane");
   (void)ok;
   submitted_.inc();
@@ -187,14 +220,34 @@ void ScanEngine::stage_successor(const ScanIntent& intent,
       span > 0 ? static_cast<simnet::SimDuration>(
                      rng_.below(static_cast<std::uint64_t>(span)))
                : 0;
-  bool ok = queue_.push(
-      ScanIntent{.not_before = slot + config_.min_protocol_delay + jitter,
-                 .dataset = intent.dataset,
-                 .chain_pos = static_cast<std::uint8_t>(next),
-                 .attempt = 0,
-                 .target = intent.target});
+  ScanIntent successor{.not_before = slot + config_.min_protocol_delay + jitter,
+                       .dataset = intent.dataset,
+                       .chain_pos = static_cast<std::uint8_t>(next),
+                       .attempt = 0,
+                       .target = intent.target};
+  begin_intent_trace(successor);
+  bool ok = queue_.push(std::move(successor));
   assert(ok && "successor push must fit: its predecessor just left");
   (void)ok;
+}
+
+void ScanEngine::begin_intent_trace(ScanIntent& intent) {
+  intent.trace = mint_trace(intent.dataset);
+  obs::Tracer* tracer = config_.tracer;
+  if (!tracer || !tracer->enabled()) return;
+  Protocol proto = scanners_[intent.chain_pos]->protocol();
+  intent.lifecycle_span =
+      tracer->open(lifecycle_ids_[static_cast<std::size_t>(proto)],
+                   intent.trace);
+  intent.stage_span = tracer->open(stage_name_, intent.trace);
+}
+
+void ScanEngine::end_stage_span(const ScanIntent& intent,
+                                obs::Tracer::NameId how) {
+  obs::Tracer* tracer = config_.tracer;
+  if (!tracer || intent.stage_span == obs::Tracer::kNoSpan) return;
+  tracer->close(intent.stage_span);
+  tracer->instant(how, intent.trace);
 }
 
 void ScanEngine::refill_from_sources() {
@@ -228,9 +281,13 @@ void ScanEngine::refill_from_sources() {
 }
 
 std::optional<simnet::SimTime> ScanEngine::next_wake() const {
-  // A source with staging room wants an immediate pull.
+  // A source with staging room wants a pull — but staging is useless
+  // before a token accrues, so wake at the budget's suggestion instead of
+  // immediately (budget-aware source scheduling: bulk feeds skip staging
+  // churn on wakes that cannot launch anything).
   for (const Source& source : sources_)
-    if (queue_.free_slots(source.lane) > 0) return network_.now();
+    if (queue_.free_slots(source.lane) > 0)
+      return budget_->suggested_wake(budget_id_, network_.now());
   auto due = queue_.next_not_before();
   if (!due) return std::nullopt;
   simnet::SimTime now = network_.now();
@@ -256,7 +313,16 @@ void ScanEngine::arm_pump() {
 void ScanEngine::pump() {
   const simnet::SimTime now = network_.now();
   pump_wakes_.inc();
-  refill_from_sources();
+  // Budget-aware source scheduling: staging from a bulk source is wasted
+  // work on a wake that cannot launch (no token accrued — e.g. a peer's
+  // wake-up nudge landed early). Skip the refill and let next_wake() re-arm
+  // at the budget's suggestion; already-staged due intents still launch
+  // below when a token turns out to be available.
+  bool token_ready = budget_->next_slot(budget_id_, now) <= now;
+  if (token_ready)
+    refill_from_sources();
+  else if (!sources_.empty())
+    refill_deferred_.inc();
   // Launch every due intent the budget grants a token for, inline: one
   // timer wake covers the whole banked batch (up to burst_slots + 1), so a
   // saturated sweep pays ~1 event per batch instead of one per probe.
@@ -265,6 +331,7 @@ void ScanEngine::pump() {
       // Open breaker: shed before spending a token, so a dead prefix costs
       // no budget and the freed slots go to responsive space.
       ScanIntent intent = *queue_.pull_due(now);
+      end_stage_span(intent, shed_name_);
       shed_probe(intent, now);
       continue;
     }
@@ -274,12 +341,14 @@ void ScanEngine::pump() {
     if (breaker_) breaker_->note_launch(intent.target, now);
     token_wait_.record(now - *slot);
     queue_delay_.record(now - intent.not_before);
+    end_stage_span(intent, grant_name_);
     // Only a first attempt advances the protocol chain: a retry's
     // predecessor already staged the successor when it first launched.
     if (intent.attempt == 0) stage_successor(intent, now);
     launch(intent, now);
   }
-  refill_from_sources();  // freed lane slots admit the next bulk chunk
+  if (token_ready)
+    refill_from_sources();  // freed lane slots admit the next bulk chunk
   pending_gauge_.set(static_cast<std::int64_t>(queue_.size()));
   pending_peak_gauge_.set(static_cast<std::int64_t>(queue_.peak()));
   arm_pump();
@@ -307,7 +376,8 @@ void ScanEngine::launch(const ScanIntent& intent, simnet::SimTime at) {
   simnet::Endpoint src{config_.scanner_address, src_port};
   obs::Tracer::SpanId span = obs::Tracer::kNoSpan;
   if (config_.tracer)
-    span = config_.tracer->open(span_ids_[static_cast<std::size_t>(proto)]);
+    span = config_.tracer->open(span_ids_[static_cast<std::size_t>(proto)],
+                                intent.trace);
   scanner->probe(network_, src, std::move(base),
                  [this, intent, proto, span](ScanRecord r) {
                    probes_completed_.inc();
@@ -333,24 +403,52 @@ void ScanEngine::finish_probe(const ScanIntent& intent, ScanRecord record) {
     ScanIntent again = intent;
     again.attempt = static_cast<std::uint8_t>(attempt);
     again.not_before = now + delay;
+    // The retry re-enters staging on the same trace: mark the re-stage and
+    // open a fresh staging span (the lifecycle span rides along in `again`).
+    if (config_.tracer && intent.trace != 0) {
+      config_.tracer->instant(retry_name_, intent.trace);
+      again.stage_span = config_.tracer->open(stage_name_, intent.trace);
+    }
     if (queue_.push(again)) {
       // Re-staged through the queue: pacing and the shared budget govern
       // the retry like any first attempt. The intermediate timeout is
       // suppressed — each probe chain slot tallies exactly one outcome.
       retries_.inc();
       retry_delay_.record(delay);
+      if (config_.flight)
+        config_.flight->record(obs::FlightKind::kRetryStaged, /*detail=*/0,
+                               intent.trace, attempt, delay);
       pending_gauge_.set(static_cast<std::int64_t>(queue_.size()));
       pending_peak_gauge_.set(static_cast<std::int64_t>(queue_.peak()));
       arm_pump();
       return;
     }
     retry_dropped_.inc();  // lane full: give up, record the timeout
+    if (config_.tracer) config_.tracer->close(again.stage_span);
+    if (config_.flight)
+      config_.flight->record(obs::FlightKind::kRetryDropped, /*detail=*/0,
+                             intent.trace, attempt);
+  }
+  if (config_.tracer && intent.trace != 0) {
+    config_.tracer->instant(record_name_, intent.trace);
+    config_.tracer->close(intent.lifecycle_span);
   }
   results_.add(std::move(record));
 }
 
 void ScanEngine::shed_probe(const ScanIntent& intent, simnet::SimTime now) {
   breaker_->shed();
+  if (config_.flight)
+    config_.flight->record(obs::FlightKind::kBreakerShed, /*detail=*/0,
+                           intent.trace,
+                           static_cast<std::int64_t>(
+                               breaker_->key_of(intent.target).hi64()),
+                           static_cast<std::int64_t>(
+                               breaker_->key_of(intent.target).lo64()));
+  if (config_.tracer && intent.trace != 0) {
+    config_.tracer->instant(record_name_, intent.trace);
+    config_.tracer->close(intent.lifecycle_span);
+  }
   // The chain continues: a later protocol's probe is the half-open trial
   // that eventually re-closes the breaker. (A shed retry's successor was
   // already staged by its first attempt.)

@@ -47,6 +47,10 @@
 #include "simnet/network.hpp"
 #include "util/rng.hpp"
 
+namespace tts::obs {
+class FlightRecorder;
+}
+
 namespace tts::scan {
 
 /// One protocol prober. Implementations live in *_scanner.cpp.
@@ -114,9 +118,15 @@ struct ScanEngineConfig {
   /// Export the engine's instruments (labelled dataset=...); must outlive
   /// the engine. Optional.
   obs::Registry* registry = nullptr;
-  /// Span per probe round-trip ("probe/<proto>", virtual launch->done).
-  /// Optional.
+  /// Span per probe round-trip ("probe/<proto>", virtual launch->done) plus
+  /// the causal lifecycle spans: every staged probe mints a seed-stable
+  /// TraceId at submission and threads it through staging, budget grant,
+  /// launch, retry re-stage, breaker shed and the final record. Optional.
   obs::Tracer* tracer = nullptr;
+  /// Anomaly flight recorder: breaker transitions, sheds and retry events
+  /// are appended as typed events (trace-linked); a breaker opening
+  /// triggers a dump. Optional; must outlive the engine.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Outcome of a single-target submission.
@@ -206,6 +216,9 @@ class ScanEngine {
   /// ~(kPumpSlackSlots + 1) probes per wake, so this stays well under
   /// probes_launched() — the event-count cut the coalesced slot buys.
   std::uint64_t pump_wakes() const { return pump_wakes_.value(); }
+  /// Pump wakes that skipped source refill because the budget had no token
+  /// accrued — bulk staging work deferred to a wake that can launch.
+  std::uint64_t refills_deferred() const { return refill_deferred_.value(); }
 
   /// The budget this engine draws tokens from (shared or private).
   const SharedBudget& budget() const { return *budget_; }
@@ -236,6 +249,18 @@ class ScanEngine {
 
   /// Stage the first-protocol intent for an accepted target.
   void stage_target(const net::Ipv6Address& target, Dataset lane);
+  /// Mint the next seed-stable TraceId for `lane` (staging order is
+  /// deterministic, so same-seed runs mint identical ids; the lane tag in
+  /// the top byte keeps ids engine-distinct when lanes are per-engine).
+  std::uint64_t mint_trace(Dataset lane) {
+    return ((static_cast<std::uint64_t>(lane) + 1) << 56) | ++next_trace_;
+  }
+  /// Attach trace context to a freshly built intent: mint its TraceId and
+  /// open the lifecycle ("target/<proto>") and staging ("probe/stage")
+  /// spans. No-op without a tracer.
+  void begin_intent_trace(ScanIntent& intent);
+  /// Close the staging span with the instant that ends it (grant or shed).
+  void end_stage_span(const ScanIntent& intent, obs::Tracer::NameId how);
   /// Stage the next protocol of `intent`'s chain after a launch at `slot`.
   void stage_successor(const ScanIntent& intent, simnet::SimTime slot);
   void launch(const ScanIntent& intent, simnet::SimTime at);
@@ -286,6 +311,7 @@ class ScanEngine {
   obs::Counter probes_launched_;
   obs::Counter probes_completed_;
   obs::Counter pump_wakes_;
+  obs::Counter refill_deferred_;
   obs::Counter retries_;
   obs::Counter retry_success_;
   obs::Counter retry_dropped_;
@@ -300,6 +326,17 @@ class ScanEngine {
   // Pre-interned "probe/<proto>" span names: each launch passes a 32-bit
   // id to the tracer, no string work at all.
   std::array<obs::Tracer::NameId, kProtocolCount> span_ids_{};
+  // Causal-trace vocabulary, also pre-interned: per-proto lifecycle span
+  // ("target/<proto>", submit -> final record), the staging span and the
+  // stage-transition instants.
+  std::array<obs::Tracer::NameId, kProtocolCount> lifecycle_ids_{};
+  obs::Tracer::NameId stage_name_ = 0;
+  obs::Tracer::NameId grant_name_ = 0;
+  obs::Tracer::NameId retry_name_ = 0;
+  obs::Tracer::NameId shed_name_ = 0;
+  obs::Tracer::NameId record_name_ = 0;
+  /// Per-lane monotone trace counter (see mint_trace).
+  std::uint64_t next_trace_ = 0;
 };
 
 /// Factories for the built-in protocol scanners (one per Table 2 protocol).

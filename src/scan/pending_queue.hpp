@@ -34,6 +34,17 @@ struct ScanIntent {
   /// Retry attempt: 0 for the first probe, incremented each re-stage.
   std::uint8_t attempt = 0;
   net::Ipv6Address target;
+  // Causal tracing context, carried but never read by the queue itself.
+  // New fields go after `target`: engine and tests build intents with
+  // positional designated initializers over the fields above.
+  /// obs::Tracer::TraceId of the probe lifecycle (0 = tracing off).
+  std::uint64_t trace = 0;
+  /// Open whole-lifecycle span (submit -> record), closed by the engine at
+  /// the final outcome. obs::Tracer::SpanId; 0 = none.
+  std::uint64_t lifecycle_span = 0;
+  /// Open staging span (stage -> grant/shed), closed when the pump pulls
+  /// or sheds this intent. obs::Tracer::SpanId; 0 = none.
+  std::uint64_t stage_span = 0;
 };
 
 class PendingQueue {

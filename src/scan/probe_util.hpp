@@ -56,7 +56,12 @@ inline ProbeStatePtr make_probe_state(ScanRecord base,
 /// record a timeout.
 inline void arm_guard(simnet::Network& network, const ProbeStatePtr& state,
                       simnet::SimDuration timeout) {
+  // register_category is idempotent (a short linear name scan), so the
+  // guard self-categorises without threading an id through every scanner.
+  simnet::EventQueue::CategoryId cat =
+      network.events().register_category("scan_probe");
   network.events().schedule_in(timeout,
+                               cat,
                                [state] { state->finish(Outcome::kTimeout); });
 }
 

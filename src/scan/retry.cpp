@@ -57,51 +57,59 @@ bool CircuitBreakerSet::would_admit(const net::Ipv6Address& target,
 
 void CircuitBreakerSet::note_launch(const net::Ipv6Address& target,
                                     simnet::SimTime now) {
-  auto it = by_prefix_.find(key_of(target));
+  net::Ipv6Address key = key_of(target);
+  auto it = by_prefix_.find(key);
   if (it == by_prefix_.end()) return;
   Breaker& b = it->second;
   if (b.state == State::kOpen && now >= b.open_until) {
     b.state = State::kHalfOpen;
     b.trials_in_flight = 0;
     half_opens_.inc();
+    notify(key, State::kOpen, State::kHalfOpen, now);
   }
   if (b.state == State::kHalfOpen) ++b.trials_in_flight;
 }
 
-void CircuitBreakerSet::open(Breaker& b, simnet::SimTime now) {
+void CircuitBreakerSet::open(const net::Ipv6Address& prefix, Breaker& b,
+                             simnet::SimTime now) {
+  State from = b.state;
   if (b.state == State::kClosed) tripped_gauge_.add(1);
   b.state = State::kOpen;
   b.open_until = now + config_.open_for;
   b.trials_in_flight = 0;
   b.timeout_streak = 0;
   opens_.inc();
+  notify(prefix, from, State::kOpen, now);
 }
 
 void CircuitBreakerSet::on_outcome(const net::Ipv6Address& target,
                                    bool conclusive, simnet::SimTime now) {
+  net::Ipv6Address key = key_of(target);
   if (conclusive) {
-    auto it = by_prefix_.find(key_of(target));
+    auto it = by_prefix_.find(key);
     if (it == by_prefix_.end()) return;
     Breaker& b = it->second;
     b.timeout_streak = 0;
     if (b.trials_in_flight > 0) --b.trials_in_flight;
     if (b.state != State::kClosed) {
       // The prefix answered: whatever state the breaker was in, it closes.
+      State from = b.state;
       b.state = State::kClosed;
       tripped_gauge_.add(-1);
       closes_.inc();
+      notify(key, from, State::kClosed, now);
     }
     return;
   }
-  Breaker& b = by_prefix_[key_of(target)];
+  Breaker& b = by_prefix_[key];
   if (b.trials_in_flight > 0) --b.trials_in_flight;
   switch (b.state) {
     case State::kClosed:
-      if (++b.timeout_streak >= config_.open_after) open(b, now);
+      if (++b.timeout_streak >= config_.open_after) open(key, b, now);
       break;
     case State::kHalfOpen:
       // The trial probe also went unanswered: back to open, fresh cool-down.
-      open(b, now);
+      open(key, b, now);
       break;
     case State::kOpen:
       // A straggler from before the trip; the cool-down already runs.

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "net/ipv6.hpp"
@@ -102,6 +103,16 @@ class CircuitBreakerSet {
   void enroll(obs::Registry& registry, const obs::Labels& labels,
               const void* owner);
 
+  /// Called on every state transition with the breaker's prefix key — the
+  /// engine forwards these to the anomaly flight recorder. At most one
+  /// observer; empty function detaches.
+  using TransitionFn = std::function<void(
+      const net::Ipv6Address& prefix, State from, State to,
+      simnet::SimTime now)>;
+  void set_transition_observer(TransitionFn fn) {
+    on_transition_ = std::move(fn);
+  }
+
  private:
   struct Breaker {
     State state = State::kClosed;
@@ -110,9 +121,14 @@ class CircuitBreakerSet {
     std::uint32_t trials_in_flight = 0;
   };
 
-  void open(Breaker& b, simnet::SimTime now);
+  void open(const net::Ipv6Address& prefix, Breaker& b, simnet::SimTime now);
+  void notify(const net::Ipv6Address& prefix, State from, State to,
+              simnet::SimTime now) {
+    if (on_transition_) on_transition_(prefix, from, to, now);
+  }
 
   BreakerConfig config_;
+  TransitionFn on_transition_;
   /// Keyed lookups only — never iterated, so the unordered map cannot leak
   /// hash order into any observable behaviour.
   std::unordered_map<net::Ipv6Address, Breaker, net::Ipv6AddressHash>

@@ -1,7 +1,10 @@
 #include "simnet/event_queue.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+
+#include "obs/flight.hpp"
 
 namespace tts::simnet {
 
@@ -31,6 +34,8 @@ std::string format_duration(SimDuration d) {
   return buf;
 }
 
+EventQueue::EventQueue() { register_category("other"); }
+
 EventQueue::~EventQueue() {
   if (registry_) registry_->drop_owner(this);
 }
@@ -39,21 +44,99 @@ void EventQueue::attach_metrics(obs::Registry& registry, obs::Labels labels,
                                 bool time_dispatch) {
   registry_ = &registry;
   time_dispatch_ = time_dispatch;
+  labels_ = labels;
   registry.enroll(executed_ctr_, "simnet_events_executed", labels, this);
   registry.enroll(pending_gauge_, "simnet_events_pending", labels, this);
   if (time_dispatch)
     registry.enroll(dispatch_wall_, "simnet_dispatch_wall_ns",
                     std::move(labels), this);
+  for (Category& cat : categories_) enroll_category(cat);
+}
+
+EventQueue::CategoryId EventQueue::register_category(std::string_view name) {
+  for (CategoryId id = 0; id < categories_.size(); ++id)
+    if (categories_[id].name == name) return id;
+  Category cat;
+  cat.name = name;
+  cat.executed = std::make_unique<obs::Counter>();
+  cat.wall = std::make_unique<obs::Histogram>(
+      obs::Histogram::exponential(250, 4.0, 12));
+  if (registry_) enroll_category(cat);
+  if (flight_) cat.flight_note = flight_->note(cat.name);
+  categories_.push_back(std::move(cat));
+  return static_cast<CategoryId>(categories_.size() - 1);
+}
+
+void EventQueue::enroll_category(Category& cat) {
+  // The per-category series carry a category= label; the unlabelled
+  // aggregate instruments above stay as-is, so nothing double-enrols.
+  obs::Labels labels = labels_;
+  labels.emplace_back("category", cat.name);
+  registry_->enroll(*cat.executed, "simnet_events_executed", labels, this);
+  if (time_dispatch_)
+    registry_->enroll(*cat.wall, "simnet_dispatch_wall_ns",
+                      std::move(labels), this);
+}
+
+void EventQueue::set_flight_recorder(obs::FlightRecorder* recorder,
+                                     std::int64_t threshold_ns) {
+  flight_ = recorder;
+  flight_threshold_ns_ = threshold_ns;
+  if (!flight_) return;
+  for (Category& cat : categories_)
+    cat.flight_note = flight_->note(cat.name);
+}
+
+std::vector<EventQueue::SlowDispatch> EventQueue::slowest() const {
+  std::vector<SlowDispatch> out = slow_;
+  std::sort(out.begin(), out.end(),
+            [](const SlowDispatch& a, const SlowDispatch& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+              return a.at < b.at;
+            });
+  return out;
+}
+
+void EventQueue::note_slow_dispatch(std::int64_t wall, CategoryId cat) {
+  // Keep the top-K table (min-heap on wall_ns: front() is the K-th place
+  // to beat), independently of the flight-recorder threshold.
+  auto lighter = [](const SlowDispatch& a, const SlowDispatch& b) {
+    return a.wall_ns > b.wall_ns;
+  };
+  if (slow_.size() < kSlowTableSize) {
+    slow_.push_back(SlowDispatch{now_, wall, cat});
+    std::push_heap(slow_.begin(), slow_.end(), lighter);
+  } else if (wall > slow_.front().wall_ns) {
+    std::pop_heap(slow_.begin(), slow_.end(), lighter);
+    slow_.back() = SlowDispatch{now_, wall, cat};
+    std::push_heap(slow_.begin(), slow_.end(), lighter);
+  }
+  if (flight_ && wall >= flight_threshold_ns_) {
+    flight_->record(obs::FlightKind::kSlowDispatch,
+                    categories_[cat].flight_note,
+                    /*trace=*/0, /*a=*/wall,
+                    /*b=*/static_cast<std::int64_t>(cat), /*wall_ns=*/0);
+    flight_->trigger("slow-dispatch");
+  }
 }
 
 void EventQueue::schedule_at(SimTime at, Callback fn) {
+  schedule_at(at, /*category=*/0, std::move(fn));
+}
+
+void EventQueue::schedule_at(SimTime at, CategoryId category, Callback fn) {
   if (at < now_) at = now_;
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  heap_.push(Entry{at, next_seq_++, category, std::move(fn)});
   pending_gauge_.set(static_cast<std::int64_t>(heap_.size()));
 }
 
 void EventQueue::schedule_in(SimDuration delay, Callback fn) {
-  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  schedule_at(now_ + (delay < 0 ? 0 : delay), /*category=*/0, std::move(fn));
+}
+
+void EventQueue::schedule_in(SimDuration delay, CategoryId category,
+                             Callback fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), category, std::move(fn));
 }
 
 bool EventQueue::step() {
@@ -65,11 +148,15 @@ bool EventQueue::step() {
   pending_gauge_.set(static_cast<std::int64_t>(heap_.size()));
   now_ = e.at;
   executed_ctr_.inc();
+  categories_[e.cat].executed->inc();
   if (time_dispatch_ &&
       (executed_ctr_.value() & dispatch_mask_) == 0) {
     std::int64_t t0 = wall_ns();
     e.fn();
-    dispatch_wall_.record(wall_ns() - t0);
+    std::int64_t wall = wall_ns() - t0;
+    dispatch_wall_.record(wall);
+    categories_[e.cat].wall->record(wall);
+    note_slow_dispatch(wall, e.cat);
   } else {
     e.fn();
   }
@@ -100,10 +187,12 @@ std::uint64_t EventQueue::run_until(SimTime until) {
 
 // ------------------------------------------------------------------ Timer
 
-Timer::Timer(EventQueue& queue, EventQueue::Callback fn)
+Timer::Timer(EventQueue& queue, EventQueue::Callback fn,
+             EventQueue::CategoryId category)
     : state_(std::make_shared<State>()) {
   state_->queue = &queue;
   state_->fn = std::move(fn);
+  state_->category = category;
 }
 
 Timer::~Timer() {
@@ -132,7 +221,8 @@ void Timer::push_entry(const std::shared_ptr<State>& s) {
   s->entry_live = true;
   ++s->entries;
   std::uint64_t gen = ++s->gen;
-  s->queue->schedule_at(s->target, [s, gen] { fire(s, gen); });
+  s->queue->schedule_at(s->target, s->category,
+                        [s, gen] { fire(s, gen); });
 }
 
 void Timer::fire(const std::shared_ptr<State>& s, std::uint64_t gen) {

@@ -20,13 +20,20 @@
 #include "obs/metrics.hpp"
 #include "simnet/time.hpp"
 
+namespace tts::obs {
+class FlightRecorder;
+}
+
 namespace tts::simnet {
 
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  /// Dispatch category for wall-time attribution (register_category).
+  /// Category 0 is the pre-registered "other" bucket.
+  using CategoryId = std::uint16_t;
 
-  EventQueue() = default;
+  EventQueue();
   ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -37,6 +44,10 @@ class EventQueue {
   void schedule_at(SimTime at, Callback fn);
   /// Schedule `fn` after `delay`.
   void schedule_in(SimDuration delay, Callback fn);
+  /// Category-attributed variants: the event's execution is counted (and,
+  /// when dispatch timing is on, wall-timed) under `category`.
+  void schedule_at(SimTime at, CategoryId category, Callback fn);
+  void schedule_in(SimDuration delay, CategoryId category, Callback fn);
 
   /// Run events until the queue drains or `until` is passed; the clock ends
   /// at the later of its current value and the last executed event (or
@@ -67,10 +78,45 @@ class EventQueue {
   void set_dispatch_sampling(std::uint32_t every);
   const obs::Histogram& dispatch_wall_ns() const { return dispatch_wall_; }
 
+  /// Register (or look up — idempotent by name) a dispatch category.
+  /// Per-category executed counters are always live; per-category wall
+  /// histograms fill on the same sampled timed dispatches as the aggregate
+  /// simnet_dispatch_wall_ns. Register at setup time, schedule hot.
+  CategoryId register_category(std::string_view name);
+  const std::string& category_name(CategoryId id) const {
+    return categories_[id].name;
+  }
+  std::size_t category_count() const { return categories_.size(); }
+  /// Executed-event count attributed to `id` (deterministic).
+  std::uint64_t category_executed(CategoryId id) const {
+    return categories_[id].executed->value();
+  }
+  /// Wall histogram attributed to `id` (empty unless dispatch timing on).
+  const obs::Histogram& category_wall_ns(CategoryId id) const {
+    return *categories_[id].wall;
+  }
+
+  /// One timed dispatch that exceeded the flight-recorder threshold, kept
+  /// in the top-K table.
+  struct SlowDispatch {
+    SimTime at = 0;
+    std::int64_t wall_ns = 0;
+    CategoryId category = 0;
+  };
+  /// Top-K slowest timed dispatches so far, slowest first.
+  std::vector<SlowDispatch> slowest() const;
+
+  /// Report timed dispatches over `threshold_ns` wall time to `recorder`
+  /// (FlightKind::kSlowDispatch, detail = category name) and trigger a
+  /// flight dump. nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder,
+                           std::int64_t threshold_ns = 1'000'000);
+
  private:
   struct Entry {
     SimTime at;
     std::uint64_t seq;
+    CategoryId cat;
     Callback fn;
   };
   struct Later {
@@ -79,6 +125,18 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+
+  // Counter/Histogram hold atomics (non-movable), so categories own them
+  // through unique_ptr; the vector is append-only and ids stay stable.
+  struct Category {
+    std::string name;
+    std::unique_ptr<obs::Counter> executed;
+    std::unique_ptr<obs::Histogram> wall;
+    std::uint32_t flight_note = 0;  // interned category name, lazily set
+  };
+
+  void enroll_category(Category& cat);
+  void note_slow_dispatch(std::int64_t wall, CategoryId cat);
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   SimTime now_ = 0;
@@ -90,6 +148,14 @@ class EventQueue {
   bool time_dispatch_ = false;
   std::uint64_t dispatch_mask_ = 0;  // time when (executed & mask) == 0
   obs::Registry* registry_ = nullptr;
+  obs::Labels labels_;
+  std::vector<Category> categories_;
+  // Top-K slowest timed dispatches, kept as a min-heap on wall_ns so each
+  // candidate costs one comparison against the current K-th place.
+  static constexpr std::size_t kSlowTableSize = 16;
+  std::vector<SlowDispatch> slow_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::int64_t flight_threshold_ns_ = 1'000'000;
 };
 
 /// A re-schedulable one-shot timer slot: one logical deadline, at most one
@@ -108,7 +174,8 @@ class EventQueue {
 /// EventQueue must outlive the Timer's pending entries (it owns them).
 class Timer {
  public:
-  Timer(EventQueue& queue, EventQueue::Callback fn);
+  Timer(EventQueue& queue, EventQueue::Callback fn,
+        EventQueue::CategoryId category = 0);
   ~Timer();
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
@@ -130,6 +197,7 @@ class Timer {
   struct State {
     EventQueue* queue;
     EventQueue::Callback fn;
+    EventQueue::CategoryId category = 0;
     bool armed = false;
     SimTime target = 0;
     bool entry_live = false;  // a non-superseded heap entry exists

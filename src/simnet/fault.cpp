@@ -1,5 +1,7 @@
 #include "simnet/fault.hpp"
 
+#include "obs/flight.hpp"
+
 namespace tts::simnet {
 
 FaultPlane::FaultPlane(FaultScenario scenario, obs::Registry* registry)
@@ -21,6 +23,21 @@ FaultPlane::~FaultPlane() {
   if (registry_) registry_->drop_owner(this);
 }
 
+void FaultPlane::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (!flight_) return;
+  fault_notes_[kNoteUdpDrop] = flight_->note("udp_drop");
+  fault_notes_[kNoteUdpHostDown] = flight_->note("udp_host_down");
+  fault_notes_[kNoteTcpBlackhole] = flight_->note("tcp_blackhole");
+  fault_notes_[kNoteTcpRst] = flight_->note("tcp_rst");
+  fault_notes_[kNoteTcpStall] = flight_->note("tcp_stall");
+}
+
+void FaultPlane::inject(InjectNote which) {
+  if (flight_)
+    flight_->record(obs::FlightKind::kFaultInjected, fault_notes_[which]);
+}
+
 bool FaultPlane::host_down(const net::Ipv6Address& host, SimTime now) const {
   for (const HostOutage& outage : scenario_.outages)
     if (outage.host == host && outage.active(now)) return true;
@@ -32,6 +49,7 @@ FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
   UdpVerdict verdict;
   if (host_down(dst, now)) {
     udp_host_down_.inc();
+    inject(kNoteUdpHostDown);
     verdict.drop = true;
     return verdict;
   }
@@ -41,11 +59,13 @@ FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
     switch (rule.kind) {
       case FaultKind::kBlackhole:
         udp_dropped_.inc();
+        inject(kNoteUdpDrop);
         verdict.drop = true;
         return verdict;
       case FaultKind::kLoss:
         if (rng_.chance(rule.probability)) {
           udp_dropped_.inc();
+          inject(kNoteUdpDrop);
           verdict.drop = true;
           return verdict;
         }
@@ -70,6 +90,7 @@ FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
   TcpVerdict verdict;
   if (host_down(dst, now)) {
     tcp_blackholed_.inc();
+    inject(kNoteTcpBlackhole);
     verdict.action = TcpAction::kBlackhole;
     return verdict;
   }
@@ -79,21 +100,25 @@ FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
     switch (rule.kind) {
       case FaultKind::kBlackhole:
         tcp_blackholed_.inc();
+        inject(kNoteTcpBlackhole);
         verdict.action = TcpAction::kBlackhole;
         return verdict;
       case FaultKind::kLoss:
         if (rng_.chance(rule.probability)) {
           tcp_blackholed_.inc();  // a lost SYN looks like a blackhole
+          inject(kNoteTcpBlackhole);
           verdict.action = TcpAction::kBlackhole;
           return verdict;
         }
         break;
       case FaultKind::kRst:
         tcp_rst_.inc();
+        inject(kNoteTcpRst);
         verdict.action = TcpAction::kRst;
         return verdict;
       case FaultKind::kStall:
         tcp_stalled_.inc();
+        inject(kNoteTcpStall);
         verdict.action = TcpAction::kStall;
         return verdict;
       case FaultKind::kDelay:

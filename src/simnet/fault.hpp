@@ -25,6 +25,10 @@
 #include "simnet/time.hpp"
 #include "util/rng.hpp"
 
+namespace tts::obs {
+class FlightRecorder;
+}
+
 namespace tts::simnet {
 
 enum class FaultKind : std::uint8_t {
@@ -112,6 +116,12 @@ class FaultPlane {
   /// Count one data delivery swallowed by a stalled connection.
   void note_stalled_data() { stall_data_dropped_.inc(); }
 
+  /// Report every terminal injection (drop, blackhole, RST, stall, outage
+  /// hit) to `recorder` as FlightKind::kFaultInjected, detail = the
+  /// injection kind; a burst trigger on the recorder then dumps context
+  /// when a scenario window opens. nullptr detaches.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
   const FaultScenario& scenario() const { return scenario_; }
 
   std::uint64_t udp_dropped() const { return udp_dropped_.value(); }
@@ -125,9 +135,22 @@ class FaultPlane {
   std::uint64_t delays_injected() const { return delays_injected_.value(); }
 
  private:
+  /// Injection kinds as flight-recorder details (indexes fault_notes_).
+  enum InjectNote : std::size_t {
+    kNoteUdpDrop,
+    kNoteUdpHostDown,
+    kNoteTcpBlackhole,
+    kNoteTcpRst,
+    kNoteTcpStall,
+    kNoteCount,
+  };
+  void inject(InjectNote which);
+
   FaultScenario scenario_;
   util::Rng rng_;
   obs::Registry* registry_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint32_t fault_notes_[kNoteCount] = {};
 
   obs::Counter udp_dropped_;      // loss + blackhole rules on datagrams
   obs::Counter udp_host_down_;    // datagrams to a host in outage

@@ -35,7 +35,8 @@ void TcpConnection::send(Side from, std::vector<std::uint8_t> data) {
   // Data queued before a close is still delivered (TCP flushes the send
   // buffer before the FIN); the close notification is scheduled after it.
   net_->events_.schedule_in(
-      latency_, [self, to, data = std::move(data)]() mutable {
+      latency_, net_->packet_cat_,
+      [self, to, data = std::move(data)]() mutable {
         if (self->on_data_[to]) self->on_data_[to](std::move(data));
       });
 }
@@ -49,11 +50,12 @@ void TcpConnection::close(Side from) {
     // close. Still break the handler capture cycles (deferred one latency
     // so a close from inside a callback never drops the running closure's
     // own captures out from under it).
-    net_->events_.schedule_in(latency_, [self] { self->drop_handlers(); });
+    net_->events_.schedule_in(latency_, net_->packet_cat_,
+                              [self] { self->drop_handlers(); });
     return;
   }
   int to = 1 - static_cast<int>(from);
-  net_->events_.schedule_in(latency_, [self, to] {
+  net_->events_.schedule_in(latency_, net_->packet_cat_, [self, to] {
     // Move the peer's close handler out, then drop every handler before
     // invoking it: the handlers routinely capture the connection pointer,
     // and clearing them here breaks the shared_ptr cycle the moment the
@@ -73,7 +75,10 @@ void TcpConnection::drop_handlers() {
 // --------------------------------------------------------------------- Network
 
 Network::Network(EventQueue& events, NetworkConfig config)
-    : events_(events), config_(config), rng_(config.seed) {}
+    : events_(events),
+      config_(config),
+      rng_(config.seed),
+      packet_cat_(events.register_category("packet")) {}
 
 Network::~Network() {
   // Connections that never closed (in-flight probes at the simulation
@@ -158,7 +163,8 @@ void Network::send_udp(const Endpoint& src, const Endpoint& dst,
     if (verdict.drop) return;
     lat += verdict.extra_latency;
   }
-  events_.schedule_in(lat, [this, src, dst, payload = std::move(payload)] {
+  events_.schedule_in(lat, packet_cat_,
+                      [this, src, dst, payload = std::move(payload)] {
     auto it = udp_.find(dst);
     if (it == udp_.end()) {
       // No exact binding: try wildcard prefix bindings (aliased regions).
@@ -198,12 +204,12 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
     verdict = fault_->on_tcp_connect(dst.addr, events_.now());
     lat += verdict.extra_latency;
     if (verdict.action == FaultPlane::TcpAction::kBlackhole) {
-      events_.schedule_in(timeout,
+      events_.schedule_in(timeout, packet_cat_,
                           [result] { result(nullptr, /*refused=*/false); });
       return;
     }
     if (verdict.action == FaultPlane::TcpAction::kRst) {
-      events_.schedule_in(2 * lat,
+      events_.schedule_in(2 * lat, packet_cat_,
                           [result] { result(nullptr, /*refused=*/true); });
       return;
     }
@@ -225,13 +231,13 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
 
   if (!host_online) {
     // Blackhole: the connect attempt times out.
-    events_.schedule_in(timeout,
+    events_.schedule_in(timeout, packet_cat_,
                         [result] { result(nullptr, /*refused=*/false); });
     return;
   }
   if (!has_listener) {
     // RST after one RTT.
-    events_.schedule_in(2 * lat,
+    events_.schedule_in(2 * lat, packet_cat_,
                         [result] { result(nullptr, /*refused=*/true); });
     return;
   }
@@ -239,7 +245,7 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
   ++tcp_established_;
   bool stalled = verdict.action == FaultPlane::TcpAction::kStall;
   TcpAcceptor acceptor = wildcard ? wildcard : listener->second;
-  events_.schedule_in(2 * lat,
+  events_.schedule_in(2 * lat, packet_cat_,
                       [this, src, dst, lat, stalled, result, acceptor] {
     auto conn = TcpConnectionPtr(new TcpConnection(this, src, dst, lat));
     conn->stalled_ = stalled;
@@ -251,8 +257,10 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
   });
 }
 
-void Network::install_faults(FaultScenario scenario, obs::Registry* registry) {
+void Network::install_faults(FaultScenario scenario, obs::Registry* registry,
+                             obs::FlightRecorder* flight) {
   fault_ = std::make_unique<FaultPlane>(std::move(scenario), registry);
+  if (flight) fault_->set_flight_recorder(flight);
 }
 
 void Network::track_connection(const TcpConnectionPtr& conn) {

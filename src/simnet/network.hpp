@@ -142,6 +142,7 @@ class Network {
   ~Network();
 
   EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
   SimTime now() const { return events_.now(); }
 
   // -- address lifecycle ----------------------------------------------------
@@ -172,9 +173,12 @@ class Network {
 
   // -- fault injection --------------------------------------------------------
   /// Install (or replace) the fault plane driving scripted impairments; see
-  /// simnet/fault.hpp. Instruments enroll into `registry` when given.
+  /// simnet/fault.hpp. Instruments enroll into `registry` when given;
+  /// injections are reported to `flight` when given (see
+  /// FaultPlane::set_flight_recorder).
   void install_faults(FaultScenario scenario,
-                      obs::Registry* registry = nullptr);
+                      obs::Registry* registry = nullptr,
+                      obs::FlightRecorder* flight = nullptr);
   /// The installed plane (nullptr when no scenario is active).
   const FaultPlane* faults() const { return fault_.get(); }
 
@@ -215,6 +219,9 @@ class Network {
   EventQueue& events_;
   NetworkConfig config_;
   util::Rng rng_;
+  /// Dispatch category for every delivery the network schedules (UDP
+  /// deliveries, TCP connect outcomes, connection data/close).
+  EventQueue::CategoryId packet_cat_;
   /// Scripted impairments (null = pristine network). Consulted on every
   /// UDP send and TCP connect; stalled connections swallow data through it.
   std::unique_ptr<FaultPlane> fault_;

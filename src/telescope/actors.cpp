@@ -22,7 +22,10 @@ std::vector<std::uint16_t> covert_actor_ports() {
 
 ScanningActor::ScanningActor(simnet::Network& network, ntp::NtpPool& pool,
                              ActorConfig config)
-    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+    : network_(network),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      category_(network.events().register_category("telescope")) {
   collector_.subscribe(
       [this](const ntp::CollectedAddress& rec) { on_sighting(rec); });
 
@@ -68,8 +71,8 @@ void ScanningActor::on_sighting(const ntp::CollectedAddress& rec) {
             : 0;
     const net::Ipv6Address& source =
         config_.scan_sources[rng_.below(config_.scan_sources.size())];
-    network_.events().schedule_in(delay + offset, [this, source, target,
-                                                   port] {
+    network_.events().schedule_in(delay + offset, category_,
+                                  [this, source, target, port] {
       ++probes_sent_;
       network_.connect_tcp(
           {source, static_cast<std::uint16_t>(20000 + probes_sent_ % 40000)},

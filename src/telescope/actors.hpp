@@ -60,6 +60,7 @@ class ScanningActor {
   simnet::Network& network_;
   ActorConfig config_;
   util::Rng rng_;
+  simnet::EventQueue::CategoryId category_;
   ntp::AddressCollector collector_;
   std::vector<std::unique_ptr<ntp::NtpServer>> servers_;
   std::uint64_t probes_sent_ = 0;

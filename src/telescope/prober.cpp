@@ -10,7 +10,8 @@ PoolProber::PoolProber(simnet::Network& network, const ntp::NtpPool& pool,
       pool_(pool),
       config_(std::move(config)),
       rng_(config_.seed),
-      client_(network) {
+      client_(network),
+      category_(network.events().register_category("telescope")) {
   if (config_.registry) {
     config_.registry->enroll(queries_, "telescope_queries", {}, this);
     config_.registry->enroll(answered_, "telescope_answered", {}, this);
@@ -61,7 +62,7 @@ net::Ipv6Address PoolProber::next_source() {
 
 void PoolProber::schedule_next() {
   if (network_.now() >= config_.duration) return;
-  network_.events().schedule_in(config_.query_interval, [this] {
+  network_.events().schedule_in(config_.query_interval, category_, [this] {
     run_query();
     schedule_next();
   });

@@ -84,6 +84,7 @@ class PoolProber {
   ProberConfig config_;
   util::Rng rng_;
   ntp::NtpClient client_;
+  simnet::EventQueue::CategoryId category_;
 
   std::vector<ProbeRecord> probes_;
   std::unordered_map<net::Ipv6Address, std::size_t, net::Ipv6AddressHash>

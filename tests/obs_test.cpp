@@ -652,10 +652,11 @@ TEST(ScanEngine, AccessorsReadTheRegistryInstruments) {
     EXPECT_EQ(completed, engine.probes_completed());
 
     // Token bucket recorded one wait per launched probe; RTT one per
-    // completion; the tracer saw one span per probe.
+    // completion; the tracer saw each probe's full lifecycle — stage span,
+    // grant instant, launch span, record instant and lifecycle span.
     EXPECT_EQ(engine.token_wait().count(), engine.probes_launched());
     EXPECT_EQ(engine.probe_rtt().count(), engine.probes_completed());
-    EXPECT_EQ(tracer.completed(), engine.probes_completed());
+    EXPECT_EQ(tracer.completed(), 5 * engine.probes_completed());
     EXPECT_EQ(tracer.open_spans(), 0u);
     EXPECT_GE(reg.size(), 7u + 2 * scan::kProtocolCount);
   }

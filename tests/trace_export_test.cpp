@@ -1,0 +1,253 @@
+// Causal probe-lifecycle tracing end to end: TraceId threading through
+// stage -> grant -> launch -> retry -> record, the Chrome trace-event
+// export (bit-identical for same-seed studies), and the anomaly flight
+// recorder's breaker-open dump.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "scan/engine.hpp"
+#include "simnet/event_queue.hpp"
+#include "simnet/fault.hpp"
+#include "simnet/network.hpp"
+
+namespace tts {
+namespace {
+
+constexpr std::uint64_t kNetA = 0x20010db800010000ULL;
+constexpr std::uint64_t kNetB = 0x20010db900010000ULL;
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_halves(hi, lo);
+}
+
+scan::ScanEngineConfig fast_config() {
+  scan::ScanEngineConfig c;
+  c.scanner_address = addr(kNetB, 0xbeef);
+  c.min_protocol_delay = simnet::usec(10);
+  c.max_protocol_delay = simnet::usec(20);
+  c.max_pps = 100000;
+  return c;
+}
+
+// ------------------------------------------------ lifecycle trace linking
+
+TEST(ProbeLifecycleTrace, RetriedProbeSpansShareOneTraceAndNest) {
+  simnet::EventQueue events;
+  simnet::Network network(events);
+  scan::ResultStore results;
+  obs::Tracer tracer(1024);
+  tracer.set_sim_clock(&events);
+
+  auto config = fast_config();
+  config.retry.max_retries = 1;
+  config.retry.base_backoff = simnet::sec(1);
+  config.retry.jitter = 0.0;
+  config.tracer = &tracer;
+  scan::ScanEngine engine(network, results, config);
+  // Offline target: every probe of every attempt times out, so each
+  // protocol chain runs stage -> grant -> launch -> timeout -> retry ->
+  // stage -> grant -> launch -> timeout -> record.
+  engine.submit(addr(kNetA, 1));
+  events.run();
+
+  auto records = tracer.records();
+  // Pick one retried chain via its retry marker.
+  obs::Tracer::TraceId trace = 0;
+  for (const auto& r : records)
+    if (r.name == "probe/retry") {
+      trace = r.trace;
+      break;
+    }
+  ASSERT_NE(trace, 0u);
+
+  std::vector<obs::SpanRecord> chain;
+  for (const auto& r : records)
+    if (r.trace == trace) chain.push_back(r);
+
+  auto count_named = [&chain](const std::string& name) {
+    return std::count_if(chain.begin(), chain.end(),
+                         [&name](const obs::SpanRecord& r) {
+                           return r.name == name;
+                         });
+  };
+  // Two attempts: two staging spans, two grants, two launches; one retry
+  // marker, one final record, one whole-lifecycle span. 9 records total.
+  EXPECT_EQ(chain.size(), 9u);
+  EXPECT_EQ(count_named("probe/stage"), 2);
+  EXPECT_EQ(count_named("probe/grant"), 2);
+  EXPECT_EQ(count_named("probe/retry"), 1);
+  EXPECT_EQ(count_named("probe/record"), 1);
+
+  const obs::SpanRecord* lifecycle = nullptr;
+  int launches = 0;
+  for (const auto& r : chain) {
+    if (r.name.rfind("target/", 0) == 0) {
+      EXPECT_EQ(lifecycle, nullptr) << "one lifecycle span per chain";
+      lifecycle = &r;
+    }
+    if (r.name.rfind("probe/", 0) == 0 && !r.instant &&
+        r.name != "probe/stage")
+      ++launches;  // probe/<proto> launch spans
+  }
+  EXPECT_EQ(launches, 2);
+  ASSERT_NE(lifecycle, nullptr);
+  // The lifecycle span covers every other span/marker of its trace.
+  for (const auto& r : chain) {
+    EXPECT_GE(r.sim_begin, lifecycle->sim_begin) << r.name;
+    EXPECT_LE(r.sim_end, lifecycle->sim_end) << r.name;
+  }
+  // Both attempts' stage spans closed exactly when their grant fired.
+  std::vector<simnet::SimTime> stage_ends, grants;
+  for (const auto& r : chain) {
+    if (r.name == "probe/stage") stage_ends.push_back(r.sim_end);
+    if (r.name == "probe/grant") grants.push_back(r.sim_begin);
+  }
+  std::sort(stage_ends.begin(), stage_ends.end());
+  std::sort(grants.begin(), grants.end());
+  EXPECT_EQ(stage_ends, grants);
+}
+
+TEST(ProbeLifecycleTrace, TraceIdsAreMintedWithoutATracer) {
+  // Trace minting is unconditional (cheap, seed-stable); only span work is
+  // gated on the tracer. Without a tracer the engine still runs clean.
+  simnet::EventQueue events;
+  simnet::Network network(events);
+  scan::ResultStore results;
+  scan::ScanEngine engine(network, results, fast_config());
+  engine.submit(addr(kNetA, 1));
+  events.run();
+  EXPECT_EQ(engine.probes_completed(), scan::kProtocolCount);
+}
+
+// -------------------------------------------------- chrome trace export
+
+std::string run_tiny_study_trace(std::uint64_t seed) {
+  auto config = core::make_study_config(core::StudyScale::kTiny);
+  config.seed = seed;
+  config.obs.enabled = true;
+  core::Study study(std::move(config));
+  study.run();
+  return obs::to_chrome_trace(study.tracer());
+}
+
+TEST(ChromeTraceExport, SameSeedBitIdenticalDifferentSeedDiffers) {
+  std::string first = run_tiny_study_trace(20240720);
+  std::string second = run_tiny_study_trace(20240720);
+  std::string other = run_tiny_study_trace(20240721);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);
+}
+
+TEST(ChromeTraceExport, EmitsBalancedAsyncPairsAndValidShape) {
+  simnet::EventQueue events;
+  simnet::Network network(events);
+  scan::ResultStore results;
+  obs::Tracer tracer(1024);
+  tracer.set_sim_clock(&events);
+
+  auto config = fast_config();
+  config.tracer = &tracer;
+  scan::ScanEngine engine(network, results, config);
+  engine.submit(addr(kNetA, 1));
+  events.run();
+
+  std::string json = obs::to_chrome_trace(tracer);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  auto count_sub = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + needle.size()))
+      ++n;
+    return n;
+  };
+  // Trace-linked spans emit matched async begin/end pairs on a TraceId
+  // track; markers are async instants on the same track.
+  EXPECT_GT(count_sub("\"ph\":\"b\""), 0u);
+  EXPECT_EQ(count_sub("\"ph\":\"b\""), count_sub("\"ph\":\"e\""));
+  EXPECT_GT(count_sub("\"ph\":\"n\""), 0u);
+  EXPECT_GT(count_sub("\"id\":\"0x"), 0u);
+  // Wall readings stay out of the export unless asked for.
+  EXPECT_EQ(count_sub("wall_ns"), 0u);
+  obs::ChromeTraceOptions with_wall;
+  with_wall.include_wall = true;
+  EXPECT_GT(obs::to_chrome_trace(tracer, with_wall).find("wall_ns"),
+            0u);
+}
+
+// ------------------------------------------------------ flight recorder
+
+TEST(FlightRecorder, BreakerOpenAppendsTraceLinkedEventsAndDumps) {
+  simnet::EventQueue events;
+  simnet::Network network(events);
+  scan::ResultStore results;
+  obs::FlightRecorder flight(256);
+  flight.set_sim_clock(&events);
+
+  // One /48 of blackholed targets: timeouts streak, the breaker opens and
+  // sheds the staggered later probes.
+  simnet::FaultScenario scenario;
+  scenario.rules.push_back({.prefix = net::Ipv6Prefix(addr(kNetA, 0), 48),
+                            .kind = simnet::FaultKind::kBlackhole,
+                            .from = 0,
+                            .until = simnet::sec(60)});
+  network.install_faults(scenario, /*registry=*/nullptr, &flight);
+  for (std::uint64_t i = 1; i <= 6; ++i) network.attach(addr(kNetA, i));
+
+  auto config = fast_config();
+  config.min_protocol_delay = simnet::sec(10);
+  config.max_protocol_delay = simnet::sec(20);
+  config.breaker.enabled = true;
+  config.breaker.prefix_len = 48;
+  config.breaker.open_after = 3;
+  config.breaker.open_for = simnet::sec(30);
+  config.flight = &flight;
+  scan::ScanEngine engine(network, results, config);
+  for (std::uint64_t i = 1; i <= 6; ++i) engine.submit(addr(kNetA, i));
+  events.run();
+
+  ASSERT_NE(engine.breaker(), nullptr);
+  ASSERT_GE(engine.breaker()->opens(), 1u);
+
+  std::uint64_t opens = 0, sheds = 0, shed_traces = 0;
+  for (const auto& ev : flight.events()) {
+    if (ev.kind == obs::FlightKind::kBreakerOpen) ++opens;
+    if (ev.kind == obs::FlightKind::kBreakerShed) {
+      ++sheds;
+      if (ev.trace != 0) ++shed_traces;
+    }
+  }
+  EXPECT_EQ(opens, engine.breaker()->opens());
+  EXPECT_EQ(sheds, engine.breaker_shed());
+  // Shed events carry the shed intent's TraceId (minting is tracer-free).
+  EXPECT_EQ(shed_traces, sheds);
+
+  // The breaker-open trigger dumped the ring (rate-limited thereafter).
+  ASSERT_GE(flight.dumps().size(), 1u);
+  EXPECT_EQ(flight.dumps().front().first, "breaker-open");
+  EXPECT_NE(flight.dumps().front().second.find("breaker_open"),
+            std::string::npos);
+  EXPECT_EQ(flight.triggers(), flight.dumps().size() + flight.suppressed());
+}
+
+TEST(FlightRecorder, SameSeedDumpsAreBitIdentical) {
+  auto run = [](std::uint64_t seed) {
+    auto config = core::make_study_config(core::StudyScale::kTiny);
+    config.seed = seed;
+    config.obs.enabled = true;
+    core::Study study(std::move(config));
+    study.run();
+    study.flight().trigger("on-demand");
+    return study.flight().dumps().back().second;
+  };
+  EXPECT_EQ(run(20240720), run(20240720));
+}
+
+}  // namespace
+}  // namespace tts
