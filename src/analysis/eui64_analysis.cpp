@@ -7,8 +7,11 @@
 namespace tts::analysis {
 
 void Eui64Accumulator::attach(ntp::AddressCollector& collector) {
-  collector.subscribe([this](const ntp::CollectedAddress& rec) {
-    add(rec.addr, rec.server);
+  // Batch subscription: one callback per ingest batch instead of one per
+  // address; elements are processed in arrival order, so the tallies are
+  // identical to the per-address path.
+  collector.subscribe_batch([this](const ntp::CollectedBatch& batch) {
+    for (const auto& addr : batch.addrs) add(addr, batch.server);
   });
 }
 

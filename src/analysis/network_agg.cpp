@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "net/address_store.hpp"
 #include "util/stats.hpp"
 
 namespace tts::analysis {
@@ -10,23 +11,35 @@ NetworkAggregates aggregate(std::span<const net::Ipv6Address> addresses,
                             const inet::AsRegistry& registry) {
   NetworkAggregates out;
   out.addresses = addresses.size();
-  PrefixSet n32, n48, n56, n64;
+  // One compact /64-keyed pass replaces four per-level prefix hash sets:
+  // the store's prefix index is sorted by hi64, so distinct /32../56
+  // counts fall out of one scan over masked keys (masking a sorted
+  // sequence keeps it sorted).
+  net::AddressStore store;
+  store.insert_batch(addresses);
+  out.nets64 = store.prefix_count();
+  std::uint64_t last32 = 0, last48 = 0, last56 = 0;
+  bool first = true;
+  store.for_each_prefix([&](std::uint64_t hi,
+                            std::span<const std::uint64_t> iids) {
+    (void)iids;
+    std::uint64_t p32 = hi >> 32, p48 = hi >> 16, p56 = hi >> 8;
+    if (first || p32 != last32) ++out.nets32;
+    if (first || p48 != last48) ++out.nets48;
+    if (first || p56 != last56) ++out.nets56;
+    last32 = p32;
+    last48 = p48;
+    last56 = p56;
+    first = false;
+  });
   AsSet ases;
   std::unordered_set<std::string> countries;
   for (const auto& a : addresses) {
-    n32.insert(net::Ipv6Prefix(a, 32));
-    n48.insert(net::Ipv6Prefix(a, 48));
-    n56.insert(net::Ipv6Prefix(a, 56));
-    n64.insert(net::Ipv6Prefix(a, 64));
     if (const inet::AsInfo* as = registry.origin(a)) {
       ases.insert(as->number);
       countries.insert(as->country);
     }
   }
-  out.nets32 = n32.size();
-  out.nets48 = n48.size();
-  out.nets56 = n56.size();
-  out.nets64 = n64.size();
   out.ases = ases.size();
   out.countries = countries.size();
   return out;
@@ -67,8 +80,8 @@ std::uint64_t overlap(const AsSet& a, const AsSet& b) {
 
 std::uint64_t address_overlap(std::span<const net::Ipv6Address> lhs,
                               std::span<const net::Ipv6Address> rhs) {
-  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> set(
-      lhs.begin(), lhs.end());
+  net::AddressStore set;
+  set.insert_batch(lhs);
   std::uint64_t n = 0;
   for (const auto& addr : rhs)
     if (set.contains(addr)) ++n;

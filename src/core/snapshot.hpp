@@ -1,0 +1,71 @@
+// Versioned binary snapshots of Study data-plane state: checkpoint,
+// resume, and bisect long virtual studies.
+//
+// A snapshot is a small set of named, length-prefixed sections — clock,
+// collector, hitlist, results, rng — each serialized with util::ByteWriter
+// in a layout that is a pure function of simulation state (maps are walked
+// in key order, unordered containers are sorted before encoding). Equal
+// state therefore means byte-equal sections, which is what makes
+// checkpoints verifiable and divergence bisectable: compare section bytes
+// and the first differing name tells you which subsystem drifted.
+//
+// Resume semantics: simulation state includes live event-queue closures
+// that cannot be serialized, so restore works by deterministic replay. A
+// resumed Study re-runs the same seed to the checkpoint time (cheap —
+// virtual time, no network), then *proves* it reached the identical state
+// by comparing every live section against the snapshot, byte for byte,
+// before continuing. A mismatch throws SnapshotDivergence naming the
+// diverged sections instead of silently producing a forked timeline. The
+// decoded payload accessors make the same sections loadable standalone for
+// offline analysis of a half-finished study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hitlist/hitlist.hpp"
+#include "ntp/collector.hpp"
+#include "scan/results.hpp"
+#include "simnet/time.hpp"
+
+namespace tts::core {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x54545353;  // "SSTT"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct SnapshotSection {
+  std::string name;
+  std::string bytes;
+};
+
+/// A resumed run reached a different state than the checkpointed one.
+class SnapshotDivergence : public std::runtime_error {
+ public:
+  explicit SnapshotDivergence(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct StudySnapshot {
+  std::uint64_t seed = 0;
+  simnet::SimTime at = 0;
+  std::vector<SnapshotSection> sections;
+
+  const SnapshotSection* section(std::string_view name) const;
+
+  /// Full wire form: magic, version, seed, time, then the sections.
+  std::string serialize() const;
+  /// Parse a serialized snapshot. Throws util::SerializeError on bad
+  /// magic, unsupported version, or truncation.
+  static StudySnapshot parse(std::string_view bytes);
+
+  // ---- decoded payloads (offline analysis; each throws
+  //      util::SerializeError when the section is missing/corrupt) ----
+  std::uint64_t events_executed() const;
+  ntp::CollectorState collector() const;
+  hitlist::Hitlist hitlist() const;
+  scan::ResultStore results() const;
+};
+
+}  // namespace tts::core

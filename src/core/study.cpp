@@ -6,6 +6,7 @@
 
 #include "obs/export.hpp"
 #include "util/format.hpp"
+#include "util/serialize.hpp"
 
 namespace tts::core {
 
@@ -361,6 +362,28 @@ void Study::run() {
   // the first event fires.
   if (config_.on_built) config_.on_built(*this);
 
+  // Checkpoint / resume-verify. Both runs of a checkpointed study (the
+  // one that writes the snapshot and the one resumed from it) schedule
+  // the same capture event from this same spot, so their event sequences
+  // — and therefore their reports — stay bit-identical.
+  if (config_.checkpoint_at > 0 || restore_) {
+    simnet::EventQueue::CategoryId snap_cat =
+        events_.register_category("checkpoint");
+    bool combined = restore_ && restore_->at == config_.checkpoint_at;
+    if (restore_) {
+      events_.schedule_at(restore_->at, snap_cat, [this, combined] {
+        StudySnapshot live = capture_snapshot();
+        verify_restore(live);
+        if (combined) checkpoint_ = live.serialize();
+      });
+    }
+    if (config_.checkpoint_at > 0 && !combined) {
+      events_.schedule_at(config_.checkpoint_at, snap_cat, [this] {
+        checkpoint_ = capture_snapshot().serialize();
+      });
+    }
+  }
+
   simnet::SimTime horizon = config_.runtime.duration + config_.drain;
   if (config_.obs.enabled) {
     obs::HeartbeatConfig hb;
@@ -377,6 +400,72 @@ void Study::run() {
     events_.run_until(horizon);
   }
   if (heartbeat_) heartbeat_->snap_now();  // final end-of-run reading
+}
+
+void Study::resume_from(std::string_view snapshot_bytes) {
+  if (ran_) throw std::logic_error("Study::resume_from after run()");
+  StudySnapshot snap = StudySnapshot::parse(snapshot_bytes);
+  if (snap.seed != config_.seed)
+    throw std::invalid_argument(
+        "Study::resume_from: snapshot seed " + std::to_string(snap.seed) +
+        " does not match config seed " + std::to_string(config_.seed));
+  restore_ = std::move(snap);
+}
+
+StudySnapshot Study::capture_snapshot() const {
+  StudySnapshot snap;
+  snap.seed = config_.seed;
+  snap.at = events_.now();
+
+  util::ByteWriter clock;
+  clock.i64(events_.now());
+  clock.u64(events_.executed());
+  snap.sections.push_back({"clock", clock.take()});
+
+  util::ByteWriter collector;
+  collector_.save_state(collector);
+  snap.sections.push_back({"collector", collector.take()});
+
+  util::ByteWriter hl;
+  hitlist_.save_state(hl);
+  snap.sections.push_back({"hitlist", hl.take()});
+
+  util::ByteWriter res;
+  results_.save_state(res);
+  snap.sections.push_back({"results", res.take()});
+
+  // RNG streams that mutate during the run (the study rng_ itself only
+  // derives child streams at build time): the engines' retry/jitter
+  // generators. Equal states prove the stochastic timelines match.
+  util::ByteWriter rng;
+  auto put_state = [&rng](const std::array<std::uint64_t, 4>& s) {
+    for (std::uint64_t word : s) rng.u64(word);
+  };
+  put_state(rng_.state());
+  rng.u8(ntp_engine_ ? 1 : 0);
+  if (ntp_engine_) put_state(ntp_engine_->rng_state());
+  rng.u8(hitlist_engine_ ? 1 : 0);
+  if (hitlist_engine_) put_state(hitlist_engine_->rng_state());
+  snap.sections.push_back({"rng", rng.take()});
+  return snap;
+}
+
+void Study::verify_restore(const StudySnapshot& live) const {
+  if (live.at != restore_->at)
+    throw SnapshotDivergence("snapshot verify ran at t=" +
+                             std::to_string(live.at) + ", checkpoint was t=" +
+                             std::to_string(restore_->at));
+  std::string diverged;
+  for (const auto& s : live.sections) {
+    const SnapshotSection* stored = restore_->section(s.name);
+    if (stored && stored->bytes == s.bytes) continue;
+    if (!diverged.empty()) diverged += ", ";
+    diverged += stored ? s.name : s.name + " (missing from snapshot)";
+  }
+  if (!diverged.empty())
+    throw SnapshotDivergence(
+        "resumed study diverged from checkpoint at t=" +
+        std::to_string(live.at) + " in section(s): " + diverged);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Study::per_server_counts()

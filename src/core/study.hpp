@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/eui64_analysis.hpp"
+#include "core/snapshot.hpp"
 #include "hitlist/hitlist.hpp"
 #include "hitlist/sweep.hpp"
 #include "inet/as_registry.hpp"
@@ -133,6 +134,12 @@ struct StudyConfig {
   /// Virtual time allowed after the collection window for in-flight scans
   /// and delayed covert probes to finish.
   simnet::SimDuration drain = simnet::days(3);
+
+  /// Sim time at which run() captures a data-plane checkpoint
+  /// (checkpoint_bytes() after the run; 0 = no checkpoint). A resumed run
+  /// (resume_from) must use the same checkpoint_at as the run that wrote
+  /// the snapshot, so both runs schedule the identical event sequence.
+  simnet::SimTime checkpoint_at = 0;
 };
 
 /// Ready-made scales. kTiny keeps unit tests fast; kSmall is the default
@@ -150,6 +157,19 @@ class Study {
 
   /// Execute the full pipeline. Call once.
   void run();
+
+  /// Resume a checkpointed study: call before run() with the bytes a prior
+  /// run's checkpoint_bytes() produced (same config, same seed). run()
+  /// then replays deterministically to the checkpoint time, verifies every
+  /// data-plane section against the snapshot byte for byte (throws
+  /// SnapshotDivergence naming the diverged subsystems otherwise), and
+  /// continues to the horizon — the final report is byte-identical to an
+  /// uninterrupted run's.
+  void resume_from(std::string_view snapshot_bytes);
+
+  /// Serialized snapshot captured at config().checkpoint_at (empty until
+  /// the run reaches that time, or when checkpointing is off).
+  const std::string& checkpoint_bytes() const { return checkpoint_; }
 
   // ---- raw material for the analyses ----
   const StudyConfig& config() const { return config_; }
@@ -228,6 +248,8 @@ class Study {
   void build_telescope();
   net::Ipv6Address allocate_infra_address(const std::string& country,
                                           std::uint16_t tag);
+  StudySnapshot capture_snapshot() const;
+  void verify_restore(const StudySnapshot& live) const;
 
   StudyConfig config_;
   util::Rng rng_;
@@ -274,6 +296,11 @@ class Study {
   std::vector<std::unique_ptr<telescope::ScanningActor>> actors_;
 
   std::unique_ptr<obs::Heartbeat> heartbeat_;
+
+  /// Parsed snapshot a resumed run verifies against (set by resume_from).
+  std::optional<StudySnapshot> restore_;
+  /// Serialized snapshot captured at config_.checkpoint_at.
+  std::string checkpoint_;
 
   std::uint32_t next_infra_ = 1;
   bool ran_ = false;

@@ -1,11 +1,54 @@
 #include "hitlist/hitlist.hpp"
 
+#include <unordered_map>
+
+#include "util/serialize.hpp"
+
 namespace tts::hitlist {
+
+std::optional<Source> Hitlist::source_of(const net::Ipv6Address& addr) const {
+  net::AddressStore::Seq seq = seen.seq_of(addr);
+  if (seq == net::AddressStore::kNoSeq) return std::nullopt;
+  return sources[seq];
+}
 
 std::map<Source, std::uint64_t> Hitlist::counts_by_source() const {
   std::map<Source, std::uint64_t> out;
-  for (const auto& [addr, src] : provenance) ++out[src];
+  for (Source src : sources) ++out[src];
   return out;
+}
+
+void Hitlist::save_state(util::ByteWriter& w) const {
+  seen.save(w);
+  w.u32(static_cast<std::uint32_t>(sources.size()));
+  for (Source src : sources) w.u8(static_cast<std::uint8_t>(src));
+  w.u32(static_cast<std::uint32_t>(public_list.size()));
+  for (const auto& a : public_list) {
+    w.u64(a.hi64());
+    w.u64(a.lo64());
+  }
+}
+
+Hitlist Hitlist::decode_state(util::ByteReader& r) {
+  Hitlist list;
+  list.seen = net::AddressStore::load(r);
+  std::uint32_t nsources = r.u32();
+  if (nsources != list.seen.size())
+    throw util::SerializeError("Hitlist: sources/store size mismatch");
+  list.sources.reserve(nsources);
+  for (std::uint32_t i = 0; i < nsources; ++i)
+    list.sources.push_back(static_cast<Source>(r.u8()));
+  // full is derived: the store's snapshot is exactly first-contribution
+  // order, which is how build() populated it.
+  list.full = list.seen.snapshot();
+  std::uint32_t npublic = r.u32();
+  list.public_list.reserve(npublic);
+  for (std::uint32_t i = 0; i < npublic; ++i) {
+    std::uint64_t hi = r.u64();
+    std::uint64_t lo = r.u64();
+    list.public_list.push_back(net::Ipv6Address::from_halves(hi, lo));
+  }
+  return list;
 }
 
 Hitlist HitlistBuilder::build(const inet::Population& pop,
@@ -45,9 +88,10 @@ Hitlist HitlistBuilder::build(const inet::Population& pop,
 
   auto ingest = [&](const std::vector<SourcedAddress>& batch) {
     for (const auto& s : batch) {
-      auto [it, inserted] = list.provenance.emplace(s.addr, s.source);
-      if (!inserted) continue;
+      auto [seq, fresh] = list.seen.insert(s.addr);
+      if (!fresh) continue;
       list.full.push_back(s.addr);
+      list.sources.push_back(s.source);
 
       bool responsive = false;
       if (alias_region.contains(s.addr)) {

@@ -1,32 +1,54 @@
 // Hitlist assembly: combine the source simulators, deduplicate, and derive
 // the "public" (responsive-only) variant — mirroring the TUM IPv6 Hitlist's
 // full and public lists compared in Table 1.
+//
+// Dedup runs through the compact net::AddressStore; its dense
+// first-seen sequence numbers index the parallel `sources` vector, which
+// replaces the old per-address provenance hash map (one byte per address
+// instead of a 16-byte key plus node overhead).
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
+#include <optional>
 #include <vector>
 
 #include "hitlist/sources.hpp"
 #include "inet/population.hpp"
 #include "inet/services.hpp"
+#include "net/address_store.hpp"
+
+namespace tts::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tts::util
 
 namespace tts::hitlist {
 
 struct Hitlist {
-  /// Deduplicated full list (everything the sources produced).
+  /// Deduplicated full list (everything the sources produced), in
+  /// first-contribution order; full[i] has sequence number i in `seen`.
   std::vector<net::Ipv6Address> full;
   /// Subset verified responsive at build time (ICMP/any-probe model):
   /// live service hosts, aliased-region addresses, and router interfaces.
   std::vector<net::Ipv6Address> public_list;
-  /// Provenance of each address (first source that contributed it).
-  std::unordered_map<net::Ipv6Address, Source, net::Ipv6AddressHash>
-      provenance;
+  /// Dedup store; seq_of(addr) indexes `sources` (and `full`).
+  net::AddressStore seen;
+  /// Provenance: sources[seen.seq_of(addr)] is the first source that
+  /// contributed the address.
+  std::vector<Source> sources;
+
+  bool contains(const net::Ipv6Address& addr) const {
+    return seen.contains(addr);
+  }
+  /// First source that contributed `addr` (nullopt when not listed).
+  std::optional<Source> source_of(const net::Ipv6Address& addr) const;
 
   /// Ordered by source id so direct iteration renders deterministically.
   std::map<Source, std::uint64_t> counts_by_source() const;
+
+  void save_state(util::ByteWriter& w) const;
+  static Hitlist decode_state(util::ByteReader& r);
 };
 
 class HitlistBuilder {

@@ -1,6 +1,9 @@
 #include "ntp/collector.hpp"
 
+#include <algorithm>
+
 #include "util/format.hpp"
+#include "util/serialize.hpp"
 
 namespace tts::ntp {
 
@@ -18,23 +21,45 @@ AddressCollector::~AddressCollector() {
 
 bool AddressCollector::record(const net::Ipv6Address& addr, ServerId server,
                               simnet::SimTime at) {
-  requests_.inc();
-  auto [it, inserted] = addresses_.insert(addr);
-  if (!inserted) {
-    dedup_hits_.inc();
-    return false;
+  return record_batch({&addr, 1}, server, at) == 1;
+}
+
+std::size_t AddressCollector::record_batch(
+    std::span<const net::Ipv6Address> addrs, ServerId server,
+    simnet::SimTime at) {
+  if (addrs.empty()) return 0;
+  requests_.inc(addrs.size());
+  fresh_scratch_.clear();
+
+  obs::Counter* server_counter = nullptr;
+  for (const auto& addr : addrs) {
+    auto [seq, fresh] = store_.insert(addr);
+    if (!fresh) {
+      dedup_hits_.inc();
+      continue;
+    }
+    distinct_.inc();
+    if (!server_counter) {
+      auto [sit, created] = per_server_.try_emplace(server);
+      if (created && registry_)
+        registry_->enroll(sit->second, "ntp_server_distinct",
+                          {{"server", util::cat(server)}}, this);
+      server_counter = &sit->second;
+    }
+    server_counter->inc();
+    ++daily_new_[at / simnet::days(1)];
+    fresh_scratch_.push_back(addr);
+    // Per-address subscribers fire inside the loop, exactly as a loop of
+    // record() calls would — batch ingest must not reorder the feed.
+    CollectedAddress rec{addr, server, at};
+    for (const auto& fn : subscribers_) fn(rec);
   }
-  distinct_.inc();
-  order_.push_back(addr);
-  auto [sit, fresh] = per_server_.try_emplace(server);
-  if (fresh && registry_)
-    registry_->enroll(sit->second, "ntp_server_distinct",
-                      {{"server", util::cat(server)}}, this);
-  sit->second.inc();
-  ++daily_new_[at / simnet::days(1)];
-  CollectedAddress rec{addr, server, at};
-  for (const auto& fn : subscribers_) fn(rec);
-  return true;
+
+  if (!fresh_scratch_.empty()) {
+    CollectedBatch batch{fresh_scratch_, server, at};
+    for (const auto& fn : batch_subscribers_) fn(batch);
+  }
+  return fresh_scratch_.size();
 }
 
 std::uint64_t AddressCollector::server_distinct(ServerId server) const {
@@ -42,8 +67,48 @@ std::uint64_t AddressCollector::server_distinct(ServerId server) const {
   return it == per_server_.end() ? 0 : it->second.value();
 }
 
-std::vector<net::Ipv6Address> AddressCollector::snapshot() const {
-  return order_;
+void AddressCollector::save_state(util::ByteWriter& w) const {
+  store_.save(w);
+  // Keyed lookups only above; serialization sorts by server id so the
+  // section bytes are a function of collected state, not hash layout.
+  std::vector<std::pair<ServerId, std::uint64_t>> servers;
+  servers.reserve(per_server_.size());
+  // ttslint: allow(unordered-iter) reason=entries are sorted by server id below before serialization
+  for (const auto& [id, counter] : per_server_)
+    servers.emplace_back(id, counter.value());
+  std::sort(servers.begin(), servers.end());
+  w.u32(static_cast<std::uint32_t>(servers.size()));
+  for (const auto& [id, count] : servers) {
+    w.u32(id);
+    w.u64(count);
+  }
+  w.u32(static_cast<std::uint32_t>(daily_new_.size()));
+  for (const auto& [day, count] : daily_new_) {
+    w.i64(day);
+    w.u64(count);
+  }
+  w.u64(requests_.value());
+  w.u64(dedup_hits_.value());
+}
+
+CollectorState AddressCollector::decode_state(util::ByteReader& r) {
+  CollectorState state;
+  state.store = net::AddressStore::load(r);
+  std::uint32_t nservers = r.u32();
+  state.per_server.reserve(nservers);
+  for (std::uint32_t i = 0; i < nservers; ++i) {
+    ServerId id = r.u32();
+    std::uint64_t count = r.u64();
+    state.per_server.emplace_back(id, count);
+  }
+  std::uint32_t ndays = r.u32();
+  for (std::uint32_t i = 0; i < ndays; ++i) {
+    std::int64_t day = r.i64();
+    state.daily_new[day] = r.u64();
+  }
+  state.requests = r.u64();
+  state.dedup_hits = r.u64();
+  return state;
 }
 
 }  // namespace tts::ntp

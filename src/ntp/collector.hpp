@@ -7,20 +7,34 @@
 // All counts live in obs instruments (requests, dedup hits, distinct
 // total, per-server distinct); the accessors below read those same cells,
 // and passing a Registry exports them without any parallel bookkeeping.
+//
+// The seen-store is a compact net::AddressStore (16 bytes per address
+// steady state instead of an unordered_set node plus an order vector);
+// its first-seen sequence numbers preserve snapshot() order, so
+// the swap is invisible to every same-seed digest. Bulk feeds use
+// record_batch(), which amortizes prefix lookups and fires batch
+// subscribers once per batch (struct-of-arrays) alongside the per-address
+// path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "net/address_store.hpp"
 #include "net/ipv6.hpp"
 #include "obs/metrics.hpp"
 #include "simnet/time.hpp"
 #include "util/stats.hpp"
+
+namespace tts::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tts::util
 
 namespace tts::ntp {
 
@@ -33,10 +47,33 @@ struct CollectedAddress {
   simnet::SimTime first_seen = 0;
 };
 
+/// One ingest batch after dedup: the newly seen addresses in arrival
+/// order, struct-of-arrays style (one server/timestamp for the batch
+/// instead of per-element copies).
+struct CollectedBatch {
+  std::span<const net::Ipv6Address> addrs;
+  ServerId server = 0;
+  simnet::SimTime first_seen = 0;
+};
+
+/// Decoded collector section of a study snapshot (see core/snapshot.hpp):
+/// everything needed to inspect a checkpointed collection offline.
+struct CollectorState {
+  net::AddressStore store;
+  /// (server id, distinct count), ascending by id.
+  std::vector<std::pair<ServerId, std::uint64_t>> per_server;
+  std::map<std::int64_t, std::uint64_t> daily_new;
+  std::uint64_t requests = 0;
+  std::uint64_t dedup_hits = 0;
+};
+
 class AddressCollector {
  public:
   /// Subscribers run synchronously on first sight of a new address.
   using NewAddressFn = std::function<void(const CollectedAddress&)>;
+  /// Batch subscribers run once per record/record_batch call that produced
+  /// at least one new address, after the per-address subscribers.
+  using NewBatchFn = std::function<void(const CollectedBatch&)>;
 
   /// With a registry, all collection instruments (including the lazily
   /// created per-server counters) are exported. The registry must outlive
@@ -49,11 +86,20 @@ class AddressCollector {
   /// Record a sighting. Returns true if the address was new.
   bool record(const net::Ipv6Address& addr, ServerId server,
               simnet::SimTime at);
+  /// Record a batch of sightings from one server at one instant —
+  /// equivalent to record() in a loop (same counters, same subscriber
+  /// order) but with amortized store lookups and one batch callback.
+  /// Returns the number of addresses that were new.
+  std::size_t record_batch(std::span<const net::Ipv6Address> addrs,
+                           ServerId server, simnet::SimTime at);
 
   void subscribe(NewAddressFn fn) { subscribers_.push_back(std::move(fn)); }
+  void subscribe_batch(NewBatchFn fn) {
+    batch_subscribers_.push_back(std::move(fn));
+  }
 
   std::uint64_t total_requests() const { return requests_.value(); }
-  std::uint64_t distinct_addresses() const { return addresses_.size(); }
+  std::uint64_t distinct_addresses() const { return store_.size(); }
   /// Requests whose source address had been seen before (dedup rate =
   /// dedup_hits / total_requests).
   std::uint64_t dedup_hits() const { return dedup_hits_.value(); }
@@ -65,22 +111,28 @@ class AddressCollector {
     return daily_new_;
   }
 
-  const std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash>&
-  addresses() const {
-    return addresses_;
-  }
+  /// The deduplicating seen-store (membership tests, /64 structure,
+  /// memory accounting).
+  const net::AddressStore& addresses() const { return store_; }
 
   /// Snapshot of all collected addresses in first-seen order — a function
   /// of the event sequence only, never of hash layout.
-  std::vector<net::Ipv6Address> snapshot() const;
+  std::vector<net::Ipv6Address> snapshot() const { return store_.snapshot(); }
+
+  /// Serialize the full collection state (store, per-server counts,
+  /// daily timeline, request counters) into a snapshot section.
+  void save_state(util::ByteWriter& w) const;
+  /// Decode a section written by save_state().
+  static CollectorState decode_state(util::ByteReader& r);
 
  private:
-  std::unordered_set<net::Ipv6Address, net::Ipv6AddressHash> addresses_;
-  std::vector<net::Ipv6Address> order_;  // first-seen order of addresses_
+  net::AddressStore store_;
   // Node-based map keeps counter addresses stable across rehashes.
   std::unordered_map<ServerId, obs::Counter> per_server_;
   std::map<std::int64_t, std::uint64_t> daily_new_;
   std::vector<NewAddressFn> subscribers_;
+  std::vector<NewBatchFn> batch_subscribers_;
+  std::vector<net::Ipv6Address> fresh_scratch_;
   obs::Counter requests_;
   obs::Counter distinct_;
   obs::Counter dedup_hits_;

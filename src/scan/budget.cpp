@@ -12,8 +12,25 @@ SharedBudget::SharedBudget(SharedBudgetConfig config)
   if (config_.burst_slots < 0)
     throw std::invalid_argument(
         "SharedBudget: burst_slots must be non-negative");
-  auto gap = static_cast<simnet::SimDuration>(1e6 / config_.max_pps);
+  double exact = 1e6 / config_.max_pps;
+  auto gap = static_cast<simnet::SimDuration>(exact);
   gap_ = gap < 1 ? 1 : gap;
+  // The fractional part of the exact gap, in 2^-32 us units. Truncating
+  // the gap to whole microseconds overshoots the cap (max_pps=4096 ->
+  // 244 us = 4098.4 pps); the integer error-feedback accumulator below
+  // stretches every 2^32/frac_step_-th step by 1 us so the long-run rate
+  // is exactly max_pps, with no floats in the steady state. Exact-divisor
+  // rates have frac_step_ == 0 and byte-identical grant sequences.
+  if (exact > static_cast<double>(gap_)) {
+    double frac = exact - static_cast<double>(gap_);
+    auto step = static_cast<std::uint64_t>(
+        std::llround(frac * 4294967296.0));  // 2^32
+    if (step >= (1ULL << 32)) {
+      ++gap_;
+      step = 0;
+    }
+    frac_step_ = step;
+  }
 }
 
 SharedBudget::~SharedBudget() {
@@ -103,7 +120,10 @@ std::optional<simnet::SimTime> SharedBudget::try_acquire(ClientId id,
     if (theirs < start || (theirs == start && j < id)) peer_idle = true;
   }
 
-  next_accrual_ = slot + gap_;
+  frac_acc_ += frac_step_;
+  next_accrual_ =
+      slot + gap_ + static_cast<simnet::SimDuration>(frac_acc_ >> 32);
+  frac_acc_ &= 0xffffffffULL;
   vtime_ = start;
   c.finish = start + 1.0 / c.weight;
   c.grants.inc();

@@ -147,7 +147,14 @@ class SharedBudget {
   void wake_waiting_peers(ClientId except);
 
   SharedBudgetConfig config_;
+  /// Whole-microsecond floor of the exact token gap 1e6/max_pps.
   simnet::SimDuration gap_;
+  /// Fractional gap remainder in 2^-32 us units, error-fed into frac_acc_
+  /// per grant: each carry out of the low 32 bits stretches that step by
+  /// 1 us, so the long-run grant rate equals max_pps exactly even for
+  /// non-divisor rates (no floats in the steady state).
+  std::uint64_t frac_step_ = 0;
+  std::uint64_t frac_acc_ = 0;
   /// Accrual time of the next unconsumed token (tokens older than
   /// burst_slots gaps evaporate — the bank floor is now - burst*gap).
   simnet::SimTime next_accrual_ = 0;

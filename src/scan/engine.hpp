@@ -241,6 +241,10 @@ class ScanEngine {
 
   const ScanEngineConfig& config() const { return config_; }
 
+  /// Raw retry/jitter stream state, for study snapshots: equal states
+  /// prove two runs' stochastic scan decisions have not diverged.
+  std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+
  private:
   /// Token gaps the budget may bank for a private budget — the burst a
   /// single pump wake launches at most (plus one), and therefore the bound

@@ -1,6 +1,7 @@
 #include "scan/results.hpp"
 
 #include "proto/ports.hpp"
+#include "util/serialize.hpp"
 
 namespace tts::scan {
 
@@ -116,6 +117,93 @@ std::uint64_t ResultStore::total(Dataset dataset) const {
   for (std::size_t p = 0; p < kProtocolCount; ++p)
     n += total(dataset, static_cast<Protocol>(p));
   return n;
+}
+
+namespace {
+
+void save_record(util::ByteWriter& w, const ScanRecord& r) {
+  w.u8(static_cast<std::uint8_t>(r.dataset));
+  w.u8(static_cast<std::uint8_t>(r.protocol));
+  w.u64(r.target.hi64());
+  w.u64(r.target.lo64());
+  w.i64(r.at);
+  w.u8(static_cast<std::uint8_t>(r.outcome));
+  w.u8(r.certificate.has_value() ? 1 : 0);
+  if (r.certificate) {
+    w.u64(r.certificate->fingerprint);
+    w.str(r.certificate->subject);
+    w.u8(r.certificate->self_signed ? 1 : 0);
+    w.u32(r.certificate->not_before);
+    w.u32(r.certificate->not_after);
+  }
+  w.i64(r.http_status);
+  w.str(r.http_title);
+  w.u8(r.http_has_title ? 1 : 0);
+  w.str(r.http_server);
+  w.str(r.ssh_banner);
+  w.u8(r.ssh_hostkey.has_value() ? 1 : 0);
+  if (r.ssh_hostkey) w.u64(*r.ssh_hostkey);
+  w.u8(r.broker_auth_required.has_value()
+           ? (*r.broker_auth_required ? 2 : 1)
+           : 0);
+  w.u32(static_cast<std::uint32_t>(r.coap_resources.size()));
+  for (const auto& res : r.coap_resources) w.str(res);
+}
+
+ScanRecord load_record(util::ByteReader& rd) {
+  ScanRecord r;
+  r.dataset = static_cast<Dataset>(rd.u8());
+  r.protocol = static_cast<Protocol>(rd.u8());
+  std::uint64_t hi = rd.u64();
+  std::uint64_t lo = rd.u64();
+  r.target = net::Ipv6Address::from_halves(hi, lo);
+  r.at = rd.i64();
+  r.outcome = static_cast<Outcome>(rd.u8());
+  if (rd.u8()) {
+    proto::Certificate cert;
+    cert.fingerprint = rd.u64();
+    cert.subject = rd.str();
+    cert.self_signed = rd.u8() != 0;
+    cert.not_before = rd.u32();
+    cert.not_after = rd.u32();
+    r.certificate = std::move(cert);
+  }
+  r.http_status = static_cast<int>(rd.i64());
+  r.http_title = rd.str();
+  r.http_has_title = rd.u8() != 0;
+  r.http_server = rd.str();
+  r.ssh_banner = rd.str();
+  if (rd.u8()) r.ssh_hostkey = rd.u64();
+  std::uint8_t broker = rd.u8();
+  if (broker) r.broker_auth_required = broker == 2;
+  std::uint32_t ncoap = rd.u32();
+  r.coap_resources.reserve(ncoap);
+  for (std::uint32_t i = 0; i < ncoap; ++i)
+    r.coap_resources.push_back(rd.str());
+  return r;
+}
+
+}  // namespace
+
+void ResultStore::save_state(util::ByteWriter& w) const {
+  for (std::size_t d = 0; d < kDatasetCount; ++d)
+    for (std::size_t p = 0; p < kProtocolCount; ++p)
+      for (std::size_t o = 0; o < kOutcomeCount; ++o) w.u64(counts_[d][p][o]);
+  w.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const auto& r : records_) save_record(w, r);
+}
+
+ResultStore ResultStore::decode_state(util::ByteReader& r) {
+  ResultStore store;
+  for (std::size_t d = 0; d < kDatasetCount; ++d)
+    for (std::size_t p = 0; p < kProtocolCount; ++p)
+      for (std::size_t o = 0; o < kOutcomeCount; ++o)
+        store.counts_[d][p][o] = r.u64();
+  std::uint32_t n = r.u32();
+  store.records_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    store.records_.push_back(load_record(r));
+  return store;
 }
 
 }  // namespace tts::scan

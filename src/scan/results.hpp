@@ -11,6 +11,11 @@
 #include "proto/tlslite.hpp"
 #include "simnet/time.hpp"
 
+namespace tts::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace tts::util
+
 namespace tts::scan {
 
 enum class Protocol : std::uint8_t {
@@ -95,6 +100,12 @@ class ResultStore {
   std::uint64_t total(Dataset dataset, Protocol protocol) const;
   /// Probes of any outcome and protocol for a dataset.
   std::uint64_t total(Dataset dataset) const;
+
+  /// Serialize the outcome tensor and every kept success record into a
+  /// snapshot section (all ScanRecord fields, including certificates).
+  void save_state(util::ByteWriter& w) const;
+  /// Decode a section written by save_state().
+  static ResultStore decode_state(util::ByteReader& r);
 
  private:
   static constexpr std::size_t kOutcomeCount = 5;

@@ -7,7 +7,11 @@ namespace tts::scan {
 
 simnet::SimDuration RetryPolicy::backoff(std::uint32_t retry_index,
                                          util::Rng& rng) const {
-  double scale = std::pow(multiplier, static_cast<double>(retry_index - 1));
+  // retry_index is 1-based; treat a (buggy-caller) 0 like the first retry
+  // instead of letting the unsigned underflow produce
+  // pow(multiplier, 4.29e9) = inf.
+  std::uint32_t exponent = retry_index > 0 ? retry_index - 1 : 0;
+  double scale = std::pow(multiplier, static_cast<double>(exponent));
   auto base = static_cast<simnet::SimDuration>(
       std::min(static_cast<double>(max_backoff),
                static_cast<double>(base_backoff) * scale));
@@ -15,7 +19,10 @@ simnet::SimDuration RetryPolicy::backoff(std::uint32_t retry_index,
   if (jitter <= 0.0 || base == 0) return base;
   auto spread = static_cast<std::uint64_t>(static_cast<double>(base) * jitter);
   if (spread == 0) return base;
-  return base + static_cast<simnet::SimDuration>(rng.below(spread));
+  // The cap bounds the effective delay: clamp after jitter, or a base at
+  // or near max_backoff would overshoot the cap by up to jitter x.
+  auto jittered = base + static_cast<simnet::SimDuration>(rng.below(spread));
+  return std::min(jittered, max_backoff);
 }
 
 CircuitBreakerSet::CircuitBreakerSet(BreakerConfig config)

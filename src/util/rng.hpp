@@ -8,6 +8,7 @@
 // per Blackman & Vigna).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -99,6 +100,13 @@ class Rng {
   }
 
   std::uint64_t root_seed() const { return seed_; }
+
+  /// Raw Xoshiro256** state words, for study snapshots: two generators
+  /// with equal state produce identical streams, so comparing states
+  /// proves two runs' stochastic decisions have not diverged.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
 
  private:
   std::uint64_t seed_;

@@ -1,0 +1,15 @@
+#include "util/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace tts::util {
+
+// Doubles travel as their IEEE-754 bit pattern. std::bit_cast keeps the
+// exact value (including the sign of zero); snapshots never round-trip
+// through text.
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+}  // namespace tts::util

@@ -58,6 +58,16 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double value, std::uint64_t n) {
+  if (!std::isfinite(value)) {
+    // Casting a NaN-derived index is UB, so non-finite values never reach
+    // the cast: NaN is dropped, +-inf clamps to the end bins; both are
+    // counted so callers can detect dirty inputs.
+    nonfinite_ += n;
+    if (std::isnan(value)) return;
+    counts_[value < 0 ? 0 : counts_.size() - 1] += n;
+    total_ += n;
+    return;
+  }
   double t = (value - lo_) / (hi_ - lo_);
   auto i = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
   if (i < 0) i = 0;

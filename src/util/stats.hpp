@@ -85,6 +85,9 @@ class Histogram {
   std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::uint64_t total() const { return total_; }
+  /// Non-finite inputs seen: NaN (dropped) and +-inf (clamped to the end
+  /// bins). total() excludes the dropped NaNs.
+  std::uint64_t nonfinite() const { return nonfinite_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
   /// Fraction of mass in bin i (0 if empty histogram).
@@ -94,6 +97,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nonfinite_ = 0;
 };
 
 }  // namespace tts::util

@@ -172,6 +172,36 @@ TEST(BudgetHarness, IdleShareIsLentAndReclaimedWithinOneGap) {
   EXPECT_LE(budget.reclaim(b.id()).max(), 2 * budget.gap());
 }
 
+TEST(BudgetHarness, FractionalGapRateIsExactOverLongWindows) {
+  // Regression: truncating the token gap to whole microseconds overshot the
+  // cap for non-divisor rates (max_pps = 4096 -> gap 244 us = 4098.4 pps,
+  // ~0.06% hot). With integer error-feedback accrual the long-run rate is
+  // exact: 4096 pps x 600 s = 2 457 600 tokens, and token k accrues at
+  // floor(k x 244.140625) us, so exactly 2 457 600 accrual slots fall in
+  // [0, 600 s).
+  auto run_once = [] {
+    simnet::EventQueue events;
+    SharedBudget budget(SharedBudgetConfig{4096, 2, nullptr});
+    GrantLog log;
+    log.attach(budget);
+    FakePacer pacer(events, budget, "solo", 1.0);
+    pacer.add_work(2'460'000);  // saturated past the 600 s window
+    events.run();
+    return log.grants();
+  };
+  auto grants = run_once();
+  ASSERT_EQ(grants.size(), 2'460'000u);
+  std::uint64_t in_window = 0;
+  for (const Grant& g : grants) in_window += g.slot < simnet::sec(600);
+  EXPECT_EQ(in_window, 2'457'600u);
+  // Accrual slots are strictly increasing (no two tokens share a slot even
+  // though the fractional carry stretches some gaps by 1 us).
+  for (std::size_t i = 1; i < grants.size(); ++i)
+    ASSERT_GT(grants[i].slot, grants[i - 1].slot) << "grant " << i;
+  // And the error-fed sequence is bit-identical between runs.
+  EXPECT_TRUE(grants == run_once());
+}
+
 TEST(BudgetHarness, ConfigValidation) {
   EXPECT_THROW(SharedBudget(SharedBudgetConfig{0, 2, nullptr}),
                std::invalid_argument);

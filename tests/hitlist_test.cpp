@@ -108,7 +108,11 @@ TEST_F(HitlistTest, BuildDeduplicatesAndSplitsPublic) {
   EXPECT_LT(list.public_list.size(), list.full.size());
   for (const auto& a : list.public_list) EXPECT_TRUE(seen.contains(a));
   // Provenance covers everything.
-  EXPECT_EQ(list.provenance.size(), list.full.size());
+  EXPECT_EQ(list.sources.size(), list.full.size());
+  EXPECT_EQ(list.seen.size(), list.full.size());
+  // The dedup store indexes full[] by first-seen sequence number.
+  for (std::size_t i = 0; i < list.full.size(); ++i)
+    EXPECT_EQ(list.seen.seq_of(list.full[i]), i);
   auto by_source = list.counts_by_source();
   EXPECT_GT(by_source[Source::kDns], 0u);
   EXPECT_GT(by_source[Source::kTraceroute], 0u);
@@ -129,9 +133,10 @@ TEST_F(HitlistTest, PublicListIncludesAliasedAndLiveServices) {
   }
   EXPECT_GT(live_checked, 10u);
   // Aliased addresses are all "responsive".
-  for (const auto& [addr, src] : list.provenance) {
-    if (src == Source::kAliased) {
-      EXPECT_TRUE(pub.contains(addr));
+  for (std::size_t i = 0; i < list.full.size(); ++i) {
+    if (list.sources[i] == Source::kAliased) {
+      EXPECT_TRUE(pub.contains(list.full[i]));
+      EXPECT_EQ(list.source_of(list.full[i]), Source::kAliased);
     }
   }
 }

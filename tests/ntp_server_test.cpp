@@ -109,6 +109,44 @@ TEST_F(NtpServerTest, CollectorSubscribersFireOnNewOnly) {
   EXPECT_EQ(collector_.daily_new().at(0), 2u);
 }
 
+TEST_F(NtpServerTest, CollectorBatchEqualsRecordLoop) {
+  // record_batch must be observably identical to a record() loop: same
+  // counters, same per-address subscriber order, same store state — plus
+  // exactly one batch callback carrying only the fresh addresses.
+  std::vector<net::Ipv6Address> stream = {addr(1), addr(2), addr(1),
+                                          addr(3), addr(2), addr(4)};
+  AddressCollector loop;
+  std::vector<net::Ipv6Address> loop_seen;
+  loop.subscribe([&](const CollectedAddress& a) { loop_seen.push_back(a.addr); });
+  for (const auto& a : stream) loop.record(a, 3, simnet::sec(5));
+
+  std::vector<net::Ipv6Address> batch_seen;
+  std::vector<net::Ipv6Address> batch_fresh;
+  int batch_calls = 0;
+  collector_.subscribe(
+      [&](const CollectedAddress& a) { batch_seen.push_back(a.addr); });
+  collector_.subscribe_batch([&](const CollectedBatch& b) {
+    ++batch_calls;
+    EXPECT_EQ(b.server, 3u);
+    EXPECT_EQ(b.first_seen, simnet::sec(5));
+    batch_fresh.insert(batch_fresh.end(), b.addrs.begin(), b.addrs.end());
+  });
+  std::size_t fresh = collector_.record_batch(stream, 3, simnet::sec(5));
+
+  EXPECT_EQ(fresh, 4u);
+  EXPECT_EQ(batch_calls, 1);
+  EXPECT_EQ(batch_seen, loop_seen);
+  EXPECT_EQ(batch_fresh, loop_seen);
+  EXPECT_EQ(collector_.total_requests(), loop.total_requests());
+  EXPECT_EQ(collector_.dedup_hits(), loop.dedup_hits());
+  EXPECT_EQ(collector_.server_distinct(3), loop.server_distinct(3));
+  EXPECT_EQ(collector_.snapshot(), loop.snapshot());
+  EXPECT_EQ(collector_.daily_new(), loop.daily_new());
+  // An all-duplicate batch produces no batch callback.
+  collector_.record_batch(stream, 3, simnet::sec(6));
+  EXPECT_EQ(batch_calls, 1);
+}
+
 TEST_F(NtpServerTest, CollectorDailyTimeline) {
   collector_.record(addr(1), 0, simnet::days(0) + 5);
   collector_.record(addr(2), 0, simnet::days(1) + 5);

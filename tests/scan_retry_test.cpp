@@ -68,6 +68,44 @@ TEST(RetryPolicy, JitterIsBoundedAndSeedDeterministic) {
   }
 }
 
+TEST(RetryPolicy, JitteredBackoffNeverExceedsMaxBackoff) {
+  // Regression: jitter used to be added after the cap, so a base at or near
+  // max_backoff overshot it by up to jitter x.
+  RetryPolicy p;
+  p.max_retries = 12;
+  p.base_backoff = simnet::sec(10);
+  p.multiplier = 2.0;
+  p.max_backoff = simnet::sec(12);
+  p.jitter = 0.5;
+  util::Rng rng(99);
+  for (std::uint32_t retry = 1; retry <= 12; ++retry) {
+    for (int draw = 0; draw < 64; ++draw) {
+      simnet::SimDuration d = p.backoff(retry, rng);
+      EXPECT_LE(d, p.max_backoff) << "retry " << retry;
+      EXPECT_GE(d, simnet::sec(10));
+    }
+  }
+  // Once the un-jittered base already sits at the cap, every jittered draw
+  // clamps to exactly max_backoff.
+  for (int draw = 0; draw < 16; ++draw)
+    EXPECT_EQ(p.backoff(10, rng), simnet::sec(12));
+}
+
+TEST(RetryPolicy, RetryIndexZeroDoesNotUnderflow) {
+  // Regression: retry_index is 1-based; a 0 from a buggy caller used to
+  // underflow to pow(multiplier, 2^32 - 1) = inf. It now behaves like the
+  // first retry.
+  RetryPolicy p;
+  p.max_retries = 4;
+  p.base_backoff = simnet::sec(4);
+  p.multiplier = 2.0;
+  p.max_backoff = simnet::minutes(4);
+  p.jitter = 0.0;
+  util::Rng rng(3);
+  EXPECT_EQ(p.backoff(0, rng), simnet::sec(4));
+  EXPECT_EQ(p.backoff(0, rng), p.backoff(1, rng));
+}
+
 // ------------------------------------------------------ CircuitBreakerSet
 
 BreakerConfig breaker_config() {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "ntp/ntp_server.hpp"
 #include "telescope/actors.hpp"
 #include "telescope/classifier.hpp"

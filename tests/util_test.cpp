@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <array>
 #include <algorithm>
@@ -274,6 +275,26 @@ TEST(Stats, HistogramBinningAndClamping) {
   EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 0.25);
   EXPECT_DOUBLE_EQ(h.bin_hi(1), 0.5);
+}
+
+TEST(Stats, HistogramNonFiniteInputs) {
+  // Regression: casting NaN to an index is UB; histograms fed from latency
+  // ratios occasionally see NaN/inf and must stay well-defined.
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.add(std::numeric_limits<double>::quiet_NaN());  // dropped, counted
+  h.add(std::numeric_limits<double>::infinity());   // clamps to last bin
+  h.add(-std::numeric_limits<double>::infinity());  // clamps to first bin
+  EXPECT_EQ(h.nonfinite(), 3u);
+  // total() excludes the dropped NaN but includes the clamped infinities.
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  // Weighted NaNs count their weight too.
+  h.add(std::numeric_limits<double>::quiet_NaN(), 5);
+  EXPECT_EQ(h.nonfinite(), 8u);
+  EXPECT_EQ(h.total(), 3u);
 }
 
 // ------------------------------------------------------------------ table
