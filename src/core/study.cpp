@@ -91,7 +91,26 @@ net::Ipv6Address Study::allocate_infra_address(const std::string& country,
   const inet::AsInfo* as = hosting.front();
   std::uint64_t hi = as->prefixes.front().address().hi64() |
                      (0xff00ULL << 16) | (static_cast<std::uint64_t>(tag) << 16);
-  return net::Ipv6Address::from_halves(hi, 0x1000 + next_infra_++);
+  net::Ipv6Address addr =
+      net::Ipv6Address::from_halves(hi, 0x1000 + next_infra_++);
+  // Infra lives inside AS prefixes: without a pin the longest-prefix map
+  // would place a pool server on its AS's domain instead of domain 0,
+  // where all digest-feeding state (collector, results, engines) mutates.
+  if (config_.shards.shards > 0) shard_map_.pin(addr, 0);
+  return addr;
+}
+
+void Study::build_shards() {
+  const auto& all = registry_->all();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (const auto& prefix : all[i].prefixes)
+      shard_map_.map_prefix(prefix, static_cast<simnet::DomainId>(1 + i));
+  simnet::ShardPlan plan = config_.shards;
+  if (plan.lookahead <= 0)
+    plan.lookahead = std::max<simnet::SimDuration>(1, config_.network.min_latency);
+  events_.configure_shards(plan,
+                           static_cast<simnet::DomainId>(1 + all.size()));
+  network_->set_shard_map(&shard_map_);
 }
 
 void Study::build_pool() {
@@ -172,6 +191,7 @@ void Study::build_telescope() {
                   edu.front()->prefixes.front().address().hi64() |
                       (0xedULL << 16),
                   0x515);
+    if (config_.shards.shards > 0) shard_map_.pin(src, 0);
     gt.scan_sources.push_back(src);
     gt.ports = telescope::research_actor_ports();
     gt.scan_delay_min = simnet::minutes(3);
@@ -207,6 +227,10 @@ void Study::build_telescope() {
               (static_cast<std::uint64_t>(0xd0 + i) << 16),
           0x22));
     }
+    if (config_.shards.shards > 0) {
+      for (const auto& a : covert.server_addresses) shard_map_.pin(a, 0);
+      for (const auto& a : covert.scan_sources) shard_map_.pin(a, 0);
+    }
     covert.ports = telescope::covert_actor_ports();
     covert.scan_delay_min = simnet::hours(10);
     covert.scan_delay_max = simnet::hours(60);
@@ -241,6 +265,11 @@ void Study::run() {
     pop_config.seed = rng_.stream("population").root_seed();
     population_ = inet::Population::generate(*registry_, pop_config);
   }
+
+  // Partition before anything allocates infra addresses (allocation pins
+  // them to domain 0) or schedules events (configure_shards requires a
+  // quiet queue).
+  if (config_.shards.shards > 0) build_shards();
 
   {
     auto span = tracer_.span("study/build_pool");
@@ -320,11 +349,37 @@ void Study::run() {
                                        simnet::days(2));
   simnet::EventQueue::CategoryId hitlist_cat =
       events_.register_category("hitlist_build");
-  events_.schedule_at(hitlist_build_at, hitlist_cat, [this] {
-    auto span = tracer_.span("study/hitlist_build");
-    hitlist_ = hitlist::HitlistBuilder::build(*population_, runtime_.get(),
-                                              config_.hitlist);
-  });
+  if (events_.sharded()) {
+    // Incremental build: one slice per AS on its home domain (killing the
+    // monolithic build's dispatch tail), merged on domain 0 one lookahead
+    // later. Any window containing a slice closes at a bound <= build
+    // time + lookahead, so the merge always lands in a later window.
+    std::size_t as_count = registry_->all().size();
+    hitlist_partials_.resize(as_count);
+    for (std::size_t i = 0; i < as_count; ++i) {
+      events_.schedule_on(static_cast<simnet::DomainId>(1 + i),
+                          hitlist_build_at, hitlist_cat, [this, i] {
+                            hitlist_partials_[i] =
+                                hitlist::HitlistBuilder::build_partial(
+                                    *population_, runtime_.get(),
+                                    config_.hitlist, i);
+                          });
+    }
+    events_.schedule_on(0, hitlist_build_at + events_.lookahead(),
+                        hitlist_cat, [this] {
+                          auto span = tracer_.span("study/hitlist_build");
+                          hitlist_ = hitlist::HitlistBuilder::merge_partials(
+                              *registry_, config_.hitlist, hitlist_partials_);
+                          hitlist_partials_.clear();
+                          hitlist_partials_.shrink_to_fit();
+                        });
+  } else {
+    events_.schedule_at(hitlist_build_at, hitlist_cat, [this] {
+      auto span = tracer_.span("study/hitlist_build");
+      hitlist_ = hitlist::HitlistBuilder::build(*population_, runtime_.get(),
+                                                config_.hitlist);
+    });
+  }
 
   if (config_.enable_hitlist_scan) {
     scan::ScanEngineConfig engine;
@@ -371,15 +426,23 @@ void Study::run() {
         events_.register_category("checkpoint");
     bool combined = restore_ && restore_->at == config_.checkpoint_at;
     if (restore_) {
-      events_.schedule_at(restore_->at, snap_cat, [this, combined] {
-        StudySnapshot live = capture_snapshot();
-        verify_restore(live);
-        if (combined) checkpoint_ = live.serialize();
+      simnet::SimTime at = restore_->at;
+      events_.schedule_at(at, snap_cat, [this, combined, at] {
+        // At a barrier the whole data plane is quiesced, so the capture
+        // sees the same bytes at every shard count (immediate on an
+        // unsharded queue, where the event itself is the quiet point).
+        events_.run_at_barrier([this, combined, at] {
+          StudySnapshot live = capture_snapshot(at);
+          verify_restore(live);
+          if (combined) checkpoint_ = live.serialize();
+        });
       });
     }
     if (config_.checkpoint_at > 0 && !combined) {
-      events_.schedule_at(config_.checkpoint_at, snap_cat, [this] {
-        checkpoint_ = capture_snapshot().serialize();
+      simnet::SimTime at = config_.checkpoint_at;
+      events_.schedule_at(at, snap_cat, [this, at] {
+        events_.run_at_barrier(
+            [this, at] { checkpoint_ = capture_snapshot(at).serialize(); });
       });
     }
   }
@@ -412,13 +475,13 @@ void Study::resume_from(std::string_view snapshot_bytes) {
   restore_ = std::move(snap);
 }
 
-StudySnapshot Study::capture_snapshot() const {
+StudySnapshot Study::capture_snapshot(simnet::SimTime at) const {
   StudySnapshot snap;
   snap.seed = config_.seed;
-  snap.at = events_.now();
+  snap.at = at;
 
   util::ByteWriter clock;
-  clock.i64(events_.now());
+  clock.i64(at);
   clock.u64(events_.executed());
   snap.sections.push_back({"clock", clock.take()});
 

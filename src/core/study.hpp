@@ -78,6 +78,14 @@ struct StudyConfig {
   inet::RuntimeConfig runtime;
   hitlist::SourceConfig hitlist;
   simnet::NetworkConfig network;
+  /// Sharded event dispatch: shards > 0 partitions the synthetic Internet
+  /// by routed prefix into per-shard queues advanced in parallel between
+  /// conservative time-window barriers. Same seed + same shard plan =>
+  /// bit-identical reports and checkpoints at EVERY shard count (the shard
+  /// count is a performance knob, not a semantic one). 0 = the classic
+  /// single-queue dispatcher. A zero lookahead defaults to the network's
+  /// minimum latency.
+  simnet::ShardPlan shards;
   /// Scripted impairments installed into the network before traffic starts
   /// (empty = pristine). See simnet/fault.hpp for the scenario grammar.
   simnet::FaultScenario faults;
@@ -246,9 +254,13 @@ class Study {
  private:
   void build_pool();
   void build_telescope();
+  void build_shards();
   net::Ipv6Address allocate_infra_address(const std::string& country,
                                           std::uint16_t tag);
-  StudySnapshot capture_snapshot() const;
+  /// `at` is the nominal checkpoint time: at a sharded barrier the queue
+  /// sits between windows, so the event's own timestamp is passed in
+  /// rather than read back from the clock.
+  StudySnapshot capture_snapshot(simnet::SimTime at) const;
   void verify_restore(const StudySnapshot& live) const;
 
   StudyConfig config_;
@@ -263,6 +275,9 @@ class Study {
 
   simnet::EventQueue events_;
   std::unique_ptr<simnet::Network> network_;
+  /// Address -> event-domain map (domain 1+i per AS, infra pinned to 0).
+  /// Network holds a pointer; populated by build_shards().
+  simnet::ShardMap shard_map_;
   std::optional<inet::AsRegistry> registry_;
   std::optional<inet::Population> population_;
 
@@ -274,6 +289,9 @@ class Study {
 
   std::unique_ptr<inet::InternetRuntime> runtime_;
   hitlist::Hitlist hitlist_;
+  /// Per-AS build slices of a sharded hitlist build (index = as_index);
+  /// each slot is written by exactly one domain, merged on domain 0.
+  std::vector<std::vector<hitlist::PartialEntry>> hitlist_partials_;
 
   scan::ResultStore results_;
   /// One token source for both engines (created in the constructor so

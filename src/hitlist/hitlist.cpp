@@ -115,4 +115,117 @@ Hitlist HitlistBuilder::build(const inet::Population& pop,
   return list;
 }
 
+std::vector<PartialEntry> HitlistBuilder::build_partial(
+    const inet::Population& pop, const inet::InternetRuntime* runtime,
+    const SourceConfig& config, std::size_t as_index) {
+  const inet::AsInfo& as = pop.registry().all().at(as_index);
+  util::Rng rng =
+      util::Rng(config.seed).stream("hitlist-domain").stream(as_index);
+
+  AddressOf addr_of = initial_address_of();
+  if (runtime) {
+    addr_of = [runtime](const inet::Device& d) {
+      return runtime->address_of(d.id);
+    };
+  }
+
+  std::vector<const inet::Device*> own;
+  for (const auto& d : pop.devices())
+    if (d.asn == as.number) own.push_back(&d);
+
+  std::vector<SourcedAddress> dns;
+  for (const auto* d : own)
+    if (d->in_dns_sources) dns.push_back({addr_of(*d), Source::kDns});
+
+  std::vector<SourcedAddress> traceroute;
+  for (const auto* d : own)
+    if (d->in_traceroute)
+      traceroute.push_back({addr_of(*d), Source::kTraceroute});
+  // Synthetic router interfaces, as in traceroute_source but scoped to
+  // this AS's prefixes (same draw shapes, per-AS stream).
+  for (const auto& prefix : as.prefixes) {
+    for (int i = 0; i < config.routers_per_prefix; ++i) {
+      std::uint64_t idx48 = rng.below(4096);
+      std::uint64_t hi = prefix.address().hi64() | (idx48 << 16);
+      std::uint64_t iid = rng.chance(0.4) ? 0 : 1 + rng.below(254);
+      traceroute.push_back(
+          {net::Ipv6Address::from_halves(hi, iid), Source::kTraceroute});
+    }
+  }
+
+  auto tga = tga_source(dns, config, rng);
+
+  // Stale rotations of this AS's own devices (the global build samples
+  // device-uniformly; per-AS sampling keeps every address in-prefix).
+  std::vector<SourcedAddress> stale;
+  auto nstale = static_cast<std::uint64_t>(
+      static_cast<double>(dns.size()) * config.stale_fraction);
+  if (!own.empty()) {
+    for (std::uint64_t i = 0; i < nstale; ++i) {
+      const inet::Device& d = *own[rng.below(own.size())];
+      std::uint64_t hi =
+          d.initial_address.hi64() ^ (rng.below(0xffff) << 16);
+      stale.push_back(
+          {net::Ipv6Address::from_halves(hi, rng.next()), Source::kStale});
+    }
+  }
+
+  std::unordered_map<net::Ipv6Address, const inet::Device*,
+                     net::Ipv6AddressHash>
+      initial;
+  if (!runtime) {
+    for (const auto* d : own) initial[d->initial_address] = d;
+  }
+  auto device_at = [&](const net::Ipv6Address& a) -> const inet::Device* {
+    if (runtime) return runtime->device_at(a);
+    auto it = initial.find(a);
+    return it == initial.end() ? nullptr : it->second;
+  };
+
+  const auto& alias_region = pop.registry().cdn_alias_region();
+  std::vector<PartialEntry> out;
+  out.reserve(dns.size() + traceroute.size() + tga.size() + stale.size());
+  auto emit = [&](const std::vector<SourcedAddress>& batch) {
+    for (const auto& s : batch) {
+      bool responsive = false;
+      if (alias_region.contains(s.addr)) {
+        responsive = true;
+      } else if (const inet::Device* d = device_at(s.addr)) {
+        responsive = d->any_service();
+      } else if (s.source == Source::kTraceroute) {
+        responsive = s.addr.lo64() < 256;
+      }
+      out.push_back({s.addr, s.source, responsive});
+    }
+  };
+  emit(dns);
+  emit(traceroute);
+  emit(tga);
+  emit(stale);
+  return out;
+}
+
+Hitlist HitlistBuilder::merge_partials(
+    const inet::AsRegistry& registry, const SourceConfig& config,
+    const std::vector<std::vector<PartialEntry>>& partials) {
+  Hitlist list;
+  auto ingest = [&](const net::Ipv6Address& addr, Source source,
+                    bool responsive) {
+    auto [seq, fresh] = list.seen.insert(addr);
+    if (!fresh) return;
+    list.full.push_back(addr);
+    list.sources.push_back(source);
+    if (responsive) list.public_list.push_back(addr);
+  };
+  for (const auto& slice : partials)
+    for (const auto& e : slice) ingest(e.addr, e.source, e.responsive);
+
+  // The aliased region belongs to no single AS slice: sample it here from
+  // its own stream, after every slice (every aliased address answers).
+  util::Rng rng = util::Rng(config.seed).stream("hitlist-merge");
+  for (const auto& s : aliased_source(registry, config, rng))
+    ingest(s.addr, s.source, true);
+  return list;
+}
+
 }  // namespace tts::hitlist

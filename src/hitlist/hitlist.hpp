@@ -51,6 +51,16 @@ struct Hitlist {
   static Hitlist decode_state(util::ByteReader& r);
 };
 
+/// One sourced address plus its responsiveness verdict, produced by a
+/// per-AS build slice. Responsiveness is evaluated inside the slice (on
+/// the AS's home domain, where its devices churn), so the merge never has
+/// to look at live state.
+struct PartialEntry {
+  net::Ipv6Address addr;
+  Source source = Source::kDns;
+  bool responsive = false;
+};
+
 class HitlistBuilder {
  public:
   /// Build against the population *before* the runtime starts: addresses
@@ -62,6 +72,25 @@ class HitlistBuilder {
   static Hitlist build(const inet::Population& pop,
                        const inet::InternetRuntime* runtime,
                        const SourceConfig& config);
+
+  /// Sharded build, step 1: everything AS `as_index` contributes — its
+  /// DNS-listed devices, traceroute interfaces inside its prefixes, TGA
+  /// extrapolations of its DNS seeds, and stale rotations of its devices.
+  /// Draws come from a per-AS stream, so the result is independent of the
+  /// shard count and of every other AS's slice. Every emitted address lies
+  /// inside the AS's own prefixes, which keeps responsiveness lookups on
+  /// the AS's home domain.
+  static std::vector<PartialEntry> build_partial(
+      const inet::Population& pop, const inet::InternetRuntime* runtime,
+      const SourceConfig& config, std::size_t as_index);
+
+  /// Sharded build, step 2 (one event on domain 0): deduplicate the
+  /// slices in AS order, then sample the aliased region from its own
+  /// stream. Slice order is fixed by as_index, so the merged list is
+  /// bit-identical at every shard count.
+  static Hitlist merge_partials(
+      const inet::AsRegistry& registry, const SourceConfig& config,
+      const std::vector<std::vector<PartialEntry>>& partials);
 };
 
 }  // namespace tts::hitlist

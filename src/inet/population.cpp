@@ -153,7 +153,11 @@ net::Ipv6Prefix Population::rotate_delegation(net::AsNumber asn, bool eyeball,
   // instead of burning fresh /48s: a rotating customer lands in a /48 that
   // other customers already populate. This is what makes NTP-collected
   // /48s dense (Table 1's median-IPs-per-/48 of 5).
-  std::uint64_t n = next_customer_[asn];
+  // Pure read: rotation happens from concurrent churn events once the
+  // population is built, and every AS with devices was populated during
+  // build (so the operator[] insert path would only ever race, not help).
+  auto it = next_customer_.find(asn);
+  std::uint64_t n = it == next_customer_.end() ? 0 : it->second;
   if (n == 0) return allocate_delegation(asn, eyeball, rng);
   std::uint64_t pool =
       n * static_cast<std::uint64_t>(

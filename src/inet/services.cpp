@@ -73,14 +73,20 @@ class DeviceRuntime {
 
   void claim_address(const net::Ipv6Address& addr) {
     history_.push_back(addr);
-    world_.address_owner_[addr] = device_.id;
+    {
+      std::lock_guard<std::mutex> lock(world_.owner_mu_);
+      world_.address_owner_[addr] = device_.id;
+    }
     if (device_.any_service()) world_.network_.attach(addr);
   }
 
   void release_address(const net::Ipv6Address& addr) {
-    auto it = world_.address_owner_.find(addr);
-    if (it != world_.address_owner_.end() && it->second == device_.id)
-      world_.address_owner_.erase(it);
+    {
+      std::lock_guard<std::mutex> lock(world_.owner_mu_);
+      auto it = world_.address_owner_.find(addr);
+      if (it != world_.address_owner_.end() && it->second == device_.id)
+        world_.address_owner_.erase(it);
+    }
     if (device_.any_service()) world_.network_.detach(addr);
   }
 
@@ -98,7 +104,7 @@ class DeviceRuntime {
     bool new_prefix = rng_.chance(device_.daily_prefix_change);
     bool new_iid = rng_.chance(device_.daily_iid_change);
     if (!new_prefix && !new_iid) return;
-    ++world_.churn_events_;
+    world_.churn_events_.fetch_add(1, std::memory_order_relaxed);
 
     release_address(current_);
     for (const auto& extra : extras_) release_address(extra);
@@ -147,7 +153,7 @@ class DeviceRuntime {
       return;
     auto server = world_.pool_->resolve(device_.country, rng_);
     if (!server) return;
-    ++world_.ntp_polls_sent_;
+    world_.ntp_polls_sent_.fetch_add(1, std::memory_order_relaxed);
 
     // Source address: primary, or one of the temporary addresses.
     net::Ipv6Address src = current_;
@@ -438,6 +444,7 @@ InternetRuntime::InternetRuntime(simnet::Network& network,
       pool_(pool),
       config_(config),
       rng_(config.seed),
+      start_cat_(network.events().register_category("device_start")),
       churn_cat_(network.events().register_category("churn")),
       poll_cat_(network.events().register_category("ntp_poll")) {}
 
@@ -450,7 +457,18 @@ void InternetRuntime::start() {
   for (auto& device : population_.devices()) {
     auto runtime = std::make_unique<DeviceRuntime>(
         *this, device, rng_.stream("device-runtime").stream(device.id));
-    runtime->start();
+    if (network_.sharded()) {
+      // Bring the device up on its home domain so its churn and poll
+      // chains (schedule_in from inside the event) stay shard-local.
+      // Every draw below comes from the device's own stream, so the
+      // concurrent bring-up order never shows in the results.
+      DeviceRuntime* raw = runtime.get();
+      network_.events().schedule_on(
+          network_.shard_map()->domain_of(device.initial_address),
+          network_.now(), start_cat_, [raw] { raw->start(); });
+    } else {
+      runtime->start();
+    }
     devices_.push_back(std::move(runtime));
   }
 
@@ -535,9 +553,14 @@ const std::vector<net::Ipv6Address>& InternetRuntime::address_history(
 }
 
 const Device* InternetRuntime::device_at(const net::Ipv6Address& addr) const {
-  auto it = address_owner_.find(addr);
-  if (it == address_owner_.end()) return nullptr;
-  return &population_.devices().at(it->second - 1);
+  std::uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(owner_mu_);
+    auto it = address_owner_.find(addr);
+    if (it == address_owner_.end()) return nullptr;
+    id = it->second;
+  }
+  return &population_.devices().at(id - 1);
 }
 
 }  // namespace tts::inet

@@ -8,8 +8,10 @@
 // region that answers HTTP on every address of the hyperscaler prefix.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "inet/population.hpp"
@@ -50,7 +52,9 @@ class InternetRuntime {
   InternetRuntime& operator=(const InternetRuntime&) = delete;
 
   /// Attach devices, bind services, arm churn + NTP schedules, and start
-  /// the CDN alias responder. Idempotent.
+  /// the CDN alias responder. Idempotent. On a sharded network each
+  /// device's bring-up runs as a t=now event on its home domain, so churn
+  /// and poll schedules live shard-locally from the first window.
   void start();
 
   /// Current primary address of a device (changes under churn).
@@ -67,8 +71,12 @@ class InternetRuntime {
   simnet::Network& network() { return network_; }
   const RuntimeConfig& config() const { return config_; }
 
-  std::uint64_t churn_events() const { return churn_events_; }
-  std::uint64_t ntp_polls_sent() const { return ntp_polls_sent_; }
+  std::uint64_t churn_events() const {
+    return churn_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ntp_polls_sent() const {
+    return ntp_polls_sent_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class DeviceRuntime;
@@ -81,11 +89,16 @@ class InternetRuntime {
   bool started_ = false;
 
   std::vector<std::unique_ptr<DeviceRuntime>> devices_;
+  /// Guards address_owner_: devices on different shards claim and release
+  /// addresses concurrently, and hitlist partials call device_at() from
+  /// every domain.
+  mutable std::mutex owner_mu_;
   std::unordered_map<net::Ipv6Address, std::uint32_t, net::Ipv6AddressHash>
       address_owner_;
-  std::uint64_t churn_events_ = 0;
-  std::uint64_t ntp_polls_sent_ = 0;
+  std::atomic<std::uint64_t> churn_events_{0};
+  std::atomic<std::uint64_t> ntp_polls_sent_{0};
   // Dispatch-profiler categories shared by every device agent.
+  simnet::EventQueue::CategoryId start_cat_;
   simnet::EventQueue::CategoryId churn_cat_;
   simnet::EventQueue::CategoryId poll_cat_;
 };

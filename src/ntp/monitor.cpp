@@ -32,17 +32,21 @@ void PoolMonitor::run_round() {
     client_.query(
         config_.vantage, port, addr,
         [this, addr](std::optional<NtpQueryResult> result) {
-          // Find the current score (servers() order may have changed).
-          int score = 0;
-          for (const auto& entry : pool_.servers())
-            if (entry.address == addr) score = entry.monitor_score;
-          if (result) {
-            score = std::min(config_.max_score, score + config_.on_success);
-          } else {
-            ++misses_;
-            score = std::max(config_.min_score, score + config_.on_miss);
-          }
-          pool_.set_monitor_score(addr, score);
+          bool hit = result.has_value();
+          if (!hit) ++misses_;
+          // Scores are read by every device's resolve(): commit the
+          // read-modify-write at the next window barrier, when no shard
+          // is executing (immediate on an unsharded queue).
+          network_.events().run_at_barrier([this, addr, hit] {
+            // Find the current score (servers() order may have changed).
+            int score = 0;
+            for (const auto& entry : pool_.servers())
+              if (entry.address == addr) score = entry.monitor_score;
+            score = hit
+                ? std::min(config_.max_score, score + config_.on_success)
+                : std::max(config_.min_score, score + config_.on_miss);
+            pool_.set_monitor_score(addr, score);
+          });
         },
         simnet::sec(3));
   }

@@ -54,6 +54,7 @@ simnet::SimTime FlightRecorder::sim_now() const {
 }
 
 FlightRecorder::NoteId FlightRecorder::note(std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (NoteId id = 0; id < notes_.size(); ++id)
     if (notes_[id] == text) return id;
   notes_.emplace_back(text);
@@ -64,6 +65,7 @@ void FlightRecorder::record(FlightKind kind, NoteId detail,
                             std::uint64_t trace, std::int64_t a,
                             std::int64_t b, std::int64_t wall_ns) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
   FlightEvent ev;
   ev.sim = sim_now();
   ev.wall_ns = wall_ns ? wall_ns : (wall_clock_ ? wall_clock_() : 0);
@@ -91,7 +93,7 @@ void FlightRecorder::record(FlightKind kind, NoteId detail,
     // The slot we just overwrote held the (burst-1)-events-ago timestamp:
     // once the buffer has wrapped, a full burst inside the window fires.
     if (rule.seen >= rule.burst && ev.sim - oldest <= rule.window)
-      trigger(rule.reason);
+      trigger_locked(rule.reason);
   }
 }
 
@@ -101,11 +103,17 @@ void FlightRecorder::add_trigger(FlightKind kind, std::uint32_t burst,
   if (burst == 0) burst = 1;
   TriggerRule rule{kind, burst, window, std::move(reason), {}, 0, 0};
   rule.recent.assign(burst, 0);
+  std::lock_guard<std::mutex> lock(mu_);
   rules_.push_back(std::move(rule));
 }
 
 void FlightRecorder::trigger(std::string_view reason) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  trigger_locked(reason);
+}
+
+void FlightRecorder::trigger_locked(std::string_view reason) {
   ++triggers_;
   simnet::SimTime now = sim_now();
   if (dumps_.size() >= max_dumps_ ||
@@ -114,11 +122,16 @@ void FlightRecorder::trigger(std::string_view reason) {
     return;
   }
   last_dump_at_ = now;
-  dumps_.emplace_back(std::string(reason), dump());
+  dumps_.emplace_back(std::string(reason), dump_locked(64));
   if (sink_) sink_(reason, dumps_.back().second);
 }
 
 std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_locked();
+}
+
+std::vector<FlightEvent> FlightRecorder::events_locked() const {
   std::vector<FlightEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -131,7 +144,12 @@ std::vector<FlightEvent> FlightRecorder::events() const {
 }
 
 std::string FlightRecorder::dump(std::size_t max_events) const {
-  std::vector<FlightEvent> all = events();
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_locked(max_events);
+}
+
+std::string FlightRecorder::dump_locked(std::size_t max_events) const {
+  std::vector<FlightEvent> all = events_locked();
   std::size_t first = all.size() > max_events ? all.size() - max_events : 0;
   util::TextTable table(util::cat("flight recorder (", all.size() - first,
                                   " of ", recorded_, " events)"));

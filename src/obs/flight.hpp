@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -112,11 +113,25 @@ class FlightRecorder {
   /// only — bit-identical across same-seed runs).
   std::string dump(std::size_t max_events = 64) const;
 
-  std::uint64_t recorded() const { return recorded_; }
-  std::uint64_t overwritten() const { return overwritten_; }
-  std::uint64_t triggers() const { return triggers_; }
-  std::uint64_t suppressed() const { return suppressed_; }
+  std::uint64_t recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+  }
+  std::uint64_t overwritten() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overwritten_;
+  }
+  std::uint64_t triggers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return triggers_;
+  }
+  std::uint64_t suppressed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return suppressed_;
+  }
   /// (reason, rendered dump) pairs, oldest first, capped at max_dumps.
+  /// Returns a reference into the recorder: read only once appends have
+  /// quiesced (post-run, or from a barrier commit).
   const std::vector<std::pair<std::string, std::string>>& dumps() const {
     return dumps_;
   }
@@ -134,7 +149,13 @@ class FlightRecorder {
   };
 
   simnet::SimTime sim_now() const;
+  void trigger_locked(std::string_view reason);
+  std::vector<FlightEvent> events_locked() const;
+  std::string dump_locked(std::size_t max_events) const;
 
+  /// Guards every mutable member below: sharded runs append from
+  /// concurrent shard executors (fault injections, slow dispatches).
+  mutable std::mutex mu_;
   const simnet::EventQueue* events_ = nullptr;
   WallClockFn wall_clock_ = nullptr;
   bool enabled_ = true;

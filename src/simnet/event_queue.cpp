@@ -3,17 +3,34 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
+#include <stdexcept>
 
 #include "obs/flight.hpp"
 
 namespace tts::simnet {
 
 namespace {
+
 std::int64_t wall_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+/// Which queue+domain the calling thread is executing for. Set around
+/// every domain's window slice; outside event execution it points nowhere
+/// and every call resolves to domain 0.
+struct TlsCtx {
+  const void* queue = nullptr;
+  DomainId domain = 0;
+};
+thread_local TlsCtx tls_ctx;
+
+constexpr std::size_t kMaxCategories = 256;
+
 }  // namespace
 
 std::string format_duration(SimDuration d) {
@@ -34,10 +51,57 @@ std::string format_duration(SimDuration d) {
   return buf;
 }
 
-EventQueue::EventQueue() { register_category("other"); }
+EventQueue::EventQueue() {
+  domains_.emplace_back();
+  categories_.reserve(kMaxCategories);
+  register_category("other");
+}
 
 EventQueue::~EventQueue() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
   if (registry_) registry_->drop_owner(this);
+}
+
+void EventQueue::configure_shards(const ShardPlan& plan,
+                                  DomainId domain_count) {
+  if (sharded())
+    throw std::logic_error("EventQueue: already sharded");
+  if (executed() > 0 || pending() > 0)
+    throw std::logic_error("EventQueue: configure_shards before any events");
+  if (plan.shards == 0)
+    throw std::invalid_argument("EventQueue: shards must be >= 1");
+  if (plan.lookahead <= 0)
+    throw std::invalid_argument("EventQueue: lookahead must be positive");
+  shards_ = plan.shards;
+  lookahead_ = plan.lookahead;
+  if (domain_count < 1) domain_count = 1;
+  while (domains_.size() < domain_count) domains_.emplace_back();
+  shard_wall_.assign(shards_, 0);
+  std::uint32_t hw = std::thread::hardware_concurrency();
+  std::uint32_t w = plan.workers
+                        ? plan.workers
+                        : std::min<std::uint32_t>(shards_, hw ? hw : 1);
+  w = std::min(w, shards_);
+  workers_n_ = w;
+  // The driving thread is executor 0; spawn the rest. w <= 1 keeps the
+  // whole run on the driver — byte-identical to any parallel schedule.
+  for (std::uint32_t i = 1; i < w; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+DomainId EventQueue::current_domain() const {
+  return tls_ctx.queue == this ? tls_ctx.domain : 0;
+}
+
+SimTime EventQueue::now() const {
+  if (tls_ctx.queue == this) return domains_[tls_ctx.domain].now;
+  if (!sharded()) return domains_[0].now;
+  return now_;
 }
 
 void EventQueue::attach_metrics(obs::Registry& registry, obs::Labels labels,
@@ -47,15 +111,22 @@ void EventQueue::attach_metrics(obs::Registry& registry, obs::Labels labels,
   labels_ = labels;
   registry.enroll(executed_ctr_, "simnet_events_executed", labels, this);
   registry.enroll(pending_gauge_, "simnet_events_pending", labels, this);
-  if (time_dispatch)
-    registry.enroll(dispatch_wall_, "simnet_dispatch_wall_ns",
+  registry.enroll(windows_ctr_, "simnet_shard_windows", labels, this);
+  registry.enroll(violations_ctr_, "simnet_shard_violations", labels, this);
+  if (time_dispatch) {
+    registry.enroll(dispatch_wall_, "simnet_dispatch_wall_ns", labels, this);
+    registry.enroll(barrier_stall_, "simnet_barrier_stall_ns",
                     std::move(labels), this);
+  }
   for (Category& cat : categories_) enroll_category(cat);
 }
 
 EventQueue::CategoryId EventQueue::register_category(std::string_view name) {
+  std::lock_guard<std::mutex> lk(category_mu_);
   for (CategoryId id = 0; id < categories_.size(); ++id)
     if (categories_[id].name == name) return id;
+  if (categories_.size() >= kMaxCategories)
+    throw std::logic_error("EventQueue: category table full");
   Category cat;
   cat.name = name;
   cat.executed = std::make_unique<obs::Counter>();
@@ -88,7 +159,11 @@ void EventQueue::set_flight_recorder(obs::FlightRecorder* recorder,
 }
 
 std::vector<EventQueue::SlowDispatch> EventQueue::slowest() const {
-  std::vector<SlowDispatch> out = slow_;
+  std::vector<SlowDispatch> out;
+  {
+    std::lock_guard<std::mutex> lk(slow_mu_);
+    out = slow_;
+  }
   std::sort(out.begin(), out.end(),
             [](const SlowDispatch& a, const SlowDispatch& b) {
               if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
@@ -97,19 +172,23 @@ std::vector<EventQueue::SlowDispatch> EventQueue::slowest() const {
   return out;
 }
 
-void EventQueue::note_slow_dispatch(std::int64_t wall, CategoryId cat) {
+void EventQueue::note_slow_dispatch(SimTime at, std::int64_t wall,
+                                    CategoryId cat) {
   // Keep the top-K table (min-heap on wall_ns: front() is the K-th place
   // to beat), independently of the flight-recorder threshold.
   auto lighter = [](const SlowDispatch& a, const SlowDispatch& b) {
     return a.wall_ns > b.wall_ns;
   };
-  if (slow_.size() < kSlowTableSize) {
-    slow_.push_back(SlowDispatch{now_, wall, cat});
-    std::push_heap(slow_.begin(), slow_.end(), lighter);
-  } else if (wall > slow_.front().wall_ns) {
-    std::pop_heap(slow_.begin(), slow_.end(), lighter);
-    slow_.back() = SlowDispatch{now_, wall, cat};
-    std::push_heap(slow_.begin(), slow_.end(), lighter);
+  {
+    std::lock_guard<std::mutex> lk(slow_mu_);
+    if (slow_.size() < kSlowTableSize) {
+      slow_.push_back(SlowDispatch{at, wall, cat});
+      std::push_heap(slow_.begin(), slow_.end(), lighter);
+    } else if (wall > slow_.front().wall_ns) {
+      std::pop_heap(slow_.begin(), slow_.end(), lighter);
+      slow_.back() = SlowDispatch{at, wall, cat};
+      std::push_heap(slow_.begin(), slow_.end(), lighter);
+    }
   }
   if (flight_ && wall >= flight_threshold_ns_) {
     flight_->record(obs::FlightKind::kSlowDispatch,
@@ -125,41 +204,74 @@ void EventQueue::schedule_at(SimTime at, Callback fn) {
 }
 
 void EventQueue::schedule_at(SimTime at, CategoryId category, Callback fn) {
-  if (at < now_) at = now_;
-  heap_.push(Entry{at, next_seq_++, category, std::move(fn)});
-  pending_gauge_.set(static_cast<std::int64_t>(heap_.size()));
+  schedule_on(current_domain(), at, category, std::move(fn));
 }
 
 void EventQueue::schedule_in(SimDuration delay, Callback fn) {
-  schedule_at(now_ + (delay < 0 ? 0 : delay), /*category=*/0, std::move(fn));
+  schedule_in(delay, /*category=*/0, std::move(fn));
 }
 
 void EventQueue::schedule_in(SimDuration delay, CategoryId category,
                              Callback fn) {
-  schedule_at(now_ + (delay < 0 ? 0 : delay), category, std::move(fn));
+  DomainId d = current_domain();
+  SimTime base = domains_[d].now;
+  schedule_on(d, base + (delay < 0 ? 0 : delay), category, std::move(fn));
 }
 
-bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; the callback must be moved out, so pop
-  // via const_cast-free copy of the small fields and move of the function.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  pending_gauge_.set(static_cast<std::int64_t>(heap_.size()));
-  now_ = e.at;
+void EventQueue::schedule_on(DomainId domain, SimTime at, CategoryId category,
+                             Callback fn) {
+  DomainId src = current_domain();
+  Domain& sender = domains_[src];
+  std::uint64_t seq = sender.next_seq++;
+  if (domain == src) {
+    if (at < sender.now) at = sender.now;
+    sender.heap.push(Entry{at, src, seq, category, std::move(fn)});
+    if (!sharded())
+      pending_gauge_.set(static_cast<std::int64_t>(sender.heap.size()));
+    return;
+  }
+  // Cross-domain: into the target's inbox, merged at the next barrier.
+  // The (at, src, seq) key is allocated on the sender, so the merged order
+  // is a function of content, not of inbox arrival interleaving.
+  Domain& target = domains_[domain];
+  std::lock_guard<std::mutex> lk(target.inbox_mu);
+  target.inbox.push_back(Entry{at, src, seq, category, std::move(fn)});
+}
+
+void EventQueue::run_at_barrier(Callback fn) {
+  if (!sharded() || tls_ctx.queue != this) {
+    fn();
+    return;
+  }
+  domains_[current_domain()].commits.push_back(std::move(fn));
+}
+
+void EventQueue::dispatch(Domain& dom, Entry e) {
   executed_ctr_.inc();
   categories_[e.cat].executed->inc();
-  if (time_dispatch_ &&
-      (executed_ctr_.value() & dispatch_mask_) == 0) {
+  if (time_dispatch_ && (executed_ctr_.value() & dispatch_mask_) == 0) {
     std::int64_t t0 = wall_ns();
     e.fn();
     std::int64_t wall = wall_ns() - t0;
     dispatch_wall_.record(wall);
     categories_[e.cat].wall->record(wall);
-    note_slow_dispatch(wall, e.cat);
+    note_slow_dispatch(dom.now, wall, e.cat);
   } else {
     e.fn();
   }
+}
+
+bool EventQueue::step() {
+  if (sharded()) return false;  // sharded runs advance window-wise only
+  Domain& dom = domains_[0];
+  if (dom.heap.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out, so pop
+  // via const_cast-free copy of the small fields and move of the function.
+  Entry e = std::move(const_cast<Entry&>(dom.heap.top()));
+  dom.heap.pop();
+  pending_gauge_.set(static_cast<std::int64_t>(dom.heap.size()));
+  dom.now = e.at;
+  dispatch(dom, std::move(e));
   return true;
 }
 
@@ -169,19 +281,183 @@ void EventQueue::set_dispatch_sampling(std::uint32_t every) {
   dispatch_mask_ = mask;
 }
 
+std::size_t EventQueue::pending() const {
+  if (!sharded()) return domains_[0].heap.size();
+  std::size_t n = 0;
+  for (const Domain& dom : domains_) {
+    n += dom.heap.size();
+    std::lock_guard<std::mutex> lk(dom.inbox_mu);
+    n += dom.inbox.size();
+  }
+  return n;
+}
+
+SimTime EventQueue::global_min() const {
+  SimTime tmin = kNoEvent;
+  for (const Domain& dom : domains_)
+    if (!dom.heap.empty() && dom.heap.top().at < tmin)
+      tmin = dom.heap.top().at;
+  return tmin;
+}
+
+void EventQueue::ingest_inboxes(SimTime committed_bound) {
+  std::vector<Entry> batch;
+  for (Domain& dom : domains_) {
+    {
+      std::lock_guard<std::mutex> lk(dom.inbox_mu);
+      batch.swap(dom.inbox);
+    }
+    for (Entry& e : batch) {
+      if (e.at < committed_bound) {
+        // Lookahead violation: the sender undercut the configured
+        // lookahead and this event's time is already inside a committed
+        // window. Count it and clamp — determinism over strict causality.
+        violations_ctr_.inc();
+        e.at = committed_bound;
+      }
+      dom.heap.push(std::move(e));
+    }
+    batch.clear();
+  }
+}
+
+void EventQueue::exec_domain(DomainId d, SimTime bound) {
+  Domain& dom = domains_[d];
+  if (dom.heap.empty() || dom.heap.top().at >= bound) return;
+  TlsCtx saved = tls_ctx;
+  tls_ctx = TlsCtx{this, d};
+  while (!dom.heap.empty() && dom.heap.top().at < bound) {
+    Entry e = std::move(const_cast<Entry&>(dom.heap.top()));
+    dom.heap.pop();
+    dom.now = e.at;
+    dispatch(dom, std::move(e));
+  }
+  tls_ctx = saved;
+}
+
+void EventQueue::exec_shard(std::uint32_t shard, SimTime bound) {
+  std::int64_t t0 = time_dispatch_ ? wall_ns() : 0;
+  for (DomainId d = shard; d < domains_.size(); d += shards_)
+    exec_domain(d, bound);
+  if (time_dispatch_) shard_wall_[shard] = wall_ns() - t0;
+}
+
+void EventQueue::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime bound;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      bound = window_bound_;
+    }
+    for (;;) {
+      std::uint32_t s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards_) break;
+      exec_shard(s, bound);
+    }
+    bool last;
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      last = --busy_executors_ == 0;
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+void EventQueue::run_window(SimTime bound) {
+  if (workers_.empty()) {
+    for (std::uint32_t s = 0; s < shards_; ++s) exec_shard(s, bound);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      window_bound_ = bound;
+      next_shard_.store(0, std::memory_order_relaxed);
+      busy_executors_ = static_cast<std::uint32_t>(workers_.size());
+      ++epoch_;
+    }
+    pool_cv_.notify_all();
+    // The driver is an executor too.
+    for (;;) {
+      std::uint32_t s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards_) break;
+      exec_shard(s, bound);
+    }
+    std::unique_lock<std::mutex> lk(pool_mu_);
+    done_cv_.wait(lk, [&] { return busy_executors_ == 0; });
+  }
+  if (time_dispatch_) {
+    std::int64_t slowest = 0;
+    for (std::uint32_t s = 0; s < shards_; ++s)
+      slowest = std::max(slowest, shard_wall_[s]);
+    for (std::uint32_t s = 0; s < shards_; ++s)
+      barrier_stall_.record(slowest - shard_wall_[s]);
+  }
+}
+
+void EventQueue::run_commits() {
+  // Driver-thread, domains quiescent: the deterministic commit point.
+  for (Domain& dom : domains_) {
+    if (dom.commits.empty()) continue;
+    std::vector<Callback> commits;
+    commits.swap(dom.commits);
+    for (Callback& fn : commits) fn();
+  }
+}
+
+std::uint64_t EventQueue::run_windows(bool bounded, SimTime until) {
+  std::uint64_t before = executed_ctr_.value();
+  ingest_inboxes(committed_bound_);
+  for (;;) {
+    SimTime tmin = global_min();
+    if (tmin == kNoEvent) break;
+    if (bounded && tmin > until) break;
+    // The conservative window bound: the first lookahead-grid point past
+    // the earliest pending event. bound <= tmin + lookahead, so any
+    // cross-domain send from t >= tmin with delay >= lookahead lands at or
+    // past the bound — never inside a window a peer already executed.
+    SimTime bound = (tmin / lookahead_ + 1) * lookahead_;
+    if (bounded) bound = std::min(bound, until + 1);
+    run_window(bound);
+    windows_ctr_.inc();
+    committed_bound_ = bound;
+    now_ = bound - 1;
+    ingest_inboxes(bound);
+    run_commits();
+  }
+  pending_gauge_.set(static_cast<std::int64_t>(pending()));
+  return executed_ctr_.value() - before;
+}
+
 std::uint64_t EventQueue::run() {
-  std::uint64_t n = 0;
-  while (step()) ++n;
+  if (!sharded()) {
+    std::uint64_t n = 0;
+    while (step()) ++n;
+    return n;
+  }
+  std::uint64_t n = run_windows(/*bounded=*/false, 0);
+  SimTime end = now_;
+  for (Domain& dom : domains_) end = std::max(end, dom.now);
+  now_ = end;
   return n;
 }
 
 std::uint64_t EventQueue::run_until(SimTime until) {
-  std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.top().at <= until) {
-    step();
-    ++n;
+  if (!sharded()) {
+    Domain& dom = domains_[0];
+    std::uint64_t n = 0;
+    while (!dom.heap.empty() && dom.heap.top().at <= until) {
+      step();
+      ++n;
+    }
+    if (dom.now < until) dom.now = until;
+    return n;
   }
-  if (now_ < until) now_ = until;
+  std::uint64_t n = run_windows(/*bounded=*/true, until);
+  for (Domain& dom : domains_) dom.now = std::max(dom.now, until);
+  now_ = std::max(now_, until);
   return n;
 }
 

@@ -4,20 +4,39 @@
 // (a monotonic sequence number breaks ties), so runs are reproducible
 // regardless of heap internals.
 //
+// Sharded mode (configure_shards): the queue splits into per-domain heaps
+// advanced in parallel between conservative time-window barriers. Each
+// window executes every event with `at` strictly below a bound derived
+// from the global minimum pending time plus the lookahead; cross-domain
+// events travel through per-domain inboxes ingested at the barrier. The
+// total order inside a domain is (at, sending domain, sender sequence) — a
+// pure function of simulation content, never of thread interleaving — so
+// the executed event sequence (and every digest downstream of it) is
+// identical at any shard count. Events arriving below the committed
+// barrier bound (a lookahead violation: only possible when a cross-domain
+// delay undercuts the configured lookahead) are counted and clamped.
+//
 // Observability: the executed counter and pending-depth gauge are always
 // live (they are the queue's own state); attach_metrics() additionally
 // enrols them in an obs::Registry and can enable a wall-clock dispatch
 // histogram (how long each callback runs) — wall readings are
-// observational only and never influence the virtual clock.
+// observational only and never influence the virtual clock. Sharded runs
+// add window/violation counters and a per-shard barrier-stall histogram.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "simnet/shard.hpp"
 #include "simnet/time.hpp"
 
 namespace tts::obs {
@@ -38,9 +57,24 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  SimTime now() const { return now_; }
+  /// Virtual time of the calling context: the executing domain's clock on
+  /// a worker mid-window, the global clock otherwise.
+  SimTime now() const;
 
-  /// Schedule `fn` at absolute time `at` (clamped to now if in the past).
+  /// Split into `domain_count` deterministic domains run across
+  /// `plan.shards` parallel heaps. Must be called before any event runs;
+  /// `plan.shards` >= 1 and `plan.lookahead` >= 1 are required.
+  void configure_shards(const ShardPlan& plan, DomainId domain_count);
+  bool sharded() const { return shards_ > 0; }
+  std::uint32_t shard_count() const { return shards_ ? shards_ : 1; }
+  DomainId domain_count() const {
+    return static_cast<DomainId>(domains_.size());
+  }
+  /// Domain of the calling context (0 outside event execution).
+  DomainId current_domain() const;
+
+  /// Schedule `fn` at absolute time `at` (clamped to now if in the past)
+  /// on the calling context's domain.
   void schedule_at(SimTime at, Callback fn);
   /// Schedule `fn` after `delay`.
   void schedule_in(SimDuration delay, Callback fn);
@@ -48,6 +82,17 @@ class EventQueue {
   /// when dispatch timing is on, wall-timed) under `category`.
   void schedule_at(SimTime at, CategoryId category, Callback fn);
   void schedule_in(SimDuration delay, CategoryId category, Callback fn);
+  /// Schedule on an explicit domain. Cross-domain events must respect the
+  /// configured lookahead (at >= sender now + lookahead) or they surface
+  /// as counted lookahead violations at the next barrier.
+  void schedule_on(DomainId domain, SimTime at, CategoryId category,
+                   Callback fn);
+
+  /// Run `fn` at the next window barrier, when every domain is quiescent
+  /// (deterministic commit point for cross-domain state). Commits run on
+  /// the driving thread in (submitting domain, submission order). In
+  /// legacy mode this runs `fn` immediately.
+  void run_at_barrier(Callback fn);
 
   /// Run events until the queue drains or `until` is passed; the clock ends
   /// at the later of its current value and the last executed event (or
@@ -56,13 +101,21 @@ class EventQueue {
   std::uint64_t run_until(SimTime until);
 
   /// Execute at most one event; false when the queue is empty.
+  /// Legacy mode only.
   bool step();
 
-  std::size_t pending() const { return heap_.size(); }
-  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const;
+  bool empty() const { return pending() == 0; }
 
   /// Total events executed over the queue's lifetime.
   std::uint64_t executed() const { return executed_ctr_.value(); }
+
+  /// Conservative windows run so far (0 in legacy mode).
+  std::uint64_t shard_windows() const { return windows_ctr_.value(); }
+  /// Cross-domain events that arrived below a committed barrier bound.
+  /// Always 0 when every cross-domain delay honours the lookahead.
+  std::uint64_t shard_violations() const { return violations_ctr_.value(); }
+  SimDuration lookahead() const { return lookahead_; }
 
   /// Enrol the queue's instruments (events_executed, events_pending and —
   /// when `time_dispatch` — the dispatch_wall_ns histogram) in `registry`.
@@ -77,6 +130,9 @@ class EventQueue {
   /// the whole observability overhead.
   void set_dispatch_sampling(std::uint32_t every);
   const obs::Histogram& dispatch_wall_ns() const { return dispatch_wall_; }
+  /// Wall nanoseconds each shard spent waiting at window barriers for the
+  /// slowest shard of its window (empty in legacy mode / timing off).
+  const obs::Histogram& barrier_stall_ns() const { return barrier_stall_; }
 
   /// Register (or look up — idempotent by name) a dispatch category.
   /// Per-category executed counters are always live; per-category wall
@@ -115,19 +171,23 @@ class EventQueue {
  private:
   struct Entry {
     SimTime at;
-    std::uint64_t seq;
+    DomainId src;       // sending domain: second key of the total order
+    std::uint64_t seq;  // sender-local sequence: third key
     CategoryId cat;
     Callback fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.src != b.src) return a.src > b.src;
       return a.seq > b.seq;
     }
   };
 
   // Counter/Histogram hold atomics (non-movable), so categories own them
   // through unique_ptr; the vector is append-only and ids stay stable.
+  // Capacity is reserved up front so a (single-writer, domain-0) runtime
+  // register_category never reallocates under concurrent element reads.
   struct Category {
     std::string name;
     std::unique_ptr<obs::Counter> executed;
@@ -135,25 +195,68 @@ class EventQueue {
     std::uint32_t flight_note = 0;  // interned category name, lazily set
   };
 
-  void enroll_category(Category& cat);
-  void note_slow_dispatch(std::int64_t wall, CategoryId cat);
+  /// One deterministic execution domain: its own heap, clock, sender
+  /// sequence, and inbox for cross-domain arrivals. Deque-held (mutex is
+  /// not movable).
+  struct Domain {
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    SimTime now = 0;
+    std::uint64_t next_seq = 0;
+    mutable std::mutex inbox_mu;
+    std::vector<Entry> inbox;
+    std::vector<Callback> commits;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  void enroll_category(Category& cat);
+  void note_slow_dispatch(SimTime at, std::int64_t wall, CategoryId cat);
+  void dispatch(Domain& dom, Entry e);
+
+  SimTime global_min() const;
+  void ingest_inboxes(SimTime committed_bound);
+  void run_window(SimTime bound);
+  void exec_shard(std::uint32_t shard, SimTime bound);
+  void exec_domain(DomainId d, SimTime bound);
+  void run_commits();
+  std::uint64_t run_windows(bool bounded, SimTime until);
+  void worker_loop();
+
+  // domains_[0] is the sole queue in legacy mode.
+  std::deque<Domain> domains_;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
+
+  // -- sharded-mode state --
+  std::uint32_t shards_ = 0;   // 0 = legacy
+  std::uint32_t workers_n_ = 0;
+  SimDuration lookahead_ = 0;
+  SimTime committed_bound_ = 0;
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+  SimTime window_bound_ = 0;
+  std::atomic<std::uint32_t> next_shard_{0};
+  std::uint32_t busy_executors_ = 0;  // guarded by pool_mu_
+  std::vector<std::int64_t> shard_wall_;  // per-shard wall ns of the window
 
   obs::Counter executed_ctr_;
   obs::Gauge pending_gauge_;
+  obs::Counter windows_ctr_;
+  obs::Counter violations_ctr_;
   obs::Histogram dispatch_wall_{obs::Histogram::exponential(250, 4.0, 12)};
+  obs::Histogram barrier_stall_{obs::Histogram::exponential(250, 4.0, 12)};
   bool time_dispatch_ = false;
   std::uint64_t dispatch_mask_ = 0;  // time when (executed & mask) == 0
   obs::Registry* registry_ = nullptr;
   obs::Labels labels_;
   std::vector<Category> categories_;
+  std::mutex category_mu_;
   // Top-K slowest timed dispatches, kept as a min-heap on wall_ns so each
   // candidate costs one comparison against the current K-th place.
   static constexpr std::size_t kSlowTableSize = 16;
   std::vector<SlowDispatch> slow_;
+  mutable std::mutex slow_mu_;
   obs::FlightRecorder* flight_ = nullptr;
   std::int64_t flight_threshold_ns_ = 1'000'000;
 };

@@ -5,9 +5,8 @@
 namespace tts::simnet {
 
 FaultPlane::FaultPlane(FaultScenario scenario, obs::Registry* registry)
-    : scenario_(std::move(scenario)),
-      rng_(util::Rng(scenario_.seed).stream("faultplane")),
-      registry_(registry) {
+    : scenario_(std::move(scenario)), registry_(registry) {
+  rngs_.push_back(util::Rng(scenario_.seed).stream("faultplane"));
   if (!registry_) return;
   registry_->enroll(udp_dropped_, "fault_udp_dropped", {}, this);
   registry_->enroll(udp_host_down_, "fault_udp_host_down", {}, this);
@@ -17,6 +16,13 @@ FaultPlane::FaultPlane(FaultScenario scenario, obs::Registry* registry)
   registry_->enroll(stall_data_dropped_, "fault_stall_data_dropped", {},
                     this);
   registry_->enroll(delays_injected_, "fault_delays_injected", {}, this);
+}
+
+void FaultPlane::configure_domains(DomainId domains) {
+  util::Rng root(scenario_.seed);
+  while (rngs_.size() < domains)
+    rngs_.push_back(root.stream("faultplane-domain")
+                        .stream(static_cast<std::uint64_t>(rngs_.size())));
 }
 
 FaultPlane::~FaultPlane() {
@@ -45,7 +51,8 @@ bool FaultPlane::host_down(const net::Ipv6Address& host, SimTime now) const {
 }
 
 FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
-                                          SimTime now) {
+                                          SimTime now, DomainId domain) {
+  util::Rng& rng = domain_rng(domain);
   UdpVerdict verdict;
   if (host_down(dst, now)) {
     udp_host_down_.inc();
@@ -63,7 +70,7 @@ FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
         verdict.drop = true;
         return verdict;
       case FaultKind::kLoss:
-        if (rng_.chance(rule.probability)) {
+        if (rng.chance(rule.probability)) {
           udp_dropped_.inc();
           inject(kNoteUdpDrop);
           verdict.drop = true;
@@ -74,7 +81,7 @@ FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
         verdict.extra_latency += rule.added_latency;
         if (rule.added_jitter > 0)
           verdict.extra_latency += static_cast<SimDuration>(
-              rng_.below(static_cast<std::uint64_t>(rule.added_jitter)));
+              rng.below(static_cast<std::uint64_t>(rule.added_jitter)));
         break;
       case FaultKind::kRst:
       case FaultKind::kStall:
@@ -86,7 +93,9 @@ FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
 }
 
 FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
-                                                  SimTime now) {
+                                                  SimTime now,
+                                                  DomainId domain) {
+  util::Rng& rng = domain_rng(domain);
   TcpVerdict verdict;
   if (host_down(dst, now)) {
     tcp_blackholed_.inc();
@@ -104,7 +113,7 @@ FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
         verdict.action = TcpAction::kBlackhole;
         return verdict;
       case FaultKind::kLoss:
-        if (rng_.chance(rule.probability)) {
+        if (rng.chance(rule.probability)) {
           tcp_blackholed_.inc();  // a lost SYN looks like a blackhole
           inject(kNoteTcpBlackhole);
           verdict.action = TcpAction::kBlackhole;
@@ -125,7 +134,7 @@ FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
         verdict.extra_latency += rule.added_latency;
         if (rule.added_jitter > 0)
           verdict.extra_latency += static_cast<SimDuration>(
-              rng_.below(static_cast<std::uint64_t>(rule.added_jitter)));
+              rng.below(static_cast<std::uint64_t>(rule.added_jitter)));
         break;
     }
   }

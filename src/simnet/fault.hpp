@@ -22,6 +22,7 @@
 
 #include "net/ipv6.hpp"
 #include "obs/metrics.hpp"
+#include "simnet/shard.hpp"
 #include "simnet/time.hpp"
 #include "util/rng.hpp"
 
@@ -106,11 +107,19 @@ class FaultPlane {
   FaultPlane& operator=(const FaultPlane&) = delete;
 
   /// Verdict for one datagram to `dst` sent at `now`. Draws from the
-  /// plane's RNG; call exactly once per datagram.
-  UdpVerdict on_udp(const net::Ipv6Address& dst, SimTime now);
+  /// sending domain's RNG stream; call exactly once per datagram. Domain 0
+  /// draws from the legacy single stream, so unsharded runs are unchanged.
+  UdpVerdict on_udp(const net::Ipv6Address& dst, SimTime now,
+                    DomainId domain = 0);
   /// Verdict for one TCP connect to `dst` at `now` (one RNG draw per
   /// matching loss rule, as for UDP).
-  TcpVerdict on_tcp_connect(const net::Ipv6Address& dst, SimTime now);
+  TcpVerdict on_tcp_connect(const net::Ipv6Address& dst, SimTime now,
+                            DomainId domain = 0);
+  /// Provision one independent RNG stream per event domain so concurrent
+  /// shards never contend on (or reorder draws from) a shared generator.
+  /// Stream d >= 1 is seeded from scenario seed + "faultplane-domain"/d,
+  /// making each domain's draw sequence shard-count-invariant.
+  void configure_domains(DomainId domains);
   /// True when `host` is inside a scripted outage window at `now`.
   bool host_down(const net::Ipv6Address& host, SimTime now) const;
   /// Count one data delivery swallowed by a stalled connection.
@@ -146,8 +155,12 @@ class FaultPlane {
   };
   void inject(InjectNote which);
 
+  util::Rng& domain_rng(DomainId domain) {
+    return rngs_[domain < rngs_.size() ? domain : 0];
+  }
+
   FaultScenario scenario_;
-  util::Rng rng_;
+  std::vector<util::Rng> rngs_;  // [0] = legacy "faultplane" stream
   obs::Registry* registry_;
   obs::FlightRecorder* flight_ = nullptr;
   std::uint32_t fault_notes_[kNoteCount] = {};

@@ -8,11 +8,16 @@ namespace tts::simnet {
 // ---------------------------------------------------------------- TcpConnection
 
 TcpConnection::TcpConnection(Network* net, Endpoint client, Endpoint server,
-                             SimDuration latency)
+                             SimDuration latency, DomainId client_dom,
+                             DomainId server_dom, bool sharded)
     : net_(net),
       client_(std::move(client)),
       server_(std::move(server)),
-      latency_(latency) {}
+      latency_(latency),
+      sharded_(sharded) {
+  dom_[0] = client_dom;
+  dom_[1] = server_dom;
+}
 
 void TcpConnection::set_on_data(Side side, DataFn fn) {
   on_data_[static_cast<int>(side)] = std::move(fn);
@@ -23,48 +28,71 @@ void TcpConnection::set_on_close(Side side, CloseFn fn) {
 }
 
 void TcpConnection::send(Side from, std::vector<std::uint8_t> data) {
-  if (!open_) return;
+  int f = static_cast<int>(from);
+  if (!open_[sharded_ ? f : 0]) return;
   if (stalled_) {
     // Fault-injected stall: the connection looks established, but payload
     // bytes silently vanish in both directions (counted by the plane).
     if (net_->fault_) net_->fault_->note_stalled_data();
     return;
   }
-  int to = 1 - static_cast<int>(from);
+  int to = 1 - f;
   auto self = shared_from_this();
   // Data queued before a close is still delivered (TCP flushes the send
   // buffer before the FIN); the close notification is scheduled after it.
-  net_->events_.schedule_in(
-      latency_, net_->packet_cat_,
+  net_->events_.schedule_on(
+      dom_[to], net_->events_.now() + latency_, net_->packet_cat_,
       [self, to, data = std::move(data)]() mutable {
         if (self->on_data_[to]) self->on_data_[to](std::move(data));
       });
 }
 
 void TcpConnection::close(Side from) {
-  if (!open_) return;
-  open_ = false;
+  int f = static_cast<int>(from);
+  if (!open_[sharded_ ? f : 0]) return;
+  open_[sharded_ ? f : 0] = false;
   auto self = shared_from_this();
+  SimTime deliver_at = net_->events_.now() + latency_;
   if (stalled_) {
     // The FIN is swallowed like everything else: the peer never hears the
     // close. Still break the handler capture cycles (deferred one latency
     // so a close from inside a callback never drops the running closure's
-    // own captures out from under it).
-    net_->events_.schedule_in(latency_, net_->packet_cat_,
-                              [self] { self->drop_handlers(); });
+    // own captures out from under it). Sharded: each side's handlers drop
+    // on that side's own domain.
+    if (sharded_) {
+      net_->events_.schedule_on(dom_[f], deliver_at, net_->packet_cat_,
+                                [self, f] { self->drop_side(f); });
+    } else {
+      net_->events_.schedule_on(0, deliver_at, net_->packet_cat_,
+                                [self] { self->drop_handlers(); });
+    }
     return;
   }
-  int to = 1 - static_cast<int>(from);
-  net_->events_.schedule_in(latency_, net_->packet_cat_, [self, to] {
-    // Move the peer's close handler out, then drop every handler before
-    // invoking it: the handlers routinely capture the connection pointer,
-    // and clearing them here breaks the shared_ptr cycle the moment the
-    // close delivers. Data queued before the close was scheduled earlier
-    // on the same event queue, so it has already been delivered.
-    CloseFn fn = std::move(self->on_close_[to]);
-    self->drop_handlers();
-    if (fn) fn();
-  });
+  int to = 1 - f;
+  if (!sharded_) {
+    net_->events_.schedule_on(0, deliver_at, net_->packet_cat_, [self, to] {
+      // Move the peer's close handler out, then drop every handler before
+      // invoking it: the handlers routinely capture the connection pointer,
+      // and clearing them here breaks the shared_ptr cycle the moment the
+      // close delivers. Data queued before the close was scheduled earlier
+      // on the same event queue, so it has already been delivered.
+      CloseFn fn = std::move(self->on_close_[to]);
+      self->drop_handlers();
+      if (fn) fn();
+    });
+    return;
+  }
+  // Sharded: the FIN hops to the peer's domain; this side's own handlers
+  // drop via a same-domain event at the same instant.
+  net_->events_.schedule_on(dom_[to], deliver_at, net_->packet_cat_,
+                            [self, to] {
+                              self->open_[to] = false;
+                              CloseFn fn = std::move(self->on_close_[to]);
+                              self->drop_side(to);
+                              if (fn) fn();
+                            });
+  net_->events_.schedule_on(dom_[f], deliver_at, net_->packet_cat_,
+                            [self, f] { self->drop_side(f); });
 }
 
 void TcpConnection::drop_handlers() {
@@ -72,13 +100,19 @@ void TcpConnection::drop_handlers() {
   for (auto& fn : on_close_) fn = nullptr;
 }
 
+void TcpConnection::drop_side(int side) {
+  on_data_[side] = nullptr;
+  on_close_[side] = nullptr;
+}
+
 // --------------------------------------------------------------------- Network
 
 Network::Network(EventQueue& events, NetworkConfig config)
     : events_(events),
       config_(config),
-      rng_(config.seed),
-      packet_cat_(events.register_category("packet")) {}
+      packet_cat_(events.register_category("packet")) {
+  rngs_.emplace_back(config.seed);
+}
 
 Network::~Network() {
   // Connections that never closed (in-flight probes at the simulation
@@ -88,9 +122,28 @@ Network::~Network() {
     if (auto conn = weak.lock()) conn->drop_handlers();
 }
 
-void Network::attach(const net::Ipv6Address& addr) { ++online_[addr]; }
+void Network::set_shard_map(const ShardMap* map) {
+  map_ = map;
+  if (!map_) return;
+  util::Rng root(config_.seed);
+  for (DomainId d = static_cast<DomainId>(rngs_.size());
+       d < map_->domain_count(); ++d)
+    rngs_.push_back(root.stream("net-domain").stream(d));
+  if (fault_) fault_->configure_domains(map_->domain_count());
+}
+
+util::Rng& Network::domain_rng() {
+  DomainId d = events_.current_domain();
+  return rngs_[d < rngs_.size() ? d : 0];
+}
+
+void Network::attach(const net::Ipv6Address& addr) {
+  std::lock_guard<std::mutex> lk(maps_mu_);
+  ++online_[addr];
+}
 
 void Network::detach(const net::Ipv6Address& addr) {
+  std::lock_guard<std::mutex> lk(maps_mu_);
   auto it = online_.find(addr);
   if (it == online_.end()) return;
   if (--it->second > 0) return;
@@ -113,7 +166,13 @@ void Network::detach(const net::Ipv6Address& addr) {
 }
 
 bool Network::online(const net::Ipv6Address& addr) const {
+  std::lock_guard<std::mutex> lk(maps_mu_);
   return online_.contains(addr);
+}
+
+std::size_t Network::online_count() const {
+  std::lock_guard<std::mutex> lk(maps_mu_);
+  return online_.size();
 }
 
 SimDuration Network::base_latency(const net::Ipv6Address& a,
@@ -130,11 +189,12 @@ SimDuration Network::base_latency(const net::Ipv6Address& a,
 }
 
 SimDuration Network::sample_latency(const net::Ipv6Address& a,
-                                    const net::Ipv6Address& b) {
+                                    const net::Ipv6Address& b,
+                                    util::Rng& rng) {
   SimDuration lat = base_latency(a, b);
   if (config_.jitter > 0)
     lat += static_cast<SimDuration>(
-        rng_.below(static_cast<std::uint64_t>(config_.jitter)));
+        rng.below(static_cast<std::uint64_t>(config_.jitter)));
   return lat;
 }
 
@@ -147,61 +207,78 @@ void Network::run_taps(TransportProto proto, const Endpoint& src,
 }
 
 void Network::bind_udp(const Endpoint& ep, UdpHandler handler) {
+  std::lock_guard<std::mutex> lk(maps_mu_);
   udp_[ep] = std::move(handler);
 }
 
-void Network::unbind_udp(const Endpoint& ep) { udp_.erase(ep); }
+void Network::unbind_udp(const Endpoint& ep) {
+  std::lock_guard<std::mutex> lk(maps_mu_);
+  udp_.erase(ep);
+}
 
 void Network::send_udp(const Endpoint& src, const Endpoint& dst,
                        std::vector<std::uint8_t> payload) {
-  ++udp_sent_;
+  udp_sent_.fetch_add(1, std::memory_order_relaxed);
   run_taps(TransportProto::kUdp, src, dst, payload.size());
-  if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) return;
-  SimDuration lat = sample_latency(src.addr, dst.addr);
+  util::Rng& rng = domain_rng();
+  if (config_.loss_rate > 0.0 && rng.chance(config_.loss_rate)) return;
+  SimDuration lat = sample_latency(src.addr, dst.addr, rng);
   if (fault_) {
-    FaultPlane::UdpVerdict verdict = fault_->on_udp(dst.addr, events_.now());
+    FaultPlane::UdpVerdict verdict =
+        fault_->on_udp(dst.addr, events_.now(), events_.current_domain());
     if (verdict.drop) return;
     lat += verdict.extra_latency;
   }
-  events_.schedule_in(lat, packet_cat_,
-                      [this, src, dst, payload = std::move(payload)] {
-    auto it = udp_.find(dst);
-    if (it == udp_.end()) {
-      // No exact binding: try wildcard prefix bindings (aliased regions).
-      for (const auto& p : prefix_udp_) {
-        if (p.port == dst.port && p.prefix.contains(dst.addr)) {
-          ++udp_delivered_;
-          UdpHandler handler = p.handler;
-          handler(Datagram{src, dst, payload});
-          return;
+  DomainId dst_dom = map_ ? map_->domain_of(dst.addr) : 0;
+  events_.schedule_on(
+      dst_dom, events_.now() + lat, packet_cat_,
+      [this, src, dst, payload = std::move(payload)] {
+        UdpHandler handler;
+        {
+          std::lock_guard<std::mutex> lk(maps_mu_);
+          auto it = udp_.find(dst);
+          // Copy the handler: it may unbind itself while running.
+          if (it != udp_.end()) handler = it->second;
         }
-      }
-      return;  // blackholed or refused: UDP stays silent
-    }
-    ++udp_delivered_;
-    // Copy the handler: it may unbind itself while running.
-    UdpHandler handler = it->second;
-    handler(Datagram{src, dst, payload});
-  });
+        if (!handler) {
+          // No exact binding: try wildcard prefix bindings (aliased
+          // regions); otherwise blackholed or refused — UDP stays silent.
+          for (const auto& p : prefix_udp_) {
+            if (p.port == dst.port && p.prefix.contains(dst.addr)) {
+              handler = p.handler;
+              break;
+            }
+          }
+          if (!handler) return;
+        }
+        udp_delivered_.fetch_add(1, std::memory_order_relaxed);
+        handler(Datagram{src, dst, payload});
+      });
 }
 
 void Network::listen_tcp(const Endpoint& ep, TcpAcceptor acceptor) {
+  std::lock_guard<std::mutex> lk(maps_mu_);
   tcp_[ep] = std::move(acceptor);
 }
 
-void Network::unlisten_tcp(const Endpoint& ep) { tcp_.erase(ep); }
+void Network::unlisten_tcp(const Endpoint& ep) {
+  std::lock_guard<std::mutex> lk(maps_mu_);
+  tcp_.erase(ep);
+}
 
 void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
                           ConnectResult result,
                           std::optional<SimDuration> connect_timeout) {
-  ++tcp_attempts_;
+  tcp_attempts_.fetch_add(1, std::memory_order_relaxed);
   run_taps(TransportProto::kTcp, src, dst, 0);
 
   SimDuration timeout = connect_timeout.value_or(config_.connect_timeout);
-  SimDuration lat = sample_latency(src.addr, dst.addr);
+  util::Rng& rng = domain_rng();
+  SimDuration lat = sample_latency(src.addr, dst.addr, rng);
   FaultPlane::TcpVerdict verdict;
   if (fault_) {
-    verdict = fault_->on_tcp_connect(dst.addr, events_.now());
+    verdict = fault_->on_tcp_connect(dst.addr, events_.now(),
+                                     events_.current_domain());
     lat += verdict.extra_latency;
     if (verdict.action == FaultPlane::TcpAction::kBlackhole) {
       events_.schedule_in(timeout, packet_cat_,
@@ -214,15 +291,23 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
       return;
     }
   }
+  bool stalled = verdict.action == FaultPlane::TcpAction::kStall;
+  if (map_) {
+    connect_tcp_sharded(src, dst, std::move(result), timeout, lat, stalled);
+    return;
+  }
+
   bool host_online = online(dst.addr);
-  auto listener = tcp_.find(dst);
-  bool has_listener = listener != tcp_.end();
-  TcpAcceptor wildcard;
-  if (!has_listener) {
+  TcpAcceptor acceptor;
+  {
+    std::lock_guard<std::mutex> lk(maps_mu_);
+    auto listener = tcp_.find(dst);
+    if (listener != tcp_.end()) acceptor = listener->second;
+  }
+  if (!acceptor) {
     for (const auto& p : prefix_tcp_) {
       if (p.port == dst.port && p.prefix.contains(dst.addr)) {
-        wildcard = p.acceptor;
-        has_listener = true;
+        acceptor = p.acceptor;
         host_online = true;
         break;
       }
@@ -235,19 +320,19 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
                         [result] { result(nullptr, /*refused=*/false); });
     return;
   }
-  if (!has_listener) {
+  if (!acceptor) {
     // RST after one RTT.
     events_.schedule_in(2 * lat, packet_cat_,
                         [result] { result(nullptr, /*refused=*/true); });
     return;
   }
 
-  ++tcp_established_;
-  bool stalled = verdict.action == FaultPlane::TcpAction::kStall;
-  TcpAcceptor acceptor = wildcard ? wildcard : listener->second;
+  tcp_established_.fetch_add(1, std::memory_order_relaxed);
   events_.schedule_in(2 * lat, packet_cat_,
                       [this, src, dst, lat, stalled, result, acceptor] {
-    auto conn = TcpConnectionPtr(new TcpConnection(this, src, dst, lat));
+    auto conn = TcpConnectionPtr(new TcpConnection(
+        this, src, dst, lat, /*client_dom=*/0, /*server_dom=*/0,
+        /*sharded=*/false));
     conn->stalled_ = stalled;
     track_connection(conn);
     // Server learns of the connection first (it must install handlers
@@ -257,13 +342,69 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
   });
 }
 
+void Network::connect_tcp_sharded(const Endpoint& src, const Endpoint& dst,
+                                  ConnectResult result, SimDuration timeout,
+                                  SimDuration lat, bool stalled) {
+  // SYN-arrival model: the destination's online/listener state belongs to
+  // the destination's domain, so the lookups run there — one latency after
+  // the send — and the outcome hops back to the caller's domain.
+  DomainId caller_dom = events_.current_domain();
+  DomainId server_dom = map_->domain_of(dst.addr);
+  SimTime send_at = events_.now();
+  events_.schedule_on(
+      server_dom, send_at + lat, packet_cat_,
+      [this, src, dst, lat, stalled, timeout, caller_dom, server_dom,
+       send_at, result = std::move(result)] {
+        bool host_online;
+        TcpAcceptor acceptor;
+        {
+          std::lock_guard<std::mutex> lk(maps_mu_);
+          host_online = online_.contains(dst.addr);
+          auto listener = tcp_.find(dst);
+          if (listener != tcp_.end()) acceptor = listener->second;
+        }
+        if (!acceptor) {
+          for (const auto& p : prefix_tcp_) {
+            if (p.port == dst.port && p.prefix.contains(dst.addr)) {
+              acceptor = p.acceptor;
+              host_online = true;
+              break;
+            }
+          }
+        }
+        if (!host_online) {
+          events_.schedule_on(caller_dom, send_at + timeout, packet_cat_,
+                              [result] { result(nullptr, false); });
+          return;
+        }
+        if (!acceptor) {
+          events_.schedule_on(caller_dom, send_at + 2 * lat, packet_cat_,
+                              [result] { result(nullptr, true); });
+          return;
+        }
+        tcp_established_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = TcpConnectionPtr(new TcpConnection(
+            this, src, dst, lat, caller_dom, server_dom, /*sharded=*/true));
+        conn->stalled_ = stalled;
+        track_connection(conn);
+        // Server side accepts at SYN arrival; the client's result fires a
+        // further latency later (the SYN-ACK), preserving the
+        // acceptor-before-result ordering across domains.
+        acceptor(conn);
+        events_.schedule_on(caller_dom, send_at + 2 * lat, packet_cat_,
+                            [conn, result] { result(conn, false); });
+      });
+}
+
 void Network::install_faults(FaultScenario scenario, obs::Registry* registry,
                              obs::FlightRecorder* flight) {
   fault_ = std::make_unique<FaultPlane>(std::move(scenario), registry);
   if (flight) fault_->set_flight_recorder(flight);
+  if (map_) fault_->configure_domains(map_->domain_count());
 }
 
 void Network::track_connection(const TcpConnectionPtr& conn) {
+  std::lock_guard<std::mutex> lk(live_mu_);
   if (live_tcp_.size() >= live_tcp_prune_at_) {
     std::erase_if(live_tcp_,
                   [](const std::weak_ptr<TcpConnection>& w) {

@@ -8,14 +8,24 @@
 // to online addresses without a matching listener is refused (RST/ICMP) —
 // exactly the distinction an Internet scanner observes.
 //
+// Sharded runs (set_shard_map): deliveries are scheduled on the destination
+// address's domain, stochastic draws (loss, jitter, fault verdicts) come
+// from the sending domain's own RNG stream, and the binding tables are
+// mutex-guarded — the lock protects map *structure* only, since all content
+// accesses for a given address happen on its home domain. The minimum
+// one-way latency is the cross-shard lookahead the EventQueue's barrier
+// protocol relies on.
+//
 // Taps: a tap observes every UDP datagram and TCP connection attempt whose
 // destination falls inside a prefix, whether or not anything is bound there.
 // The telescope experiment (Section 5) uses taps as its darknet capture.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +35,7 @@
 #include "obs/metrics.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/fault.hpp"
+#include "simnet/shard.hpp"
 #include "util/rng.hpp"
 
 namespace tts::simnet {
@@ -64,6 +75,10 @@ class Network;
 /// A bidirectional session-level TCP connection. Both sides hold a shared
 /// handle; sends are delivered to the peer's on_data callback after the
 /// path latency. Closing either side delivers on_close to the peer.
+///
+/// In sharded mode each side's state (its open flag and handlers) lives on
+/// that side's domain: deliveries and close notifications hop domains like
+/// any other packet, so each flag is only ever touched by its home domain.
 class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  public:
   using DataFn = std::function<void(std::vector<std::uint8_t>)>;
@@ -74,7 +89,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   void send(Side from, std::vector<std::uint8_t> data);
   void close(Side from);
-  bool open() const { return open_; }
+  /// Client-side view of the connection (the single shared flag in legacy
+  /// mode; the client domain's own flag in sharded mode).
+  bool open() const { return open_[0]; }
 
   void set_on_data(Side side, DataFn fn);
   void set_on_close(Side side, CloseFn fn);
@@ -90,7 +107,8 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  private:
   friend class Network;
   TcpConnection(Network* net, Endpoint client, Endpoint server,
-                SimDuration latency);
+                SimDuration latency, DomainId client_dom, DomainId server_dom,
+                bool sharded);
 
   /// Drop both sides' callbacks. User callbacks routinely capture the
   /// connection's own shared_ptr, which forms a reference cycle
@@ -99,13 +117,19 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// the simulation is torn down — breaks the cycle so LeakSanitizer runs
   /// clean.
   void drop_handlers();
+  void drop_side(int side);
 
   Network* net_;
   Endpoint client_;
   Endpoint server_;
   SimDuration latency_;
-  bool open_ = true;
+  // Legacy mode uses open_[0] as the one shared open flag (exact original
+  // semantics); sharded mode keeps one flag per side, each touched only on
+  // its own domain.
+  bool open_[2] = {true, true};
   bool stalled_ = false;
+  bool sharded_ = false;
+  DomainId dom_[2] = {0, 0};
   DataFn on_data_[2];
   CloseFn on_close_[2];
 };
@@ -145,6 +169,14 @@ class Network {
   const EventQueue& events() const { return events_; }
   SimTime now() const { return events_.now(); }
 
+  /// Partition the data plane by destination domain. The map must outlive
+  /// the network and be set before any traffic flows; per-domain RNG
+  /// streams are derived from the network seed so stochastic draws are a
+  /// function of the sending domain, never of shard count.
+  void set_shard_map(const ShardMap* map);
+  const ShardMap* shard_map() const { return map_; }
+  bool sharded() const { return map_ != nullptr; }
+
   // -- address lifecycle ----------------------------------------------------
   /// Bring an address online. Online addresses refuse unmatched traffic;
   /// offline ones blackhole it.
@@ -152,7 +184,7 @@ class Network {
   /// Take an address offline and drop all its bindings.
   void detach(const net::Ipv6Address& addr);
   bool online(const net::Ipv6Address& addr) const;
-  std::size_t online_count() const { return online_.size(); }
+  std::size_t online_count() const;
 
   // -- UDP -------------------------------------------------------------------
   void bind_udp(const Endpoint& ep, UdpHandler handler);
@@ -194,14 +226,23 @@ class Network {
 
   // -- taps ------------------------------------------------------------------
   /// Observe all traffic destined into `prefix`. Returns a tap id.
+  /// Setup-time only: taps are read concurrently once a sharded run starts.
   std::uint64_t add_tap(const net::Ipv6Prefix& prefix, TapFn fn);
   void remove_tap(std::uint64_t id);
 
   // -- introspection ----------------------------------------------------------
-  std::uint64_t udp_sent() const { return udp_sent_; }
-  std::uint64_t udp_delivered() const { return udp_delivered_; }
-  std::uint64_t tcp_attempts() const { return tcp_attempts_; }
-  std::uint64_t tcp_established() const { return tcp_established_; }
+  std::uint64_t udp_sent() const {
+    return udp_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t udp_delivered() const {
+    return udp_delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tcp_attempts() const {
+    return tcp_attempts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tcp_established() const {
+    return tcp_established_.load(std::memory_order_relaxed);
+  }
 
   /// One-way latency for a src/dst pair (deterministic base component).
   SimDuration base_latency(const net::Ipv6Address& a,
@@ -210,15 +251,24 @@ class Network {
  private:
   friend class TcpConnection;
 
+  /// The sending domain's RNG stream (rngs_[0] — the legacy stream — when
+  /// unsharded).
+  util::Rng& domain_rng();
   SimDuration sample_latency(const net::Ipv6Address& a,
-                             const net::Ipv6Address& b);
+                             const net::Ipv6Address& b, util::Rng& rng);
   void run_taps(TransportProto proto, const Endpoint& src,
                 const Endpoint& dst, std::size_t payload_size);
   void track_connection(const TcpConnectionPtr& conn);
+  void connect_tcp_sharded(const Endpoint& src, const Endpoint& dst,
+                           ConnectResult result, SimDuration timeout,
+                           SimDuration lat, bool stalled);
 
   EventQueue& events_;
   NetworkConfig config_;
-  util::Rng rng_;
+  /// rngs_[0] is the legacy stream (seeded exactly as before sharding
+  /// existed); rngs_[d] for d > 0 are per-domain derived streams.
+  std::vector<util::Rng> rngs_;
+  const ShardMap* map_ = nullptr;
   /// Dispatch category for every delivery the network schedules (UDP
   /// deliveries, TCP connect outcomes, connection data/close).
   EventQueue::CategoryId packet_cat_;
@@ -226,6 +276,10 @@ class Network {
   /// UDP send and TCP connect; stalled connections swallow data through it.
   std::unique_ptr<FaultPlane> fault_;
 
+  /// Guards the structure of the binding tables below. Content accesses
+  /// for an address always happen on its home domain, so the lock only
+  /// defends against concurrent rehash/insert from other domains.
+  mutable std::mutex maps_mu_;
   std::unordered_map<net::Ipv6Address, std::uint32_t, net::Ipv6AddressHash>
       online_;  // refcount: a device may attach an address it already owns
   std::unordered_map<Endpoint, UdpHandler, EndpointHash> udp_;
@@ -255,13 +309,14 @@ class Network {
   /// Weak handles on every established connection, pruned amortised; used
   /// only by ~Network to break callback cycles of never-closed connections
   /// (e.g. probes still in flight when a run is truncated at its horizon).
+  std::mutex live_mu_;
   std::vector<std::weak_ptr<TcpConnection>> live_tcp_;
   std::size_t live_tcp_prune_at_ = 64;
 
-  std::uint64_t udp_sent_ = 0;
-  std::uint64_t udp_delivered_ = 0;
-  std::uint64_t tcp_attempts_ = 0;
-  std::uint64_t tcp_established_ = 0;
+  std::atomic<std::uint64_t> udp_sent_{0};
+  std::atomic<std::uint64_t> udp_delivered_{0};
+  std::atomic<std::uint64_t> tcp_attempts_{0};
+  std::atomic<std::uint64_t> tcp_established_{0};
 };
 
 }  // namespace tts::simnet

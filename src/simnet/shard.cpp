@@ -1,0 +1,22 @@
+#include "simnet/shard.hpp"
+
+namespace tts::simnet {
+
+void ShardMap::pin(const net::Ipv6Address& addr, DomainId domain) {
+  pins_[addr] = domain;
+  note(domain);
+}
+
+void ShardMap::map_prefix(const net::Ipv6Prefix& prefix, DomainId domain) {
+  table_.announce(prefix, static_cast<net::AsNumber>(domain));
+  note(domain);
+}
+
+DomainId ShardMap::domain_of(const net::Ipv6Address& addr) const {
+  auto pin = pins_.find(addr);
+  if (pin != pins_.end()) return pin->second;
+  if (auto hit = table_.lookup(addr)) return static_cast<DomainId>(*hit);
+  return 0;
+}
+
+}  // namespace tts::simnet

@@ -1,0 +1,68 @@
+// Sharded simulation primitives: the domain/shard split and the routed-
+// prefix partition of the synthetic Internet.
+//
+// A *domain* is the unit of sequential execution and of determinism: every
+// event runs inside exactly one domain, and everything a domain touches is
+// (by construction) owned by that domain. Domains are assigned by content —
+// one per origin AS plus domain 0 for infrastructure — so the domain of an
+// address never depends on how many shards a run uses. A *shard* is the
+// unit of parallelism: shard = domain % shards, a pure thread-placement
+// decision that is invisible to event keys, RNG streams, and therefore to
+// every digest (the contract the shard_equivalence harness enforces).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/ipv6.hpp"
+#include "net/routing_table.hpp"
+#include "simnet/time.hpp"
+
+namespace tts::simnet {
+
+/// Identifies a deterministic execution domain. Domain 0 is the
+/// infrastructure/default domain (collector, scan engines, pool servers).
+using DomainId = std::uint32_t;
+
+/// How a run is sharded. Default-constructed (shards == 0) means legacy
+/// single-queue execution — the mode every pre-existing test runs in.
+struct ShardPlan {
+  /// Number of parallel event queues; 0 = unsharded legacy mode.
+  std::uint32_t shards = 0;
+  /// Worker threads; 0 = min(shards, hardware_concurrency). A resolved
+  /// value of <= 1 executes shards serially on the driving thread, with
+  /// results identical to any parallel schedule.
+  std::uint32_t workers = 0;
+  /// Conservative lookahead: every cross-domain event must be scheduled at
+  /// least this far in the future. 0 = the caller derives it (the Study
+  /// uses the network's minimum one-way latency).
+  SimDuration lookahead = 0;
+};
+
+/// Routed-prefix partition: address -> domain. Longest-prefix match over
+/// announced prefixes, with exact-address pins overriding (infrastructure
+/// addresses carved out of AS space but driven by domain-0 subsystems),
+/// and domain 0 as the default for unrouted space (e.g. the telescope).
+class ShardMap {
+ public:
+  /// Pin one exact address to a domain (wins over any prefix).
+  void pin(const net::Ipv6Address& addr, DomainId domain);
+  /// Map every address under `prefix` to `domain` (longest prefix wins).
+  void map_prefix(const net::Ipv6Prefix& prefix, DomainId domain);
+
+  DomainId domain_of(const net::Ipv6Address& addr) const;
+
+  /// 1 + highest domain id ever assigned (>= 1: domain 0 always exists).
+  DomainId domain_count() const { return count_; }
+
+ private:
+  void note(DomainId domain) {
+    if (domain + 1 > count_) count_ = domain + 1;
+  }
+
+  std::unordered_map<net::Ipv6Address, DomainId, net::Ipv6AddressHash> pins_;
+  net::RoutingTable table_;
+  DomainId count_ = 1;
+};
+
+}  // namespace tts::simnet

@@ -171,5 +171,19 @@ TEST(ChaosHarness, DifferentSeedDifferentChaos) {
   EXPECT_NE(base, chaos_digest(config));
 }
 
+TEST(ChaosHarness, ShardedChaosMatchesSingleShardDigest) {
+  // The full perturbed pipeline — loss, a blackhole window, a pool-server
+  // outage, retries, breakers, the monitor — must survive parallel shard
+  // execution with the same-seed digest it produces on one shard. Fault
+  // draws come from per-domain streams, so even the injected-fault counts
+  // are shard-count-invariant.
+  auto config = chaos_config();
+  config.shards.shards = 1;
+  std::uint64_t single = chaos_digest(config);
+  config.shards.shards = 4;
+  config.shards.workers = 2;
+  EXPECT_EQ(single, chaos_digest(config));
+}
+
 }  // namespace
 }  // namespace tts::harness

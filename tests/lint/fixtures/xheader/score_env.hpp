@@ -1,0 +1,13 @@
+// Cross-header container alias: a TU that includes this header iterates a
+// ScoreIndex without ever spelling "unordered_map" itself. Single-TU mode
+// cannot know the alias is unordered; only a compilation-database pass
+// that seeds the environment from resolved includes catches the escape.
+#pragma once
+
+#include <unordered_map>
+
+namespace demo {
+
+using ScoreIndex = std::unordered_map<int, int>;
+
+}  // namespace demo

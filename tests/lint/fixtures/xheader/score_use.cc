@@ -1,0 +1,20 @@
+// The TU side of the cross-header alias fixture: drains a ScoreIndex into
+// a vector (hash order escapes). No FINDING markers here — the expectation
+// depends on the mode: standalone linting must stay silent (the alias is
+// invisible), the compile-commands pass must report unordered-iter on the
+// range-for line. ttslint_test.cpp asserts both directions.
+#include <vector>
+
+#include "score_env.hpp"
+
+namespace demo {
+
+std::vector<int> drain_scores(const ScoreIndex& scores) {
+  std::vector<int> out;
+  for (const auto& [id, score] : scores) {
+    out.push_back(score);
+  }
+  return out;
+}
+
+}  // namespace demo

@@ -176,6 +176,69 @@ TEST(PairedHeader, SeedsTypeEnvironment) {
   EXPECT_TRUE(ttslint::lint_source("registry.cpp", source, "", {}).empty());
 }
 
+TEST(CompileCommands, ParsesCommandAndArgumentsForms) {
+  const char* db = R"([
+    {
+      "directory": "/work/build",
+      "command": "c++ -std=c++20 -I/work/src -I ../inc -isystem /opt/inc -c a.cc",
+      "file": "a.cc"
+    },
+    {
+      "directory": "/work",
+      "arguments": ["c++", "-Isrc", "-isystem", "third_party", "-c", "b.cpp"],
+      "file": "b.cpp",
+      "output": "b.o"
+    }
+  ])";
+  auto commands = ttslint::parse_compile_commands(db);
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(commands[0].file, "a.cc");
+  EXPECT_EQ(commands[0].directory, "/work/build");
+  EXPECT_EQ(commands[0].includes,
+            (std::vector<std::string>{"/work/src", "../inc", "/opt/inc"}));
+  EXPECT_EQ(commands[1].file, "b.cpp");
+  EXPECT_EQ(commands[1].includes,
+            (std::vector<std::string>{"src", "third_party"}));
+}
+
+TEST(CompileCommands, NonDatabaseTextYieldsNothing) {
+  EXPECT_TRUE(ttslint::parse_compile_commands("").empty());
+  EXPECT_TRUE(ttslint::parse_compile_commands("{\"a\": 1}").empty());
+  EXPECT_TRUE(ttslint::parse_compile_commands("[1, \"x\", {}]").empty());
+}
+
+TEST(CompileCommands, QuotedIncludesInOrderIgnoringAngled) {
+  const char* source =
+      "#include <vector>\n"
+      "  #include \"first.hpp\"\n"
+      "#include\t\"sub/second.h\"\n"
+      "// #include \"not_this_one.hpp\" — inside a comment, still a line\n"
+      "int x;\n";
+  // Line-based extraction is deliberately preprocessor-naive: it sees the
+  // two real quoted includes and nothing angled.
+  auto includes = ttslint::quoted_includes(source);
+  ASSERT_GE(includes.size(), 2u);
+  EXPECT_EQ(includes[0], "first.hpp");
+  EXPECT_EQ(includes[1], "sub/second.h");
+}
+
+TEST(EnvSources, CrossHeaderAliasIsOnlyCaughtWithEnv) {
+  // The xheader fixture: score_use.cc iterates a ScoreIndex whose
+  // unordered-ness lives in score_env.hpp. Single-TU mode misses it —
+  // the compilation-database mode's env_sources is what catches it.
+  const std::string source = read_fixture("xheader/score_use.cc");
+  EXPECT_TRUE(
+      ttslint::lint_source("xheader/score_use.cc", source, "", {}).empty());
+
+  ttslint::Options options;
+  options.env_sources.push_back(read_fixture("xheader/score_env.hpp"));
+  auto findings =
+      ttslint::lint_source("xheader/score_use.cc", source, "", options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 14);  // the range-for over `scores`
+}
+
 TEST(Formatting, TextAndJson) {
   ttslint::Finding f{"src/a.cpp", 12, 3, "wall-clock", "uses \"time\""};
   EXPECT_EQ(ttslint::format_finding(f),

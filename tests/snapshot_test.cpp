@@ -75,6 +75,45 @@ TEST(StudySnapshotTest, ResumedRunReproducesReportByteForByte) {
   EXPECT_EQ(resumed.checkpoint_bytes(), base.checkpoint);
 }
 
+StudyConfig sharded_config(std::uint32_t shards) {
+  auto config = mini_config();
+  config.shards.shards = shards;
+  // Real worker threads even on a one-core box: the round-trip claim must
+  // hold under parallel window execution, not just the serial fallback.
+  config.shards.workers = shards > 1 ? 2 : 0;
+  return config;
+}
+
+TEST(StudySnapshotTest, ShardedCheckpointResumeRoundTripsByteForByte) {
+  // checkpoint_at + resume_from under sharded dispatch: the snapshot is
+  // captured at a window barrier (every domain quiescent), so a resumed
+  // sharded run verifies it and reproduces the uninterrupted run's report
+  // and checkpoint byte for byte.
+  Study base(sharded_config(4));
+  base.run();
+  ASSERT_FALSE(base.checkpoint_bytes().empty());
+
+  Study resumed(sharded_config(4));
+  resumed.resume_from(base.checkpoint_bytes());
+  resumed.run();
+  EXPECT_EQ(report_of(resumed), report_of(base));
+  EXPECT_EQ(resumed.checkpoint_bytes(), base.checkpoint_bytes());
+}
+
+TEST(StudySnapshotTest, ShardCountIsNotSerializedIntoSnapshots) {
+  // A snapshot captured on 4 shards restores on a single-shard run: the
+  // shard count is thread placement, never simulation content, so nothing
+  // about it is (or may be) serialized.
+  Study sharded(sharded_config(4));
+  sharded.run();
+
+  Study single(sharded_config(1));
+  single.resume_from(sharded.checkpoint_bytes());
+  single.run();
+  EXPECT_EQ(report_of(single), report_of(sharded));
+  EXPECT_EQ(single.checkpoint_bytes(), sharded.checkpoint_bytes());
+}
+
 TEST(StudySnapshotTest, CorruptedSectionThrowsDivergenceNamingIt) {
   StudySnapshot snap = StudySnapshot::parse(baseline().checkpoint);
   SnapshotSection* collector = nullptr;

@@ -189,14 +189,12 @@ class Linter {
         code_.push_back(std::move(t));
       }
     }
-    if (!paired_header.empty()) {
-      auto header_tokens = tokenize(paired_header);
-      std::vector<Token> header_code;
-      for (auto& t : header_tokens)
-        if (t.kind != Tok::kComment && t.kind != Tok::kPreproc)
-          header_code.push_back(std::move(t));
-      scan_declarations(header_code, env_);
-    }
+    // Environment seeding order: compile-commands headers first, then the
+    // paired header, then the file itself — later scans may resolve
+    // aliases the earlier ones introduced.
+    for (const std::string& extra : options_.env_sources)
+      scan_external(extra);
+    if (!paired_header.empty()) scan_external(paired_header);
     scan_declarations(code_, env_);
   }
 
@@ -211,6 +209,17 @@ class Linter {
   }
 
  private:
+  /// Scan a header text's declarations into the environment (the header
+  /// itself is linted as its own input, never here).
+  void scan_external(std::string_view text) {
+    auto toks = tokenize(text);
+    std::vector<Token> code;
+    for (auto& t : toks)
+      if (t.kind != Tok::kComment && t.kind != Tok::kPreproc)
+        code.push_back(std::move(t));
+    scan_declarations(code, env_);
+  }
+
   const Token& tok(std::size_t i) const { return code_[i]; }
   bool have(std::size_t i) const { return i < code_.size(); }
 
@@ -670,7 +679,199 @@ class Linter {
   std::vector<Finding> findings_;  // final
 };
 
+// ---------------------------------------- compilation database parsing
+
+std::size_t skip_json_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+/// Parse the JSON string starting at s[i] == '"'; appends the unescaped
+/// value to `out` and returns one past the closing quote.
+std::size_t parse_json_string(std::string_view s, std::size_t i,
+                              std::string& out) {
+  ++i;
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i];
+    if (c == '\\' && i + 1 < s.size()) {
+      char e = s[++i];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default: out += e; break;  // \" \\ \/ and anything exotic
+      }
+    } else {
+      out += c;
+    }
+    ++i;
+  }
+  return i < s.size() ? i + 1 : i;
+}
+
+/// Skip any JSON value starting at s[i] (nested containers included).
+std::size_t skip_json_value(std::string_view s, std::size_t i) {
+  i = skip_json_ws(s, i);
+  if (i >= s.size()) return i;
+  if (s[i] == '"') {
+    std::string sink;
+    return parse_json_string(s, i, sink);
+  }
+  if (s[i] == '[' || s[i] == '{') {
+    int depth = 0;
+    while (i < s.size()) {
+      char c = s[i];
+      if (c == '"') {
+        std::string sink;
+        i = parse_json_string(s, i, sink);
+        continue;
+      }
+      if (c == '[' || c == '{') ++depth;
+      if ((c == ']' || c == '}') && --depth == 0) return i + 1;
+      ++i;
+    }
+    return i;
+  }
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']') ++i;
+  return i;
+}
+
+/// -I / -isystem extraction, both joined ("-Ifoo") and split ("-I foo").
+void collect_include_args(const std::vector<std::string>& args,
+                          std::vector<std::string>& out) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    for (std::string_view flag : {std::string_view("-I"),
+                                  std::string_view("-isystem")}) {
+      if (a.compare(0, flag.size(), flag) != 0) continue;
+      if (a.size() > flag.size()) {
+        out.push_back(a.substr(flag.size()));
+      } else if (i + 1 < args.size()) {
+        out.push_back(args[++i]);
+      }
+      break;
+    }
+  }
+}
+
 }  // namespace
+
+std::vector<CompileCommand> parse_compile_commands(std::string_view json) {
+  std::vector<CompileCommand> out;
+  std::size_t i = skip_json_ws(json, 0);
+  if (i >= json.size() || json[i] != '[') return out;
+  ++i;
+  while (true) {
+    i = skip_json_ws(json, i);
+    if (i >= json.size() || json[i] == ']') break;
+    if (json[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (json[i] != '{') {
+      i = skip_json_value(json, i);
+      continue;
+    }
+    ++i;  // into the entry object
+    CompileCommand cmd;
+    std::vector<std::string> args;
+    while (true) {
+      i = skip_json_ws(json, i);
+      if (i >= json.size() || json[i] == '}') {
+        if (i < json.size()) ++i;
+        break;
+      }
+      if (json[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (json[i] != '"') {
+        i = skip_json_value(json, i);
+        continue;
+      }
+      std::string key;
+      i = parse_json_string(json, i, key);
+      i = skip_json_ws(json, i);
+      if (i >= json.size() || json[i] != ':') continue;
+      i = skip_json_ws(json, i + 1);
+      if (i >= json.size()) break;
+      if (json[i] == '"') {
+        std::string value;
+        i = parse_json_string(json, i, value);
+        if (key == "file") {
+          cmd.file = std::move(value);
+        } else if (key == "directory") {
+          cmd.directory = std::move(value);
+        } else if (key == "command") {
+          // Whitespace-split is enough for include extraction; quoted
+          // paths with spaces are out of scope for this minimal parser.
+          std::istringstream split(value);
+          std::string word;
+          while (split >> word) args.push_back(word);
+        }
+      } else if (json[i] == '[' && key == "arguments") {
+        ++i;
+        while (true) {
+          i = skip_json_ws(json, i);
+          if (i >= json.size() || json[i] == ']') {
+            if (i < json.size()) ++i;
+            break;
+          }
+          if (json[i] == ',') {
+            ++i;
+            continue;
+          }
+          if (json[i] == '"') {
+            std::string arg;
+            i = parse_json_string(json, i, arg);
+            args.push_back(std::move(arg));
+          } else {
+            i = skip_json_value(json, i);
+          }
+        }
+      } else {
+        i = skip_json_value(json, i);
+      }
+    }
+    collect_include_args(args, cmd.includes);
+    if (!cmd.file.empty()) out.push_back(std::move(cmd));
+  }
+  return out;
+}
+
+std::vector<std::string> quoted_includes(std::string_view source) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    std::size_t eol = source.find('\n', pos);
+    std::string_view line = source.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    std::size_t i = 0;
+    auto ws = [&] {
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    };
+    ws();
+    if (i < line.size() && line[i] == '#') {
+      ++i;
+      ws();
+      if (line.compare(i, 7, "include") == 0) {
+        i += 7;
+        ws();
+        if (i < line.size() && line[i] == '"') {
+          std::size_t close = line.find('"', i + 1);
+          if (close != std::string_view::npos && close > i + 1)
+            out.emplace_back(line.substr(i + 1, close - i - 1));
+        }
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
 
 bool known_rule(std::string_view rule) {
   for (std::string_view r : kRules)

@@ -43,7 +43,32 @@ struct Options {
   /// Path suffixes exempt from the wall-clock rule (the observational
   /// wall-profiling reads, e.g. "obs/trace.cpp").
   std::vector<std::string> wallclock_allow;
+  /// Extra source texts (typically included headers resolved through a
+  /// compilation database) whose declarations seed the container-type
+  /// environment before the paired header and the file itself. This is
+  /// how a cross-header alias ("using ScoreIndex = unordered_map<...>"
+  /// in a header the TU includes) becomes visible: single-TU mode never
+  /// sees it and silently misses the unordered iteration.
+  std::vector<std::string> env_sources;
 };
+
+/// One compile_commands.json entry, reduced to what ttslint needs.
+struct CompileCommand {
+  std::string file;       // as written in the entry (may be relative)
+  std::string directory;  // the entry's working directory
+  /// -I / -isystem search paths, in command order (may be relative to
+  /// `directory`).
+  std::vector<std::string> includes;
+};
+
+/// Minimal parser for the clang/CMake compilation database format: a JSON
+/// array of objects with "file", "directory" and either a "command" string
+/// or an "arguments" array. Anything unrecognised is skipped; a text that
+/// is not a database yields an empty vector.
+std::vector<CompileCommand> parse_compile_commands(std::string_view json);
+
+/// Local quoted includes (#include "x.hpp") of a source, in order.
+std::vector<std::string> quoted_includes(std::string_view source);
 
 /// Rule ids accepted by the allow(...) pragma.
 bool known_rule(std::string_view rule);

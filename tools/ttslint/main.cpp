@@ -1,16 +1,25 @@
 // ttslint CLI: lint files or directory trees of C++ sources.
 //
-//   ttslint [--json] [--allow-wallclock=<path-suffix>]... <path>...
+//   ttslint [--json] [--allow-wallclock=<path-suffix>]...
+//           [--compile-commands=<compile_commands.json>] <path>...
 //
 // Directories are walked recursively for .cpp/.cc/.hpp/.h files. When a
 // .cpp/.cc has a same-named .hpp/.h next to it, that header's declarations
 // seed the type environment (the header is also linted on its own).
+//
+// --compile-commands drives a multi-TU pass from a compilation database:
+// each database TU is linted with the type environment seeded from every
+// quoted include resolvable through the TU's directory and -I/-isystem
+// paths — the cross-header aliases single-TU mode cannot see. Resolved
+// headers are linted standalone too (once each). Positional paths may be
+// mixed in and are linted in single-TU mode as usual.
 //
 // Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -49,10 +58,60 @@ std::string paired_header_for(const fs::path& p) {
 
 }  // namespace
 
+// One lint job: a file plus the per-TU env headers it gets linted with.
+struct Unit {
+  fs::path file;
+  std::vector<std::string> env_sources;
+};
+
+/// Expand one database entry into its TU unit (env seeded from resolved
+/// includes) and standalone units for newly seen resolved headers.
+bool expand_compile_command(const ttslint::CompileCommand& cmd,
+                            std::vector<Unit>& units,
+                            std::set<std::string>& seen) {
+  fs::path dir = cmd.directory.empty() ? fs::path(".")
+                                       : fs::path(cmd.directory);
+  fs::path tu = cmd.file;
+  if (tu.is_relative()) tu = dir / tu;
+  std::string source;
+  if (!read_file(tu, source)) {
+    std::cerr << "ttslint: cannot read '" << tu.string()
+              << "' (from compilation database)\n";
+    return false;
+  }
+  Unit unit{tu, {}};
+  for (const std::string& name : ttslint::quoted_includes(source)) {
+    // Quoted-include search order: the TU's own directory first, then the
+    // command's -I/-isystem paths (relative ones against its directory).
+    std::vector<fs::path> candidates{tu.parent_path() / name};
+    for (const std::string& inc : cmd.includes) {
+      fs::path base = inc;
+      if (base.is_relative()) base = dir / base;
+      candidates.push_back(base / name);
+    }
+    for (const fs::path& candidate : candidates) {
+      std::error_code ec;
+      std::string text;
+      if (!fs::is_regular_file(candidate, ec) ||
+          !read_file(candidate, text))
+        continue;
+      unit.env_sources.push_back(std::move(text));
+      if (lintable(candidate) &&
+          seen.insert(candidate.lexically_normal().generic_string()).second)
+        units.push_back({candidate, {}});
+      break;
+    }
+  }
+  if (seen.insert(tu.lexically_normal().generic_string()).second)
+    units.push_back(std::move(unit));
+  return true;
+}
+
 int main(int argc, char** argv) {
   ttslint::Options options;
   bool json = false;
   std::vector<fs::path> roots;
+  std::vector<fs::path> databases;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -60,9 +119,11 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg.rfind("--allow-wallclock=", 0) == 0) {
       options.wallclock_allow.push_back(arg.substr(18));
+    } else if (arg.rfind("--compile-commands=", 0) == 0) {
+      databases.emplace_back(arg.substr(19));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: ttslint [--json] [--allow-wallclock=<suffix>]... "
-                   "<file-or-dir>...\n";
+                   "[--compile-commands=<db.json>] <file-or-dir>...\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "ttslint: unknown option '" << arg << "'\n";
@@ -71,38 +132,57 @@ int main(int argc, char** argv) {
       roots.emplace_back(arg);
     }
   }
-  if (roots.empty()) {
+  if (roots.empty() && databases.empty()) {
     std::cerr << "ttslint: no inputs (see --help)\n";
     return 2;
   }
 
-  std::vector<fs::path> files;
+  std::vector<Unit> units;
+  std::set<std::string> seen;
+  for (const fs::path& db : databases) {
+    std::string text;
+    if (!read_file(db, text)) {
+      std::cerr << "ttslint: cannot read '" << db.string() << "'\n";
+      return 2;
+    }
+    auto commands = ttslint::parse_compile_commands(text);
+    if (commands.empty()) {
+      std::cerr << "ttslint: '" << db.string()
+                << "' holds no compile commands\n";
+      return 2;
+    }
+    for (const auto& cmd : commands)
+      if (!expand_compile_command(cmd, units, seen)) return 2;
+  }
   for (const fs::path& root : roots) {
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(root)) {
         if (entry.is_regular_file() && lintable(entry.path()))
-          files.push_back(entry.path());
+          units.push_back({entry.path(), {}});
       }
     } else if (fs::is_regular_file(root, ec)) {
-      files.push_back(root);
+      units.push_back({root, {}});
     } else {
       std::cerr << "ttslint: cannot read '" << root.string() << "'\n";
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(units.begin(), units.end(),
+            [](const Unit& a, const Unit& b) { return a.file < b.file; });
 
   int total = 0;
-  for (const fs::path& file : files) {
+  for (Unit& unit : units) {
     std::string source;
-    if (!read_file(file, source)) {
-      std::cerr << "ttslint: cannot read '" << file.string() << "'\n";
+    if (!read_file(unit.file, source)) {
+      std::cerr << "ttslint: cannot read '" << unit.file.string() << "'\n";
       return 2;
     }
-    const std::string path = file.generic_string();
-    auto findings = ttslint::lint_source(path, source,
-                                         paired_header_for(file), options);
+    ttslint::Options unit_options = options;
+    unit_options.env_sources = std::move(unit.env_sources);
+    const std::string path = unit.file.generic_string();
+    auto findings = ttslint::lint_source(
+        path, source, paired_header_for(unit.file), unit_options);
     for (const auto& f : findings) {
       std::cout << (json ? ttslint::format_finding_json(f)
                          : ttslint::format_finding(f))
