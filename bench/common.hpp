@@ -143,6 +143,7 @@ inline void emit_bench_json(const std::string& name,
 /// TTS_BENCH_JSON is set, a perf sample is emitted right after the run
 /// (name from TTS_BENCH_NAME, default "shared_study").
 inline core::Study& shared_study() {
+  // ttslint: allow(shared-state) reason=memoised bench fixture, initialised once in single-threaded main before any measurement
   static core::Study* study = [] {
     auto config = core::make_study_config(bench_scale());
     config.obs.enabled = bench_metrics_enabled();

@@ -72,6 +72,7 @@ void emit_sample(
 }  // namespace
 
 int main() {
+  // ttslint: allow(thread-confine) reason=reads host parallelism for the bench banner; creates no threads
   const unsigned hw = std::thread::hardware_concurrency();
   std::cerr << "[bench] shard scaling (scale="
             << bench::scale_label(bench::bench_scale()) << ", hw_threads="

@@ -105,7 +105,9 @@ int main() {
   // breaker-open and fault-burst dumps.
   obs::FlightRecorder& flight = study.flight();
   flight.trigger("example-walkthrough");
+  // ttslint: allow(barrier-only) reason=post-run walkthrough: the study finished before this report
   if (!flight.dumps().empty()) {
+    // ttslint: allow(barrier-only) reason=post-run walkthrough: the study finished before this report
     const auto& [reason, text] = flight.dumps().back();
     std::ofstream("tts_flight.txt") << text;
     std::cout << "Wrote tts_flight.txt (trigger: " << reason << ", "

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "util/format.hpp"
 #include "util/serialize.hpp"
 
@@ -637,7 +638,8 @@ std::string Study::observability_report() const {
                      " events recorded (", flight_.overwritten(),
                      " overwritten), ", flight_.triggers(), " triggers (",
                      flight_.suppressed(), " suppressed), ",
-                     flight_.dumps().size(), " dumps");
+                     flight_.dumps().size(), " dumps");  // ttslint: allow(barrier-only) reason=post-run report: run() has returned, appends quiesced
+    // ttslint: allow(barrier-only) reason=post-run report: run() has returned, appends quiesced
     for (const auto& d : flight_.dumps())
       out += util::cat("\n  dump: ", d.first);
     out += "\n";

@@ -260,7 +260,10 @@ class Study {
   /// `at` is the nominal checkpoint time: at a sharded barrier the queue
   /// sits between windows, so the event's own timestamp is passed in
   /// rather than read back from the clock.
+  // ttslint: barrier_only
   StudySnapshot capture_snapshot(simnet::SimTime at) const;
+  /// Replays the snapshot against live state; only sound between windows.
+  // ttslint: barrier_only
   void verify_restore(const StudySnapshot& live) const;
 
   StudyConfig config_;

@@ -74,7 +74,7 @@ class DeviceRuntime {
   void claim_address(const net::Ipv6Address& addr) {
     history_.push_back(addr);
     {
-      std::lock_guard<std::mutex> lock(world_.owner_mu_);
+      std::lock_guard<std::mutex> lock(world_.owner_mu_);  // ttslint: allow(thread-confine) reason=owner_mu_ protocol: address claim/release races across shards
       world_.address_owner_[addr] = device_.id;
     }
     if (device_.any_service()) world_.network_.attach(addr);
@@ -82,7 +82,7 @@ class DeviceRuntime {
 
   void release_address(const net::Ipv6Address& addr) {
     {
-      std::lock_guard<std::mutex> lock(world_.owner_mu_);
+      std::lock_guard<std::mutex> lock(world_.owner_mu_);  // ttslint: allow(thread-confine) reason=owner_mu_ protocol: address claim/release races across shards
       auto it = world_.address_owner_.find(addr);
       if (it != world_.address_owner_.end() && it->second == device_.id)
         world_.address_owner_.erase(it);
@@ -555,7 +555,7 @@ const std::vector<net::Ipv6Address>& InternetRuntime::address_history(
 const Device* InternetRuntime::device_at(const net::Ipv6Address& addr) const {
   std::uint32_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(owner_mu_);
+    std::lock_guard<std::mutex> lock(owner_mu_);  // ttslint: allow(thread-confine) reason=owner_mu_ protocol: device_at() resolves owners from every domain
     auto it = address_owner_.find(addr);
     if (it == address_owner_.end()) return nullptr;
     id = it->second;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ntp/pool.hpp"
+
 namespace tts::ntp {
 
 PoolMonitor::PoolMonitor(simnet::Network& network, NtpPool& pool,

@@ -54,6 +54,9 @@ class NtpPool {
   /// zone rebuild; we model withdrawal as immediate de-rotation).
   void withdraw(const net::Ipv6Address& address);
   void set_netspeed(const net::Ipv6Address& address, double netspeed);
+  /// Commits a monitor verdict into the rotation scores that every
+  /// device's resolve() reads concurrently.
+  // ttslint: barrier_only
   void set_monitor_score(const net::Ipv6Address& address, int score);
 
   /// GeoDNS resolution for a client in `country`, following the pool's

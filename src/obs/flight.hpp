@@ -132,6 +132,7 @@ class FlightRecorder {
   /// (reason, rendered dump) pairs, oldest first, capped at max_dumps.
   /// Returns a reference into the recorder: read only once appends have
   /// quiesced (post-run, or from a barrier commit).
+  // ttslint: barrier_only
   const std::vector<std::pair<std::string, std::string>>& dumps() const {
     return dumps_;
   }

@@ -138,12 +138,12 @@ util::Rng& Network::domain_rng() {
 }
 
 void Network::attach(const net::Ipv6Address& addr) {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   ++online_[addr];
 }
 
 void Network::detach(const net::Ipv6Address& addr) {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   auto it = online_.find(addr);
   if (it == online_.end()) return;
   if (--it->second > 0) return;
@@ -166,12 +166,12 @@ void Network::detach(const net::Ipv6Address& addr) {
 }
 
 bool Network::online(const net::Ipv6Address& addr) const {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   return online_.contains(addr);
 }
 
 std::size_t Network::online_count() const {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   return online_.size();
 }
 
@@ -207,12 +207,12 @@ void Network::run_taps(TransportProto proto, const Endpoint& src,
 }
 
 void Network::bind_udp(const Endpoint& ep, UdpHandler handler) {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   udp_[ep] = std::move(handler);
 }
 
 void Network::unbind_udp(const Endpoint& ep) {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   udp_.erase(ep);
 }
 
@@ -235,7 +235,7 @@ void Network::send_udp(const Endpoint& src, const Endpoint& dst,
       [this, src, dst, payload = std::move(payload)] {
         UdpHandler handler;
         {
-          std::lock_guard<std::mutex> lk(maps_mu_);
+          std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
           auto it = udp_.find(dst);
           // Copy the handler: it may unbind itself while running.
           if (it != udp_.end()) handler = it->second;
@@ -257,12 +257,12 @@ void Network::send_udp(const Endpoint& src, const Endpoint& dst,
 }
 
 void Network::listen_tcp(const Endpoint& ep, TcpAcceptor acceptor) {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   tcp_[ep] = std::move(acceptor);
 }
 
 void Network::unlisten_tcp(const Endpoint& ep) {
-  std::lock_guard<std::mutex> lk(maps_mu_);
+  std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
   tcp_.erase(ep);
 }
 
@@ -300,7 +300,7 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
   bool host_online = online(dst.addr);
   TcpAcceptor acceptor;
   {
-    std::lock_guard<std::mutex> lk(maps_mu_);
+    std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
     auto listener = tcp_.find(dst);
     if (listener != tcp_.end()) acceptor = listener->second;
   }
@@ -358,7 +358,7 @@ void Network::connect_tcp_sharded(const Endpoint& src, const Endpoint& dst,
         bool host_online;
         TcpAcceptor acceptor;
         {
-          std::lock_guard<std::mutex> lk(maps_mu_);
+          std::lock_guard<std::mutex> lk(maps_mu_);  // ttslint: allow(thread-confine) reason=maps_mu_ protocol: binding-table structure is touched from every domain
           host_online = online_.contains(dst.addr);
           auto listener = tcp_.find(dst);
           if (listener != tcp_.end()) acceptor = listener->second;
@@ -404,7 +404,7 @@ void Network::install_faults(FaultScenario scenario, obs::Registry* registry,
 }
 
 void Network::track_connection(const TcpConnectionPtr& conn) {
-  std::lock_guard<std::mutex> lk(live_mu_);
+  std::lock_guard<std::mutex> lk(live_mu_);  // ttslint: allow(thread-confine) reason=live_mu_ protocol: connections register from any domain for ~Network teardown
   if (live_tcp_.size() >= live_tcp_prune_at_) {
     std::erase_if(live_tcp_,
                   [](const std::weak_ptr<TcpConnection>& w) {

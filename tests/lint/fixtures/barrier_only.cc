@@ -1,0 +1,35 @@
+// C2 fixture: calls to a function declared under a barrier_only marker
+// comment must sit lexically inside a run_at_barrier(...) callback or
+// carry a reasoned allow(barrier-only) pragma. Declaration and
+// definition sites are never findings.
+struct Queue {
+  template <class F>
+  void run_at_barrier(F&& fn);
+};
+
+// Commits scores every shard reads: only sound between windows.
+// ttslint: barrier_only
+void commit_scores(int score);
+
+// The definition of a marked function is not a call site.
+void commit_scores(int score) { (void)score; }
+
+void committed_at_barrier(Queue& q) {
+  q.run_at_barrier([&] { commit_scores(1); });
+}
+
+void committed_mid_window() {
+  commit_scores(2);  // FINDING(barrier-only)
+}
+
+void suppressed() {
+  commit_scores(3);  // ttslint: allow(barrier-only) reason=fixture exercises the pragma escape
+}
+
+// Similar names are not confined: the marker binds one declaration.
+void commit_scores_later();
+void fine() { commit_scores_later(); }
+
+// A marker that precedes no function declaration is a bad pragma. FINDING-NEXT(bad-pragma)
+// ttslint: barrier_only
+constexpr int not_a_function = 0;

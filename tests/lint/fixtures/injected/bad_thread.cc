@@ -1,0 +1,10 @@
+// Injected C1 violation for the WILL_FAIL lane: a worker thread spawned
+// outside the dispatcher, with no allowlist and no pragma. The ctest
+// inverts the exit code, proving the compile-commands lane actually
+// fails when confinement is broken.
+#include <thread>
+
+void rogue() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,10 +1,11 @@
 // Pragma-grammar fixture: suppression placement, malformed pragmas, and
 // stale pragmas. (FINDING markers appear inside some pragma comments; the
 // fixture harness reads markers textually, the linter does not care.)
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
-std::unordered_map<int, int> table;
+std::unordered_map<int, int> table;  // FINDING(shared-state)
 
 // Own-line pragma covers the next code line.
 std::vector<int> own_line_suppressed() {
@@ -37,27 +38,40 @@ std::vector<int> multi_rule_suppressed() {
 
 // Unknown rule id.
 // ttslint: allow(made-up-rule) reason=will not parse FINDING(bad-pragma)
-int x1 = 0;
+constexpr int x1 = 0;
 
 // Missing reason clause entirely.
 // ttslint: allow(wall-clock) FINDING(bad-pragma)
-int x2 = 0;
+constexpr int x2 = 0;
 
 // Empty reason text; the bad pragma sits on the next line. FINDING-NEXT(bad-pragma)
 // ttslint: allow(wall-clock) reason=
-int x3 = 0;
+constexpr int x3 = 0;
 
 // Well-formed but suppresses nothing on its target line.
 // ttslint: allow(pointer-key) reason=nothing fires here FINDING(unused-pragma)
-int x4 = 0;
+constexpr int x4 = 0;
 
 // A pragma does NOT cover findings two lines below.
 // ttslint: allow(unordered-iter) reason=too far away FINDING(unused-pragma)
-int spacer = 0;
+constexpr int spacer = 0;
 std::vector<int> not_covered() {
   std::vector<int> out;
   for (const auto& [k, v] : table) {  // FINDING(unordered-iter)
     out.push_back(v);
   }
   return out;
+}
+
+// The concurrency rules participate in the same pragma grammar.
+void confined_primitive() {
+  std::mutex mu;  // ttslint: allow(thread-confine) reason=fixture exercises C-rule suppression
+  // Both primitives on the line are flagged when nothing suppresses them.
+  std::lock_guard<std::mutex> lk(mu);  // FINDING(thread-confine) FINDING(thread-confine)
+}
+
+int pragma_suppressed_static() {
+  // ttslint: allow(shared-state) reason=fixture exercises C-rule suppression
+  static int calls = 0;
+  return ++calls;
 }

@@ -1,0 +1,35 @@
+// C4 fixture: manual .lock()/.unlock() on mutex-typed receivers should be
+// lock_guard/scoped_lock. Linted with --allow-thread=scoped_lock.cc so
+// the mutex declarations themselves (C1) stay out of the way; the type
+// environment distinguishes mutexes from weak_ptr, so weak_ptr::lock()
+// is never a finding.
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+class Guarded {
+ public:
+  void manual() {
+    mu_.lock();    // FINDING(scoped-lock)
+    mu_.unlock();  // FINDING(scoped-lock)
+  }
+  void scoped() {
+    std::lock_guard<std::mutex> lk(mu_);
+  }
+  void shared_manual() {
+    rw_mu_.lock();    // FINDING(scoped-lock)
+    rw_mu_.unlock();  // FINDING(scoped-lock)
+  }
+  std::shared_ptr<int> promote() {
+    return weak_.lock();  // weak_ptr promotion, not a mutex acquire
+  }
+  void suppressed() {
+    mu_.lock();  // ttslint: allow(scoped-lock) reason=fixture exercises split-scope suppression
+    mu_.unlock();  // ttslint: allow(scoped-lock) reason=fixture exercises split-scope suppression
+  }
+
+ private:
+  std::mutex mu_;
+  std::shared_mutex rw_mu_;
+  std::weak_ptr<int> weak_;
+};

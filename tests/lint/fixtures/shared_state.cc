@@ -1,0 +1,40 @@
+// C3 fixture: non-const namespace-scope variables and non-const
+// function-local statics are cross-shard races and determinism hazards.
+// The same file linted with --allow-thread=shared_state.cc must come back
+// clean (the dispatcher/instrument exemption covers C3 too), so the
+// pragma escape for this rule is demonstrated in pragmas.cc instead.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+int g_hits = 0;                  // FINDING(shared-state)
+std::uint64_t g_total;           // FINDING(shared-state)
+std::vector<std::string> g_log;  // FINDING(shared-state)
+
+// Const, constexpr and class-scope state is fine.
+const int kLimit = 64;
+constexpr double kRatio = 0.5;
+struct Tally {
+  int count = 0;
+  static int shared_count;  // class-scope declaration, not a definition
+};
+
+namespace nested {
+int g_nested = 1;  // FINDING(shared-state)
+constexpr int kFine = 2;
+}  // namespace nested
+
+int bump() {
+  static int calls = 0;  // FINDING(shared-state)
+  return ++calls;
+}
+
+const std::string& name() {
+  static const std::string cached = "tts";  // const local static is fine
+  return cached;
+}
+
+// Function declarations and definitions at namespace scope are not
+// variables.
+int declared_elsewhere(int x);
+int defined_here(int x) { return x + kLimit; }

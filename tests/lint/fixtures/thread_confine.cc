@@ -1,0 +1,43 @@
+// C1 fixture: std:: thread primitives outside the dispatcher/instrument
+// allowlist. The same file linted with --allow-thread=thread_confine.cc
+// must come back clean (the allowlist test); pragma escapes for C-rules
+// live in pragmas.cc so this file stays pragma-free for that test.
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+
+void spawn_worker() {
+  std::thread t([] {});  // FINDING(thread-confine)
+  t.join();
+}
+
+class Shared {
+  std::mutex mu_;               // FINDING(thread-confine)
+  std::condition_variable cv_;  // FINDING(thread-confine)
+  std::atomic<int> hits_{0};    // FINDING(thread-confine)
+};
+
+int detached_result() {
+  auto fut = std::async([] { return 1; });  // FINDING(thread-confine)
+  return fut.get();
+}
+
+thread_local int tls_scratch = 0;  // FINDING(thread-confine) FINDING(shared-state)
+
+// Identifiers merely containing the names are fine: members, non-std
+// types, parameters.
+struct mutex_stats {
+  int thread_count = 0;
+};
+int thread_count(const mutex_stats& s) { return s.thread_count; }
+
+// A non-std type named atomic is no thread primitive (C1), but a mutable
+// namespace-scope instance of it is still shared state (C3).
+namespace sim {
+struct atomic {
+  int value = 0;
+};
+}  // namespace sim
+sim::atomic marker_value;  // FINDING(shared-state)

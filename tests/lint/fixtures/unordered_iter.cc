@@ -6,8 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
-std::unordered_map<std::string, int> counts;
-std::unordered_set<int> ids;
+std::unordered_map<std::string, int> counts;  // FINDING(shared-state)
+std::unordered_set<int> ids;                  // FINDING(shared-state)
 
 // Hash order lands in a vector: order escapes.
 std::vector<int> escape_to_vector() {
@@ -64,7 +64,7 @@ std::vector<int> drained_sorted() {
 
 // Aliases of unordered types are tracked through `using`.
 using CountsByName = std::unordered_map<std::string, long>;
-CountsByName by_name;
+CountsByName by_name;  // FINDING(shared-state)
 std::vector<long> escape_via_alias() {
   std::vector<long> out;
   for (const auto& [name, n] : by_name) {  // FINDING(unordered-iter)

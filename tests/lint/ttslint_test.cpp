@@ -76,11 +76,12 @@ std::vector<ttslint::Finding> lint_fixture(const std::string& name,
   return ttslint::lint_source(name, read_fixture(name), "", options);
 }
 
-void check_fixture(const std::string& name) {
+void check_fixture(const std::string& name,
+                   const ttslint::Options& options = {}) {
   const std::string source = read_fixture(name);
   const Expectation expected = parse_markers(source);
   const Expectation got =
-      as_expectation(ttslint::lint_source(name, source, "", {}));
+      as_expectation(ttslint::lint_source(name, source, "", options));
   EXPECT_EQ(expected, got) << "expected:\n"
                            << describe(expected) << "got:\n"
                            << describe(got);
@@ -128,8 +129,10 @@ TEST(Tokenizer, MultiCharOperators) {
 }
 
 TEST(Rules, KnownRuleIds) {
-  for (const char* r : {"unordered-iter", "wall-clock", "pointer-key",
-                        "rng-seed", "bad-pragma", "unused-pragma"})
+  for (const char* r :
+       {"unordered-iter", "wall-clock", "pointer-key", "rng-seed",
+        "thread-confine", "barrier-only", "shared-state", "scoped-lock",
+        "bad-pragma", "unused-pragma"})
     EXPECT_TRUE(ttslint::known_rule(r)) << r;
   EXPECT_FALSE(ttslint::known_rule("made-up-rule"));
   EXPECT_FALSE(ttslint::known_rule(""));
@@ -140,6 +143,17 @@ TEST(Fixtures, WallClock) { check_fixture("wall_clock.cc"); }
 TEST(Fixtures, PointerKey) { check_fixture("pointer_key.cc"); }
 TEST(Fixtures, RngSeed) { check_fixture("rng_seed.cc"); }
 TEST(Fixtures, Pragmas) { check_fixture("pragmas.cc"); }
+TEST(Fixtures, ThreadConfine) { check_fixture("thread_confine.cc"); }
+TEST(Fixtures, BarrierOnly) { check_fixture("barrier_only.cc"); }
+TEST(Fixtures, SharedState) { check_fixture("shared_state.cc"); }
+
+TEST(Fixtures, ScopedLock) {
+  // The thread allowlist keeps the fixture's own mutex declarations (C1)
+  // out of the way: the expectations are purely C4.
+  ttslint::Options options;
+  options.thread_allow = {"scoped_lock.cc"};
+  check_fixture("scoped_lock.cc", options);
+}
 
 TEST(Allowlist, WallClockSuffixSilencesFile) {
   ttslint::Options options;
@@ -151,6 +165,13 @@ TEST(Allowlist, SuffixMustMatchEnd) {
   ttslint::Options options;
   options.wallclock_allow = {"other_file.cc"};
   EXPECT_FALSE(lint_fixture("wall_clock.cc", options).empty());
+}
+
+TEST(Allowlist, ThreadSuffixSilencesConfinementAndSharedState) {
+  ttslint::Options options;
+  options.thread_allow = {"thread_confine.cc", "shared_state.cc"};
+  EXPECT_TRUE(lint_fixture("thread_confine.cc", options).empty());
+  EXPECT_TRUE(lint_fixture("shared_state.cc", options).empty());
 }
 
 TEST(PairedHeader, SeedsTypeEnvironment) {
@@ -237,6 +258,30 @@ TEST(EnvSources, CrossHeaderAliasIsOnlyCaughtWithEnv) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "unordered-iter");
   EXPECT_EQ(findings[0].line, 14);  // the range-for over `scores`
+}
+
+TEST(EnvSources, BarrierMarkerCrossesHeaders) {
+  // The marker lives in a header the TU includes; env_sources is what
+  // makes the call site a finding in compile-commands mode. Single-TU
+  // mode cannot see the marker, so the same source lints clean.
+  const char* header =
+      "// ttslint: barrier_only\n"
+      "void commit_scores(int score);\n";
+  const char* source =
+      "void tick() {\n"
+      "  commit_scores(4);\n"
+      "}\n"
+      "void at_barrier(Queue& q) {\n"
+      "  q.run_at_barrier([] { commit_scores(5); });\n"
+      "}\n";
+  EXPECT_TRUE(ttslint::lint_source("tick.cpp", source, "", {}).empty());
+
+  ttslint::Options options;
+  options.env_sources.push_back(header);
+  auto findings = ttslint::lint_source("tick.cpp", source, "", options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "barrier-only");
+  EXPECT_EQ(findings[0].line, 2);
 }
 
 TEST(Formatting, TextAndJson) {

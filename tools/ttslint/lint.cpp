@@ -10,8 +10,10 @@ namespace ttslint {
 namespace {
 
 constexpr std::string_view kRules[] = {
-    "unordered-iter", "wall-clock", "pointer-key",
-    "rng-seed",       "bad-pragma", "unused-pragma",
+    "unordered-iter", "wall-clock",    "pointer-key",
+    "rng-seed",       "thread-confine", "barrier-only",
+    "shared-state",   "scoped-lock",   "bad-pragma",
+    "unused-pragma",
 };
 
 const std::set<std::string, std::less<>> kUnorderedBases = {
@@ -57,6 +59,67 @@ const std::set<std::string, std::less<>> kCommutativeCalls = {
 const std::set<std::string, std::less<>> kCasts = {
     "static_cast", "const_cast", "reinterpret_cast", "dynamic_cast"};
 
+// C1: std::-qualified thread primitives. Construction *or* use of any of
+// these outside the dispatcher/instrument allowlist means concurrency has
+// leaked out of the barrier protocol. Matched only when the identifier is
+// written as std::<name>, so a local variable named `barrier` or a
+// project type called `Latch` never trips the rule.
+const std::set<std::string, std::less<>> kThreadPrimitives = {
+    "thread",
+    "jthread",
+    "mutex",
+    "timed_mutex",
+    "recursive_mutex",
+    "recursive_timed_mutex",
+    "shared_mutex",
+    "shared_timed_mutex",
+    "condition_variable",
+    "condition_variable_any",
+    "atomic",
+    "atomic_flag",
+    "atomic_ref",
+    "lock_guard",
+    "unique_lock",
+    "scoped_lock",
+    "shared_lock",
+    "once_flag",
+    "call_once",
+    "future",
+    "shared_future",
+    "promise",
+    "packaged_task",
+    "async",
+    "counting_semaphore",
+    "binary_semaphore",
+    "latch",
+    "barrier",
+    "stop_token",
+    "stop_source"};
+
+// C4 / declaration scan: types whose .lock()/.unlock() is a manual mutex
+// operation. weak_ptr deliberately absent — weak_ptr::lock() is a
+// different protocol entirely (simnet/network.cpp's live-connection sweep).
+const std::set<std::string, std::less<>> kMutexBases = {
+    "mutex",        "timed_mutex",  "recursive_mutex",
+    "recursive_timed_mutex",        "shared_mutex",
+    "shared_timed_mutex"};
+
+// C3: a namespace-scope statement containing one of these is a type alias,
+// template, function or other non-variable construct — never a mutable
+// global. `static` is deliberately NOT here: `static int hits;` at
+// namespace scope is exactly the hazard.
+const std::set<std::string, std::less<>> kNamespaceDeclSkips = {
+    "using",     "typedef",  "template", "namespace", "class",
+    "struct",    "enum",     "union",    "friend",    "static_assert",
+    "extern",    "operator", "concept",  "requires",  "const",
+    "constexpr", "constinit", "consteval"};
+
+// C2: keywords that may legitimately precede a call expression; any other
+// preceding identifier means the name is being *declared*, not called.
+const std::set<std::string, std::less<>> kCallPrefixKeywords = {
+    "return", "co_return", "co_yield", "co_await", "throw",
+    "case",   "else",      "do",       "not"};
+
 bool contains_ci(std::string_view haystack, std::string_view needle) {
   if (needle.empty() || haystack.size() < needle.size()) return false;
   for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
@@ -100,6 +163,11 @@ struct DeclEnv {
   std::set<std::string, std::less<>> unordered;  // vars, aliases, functions
   std::set<std::string, std::less<>> strings;
   std::set<std::string, std::less<>> sequences;
+  /// Names declared with a mutex type (C4: their .lock()/.unlock() is a
+  /// manual mutex operation; everything else's lock() is not).
+  std::set<std::string, std::less<>> mutexes;
+  /// Functions declared under a `// ttslint: barrier_only` marker (C2).
+  std::set<std::string, std::less<>> barrier_only;
 };
 
 /// Skip a balanced template argument list starting at tokens[i] == '<'.
@@ -155,7 +223,8 @@ void scan_declarations(const std::vector<Token>& code, DeclEnv& env) {
     bool is_string = t.text == "string" || t.text == "ostringstream" ||
                      t.text == "stringstream";
     bool is_sequence = kSequenceBases.count(t.text) > 0;
-    if (!is_unordered && !is_string && !is_sequence) continue;
+    bool is_mutex = kMutexBases.count(t.text) > 0;
+    if (!is_unordered && !is_string && !is_sequence && !is_mutex) continue;
 
     // Skip template args, then an optional ref/const, then take the
     // declared name. "unordered_map<...> name" / "string name".
@@ -170,8 +239,69 @@ void scan_declarations(const std::vector<Token>& code, DeclEnv& env) {
       if (is_unordered) env.unordered.insert(name);
       if (is_string) env.strings.insert(name);
       if (is_sequence) env.sequences.insert(name);
+      if (is_mutex) env.mutexes.insert(name);
     }
   }
+}
+
+// ------------------------------------------------- barrier_only markers
+
+/// Is this comment the declaration-site marker `ttslint: barrier_only`?
+/// (Anything else after `ttslint:` goes through the allow(...) grammar.)
+bool is_barrier_marker(std::string_view comment) {
+  std::size_t at = comment.find("ttslint:");
+  if (at == std::string_view::npos) return false;
+  std::string_view body = comment.substr(at + 8);
+  std::size_t i = 0;
+  while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i])))
+    ++i;
+  if (body.compare(i, 12, "barrier_only") != 0) return false;
+  for (i += 12; i < body.size(); ++i)
+    if (!std::isspace(static_cast<unsigned char>(body[i]))) return false;
+  return true;
+}
+
+struct BarrierMarker {
+  int comment_line = 0;
+  int col = 0;
+  int target_line = 0;
+  bool bound = false;  // a function declaration was found on target_line
+};
+
+/// Find every barrier_only marker in `comments`, resolve its target line
+/// (own line if it carries code, next code line otherwise), and register
+/// the first identifier-followed-by-'(' on that line — the declared
+/// function — into `env.barrier_only`. Unbound markers are returned for
+/// the caller to report (only when linting the file itself; a header
+/// scanned for its environment reports them on its own standalone pass).
+std::vector<BarrierMarker> collect_barrier_markers(
+    const std::vector<Token>& code, const std::vector<Token>& comments,
+    DeclEnv& env) {
+  std::vector<BarrierMarker> markers;
+  std::set<int> code_lines;
+  for (const Token& t : code) code_lines.insert(t.line);
+  for (const Token& c : comments) {
+    if (!is_barrier_marker(c.text)) continue;
+    BarrierMarker m;
+    m.comment_line = c.line;
+    m.col = c.col;
+    if (code_lines.count(c.line)) {
+      m.target_line = c.line;
+    } else {
+      auto next = code_lines.upper_bound(c.line);
+      m.target_line = next == code_lines.end() ? -1 : *next;
+    }
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+      if (code[i].line != m.target_line) continue;
+      if (code[i].kind == Tok::kIdent && code[i + 1].punct("(")) {
+        env.barrier_only.insert(code[i].text);
+        m.bound = true;
+        break;
+      }
+    }
+    markers.push_back(m);
+  }
+  return markers;
 }
 
 // ------------------------------------------------------------ lint pass
@@ -204,20 +334,32 @@ class Linter {
     rule_wall_clock();
     rule_pointer_key();
     rule_rng_seed();
+    rule_thread_confine();
+    rule_barrier_only();
+    rule_shared_state();
+    rule_scoped_lock();
     flush_suppressed();
     return std::move(findings_);
   }
 
  private:
   /// Scan a header text's declarations into the environment (the header
-  /// itself is linted as its own input, never here).
+  /// itself is linted as its own input, never here). Comments are kept
+  /// long enough to pick up barrier_only markers: a commit API declared in
+  /// a header must confine this TU's call sites too. Unbound markers are
+  /// ignored here — the header's own standalone pass reports them.
   void scan_external(std::string_view text) {
     auto toks = tokenize(text);
     std::vector<Token> code;
-    for (auto& t : toks)
-      if (t.kind != Tok::kComment && t.kind != Tok::kPreproc)
+    std::vector<Token> comments;
+    for (auto& t : toks) {
+      if (t.kind == Tok::kComment)
+        comments.push_back(std::move(t));
+      else if (t.kind != Tok::kPreproc)
         code.push_back(std::move(t));
+    }
     scan_declarations(code, env_);
+    collect_barrier_markers(code, comments, env_);
   }
 
   const Token& tok(std::size_t i) const { return code_[i]; }
@@ -236,7 +378,21 @@ class Linter {
     std::set<int> code_lines;
     for (const Token& t : code_) code_lines.insert(t.line);
 
+    // barrier_only declaration markers first: they share the `ttslint:`
+    // prefix but are not allow(...) pragmas. A marker that binds no
+    // function declaration is dead annotation — a bad-pragma finding.
+    for (const BarrierMarker& m :
+         collect_barrier_markers(code_, comments_, env_)) {
+      if (!m.bound)
+        findings_.push_back(
+            {path_, m.comment_line, m.col, "bad-pragma",
+             "barrier_only marker precedes no function declaration; place "
+             "it on (or directly above) the line declaring the commit "
+             "API"});
+    }
+
     for (const Token& c : comments_) {
+      if (is_barrier_marker(c.text)) continue;
       std::size_t at = c.text.find("ttslint:");
       if (at == std::string::npos) continue;
       std::string body = c.text.substr(at + 8);
@@ -433,6 +589,265 @@ class Linter {
         report(tok(i), "rng-seed",
                "Rng constructed from a value that does not trace to a "
                "seed; derive via StudyConfig::seed or Rng::stream()");
+    }
+  }
+
+  // ---- C1: thread-primitive confinement ----
+
+  bool thread_allowed() const {
+    for (const auto& suffix : options_.thread_allow)
+      if (ends_with(path_, suffix)) return true;
+    return false;
+  }
+
+  void rule_thread_confine() {
+    if (thread_allowed()) return;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != Tok::kIdent) continue;
+      bool hit = false;
+      if (t.text == "thread_local") {
+        hit = true;
+      } else if (kThreadPrimitives.count(t.text) && i >= 2 &&
+                 tok(i - 2).ident("std") && tok(i - 1).punct("::")) {
+        hit = true;
+      }
+      if (hit)
+        report(t, "thread-confine",
+               "'" + (t.text == "thread_local"
+                          ? t.text
+                          : "std::" + t.text) +
+                   "' escapes the concurrency confinement: threads, locks "
+                   "and atomics live inside the simnet dispatcher and obs "
+                   "instruments only — route work through EventQueue "
+                   "domains / run_at_barrier, or suppress with a reason");
+    }
+  }
+
+  // ---- C2: barrier-only commit APIs ----
+
+  /// Token ranges lexically inside a run_at_barrier(...) argument list —
+  /// the deterministic commit scope where barrier_only calls are legal.
+  std::vector<std::pair<std::size_t, std::size_t>> barrier_scopes() const {
+    std::vector<std::pair<std::size_t, std::size_t>> scopes;
+    for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
+      if (!tok(i).ident("run_at_barrier") || !tok(i + 1).punct("("))
+        continue;
+      scopes.emplace_back(i + 1, match(i + 1));
+    }
+    return scopes;
+  }
+
+  /// Does `name(` at position i declare/define rather than call? A
+  /// preceding type identifier or '~' marks a declaration; a ')' followed
+  /// by a body/brace-introducing token marks a definition or prototype
+  /// trailer. Keywords like `return` still introduce calls.
+  bool is_declaration_site(std::size_t i) const {
+    if (i > 0) {
+      const Token& prev = tok(i - 1);
+      if (prev.punct("~")) return true;
+      if (prev.kind == Tok::kIdent && !kCallPrefixKeywords.count(prev.text))
+        return true;
+    }
+    std::size_t after = match(i + 1);  // one past the matching ')'
+    if (after < code_.size()) {
+      const Token& u = tok(after);
+      if (u.punct("{") || u.punct("->") || u.ident("const") ||
+          u.ident("noexcept") || u.ident("override") || u.ident("final") ||
+          u.ident("delete") || u.ident("default"))
+        return true;
+    }
+    return false;
+  }
+
+  void rule_barrier_only() {
+    if (env_.barrier_only.empty()) return;
+    auto scopes = barrier_scopes();
+    auto in_scope = [&](std::size_t i) {
+      for (const auto& [b, e] : scopes)
+        if (i > b && i < e) return true;
+      return false;
+    };
+    for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != Tok::kIdent || !env_.barrier_only.count(t.text))
+        continue;
+      if (!tok(i + 1).punct("(")) continue;
+      if (is_declaration_site(i)) continue;
+      if (in_scope(i)) continue;
+      report(t, "barrier-only",
+             "'" + t.text +
+                 "' is a barrier_only commit API: call it from inside an "
+                 "EventQueue::run_at_barrier callback (domains quiescent) "
+                 "or suppress with a reasoned allow(barrier-only)");
+    }
+  }
+
+  // ---- C3: mutable shared state ----
+
+  /// Classify every brace: 'n' namespace body, 'c' class/struct/enum/union
+  /// body, 'b' anything else (function bodies, control blocks,
+  /// initializers). kinds[i] is the classification of code_[i] when it is
+  /// an opening '{'.
+  std::vector<char> classify_braces() const {
+    std::vector<char> kinds(code_.size(), 'b');
+    std::size_t head = 0;  // first token of the current statement head
+    std::vector<std::size_t> open_stack;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = code_[i];
+      if (t.kind == Tok::kPunct && t.text == "{") {
+        char kind = 'b';
+        bool has_eq = false, has_ns = false, has_class = false;
+        bool init_ctx =
+            i > head && (code_[i - 1].punct("=") || code_[i - 1].punct(",") ||
+                         code_[i - 1].punct("(") || code_[i - 1].punct("{") ||
+                         code_[i - 1].ident("return"));
+        for (std::size_t j = head; j < i; ++j) {
+          const Token& u = code_[j];
+          if (u.punct("=")) has_eq = true;
+          if (u.ident("namespace") ||
+              (u.ident("extern") && j + 1 < i &&
+               code_[j + 1].kind == Tok::kString))
+            has_ns = true;
+          if (u.ident("class") || u.ident("struct") || u.ident("union") ||
+              u.ident("enum"))
+            has_class = true;
+        }
+        if (!has_eq && !init_ctx) {
+          if (has_ns)
+            kind = 'n';
+          else if (has_class)
+            kind = 'c';
+        }
+        kinds[i] = kind;
+        open_stack.push_back(i);
+        head = i + 1;
+      } else if (t.kind == Tok::kPunct && t.text == "}") {
+        if (!open_stack.empty()) open_stack.pop_back();
+        head = i + 1;
+      } else if (t.kind == Tok::kPunct && t.text == ";") {
+        head = i + 1;
+      }
+    }
+    return kinds;
+  }
+
+  void rule_shared_state() {
+    if (thread_allowed()) return;
+    std::vector<char> kinds = classify_braces();
+    // Walk statements tracking the scope stack.
+    std::vector<char> stack;
+    std::size_t stmt = 0;  // first token of the current statement
+    auto at_namespace_scope = [&] {
+      for (char k : stack)
+        if (k != 'n') return false;
+      return true;
+    };
+    auto in_function_body = [&] {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+        if (*it == 'b') return true;
+      return false;
+    };
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = code_[i];
+      if (t.kind == Tok::kPunct && t.text == "{") {
+        // A namespace-scope statement ending in a brace (function body,
+        // class body, namespace body) is not a variable unless it was an
+        // initializer brace — handled by the '=' check below first.
+        if (kinds[i] == 'b' && at_namespace_scope())
+          check_namespace_decl(stmt, i);
+        stack.push_back(kinds[i]);
+        stmt = i + 1;
+        continue;
+      }
+      if (t.kind == Tok::kPunct && t.text == "}") {
+        if (!stack.empty()) stack.pop_back();
+        stmt = i + 1;
+        continue;
+      }
+      if (t.kind == Tok::kPunct && t.text == ";") {
+        if (at_namespace_scope()) check_namespace_decl(stmt, i);
+        stmt = i + 1;
+        continue;
+      }
+      // Function-local static: mutable state shared across every event
+      // that runs the function — a cross-shard race by construction.
+      if (t.kind == Tok::kIdent && t.text == "static" && i == stmt &&
+          in_function_body()) {
+        bool is_const = false;
+        for (std::size_t j = i + 1; j < code_.size(); ++j) {
+          const Token& u = code_[j];
+          if (u.kind == Tok::kPunct &&
+              (u.text == ";" || u.text == "=" || u.text == "{"))
+            break;
+          if (u.ident("const") || u.ident("constexpr")) is_const = true;
+        }
+        if (!is_const)
+          report(t, "shared-state",
+                 "non-const function-local static: shared mutable state "
+                 "across shards and runs; hoist it into the owning "
+                 "component or make it constexpr");
+      }
+    }
+  }
+
+  /// Does code_[stmt..end) declare a mutable namespace-scope variable?
+  /// Conservative: statements with '(' (functions), alias/type/template
+  /// keywords, or const/constexpr are never findings.
+  void check_namespace_decl(std::size_t stmt, std::size_t end) {
+    if (end <= stmt) return;
+    // Initializer braces: `int xs[] = {...}` ends at '{' with '=' before.
+    bool saw_eq = false;
+    std::size_t name_tok = 0;
+    int idents = 0;
+    for (std::size_t j = stmt; j < end; ++j) {
+      const Token& u = code_[j];
+      if (u.kind == Tok::kPunct && u.text == "=") {
+        saw_eq = true;
+        break;
+      }
+      if (u.kind == Tok::kPunct &&
+          (u.text == "(" || u.text == ":" || u.text == "::")) {
+        if (u.text == "(") return;  // function declaration / macro call
+        continue;
+      }
+      if (u.kind == Tok::kPreproc || u.kind == Tok::kComment) continue;
+      if (u.kind == Tok::kIdent) {
+        if (kNamespaceDeclSkips.count(u.text)) return;
+        if (u.text == "inline" || u.text == "static" ||
+            u.text == "thread_local" || u.text == "mutable" ||
+            u.text == "volatile" || u.text == "unsigned" ||
+            u.text == "signed" || u.text == "long" || u.text == "short")
+          continue;
+        ++idents;
+        name_tok = j;
+      }
+    }
+    (void)saw_eq;
+    // A variable needs at least a type and a name; a lone expression
+    // statement or label never has two plain identifiers.
+    if (idents < 2 || name_tok == 0) return;
+    report(code_[name_tok], "shared-state",
+           "mutable namespace-scope variable '" + code_[name_tok].text +
+               "': cross-shard data race and determinism hazard; make it "
+               "const/constexpr or move it into the owning component");
+  }
+
+  // ---- C4: scoped locking ----
+
+  void rule_scoped_lock() {
+    if (env_.mutexes.empty()) return;
+    for (std::size_t i = 0; i + 3 < code_.size(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != Tok::kIdent || !env_.mutexes.count(t.text)) continue;
+      if (!(tok(i + 1).punct(".") || tok(i + 1).punct("->"))) continue;
+      const Token& member = tok(i + 2);
+      if (!(member.ident("lock") || member.ident("unlock"))) continue;
+      if (!tok(i + 3).punct("(")) continue;
+      report(t, "scoped-lock",
+             "manual ." + member.text + "() on mutex '" + t.text +
+                 "'; use std::lock_guard/std::scoped_lock so the unlock is "
+                 "scoped and exception-safe");
     }
   }
 

@@ -15,12 +15,35 @@
 //   rng-seed        (D4) every Rng construction must trace to a seed (an
 //                        argument mentioning "seed"), not a bare literal
 //
+// Concurrency-confinement rules (the sharded simulator's barrier protocol,
+// enforced statically; ThreadSanitizer backs them dynamically in CI):
+//
+//   thread-confine  (C1) std:: thread primitives (thread, mutex, atomic,
+//                        condition_variable, lock_guard, ...) and the
+//                        thread_local keyword are banned outside the
+//                        dispatcher/instrument allowlist — concurrency
+//                        stays inside the EventQueue worker pool
+//   barrier-only    (C2) a function declared under a
+//                        `// ttslint: barrier_only` marker is a
+//                        side-effectful commit API: every call must be
+//                        lexically inside a run_at_barrier(...) callback
+//                        or carry a reasoned allow(barrier-only) pragma
+//   shared-state    (C3) non-const namespace-scope variables and non-const
+//                        function-local statics are cross-shard races and
+//                        determinism hazards — banned outside the allowlist
+//   scoped-lock     (C4) manual .lock()/.unlock() on a mutex-typed receiver
+//                        (per the type environment, so weak_ptr::lock() is
+//                        never a finding) must become lock_guard/scoped_lock
+//
 // Suppression pragma grammar (reason is mandatory):
 //   // ttslint: allow(rule[, rule...]) reason=<free text>
 // On a line of its own the pragma covers the next code line; trailing a
 // statement it covers that line. Malformed or unused pragmas are findings
 // themselves (bad-pragma / unused-pragma), so every suppression in the tree
-// stays accurate and reasoned.
+// stays accurate and reasoned. The declaration-site marker
+//   // ttslint: barrier_only
+// covers the declaration on its own line or the next code line; a marker
+// that precedes no function declaration is itself a bad-pragma finding.
 #pragma once
 
 #include <string>
@@ -43,6 +66,12 @@ struct Options {
   /// Path suffixes exempt from the wall-clock rule (the observational
   /// wall-profiling reads, e.g. "obs/trace.cpp").
   std::vector<std::string> wallclock_allow;
+  /// Path suffixes exempt from thread-confine and shared-state: the files
+  /// that *implement* the confinement (the sharded dispatcher) and the
+  /// lock-free instruments it feeds (e.g. "simnet/event_queue.cpp",
+  /// "obs/metrics.hpp"). Everything else must route concurrency through
+  /// them or carry a per-site reasoned pragma.
+  std::vector<std::string> thread_allow;
   /// Extra source texts (typically included headers resolved through a
   /// compilation database) whose declarations seed the container-type
   /// environment before the paired header and the file itself. This is

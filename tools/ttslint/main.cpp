@@ -1,6 +1,7 @@
 // ttslint CLI: lint files or directory trees of C++ sources.
 //
 //   ttslint [--json] [--allow-wallclock=<path-suffix>]...
+//           [--allow-thread=<path-suffix>]... [--only=<path-fragment>]...
 //           [--compile-commands=<compile_commands.json>] <path>...
 //
 // Directories are walked recursively for .cpp/.cc/.hpp/.h files. When a
@@ -12,14 +13,23 @@
 // quoted include resolvable through the TU's directory and -I/-isystem
 // paths — the cross-header aliases single-TU mode cannot see. Resolved
 // headers are linted standalone too (once each). Positional paths may be
-// mixed in and are linted in single-TU mode as usual.
+// mixed in and are linted in single-TU mode as usual. Every job is keyed
+// by its normalised absolute path, so a file reached through several TUs'
+// env_sources, several database entries, or both a database and a
+// positional root is linted exactly once (the database's env-seeded job
+// wins) — output is stable and countable however the inputs overlap.
+//
+// --only=<fragment> keeps only jobs whose normalised path contains the
+// fragment (repeatable, OR semantics): the way a whole-build database run
+// scopes itself to src/ + bench/ + examples/ without losing the env
+// seeding that the tests' TUs contribute.
 //
 // Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <set>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -56,6 +66,16 @@ std::string paired_header_for(const fs::path& p) {
   return {};
 }
 
+/// Normalised absolute path: the dedupe key that makes "src/a.hpp",
+/// "./src/a.hpp" and the same header resolved through two different TUs'
+/// include paths one and the same lint job.
+std::string norm_key(const fs::path& p) {
+  std::error_code ec;
+  fs::path abs = fs::absolute(p, ec);
+  if (ec) abs = p;
+  return abs.lexically_normal().generic_string();
+}
+
 }  // namespace
 
 // One lint job: a file plus the per-TU env headers it gets linted with.
@@ -64,11 +84,54 @@ struct Unit {
   std::vector<std::string> env_sources;
 };
 
+/// Deduplicating unit collection. A file reached several ways is linted
+/// once; a database TU's env-seeded job replaces any plain job for the
+/// same file (richer environment, superset of findings).
+class UnitSet {
+ public:
+  /// Add a job unless the file is already queued. An env-carrying unit
+  /// upgrades an env-less one for the same file.
+  void add(Unit unit) {
+    std::string key = norm_key(unit.file);
+    auto [it, fresh] = index_.try_emplace(key, units_.size());
+    if (fresh) {
+      units_.push_back(std::move(unit));
+    } else if (!unit.env_sources.empty() &&
+               units_[it->second].env_sources.empty()) {
+      units_[it->second] = std::move(unit);
+    }
+  }
+
+  /// Drop units whose normalised path contains none of `fragments`
+  /// (no-op when empty), then order by normalised path.
+  std::vector<Unit> take_sorted(const std::vector<std::string>& fragments) {
+    std::vector<Unit> out = std::move(units_);
+    if (!fragments.empty()) {
+      out.erase(std::remove_if(out.begin(), out.end(),
+                               [&](const Unit& u) {
+                                 std::string key = norm_key(u.file);
+                                 for (const auto& frag : fragments)
+                                   if (key.find(frag) != std::string::npos)
+                                     return false;
+                                 return true;
+                               }),
+                out.end());
+    }
+    std::sort(out.begin(), out.end(), [](const Unit& a, const Unit& b) {
+      return norm_key(a.file) < norm_key(b.file);
+    });
+    return out;
+  }
+
+ private:
+  std::vector<Unit> units_;
+  std::map<std::string, std::size_t> index_;
+};
+
 /// Expand one database entry into its TU unit (env seeded from resolved
-/// includes) and standalone units for newly seen resolved headers.
+/// includes) and standalone units for resolved headers.
 bool expand_compile_command(const ttslint::CompileCommand& cmd,
-                            std::vector<Unit>& units,
-                            std::set<std::string>& seen) {
+                            UnitSet& units) {
   fs::path dir = cmd.directory.empty() ? fs::path(".")
                                        : fs::path(cmd.directory);
   fs::path tu = cmd.file;
@@ -96,14 +159,11 @@ bool expand_compile_command(const ttslint::CompileCommand& cmd,
           !read_file(candidate, text))
         continue;
       unit.env_sources.push_back(std::move(text));
-      if (lintable(candidate) &&
-          seen.insert(candidate.lexically_normal().generic_string()).second)
-        units.push_back({candidate, {}});
+      if (lintable(candidate)) units.add({candidate, {}});
       break;
     }
   }
-  if (seen.insert(tu.lexically_normal().generic_string()).second)
-    units.push_back(std::move(unit));
+  units.add(std::move(unit));
   return true;
 }
 
@@ -112,6 +172,7 @@ int main(int argc, char** argv) {
   bool json = false;
   std::vector<fs::path> roots;
   std::vector<fs::path> databases;
+  std::vector<std::string> only;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -119,10 +180,15 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg.rfind("--allow-wallclock=", 0) == 0) {
       options.wallclock_allow.push_back(arg.substr(18));
+    } else if (arg.rfind("--allow-thread=", 0) == 0) {
+      options.thread_allow.push_back(arg.substr(15));
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only.push_back(arg.substr(7));
     } else if (arg.rfind("--compile-commands=", 0) == 0) {
       databases.emplace_back(arg.substr(19));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: ttslint [--json] [--allow-wallclock=<suffix>]... "
+                   "[--allow-thread=<suffix>]... [--only=<fragment>]... "
                    "[--compile-commands=<db.json>] <file-or-dir>...\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -137,8 +203,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Unit> units;
-  std::set<std::string> seen;
+  UnitSet collected;
   for (const fs::path& db : databases) {
     std::string text;
     if (!read_file(db, text)) {
@@ -152,24 +217,23 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (const auto& cmd : commands)
-      if (!expand_compile_command(cmd, units, seen)) return 2;
+      if (!expand_compile_command(cmd, collected)) return 2;
   }
   for (const fs::path& root : roots) {
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(root)) {
         if (entry.is_regular_file() && lintable(entry.path()))
-          units.push_back({entry.path(), {}});
+          collected.add({entry.path(), {}});
       }
     } else if (fs::is_regular_file(root, ec)) {
-      units.push_back({root, {}});
+      collected.add({root, {}});
     } else {
       std::cerr << "ttslint: cannot read '" << root.string() << "'\n";
       return 2;
     }
   }
-  std::sort(units.begin(), units.end(),
-            [](const Unit& a, const Unit& b) { return a.file < b.file; });
+  std::vector<Unit> units = collected.take_sorted(only);
 
   int total = 0;
   for (Unit& unit : units) {
