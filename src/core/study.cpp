@@ -59,6 +59,9 @@ Study::Study(StudyConfig config)
   flight_.add_trigger(obs::FlightKind::kFaultInjected,
                       config_.obs.fault_burst, config_.obs.fault_burst_window,
                       "fault-burst");
+  flight_.add_trigger(obs::FlightKind::kRouteWithdrawn,
+                      config_.obs.route_flap_burst,
+                      config_.obs.route_flap_window, "route-flap");
   // The accessor-backing instruments are always enrolled (enrolment is a
   // cold path); obs.enabled only adds wall-clock work on hot paths.
   events_.attach_metrics(metrics_, {}, /*time_dispatch=*/config_.obs.enabled);
@@ -255,6 +258,10 @@ void Study::run() {
     scenario.seed = rng_.stream("faults").root_seed() ^ scenario.seed;
     network_->install_faults(std::move(scenario), &metrics_, &flight_);
   }
+  // The route plane is draw-free (pure scripted windows), so no seed
+  // mixing; transitions commit at barriers, counters enroll as route_*.
+  if (!config_.routes.empty())
+    network_->install_routes(config_.routes, &metrics_, &flight_);
 
   {
     auto span = tracer_.span("study/build_internet");

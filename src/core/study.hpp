@@ -62,6 +62,10 @@ struct ObservabilityConfig {
   /// dump the flight ring (a scenario's impairment wave in full context).
   std::uint32_t fault_burst = 64;
   simnet::SimDuration fault_burst_window = simnet::sec(1);
+  /// Route-flap burst trigger: this many route withdrawals inside the
+  /// window dump the flight ring (a flap storm in full context).
+  std::uint32_t route_flap_burst = 8;
+  simnet::SimDuration route_flap_window = simnet::minutes(1);
   /// Series families the final-metrics table rolls up to their top_n
   /// largest members plus one "other" row (population-proportional families
   /// would otherwise swamp the report).
@@ -89,6 +93,11 @@ struct StudyConfig {
   /// Scripted impairments installed into the network before traffic starts
   /// (empty = pristine). See simnet/fault.hpp for the scenario grammar.
   simnet::FaultScenario faults;
+  /// Scripted BGP-style reachability plane (empty = everything routed).
+  /// Consulted before the fault plane on every send/connect; see
+  /// simnet/route.hpp. Scenarios needing generated artifacts can instead
+  /// install from on_built via network().install_routes(...).
+  simnet::RouteScenario routes;
 
   /// Countries hosting our capture servers (default: the paper's 11).
   std::vector<std::string> server_countries;

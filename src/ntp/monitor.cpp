@@ -12,7 +12,42 @@ PoolMonitor::PoolMonitor(simnet::Network& network, NtpPool& pool,
       pool_(pool),
       config_(std::move(config)),
       client_(network),
-      category_(network.events().register_category("pool_monitor")) {}
+      category_(network.events().register_category("pool_monitor")) {
+  network_.subscribe_routes([this](const net::Ipv6Prefix& prefix,
+                                   simnet::RouteOp op, simnet::SimTime) {
+    on_route_transition(prefix, op);
+  });
+}
+
+void PoolMonitor::on_route_transition(const net::Ipv6Prefix& prefix,
+                                      simnet::RouteOp op) {
+  if (op == simnet::RouteOp::kWithdraw) {
+    for (const auto& entry : pool_.servers()) {
+      if (!prefix.contains(entry.address)) continue;
+      if (saved_scores_.contains(entry.address)) continue;  // nested withdraw
+      saved_scores_[entry.address] = entry.monitor_score;
+      if (entry.monitor_score >= NtpPool::kRotationThreshold)
+        ++route_demotions_;
+      // Running inside the route plane's barrier commit: no shard executes,
+      // so the rotation-score write is already at its quiescent point.
+      pool_.set_monitor_score(  // ttslint: allow(barrier-only) reason=runs inside the route plane's barrier commit
+          entry.address,
+          std::min(entry.monitor_score, NtpPool::kRotationThreshold - 1));
+    }
+    return;
+  }
+  for (const auto& entry : pool_.servers()) {
+    if (!prefix.contains(entry.address)) continue;
+    auto saved = saved_scores_.find(entry.address);
+    if (saved == saved_scores_.end()) continue;
+    if (saved->second >= NtpPool::kRotationThreshold &&
+        entry.monitor_score < NtpPool::kRotationThreshold)
+      ++route_promotions_;
+    pool_.set_monitor_score(  // ttslint: allow(barrier-only) reason=runs inside the route plane's barrier commit
+        entry.address, saved->second);
+    saved_scores_.erase(saved);
+  }
+}
 
 void PoolMonitor::start() {
   if (started_) return;

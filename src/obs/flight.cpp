@@ -39,6 +39,14 @@ std::string_view to_string(FlightKind kind) {
       return "retry_dropped";
     case FlightKind::kNote:
       return "note";
+    case FlightKind::kFaultWindowOpen:
+      return "fault_window_open";
+    case FlightKind::kFaultWindowClose:
+      return "fault_window_close";
+    case FlightKind::kRouteWithdrawn:
+      return "route_withdrawn";
+    case FlightKind::kRouteAnnounced:
+      return "route_announced";
   }
   return "?";
 }

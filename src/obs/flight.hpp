@@ -43,8 +43,16 @@ enum class FlightKind : std::uint8_t {
   kRetryStaged,
   kRetryDropped,
   kNote,
+  /// A scripted fault rule/outage window opened or closed (detail names
+  /// the kind, a = the rule/outage index, b = its prefix/host hi64).
+  kFaultWindowOpen,
+  kFaultWindowClose,
+  /// A RoutePlane transition committed at a barrier (a/b = the prefix
+  /// address halves); bursts of withdrawals feed the route-flap trigger.
+  kRouteWithdrawn,
+  kRouteAnnounced,
 };
-inline constexpr std::size_t kFlightKindCount = 9;
+inline constexpr std::size_t kFlightKindCount = 13;
 
 std::string_view to_string(FlightKind kind);
 

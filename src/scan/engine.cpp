@@ -76,7 +76,14 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
     retry_name_ = config_.tracer->intern("probe/retry");
     shed_name_ = config_.tracer->intern("probe/shed");
     record_name_ = config_.tracer->intern("probe/record");
+    quarantine_name_ = config_.tracer->intern("probe/quarantine");
   }
+  // Route transitions commit at window barriers; an announce is the moment
+  // quarantined targets become launchable again.
+  network_.subscribe_routes([this](const net::Ipv6Prefix& /*prefix*/,
+                                   simnet::RouteOp op, simnet::SimTime at) {
+    if (op == simnet::RouteOp::kAnnounce) drain_quarantine(at);
+  });
   if (breaker_ && config_.flight) {
     obs::FlightRecorder* flight = config_.flight;
     breaker_->set_transition_observer(
@@ -94,6 +101,17 @@ ScanEngine::ScanEngine(simnet::Network& network, ResultStore& results,
                          static_cast<std::int64_t>(prefix.lo64()));
           if (kind == obs::FlightKind::kBreakerOpen)
             flight->trigger("breaker-open");
+        });
+    obs::FlightRecorder::NoteId as_note = flight->note("as");
+    breaker_->set_as_transition_observer(
+        [flight, as_note](const net::Ipv6Address& as_key, bool open,
+                          simnet::SimTime /*now*/) {
+          flight->record(open ? obs::FlightKind::kBreakerOpen
+                              : obs::FlightKind::kBreakerClose,
+                         as_note, /*trace=*/0,
+                         static_cast<std::int64_t>(as_key.hi64()),
+                         static_cast<std::int64_t>(as_key.lo64()));
+          if (open) flight->trigger("as-breaker-open");
         });
   }
 
@@ -131,6 +149,8 @@ void ScanEngine::enroll_metrics() {
   reg->enroll(retries_, "scan_retries", ds, this);
   reg->enroll(retry_success_, "scan_retry_success_total", ds, this);
   reg->enroll(retry_dropped_, "scan_retry_dropped", ds, this);
+  reg->enroll(route_deferred_, "scan_route_deferred", ds, this);
+  reg->enroll(route_requeued_, "scan_route_requeued", ds, this);
   reg->enroll(retry_delay_, "scan_retry_delay_us", ds, this);
   if (breaker_) breaker_->enroll(*reg, ds, this);
   reg->enroll(token_wait_, "scan_token_wait_us", ds, this);
@@ -326,7 +346,18 @@ void ScanEngine::pump() {
   // Launch every due intent the budget grants a token for, inline: one
   // timer wake covers the whole banked batch (up to burst_slots + 1), so a
   // saturated sweep pays ~1 event per batch instead of one per probe.
+  if (!quarantine_.empty()) drain_quarantine(now);
   while (const ScanIntent* next = queue_.peek_due(now)) {
+    if (network_.route_withdrawn(next->target, now)) {
+      // Withdrawn route: the target is *unreachable*, not unresponsive.
+      // Park the intent (no token spent, no record synthesized) until the
+      // route's re-announcement re-stages it.
+      ScanIntent intent = *queue_.pull_due(now);
+      end_stage_span(intent, quarantine_name_);
+      route_deferred_.inc();
+      quarantine_.push_back(std::move(intent));
+      continue;
+    }
     if (breaker_ && !breaker_->would_admit(next->target, now)) {
       // Open breaker: shed before spending a token, so a dead prefix costs
       // no budget and the freed slots go to responsive space.
@@ -434,6 +465,41 @@ void ScanEngine::finish_probe(const ScanIntent& intent, ScanRecord record) {
     config_.tracer->close(intent.lifecycle_span);
   }
   results_.add(std::move(record));
+}
+
+void ScanEngine::drain_quarantine(simnet::SimTime now) {
+  if (quarantine_.empty()) return;
+  std::size_t kept = 0;
+  bool staged = false;
+  for (std::size_t i = 0; i < quarantine_.size(); ++i) {
+    ScanIntent& intent = quarantine_[i];
+    if (network_.route_withdrawn(intent.target, now)) {
+      quarantine_[kept++] = std::move(intent);  // still unrouted: keep parked
+      continue;
+    }
+    ScanIntent again = std::move(intent);
+    again.not_before = now;
+    // Back into staging on the same trace: a fresh staging span covers the
+    // re-queued wait, exactly like a retry re-stage.
+    if (config_.tracer && again.trace != 0)
+      again.stage_span = config_.tracer->open(stage_name_, again.trace);
+    if (queue_.push(again)) {
+      route_requeued_.inc();
+      staged = true;
+      continue;
+    }
+    // Lane full: stay quarantined; the next announce commit or pump wake
+    // retries, so the intent cannot strand.
+    if (config_.tracer) config_.tracer->close(again.stage_span);
+    again.stage_span = obs::Tracer::kNoSpan;
+    quarantine_[kept++] = std::move(again);
+  }
+  quarantine_.resize(kept);
+  if (staged) {
+    pending_gauge_.set(static_cast<std::int64_t>(queue_.size()));
+    pending_peak_gauge_.set(static_cast<std::int64_t>(queue_.peak()));
+    arm_pump();
+  }
 }
 
 void ScanEngine::shed_probe(const ScanIntent& intent, simnet::SimTime now) {

@@ -208,6 +208,17 @@ class ScanEngine {
   std::uint64_t breaker_shed() const {
     return breaker_ ? breaker_->sheds() : 0;
   }
+  /// Due intents quarantined because their target's route was withdrawn.
+  /// No token is spent and no record is synthesized — the intent merely
+  /// parks until the route returns, so the probe-record conservation law
+  /// gains the invariant
+  ///   route_deferred == route_requeued + quarantine_depth.
+  std::uint64_t route_deferred() const { return route_deferred_.value(); }
+  /// Quarantined intents re-staged through the PendingQueue after their
+  /// route was re-announced.
+  std::uint64_t route_requeued() const { return route_requeued_.value(); }
+  /// Intents parked in the route quarantine right now.
+  std::size_t quarantine_depth() const { return quarantine_.size(); }
   /// The per-prefix breaker set (nullptr when breaking is disabled).
   const CircuitBreakerSet* breaker() const {
     return breaker_ ? &*breaker_ : nullptr;
@@ -272,6 +283,10 @@ class ScanEngine {
   /// record (conserving the one-outcome-per-probe tally) and keep the
   /// protocol chain going so later probes can close the breaker again.
   void shed_probe(const ScanIntent& intent, simnet::SimTime now);
+  /// Re-stage quarantined intents whose routes have been re-announced
+  /// (runs at route-announce commits and at every pump wake, so lane-full
+  /// parks cannot strand).
+  void drain_quarantine(simnet::SimTime now);
   /// Probe completion: breaker feedback, retry re-staging, result tally.
   void finish_probe(const ScanIntent& intent, ScanRecord record);
   void refill_from_sources();
@@ -294,6 +309,9 @@ class ScanEngine {
   std::unordered_map<net::Ipv6Address, simnet::SimTime, net::Ipv6AddressHash>
       last_scan_;
   PendingQueue queue_;
+  /// Intents pulled due while their target sat in withdrawn space: parked
+  /// FIFO here (no token, no record) until re-announcement re-stages them.
+  std::vector<ScanIntent> quarantine_;
   struct Source {
     SourceFn fn;
     Dataset lane;
@@ -319,6 +337,8 @@ class ScanEngine {
   obs::Counter retries_;
   obs::Counter retry_success_;
   obs::Counter retry_dropped_;
+  obs::Counter route_deferred_;
+  obs::Counter route_requeued_;
   std::array<obs::Counter, kProtocolCount> launched_by_proto_;
   std::array<obs::Counter, kProtocolCount> completed_by_proto_;
   obs::Histogram retry_delay_{obs::Histogram::exponential(1000, 4.0, 14)};
@@ -339,6 +359,7 @@ class ScanEngine {
   obs::Tracer::NameId retry_name_ = 0;
   obs::Tracer::NameId shed_name_ = 0;
   obs::Tracer::NameId record_name_ = 0;
+  obs::Tracer::NameId quarantine_name_ = 0;
   /// Per-lane monotone trace counter (see mint_trace).
   std::uint64_t next_trace_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "simnet/fault.hpp"
 
 #include "obs/flight.hpp"
+#include "simnet/event_queue.hpp"
 
 namespace tts::simnet {
 
@@ -16,6 +17,7 @@ FaultPlane::FaultPlane(FaultScenario scenario, obs::Registry* registry)
   registry_->enroll(stall_data_dropped_, "fault_stall_data_dropped", {},
                     this);
   registry_->enroll(delays_injected_, "fault_delays_injected", {}, this);
+  registry_->enroll(domain_fallback_, "fault_domain_fallback", {}, this);
 }
 
 void FaultPlane::configure_domains(DomainId domains) {
@@ -44,14 +46,50 @@ void FaultPlane::inject(InjectNote which) {
     flight_->record(obs::FlightKind::kFaultInjected, fault_notes_[which]);
 }
 
+void FaultPlane::arm_windows(EventQueue& events) {
+  if (!flight_ || windows_armed_) return;
+  windows_armed_ = true;
+  EventQueue::CategoryId cat = events.register_category("fault_window");
+  // The lambdas capture the recorder (which must outlive the scheduled
+  // events), never the plane: a scenario re-install cannot dangle them.
+  obs::FlightRecorder* flight = flight_;
+  obs::FlightRecorder::NoteId rule_note = flight->note("rule_window");
+  obs::FlightRecorder::NoteId outage_note = flight->note("outage_window");
+  auto edge = [&](SimTime from, SimTime until,
+                  obs::FlightRecorder::NoteId note, std::int64_t index,
+                  std::int64_t scope) {
+    if (from == until) return;  // zero-width: never fires, never logged
+    events.schedule_on(0, from, cat, [flight, note, index, scope] {
+      flight->record(obs::FlightKind::kFaultWindowOpen, note, /*trace=*/0,
+                     index, scope);
+    });
+    if (until == kFaultForever) return;
+    events.schedule_on(0, until, cat, [flight, note, index, scope] {
+      flight->record(obs::FlightKind::kFaultWindowClose, note, /*trace=*/0,
+                     index, scope);
+    });
+  };
+  for (std::size_t i = 0; i < scenario_.rules.size(); ++i)
+    edge(scenario_.rules[i].from, scenario_.rules[i].until, rule_note,
+         static_cast<std::int64_t>(i),
+         static_cast<std::int64_t>(
+             scenario_.rules[i].prefix.address().hi64()));
+  for (std::size_t i = 0; i < scenario_.outages.size(); ++i)
+    edge(scenario_.outages[i].from, scenario_.outages[i].until, outage_note,
+         static_cast<std::int64_t>(i),
+         static_cast<std::int64_t>(scenario_.outages[i].host.hi64()));
+}
+
 bool FaultPlane::host_down(const net::Ipv6Address& host, SimTime now) const {
   for (const HostOutage& outage : scenario_.outages)
     if (outage.host == host && outage.active(now)) return true;
   return false;
 }
 
-FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
-                                          SimTime now, DomainId domain) {
+FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& src,
+                                          const net::Ipv6Address& dst,
+                                          std::uint16_t dst_port, SimTime now,
+                                          DomainId domain) {
   util::Rng& rng = domain_rng(domain);
   UdpVerdict verdict;
   if (host_down(dst, now)) {
@@ -61,7 +99,7 @@ FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
     return verdict;
   }
   for (const FaultRule& rule : scenario_.rules) {
-    if (!rule.udp || !rule.active(now) || !rule.prefix.contains(dst))
+    if (!rule.udp || !rule.active(now) || !rule.matches(src, dst, dst_port))
       continue;
     switch (rule.kind) {
       case FaultKind::kBlackhole:
@@ -92,7 +130,9 @@ FaultPlane::UdpVerdict FaultPlane::on_udp(const net::Ipv6Address& dst,
   return verdict;
 }
 
-FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
+FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& src,
+                                                  const net::Ipv6Address& dst,
+                                                  std::uint16_t dst_port,
                                                   SimTime now,
                                                   DomainId domain) {
   util::Rng& rng = domain_rng(domain);
@@ -104,7 +144,7 @@ FaultPlane::TcpVerdict FaultPlane::on_tcp_connect(const net::Ipv6Address& dst,
     return verdict;
   }
   for (const FaultRule& rule : scenario_.rules) {
-    if (!rule.tcp || !rule.active(now) || !rule.prefix.contains(dst))
+    if (!rule.tcp || !rule.active(now) || !rule.matches(src, dst, dst_port))
       continue;
     switch (rule.kind) {
       case FaultKind::kBlackhole:

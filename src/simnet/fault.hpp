@@ -5,8 +5,13 @@
 // with sim-time windows (extra loss, added latency/jitter, full blackhole,
 // RST-on-connect, established-but-silent stall) plus host outages that take
 // one address offline for a window (the pool-monitor demote/promote
-// experiments schedule an NTP server outage this way). Network consults the
-// installed FaultPlane on every UDP send and TCP connect; rules are
+// experiments schedule an NTP server outage this way). Rules additionally
+// scope by direction (inbound into the prefix — the default —, outbound
+// from it, or both) and by destination port, so asymmetric partial outages
+// (a host that can send but not receive, a blackholed port 123) are
+// expressible. Network consults the installed FaultPlane on every UDP send
+// and TCP connect — after the RoutePlane, whose whole-prefix withdrawals
+// take precedence (route -> outage -> rules); rules are
 // evaluated in declaration order, delay rules accumulate, and the first
 // matching terminal rule (loss hit, blackhole, RST, stall) decides the
 // packet's fate — all draws come from one seeded stream, so the same
@@ -16,6 +21,7 @@
 // can prove conservation: nothing the plane swallows goes unaccounted.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -32,6 +38,8 @@ class FlightRecorder;
 
 namespace tts::simnet {
 
+class EventQueue;
+
 enum class FaultKind : std::uint8_t {
   kLoss,       ///< extra probabilistic loss (UDP drop / TCP SYN blackhole)
   kDelay,      ///< added one-way latency plus uniform jitter
@@ -44,8 +52,17 @@ enum class FaultKind : std::uint8_t {
 inline constexpr SimTime kFaultForever =
     std::numeric_limits<SimTime>::max();
 
-/// One impairment, scoped to traffic *destined into* `prefix` and active
-/// while `from <= now < until` (evaluated at send/connect time).
+/// Which traffic direction a rule's prefix scopes.
+enum class FaultDirection : std::uint8_t {
+  kInbound,   ///< traffic *destined into* the prefix (the legacy semantic)
+  kOutbound,  ///< traffic *originated from inside* the prefix
+  kBoth,      ///< either direction matches
+};
+
+/// One impairment, scoped by `prefix` + `direction` (default: traffic
+/// destined into `prefix`) and active while `from <= now < until`
+/// (evaluated at send/connect time). A `from == until` window is
+/// zero-width and never fires.
 struct FaultRule {
   net::Ipv6Prefix prefix;
   FaultKind kind = FaultKind::kLoss;
@@ -59,8 +76,31 @@ struct FaultRule {
   /// Transport scoping: a rule may impair only UDP or only TCP.
   bool udp = true;
   bool tcp = true;
+  /// Direction scoping: kOutbound models a host that can receive but whose
+  /// own packets die in transit; kBoth impairs the prefix symmetrically.
+  FaultDirection direction = FaultDirection::kInbound;
+  /// Destination-port scoping: 0 matches any port; a nonzero value narrows
+  /// the rule to traffic addressed to that port (e.g. 123 blackholes NTP
+  /// while the rest of the prefix stays reachable).
+  std::uint16_t dst_port = 0;
 
   bool active(SimTime now) const { return now >= from && now < until; }
+  /// Does a packet src -> dst:port fall under this rule's scope? (Time and
+  /// transport are checked separately.) An unknown source (::) never
+  /// matches an outbound scope.
+  bool matches(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+               std::uint16_t port) const {
+    if (dst_port != 0 && port != dst_port) return false;
+    switch (direction) {
+      case FaultDirection::kInbound:
+        return prefix.contains(dst);
+      case FaultDirection::kOutbound:
+        return prefix.contains(src);
+      case FaultDirection::kBoth:
+        return prefix.contains(dst) || prefix.contains(src);
+    }
+    return false;
+  }
 };
 
 /// Take one host fully offline for a window: its inbound UDP blackholes and
@@ -106,15 +146,30 @@ class FaultPlane {
   FaultPlane(const FaultPlane&) = delete;
   FaultPlane& operator=(const FaultPlane&) = delete;
 
-  /// Verdict for one datagram to `dst` sent at `now`. Draws from the
-  /// sending domain's RNG stream; call exactly once per datagram. Domain 0
-  /// draws from the legacy single stream, so unsharded runs are unchanged.
+  /// Verdict for one datagram src -> dst:dst_port sent at `now`. Draws
+  /// from the sending domain's RNG stream; call exactly once per datagram.
+  /// Domain 0 draws from the legacy single stream, so unsharded runs are
+  /// unchanged.
+  UdpVerdict on_udp(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                    std::uint16_t dst_port, SimTime now, DomainId domain = 0);
+  /// Convenience for scope-free evaluation: unknown source (::, which
+  /// never matches an outbound scope) and wildcard port 0 (which never
+  /// matches a port-scoped rule).
   UdpVerdict on_udp(const net::Ipv6Address& dst, SimTime now,
-                    DomainId domain = 0);
-  /// Verdict for one TCP connect to `dst` at `now` (one RNG draw per
-  /// matching loss rule, as for UDP).
-  TcpVerdict on_tcp_connect(const net::Ipv6Address& dst, SimTime now,
+                    DomainId domain = 0) {
+    return on_udp(net::Ipv6Address{}, dst, 0, now, domain);
+  }
+  /// Verdict for one TCP connect src -> dst:dst_port at `now` (one RNG
+  /// draw per matching loss rule, as for UDP).
+  TcpVerdict on_tcp_connect(const net::Ipv6Address& src,
+                            const net::Ipv6Address& dst,
+                            std::uint16_t dst_port, SimTime now,
                             DomainId domain = 0);
+  /// Convenience overload mirroring the UDP one.
+  TcpVerdict on_tcp_connect(const net::Ipv6Address& dst, SimTime now,
+                            DomainId domain = 0) {
+    return on_tcp_connect(net::Ipv6Address{}, dst, 0, now, domain);
+  }
   /// Provision one independent RNG stream per event domain so concurrent
   /// shards never contend on (or reorder draws from) a shared generator.
   /// Stream d >= 1 is seeded from scenario seed + "faultplane-domain"/d,
@@ -131,6 +186,15 @@ class FaultPlane {
   /// when a scenario window opens. nullptr detaches.
   void set_flight_recorder(obs::FlightRecorder* recorder);
 
+  /// Schedule one domain-0 event per rule/outage window edge that records
+  /// the opening (FlightKind::kFaultWindowOpen) and closing
+  /// (kFaultWindowClose) in the attached flight recorder, so a chaos dump
+  /// shows *why* injections started, not just that they did. No-op without
+  /// a recorder; zero-width (from == until) and never-closing
+  /// (kFaultForever) edges schedule nothing. Call once, at install time;
+  /// the recorder must outlive the scheduled events.
+  void arm_windows(EventQueue& events);
+
   const FaultScenario& scenario() const { return scenario_; }
 
   std::uint64_t udp_dropped() const { return udp_dropped_.value(); }
@@ -142,6 +206,12 @@ class FaultPlane {
     return stall_data_dropped_.value();
   }
   std::uint64_t delays_injected() const { return delays_injected_.value(); }
+  /// Verdicts asked for a domain beyond the configured RNG streams (a
+  /// missing configure_domains call): a shard-invariance bug. Asserts in
+  /// debug builds; release builds count and fall back to stream 0.
+  std::uint64_t domain_fallbacks() const {
+    return domain_fallback_.value();
+  }
 
  private:
   /// Injection kinds as flight-recorder details (indexes fault_notes_).
@@ -156,7 +226,12 @@ class FaultPlane {
   void inject(InjectNote which);
 
   util::Rng& domain_rng(DomainId domain) {
-    return rngs_[domain < rngs_.size() ? domain : 0];
+    if (domain < rngs_.size()) return rngs_[domain];
+    // A domain without its own stream would alias stream 0, silently
+    // breaking shard-count invariance: loud in debug, counted in release.
+    assert(!"fault verdict for a domain with no configured RNG stream");
+    domain_fallback_.inc();
+    return rngs_[0];
   }
 
   FaultScenario scenario_;
@@ -164,6 +239,7 @@ class FaultPlane {
   obs::Registry* registry_;
   obs::FlightRecorder* flight_ = nullptr;
   std::uint32_t fault_notes_[kNoteCount] = {};
+  bool windows_armed_ = false;
 
   obs::Counter udp_dropped_;      // loss + blackhole rules on datagrams
   obs::Counter udp_host_down_;    // datagrams to a host in outage
@@ -172,6 +248,7 @@ class FaultPlane {
   obs::Counter tcp_stalled_;      // connections established then stalled
   obs::Counter stall_data_dropped_;
   obs::Counter delays_injected_;  // packets/connects given extra latency
+  obs::Counter domain_fallback_;  // see domain_fallbacks()
 };
 
 }  // namespace tts::simnet

@@ -220,18 +220,23 @@ void Network::send_udp(const Endpoint& src, const Endpoint& dst,
                        std::vector<std::uint8_t> payload) {
   udp_sent_.fetch_add(1, std::memory_order_relaxed);
   run_taps(TransportProto::kUdp, src, dst, payload.size());
+  const SimTime now = events_.now();
+  // Reachability before impairment (route -> outage -> rules): a datagram
+  // into withdrawn space vanishes before any stochastic draw, so the
+  // RNG stream is untouched and route-plane-off runs draw identically.
+  if (route_ && route_->blackholes(dst.addr, now)) return;
   util::Rng& rng = domain_rng();
   if (config_.loss_rate > 0.0 && rng.chance(config_.loss_rate)) return;
   SimDuration lat = sample_latency(src.addr, dst.addr, rng);
   if (fault_) {
-    FaultPlane::UdpVerdict verdict =
-        fault_->on_udp(dst.addr, events_.now(), events_.current_domain());
+    FaultPlane::UdpVerdict verdict = fault_->on_udp(
+        src.addr, dst.addr, dst.port, now, events_.current_domain());
     if (verdict.drop) return;
     lat += verdict.extra_latency;
   }
   DomainId dst_dom = map_ ? map_->domain_of(dst.addr) : 0;
   events_.schedule_on(
-      dst_dom, events_.now() + lat, packet_cat_,
+      dst_dom, now + lat, packet_cat_,
       [this, src, dst, payload = std::move(payload)] {
         UdpHandler handler;
         {
@@ -273,11 +278,19 @@ void Network::connect_tcp(const Endpoint& src, const Endpoint& dst,
   run_taps(TransportProto::kTcp, src, dst, 0);
 
   SimDuration timeout = connect_timeout.value_or(config_.connect_timeout);
+  const SimTime now = events_.now();
+  // Reachability before impairment: a SYN into withdrawn space times out
+  // exactly like a blackhole, before any stochastic draw.
+  if (route_ && route_->blackholes(dst.addr, now)) {
+    events_.schedule_in(timeout, packet_cat_,
+                        [result] { result(nullptr, /*refused=*/false); });
+    return;
+  }
   util::Rng& rng = domain_rng();
   SimDuration lat = sample_latency(src.addr, dst.addr, rng);
   FaultPlane::TcpVerdict verdict;
   if (fault_) {
-    verdict = fault_->on_tcp_connect(dst.addr, events_.now(),
+    verdict = fault_->on_tcp_connect(src.addr, dst.addr, dst.port, now,
                                      events_.current_domain());
     lat += verdict.extra_latency;
     if (verdict.action == FaultPlane::TcpAction::kBlackhole) {
@@ -399,8 +412,30 @@ void Network::connect_tcp_sharded(const Endpoint& src, const Endpoint& dst,
 void Network::install_faults(FaultScenario scenario, obs::Registry* registry,
                              obs::FlightRecorder* flight) {
   fault_ = std::make_unique<FaultPlane>(std::move(scenario), registry);
-  if (flight) fault_->set_flight_recorder(flight);
+  if (flight) {
+    fault_->set_flight_recorder(flight);
+    fault_->arm_windows(events_);
+  }
   if (map_) fault_->configure_domains(map_->domain_count());
+}
+
+void Network::install_routes(RouteScenario scenario, obs::Registry* registry,
+                             obs::FlightRecorder* flight) {
+  // Install-once: arming schedules transition events capturing the plane,
+  // so a replacement would dangle them.
+  assert(!route_ && "route plane may only be installed once");
+  route_ = std::make_unique<RoutePlane>(std::move(scenario), registry);
+  if (flight) route_->set_flight_recorder(flight);
+  for (auto& fn : route_subs_) route_->subscribe(std::move(fn));
+  route_subs_.clear();
+  route_->arm(events_);
+}
+
+void Network::subscribe_routes(RoutePlane::TransitionFn fn) {
+  if (route_)
+    route_->subscribe(std::move(fn));
+  else
+    route_subs_.push_back(std::move(fn));
 }
 
 void Network::track_connection(const TcpConnectionPtr& conn) {

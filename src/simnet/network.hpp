@@ -35,6 +35,7 @@
 #include "obs/metrics.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/fault.hpp"
+#include "simnet/route.hpp"
 #include "simnet/shard.hpp"
 #include "util/rng.hpp"
 
@@ -214,6 +215,29 @@ class Network {
   /// The installed plane (nullptr when no scenario is active).
   const FaultPlane* faults() const { return fault_.get(); }
 
+  // -- routing signal plane ---------------------------------------------------
+  /// Install the scripted BGP-style reachability plane (see
+  /// simnet/route.hpp). Consulted before the FaultPlane on every UDP send
+  /// and TCP connect — verdict precedence route -> outage -> rules — and
+  /// its transitions commit at window barriers. Install-once, at setup
+  /// time (before traffic flows); buffered subscribe_routes() callbacks
+  /// attach here.
+  void install_routes(RouteScenario scenario,
+                      obs::Registry* registry = nullptr,
+                      obs::FlightRecorder* flight = nullptr);
+  /// The installed plane (nullptr when no route scenario is active).
+  const RoutePlane* routes() const { return route_.get(); }
+  /// True when `dst` sits in withdrawn (unrouted) space at `now`; always
+  /// false without an installed plane. Pure — no counting, no draws.
+  bool route_withdrawn(const net::Ipv6Address& dst, SimTime now) const {
+    return route_ && route_->withdrawn(dst, now);
+  }
+  /// Observe route transitions at their barrier commits. Callable before
+  /// install_routes (components subscribe at construction; the scenario
+  /// often installs later, e.g. from Study on_built): subscriptions made
+  /// early are buffered and attached on install.
+  void subscribe_routes(RoutePlane::TransitionFn fn);
+
   // -- wildcard (aliased-region) listeners ------------------------------------
   /// Accept TCP to *every* address inside `prefix` on `port`. Models fully
   /// aliased hyperscaler regions where each address responds (the paper's
@@ -275,6 +299,11 @@ class Network {
   /// Scripted impairments (null = pristine network). Consulted on every
   /// UDP send and TCP connect; stalled connections swallow data through it.
   std::unique_ptr<FaultPlane> fault_;
+  /// Scripted reachability (null = everything routed). Consulted before
+  /// the fault plane; withdrawn destinations blackhole regardless of rules.
+  std::unique_ptr<RoutePlane> route_;
+  /// Transition subscriptions made before install_routes, attached then.
+  std::vector<RoutePlane::TransitionFn> route_subs_;
 
   /// Guards the structure of the binding tables below. Content accesses
   /// for an address always happen on its home domain, so the lock only

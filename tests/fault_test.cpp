@@ -1,10 +1,13 @@
 // FaultPlane rule matching and its integration into Network: loss/delay/
-// blackhole/RST/stall rules, host outages, time windows, transport scoping,
-// and the NetworkConfig connect_timeout plumbing the blackhole path uses.
+// blackhole/RST/stall rules, host outages, time windows, transport,
+// direction and destination-port scoping, the domain-RNG aliasing guard,
+// window-edge flight events, and the NetworkConfig connect_timeout
+// plumbing the blackhole path uses.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/fault.hpp"
@@ -127,6 +130,160 @@ TEST_F(FaultPlaneTest, HostOutageWindowsCoverOneAddress) {
   EXPECT_EQ(plane.udp_host_down(), 1u);
   EXPECT_EQ(plane.on_tcp_connect(addr(kCleanNet, 9), sec(6)).action,
             FaultPlane::TcpAction::kBlackhole);
+}
+
+TEST_F(FaultPlaneTest, OutboundScopeImpairsTrafficFromThePrefix) {
+  FaultScenario scenario;
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kBlackhole,
+                            .direction = FaultDirection::kOutbound});
+  FaultPlane plane = make_plane(scenario);
+
+  // Packets *from* the impaired prefix die; packets *into* it pass.
+  EXPECT_TRUE(
+      plane.on_udp(addr(kFaultyNet, 1), addr(kCleanNet, 1), 123, 0).drop);
+  EXPECT_FALSE(
+      plane.on_udp(addr(kCleanNet, 1), addr(kFaultyNet, 1), 123, 0).drop);
+  // The legacy overload's unknown source (::) never matches an outbound
+  // scope, so scope-free callers see a pristine plane.
+  EXPECT_FALSE(plane.on_udp(addr(kFaultyNet, 1), 0).drop);
+  EXPECT_EQ(plane.on_tcp_connect(addr(kFaultyNet, 1), addr(kCleanNet, 1), 80,
+                                 0).action,
+            FaultPlane::TcpAction::kBlackhole);
+}
+
+TEST_F(FaultPlaneTest, BothScopeImpairsEitherDirection) {
+  FaultScenario scenario;
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kBlackhole,
+                            .direction = FaultDirection::kBoth});
+  FaultPlane plane = make_plane(scenario);
+
+  EXPECT_TRUE(
+      plane.on_udp(addr(kFaultyNet, 1), addr(kCleanNet, 1), 123, 0).drop);
+  EXPECT_TRUE(
+      plane.on_udp(addr(kCleanNet, 1), addr(kFaultyNet, 1), 123, 0).drop);
+  EXPECT_FALSE(
+      plane.on_udp(addr(kCleanNet, 1), addr(kCleanNet, 2), 123, 0).drop);
+}
+
+TEST_F(FaultPlaneTest, DstPortScopeNarrowsARule) {
+  FaultScenario scenario;
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kBlackhole,
+                            .dst_port = 123});
+  FaultPlane plane = make_plane(scenario);
+
+  // Port 123 into the prefix dies; port 80 sails through, and so does the
+  // legacy wildcard-port overload (port 0 never matches a scoped rule).
+  EXPECT_TRUE(
+      plane.on_udp(addr(kCleanNet, 1), addr(kFaultyNet, 1), 123, 0).drop);
+  EXPECT_FALSE(
+      plane.on_udp(addr(kCleanNet, 1), addr(kFaultyNet, 1), 80, 0).drop);
+  EXPECT_FALSE(plane.on_udp(addr(kFaultyNet, 1), 0).drop);
+  EXPECT_EQ(plane.on_tcp_connect(addr(kCleanNet, 1), addr(kFaultyNet, 1), 123,
+                                 0).action,
+            FaultPlane::TcpAction::kBlackhole);
+  EXPECT_EQ(plane.on_tcp_connect(addr(kCleanNet, 1), addr(kFaultyNet, 1), 443,
+                                 0).action,
+            FaultPlane::TcpAction::kNone);
+}
+
+TEST_F(FaultPlaneTest, ZeroWidthRuleWindowNeverFires) {
+  FaultScenario scenario;
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kBlackhole,
+                            .from = sec(10),
+                            .until = sec(10)});
+  FaultPlane plane = make_plane(scenario);
+
+  auto target = addr(kFaultyNet, 1);
+  EXPECT_FALSE(plane.on_udp(target, sec(9)).drop);
+  EXPECT_FALSE(plane.on_udp(target, sec(10)).drop);  // the degenerate edge
+  EXPECT_FALSE(plane.on_udp(target, sec(11)).drop);
+  EXPECT_EQ(plane.on_tcp_connect(target, sec(10)).action,
+            FaultPlane::TcpAction::kNone);
+  EXPECT_EQ(plane.udp_dropped(), 0u);
+}
+
+TEST_F(FaultPlaneTest, OverlappingOutageWindowsOnOneHost) {
+  auto host = addr(kCleanNet, 9);
+  FaultScenario scenario;
+  scenario.outages.push_back({.host = host, .from = sec(5), .until = sec(15)});
+  scenario.outages.push_back({.host = host, .from = sec(10), .until = sec(25)});
+  FaultPlane plane = make_plane(scenario);
+
+  // The union of the two windows is down; neither edge inside it revives
+  // the host, and after the later `until` it is back.
+  EXPECT_FALSE(plane.host_down(host, sec(4)));
+  EXPECT_TRUE(plane.host_down(host, sec(5)));
+  EXPECT_TRUE(plane.host_down(host, sec(12)));  // inside both
+  EXPECT_TRUE(plane.host_down(host, sec(15)));  // first ended, second holds
+  EXPECT_TRUE(plane.host_down(host, sec(24)));
+  EXPECT_FALSE(plane.host_down(host, sec(25)));
+}
+
+TEST_F(FaultPlaneTest, DomainWithoutStreamAssertsOrCounts) {
+  FaultScenario scenario;
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kLoss,
+                            .probability = 1.0});
+#ifdef NDEBUG
+  // Release: the silent-aliasing bug is counted and falls back to stream 0.
+  FaultPlane plane = make_plane(scenario);
+  EXPECT_TRUE(plane.on_udp(addr(kFaultyNet, 1), 0, /*domain=*/3).drop);
+  EXPECT_EQ(plane.domain_fallbacks(), 1u);
+#else
+  // Debug: loud, immediately.
+  EXPECT_DEATH(
+      {
+        FaultPlane plane = make_plane(scenario);
+        plane.on_udp(addr(kFaultyNet, 1), 0, /*domain=*/3);
+      },
+      "configured RNG stream");
+#endif
+}
+
+TEST_F(FaultPlaneTest, ConfiguredDomainsNeverFallBack) {
+  FaultScenario scenario;
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kLoss,
+                            .probability = 1.0});
+  FaultPlane plane = make_plane(scenario);
+  plane.configure_domains(4);
+  EXPECT_TRUE(plane.on_udp(addr(kFaultyNet, 1), 0, /*domain=*/3).drop);
+  EXPECT_EQ(plane.domain_fallbacks(), 0u);
+}
+
+TEST_F(FaultPlaneTest, WindowEdgesRecordFlightEvents) {
+  FaultScenario scenario;
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kBlackhole,
+                            .from = sec(10),
+                            .until = sec(20)});
+  scenario.rules.push_back({.prefix = faulty_prefix(),
+                            .kind = FaultKind::kLoss,
+                            .from = sec(5),
+                            .until = sec(5)});  // zero-width: never logged
+  scenario.outages.push_back(
+      {.host = addr(kCleanNet, 9), .from = sec(30)});  // never closes
+  EventQueue events;
+  obs::FlightRecorder flight;
+  flight.set_sim_clock(&events);
+  FaultPlane plane = make_plane(scenario);
+  plane.set_flight_recorder(&flight);
+  plane.arm_windows(events);
+  events.run();
+
+  int opens = 0, closes = 0;
+  for (const obs::FlightEvent& ev : flight.events()) {
+    if (ev.kind == obs::FlightKind::kFaultWindowOpen) ++opens;
+    if (ev.kind == obs::FlightKind::kFaultWindowClose) ++closes;
+  }
+  // Rule 0 opens and closes; the outage opens and never closes; the
+  // zero-width rule contributes nothing.
+  EXPECT_EQ(opens, 2);
+  EXPECT_EQ(closes, 1);
 }
 
 // ------------------------------------------------- network integration
